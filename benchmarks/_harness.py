@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper:
+it *asserts* the paper's qualitative claims (who wins, what holds),
+writes the rendered artifact to ``benchmarks/output/<name>.txt``, and
+benchmarks the computational kernel with pytest-benchmark.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+
+and inspect ``benchmarks/output/`` for the regenerated tables/figures.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def write_artifact(name: str, text: str) -> Path:
+    """Persist a regenerated table/figure under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def format_rows(header: list[str], rows: list[list[str]]) -> str:
+    """Fixed-width table rendering for artifact files."""
+    table = [header] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[c]) for r in table) for c in range(len(header))]
+    lines = []
+    for k, row in enumerate(table):
+        lines.append(
+            "  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row))
+        )
+        if k == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Figs. 1B and 2: publication counts and the proposal timeline.
+
+Regenerates both figures from the machine-readable Table 2 registry
+and asserts the paper's narrative claims about them.
+"""
+
+from repro.survey import (
+    NOTATIONS,
+    fig1b_publications,
+    fig2_timeline,
+    render_fig1b,
+    render_fig2,
+    timeline_milestones,
+)
+from _harness import write_artifact
+
+
+def test_fig1b_publications(benchmark):
+    series = benchmark(fig1b_publications)
+
+    counts = dict(series)
+    # Fig. 1B narrative (Section 1.4.1): CFDs attract more attention
+    # than the other categorical *extensions*; recent heterogeneous
+    # proposals (MDs, DDs) out-cite the newer numerical ones (SDs).
+    assert counts["CFD"] > max(
+        counts[n] for n in ("SFD", "PFD", "AFD", "eCFD")
+    )
+    assert counts["MD"] > counts["CDD"]
+    assert counts["SD"] > counts["OD"]
+
+    write_artifact("fig1b_publications", render_fig1b())
+
+
+def test_fig2_timeline(benchmark):
+    timeline = benchmark(fig2_timeline)
+
+    by_year = dict(timeline)
+    # Milestones the paper calls out.
+    assert "AFD" in by_year[1995]
+    assert "CFD" in by_year[2007]
+    assert "CDD" in by_year[2015]
+    assert "CMD" in by_year[2017]
+    assert "AMVD" in by_year[2020]
+
+    milestones = timeline_milestones()
+    lines = [render_fig2(), "", "milestones (Section 1.4.1):"]
+    lines.extend(f"  {name}: {year}" for name, year in milestones.items())
+    write_artifact("fig2_timeline", "\n".join(lines))

@@ -1,0 +1,103 @@
+"""Fig. 3: the discovery-complexity landscape, with live evidence.
+
+Regenerates the complexity classification and demonstrates its
+practical consequence on real runs:
+
+* the PTIME problems (MFD verification, SD confidence, CSD tableau DP)
+  scale polynomially — measured directly;
+* the NP-hard side is navigated by the bounded/greedy algorithms
+  (FASTDC with bounded width, greedy CFD tableau), whose cost grows
+  with the predicate space, not the data alone.
+"""
+
+import time
+
+import pytest
+
+from repro import FD, MFD, SD
+from repro.datasets import ordered_workload, random_relation
+from repro.discovery import (
+    discover_csd_tableau,
+    discover_dcs,
+    greedy_tableau,
+    sd_confidence,
+    verify_mfd,
+)
+from repro.survey import render_fig3, tractable_problems
+from _harness import format_rows, write_artifact
+
+
+def test_fig3_landscape(benchmark):
+    text = benchmark(render_fig3)
+    assert "NP-complete" in text and "PTIME" in text
+    assert "CSD tableau discovery" in "".join(tractable_problems())
+    write_artifact("fig3_complexity", text)
+
+
+def test_fig3_ptime_mfd_verification(benchmark):
+    r = random_relation(300, 3, domain_size=10, seed=1, numerical=True)
+    mfd = MFD(("A0",), ("A1",), 3.0)
+    benchmark(lambda: verify_mfd(r, mfd))
+
+
+def test_fig3_ptime_sd_confidence(benchmark):
+    w = ordered_workload(300, glitch_rate=0.05, seed=1)
+    sd = SD("t", "value", (0, 50))
+    benchmark(lambda: sd_confidence(w.relation, sd))
+
+
+def test_fig3_ptime_csd_tableau(benchmark):
+    w = ordered_workload(60, glitch_rate=0.08, seed=3)
+    sd = SD("t", "value", (0, 50))
+    csd = benchmark(
+        lambda: discover_csd_tableau(w.relation, sd, min_confidence=1.0)
+    )
+    assert csd is not None
+
+
+def test_fig3_bounded_fastdc(benchmark):
+    r = random_relation(30, 3, domain_size=6, seed=2, numerical=True)
+    result = benchmark(lambda: discover_dcs(r, max_predicates=2))
+    assert all(dc.holds(r) for dc in result)
+
+
+def test_fig3_greedy_tableau_heuristic(benchmark):
+    r = random_relation(60, 3, domain_size=4, seed=3)
+    fd = FD(("A0", "A1"), ("A2",))
+    tab = benchmark(
+        lambda: greedy_tableau(r, fd, support_target=0.5,
+                               min_confidence=1.0)
+    )
+    assert tab.holds(r)
+
+
+def test_fig3_polynomial_scaling_evidence(benchmark):
+    """CSD DP time grows ~quadratically with n, not exponentially.
+
+    Doubling the series should multiply the cost by roughly 4-8x
+    (quadratic candidates x linear confidence), far below the
+    exponential blowup of the NP-hard tableau problems.
+    """
+    small = ordered_workload(30, glitch_rate=0.05, seed=5)
+    benchmark(
+        lambda: discover_csd_tableau(
+            small.relation, SD("t", "value", (0, 50)), min_confidence=1.0
+        )
+    )
+    timings = []
+    for n in (30, 60, 120):
+        w = ordered_workload(n, glitch_rate=0.05, seed=5)
+        sd = SD("t", "value", (0, 50))
+        start = time.perf_counter()
+        discover_csd_tableau(w.relation, sd, min_confidence=1.0)
+        timings.append((n, time.perf_counter() - start))
+    rows = [[str(n), f"{t * 1000:.1f} ms"] for n, t in timings]
+    # Growth factor per doubling stays polynomial (allow generous slack
+    # for timer noise: strictly less than x40 per doubling).
+    for (n1, t1), (n2, t2) in zip(timings, timings[1:]):
+        assert t2 < t1 * 40 + 0.05
+    write_artifact(
+        "fig3_ptime_scaling",
+        "CSD tableau DP — polynomial scaling evidence\n\n"
+        + format_rows(["series length", "time"], rows),
+    )

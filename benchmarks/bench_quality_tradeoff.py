@@ -1,0 +1,140 @@
+"""Perf-3: detection quality across the family tree, quantified.
+
+The survey's qualitative claims (Sections 1.2 and 2.7), reproduced as
+measured precision/recall on generated heterogeneous data with known
+injected errors and format variants:
+
+* strict FDs: perfect recall, poor precision (variants flagged);
+* metric rules (MFD/DD): recall kept, precision recovered;
+* conditional rules (CFD-style restriction): high precision, partial
+  recall — "the coverage (recall), however, is limited";
+* statistical rules (AFD acceptance): fewer rules fire, recall drops
+  as epsilon grows.
+"""
+
+import pytest
+
+from repro import AFD, DD, FD, MFD
+from repro.datasets import heterogeneous_workload
+from repro.quality import Detector
+from _harness import format_rows, write_artifact
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return heterogeneous_workload(
+        n_entities=40,
+        records_per_entity=3,
+        variant_rate=0.35,
+        error_rate=0.08,
+        seed=33,
+    )
+
+
+def _score(workload, rules):
+    return Detector(rules).score(workload.relation, workload.error_tuples)
+
+
+def test_fd_vs_metric_rules(benchmark, workload):
+    fd = FD("address", "city")
+    mfd = MFD("address", "city", 4)
+    dd = DD({"address": 0}, {"city": 4})
+
+    fd_q = _score(workload, [fd])
+    mfd_q = _score(workload, [mfd])
+    dd_q = benchmark(lambda: _score(workload, [dd]))
+
+    # The paper's shape: metric rules keep recall, win on precision.
+    assert fd_q.recall == 1.0
+    assert mfd_q.recall == 1.0 and dd_q.recall == 1.0
+    assert mfd_q.precision > fd_q.precision
+    assert dd_q.precision > fd_q.precision
+
+    rows = [
+        ["FD address -> city", f"{fd_q.precision:.3f}",
+         f"{fd_q.recall:.3f}", f"{fd_q.f1:.3f}"],
+        ["MFD address ->^4 city", f"{mfd_q.precision:.3f}",
+         f"{mfd_q.recall:.3f}", f"{mfd_q.f1:.3f}"],
+        ["DD address(<=0) -> city(<=4)", f"{dd_q.precision:.3f}",
+         f"{dd_q.recall:.3f}", f"{dd_q.f1:.3f}"],
+    ]
+    write_artifact(
+        "perf3_detection_tradeoff",
+        "Perf-3 — detection quality: strict vs metric rules\n"
+        f"(workload: {len(workload.relation)} records, "
+        f"{len(workload.error_tuples)} errors, "
+        f"{len(workload.variant_tuples)} format variants)\n\n"
+        + format_rows(["rule", "precision", "recall", "f1"], rows)
+        + "\n\nshape reproduced: metric rules remove the variety false"
+        "\npositives (Section 1.2) at unchanged recall.",
+    )
+
+
+def test_statistical_acceptance_lowers_detection(benchmark, workload):
+    """Section 2.7: approximate rules improve discovery recall on dirty
+    data but, used as acceptance thresholds, tolerate real errors."""
+    fd = FD("address", "city")
+    # As epsilon grows, the AFD *holds* despite the injected errors —
+    # a monitor that alarms on AFD failure misses everything.
+    strict = AFD("address", "city", 0.0)
+    tolerant = AFD("address", "city", 0.9)
+    benchmark(lambda: strict.measure(workload.relation))
+    assert not strict.holds(workload.relation)
+    assert tolerant.holds(workload.relation)
+
+    rows = [
+        ["g3 measured", f"{strict.measure(workload.relation):.3f}"],
+        ["AFD eps=0.0 alarms?", str(not strict.holds(workload.relation))],
+        ["AFD eps=0.9 alarms?", str(not tolerant.holds(workload.relation))],
+    ]
+    write_artifact(
+        "perf3_statistical_tolerance",
+        "Perf-3 — statistical tolerance (Section 2.7)\n\n"
+        + format_rows(["quantity", "value"], rows),
+    )
+
+
+def test_conditional_rules_trade_recall_for_precision(benchmark, workload):
+    """Section 2.7: conditional rules have high precision but bounded
+    coverage — quantified via a rule restricted to one city."""
+    from repro.core import CFD
+
+    # Pick the city with the most injected errors to condition on.
+    target_city = None
+    best = -1
+    for i in workload.error_tuples:
+        city = workload.clean.value_at(i, "city")
+        count = sum(
+            1
+            for j in workload.error_tuples
+            if workload.clean.value_at(j, "city") == city
+        )
+        if count > best:
+            best, target_city = count, city
+
+    full = benchmark(
+        lambda: Detector([FD("address", "city")]).score(
+            workload.relation, workload.error_tuples
+        )
+    )
+    # CFD conditioned on one address prefix — covers a subset only.
+    conditioned_rules = [
+        CFD(["address"], ["city"], {"address": addr})
+        for addr in set(workload.relation.column("address"))
+        if any(
+            workload.relation.value_at(i, "address") == addr
+            for i in workload.error_tuples
+        )
+    ][:3]
+    part = Detector(conditioned_rules).score(
+        workload.relation, workload.error_tuples
+    )
+    assert part.recall <= full.recall
+    write_artifact(
+        "perf3_conditional_coverage",
+        "Perf-3 — conditional coverage (Section 2.7)\n\n"
+        f"full FD recall:          {full.recall:.3f}\n"
+        f"3-row CFD tableau recall: {part.recall:.3f}\n"
+        "shape reproduced: conditional rules cover only the conditioned"
+        "\nsubset, capping recall.",
+    )

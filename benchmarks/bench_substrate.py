@@ -1,0 +1,73 @@
+"""Substrate micro-benchmarks: the primitives everything rests on.
+
+Not a paper figure — performance coverage for the building blocks, so
+regressions in the partitions/metrics/indexes show up in the harness.
+"""
+
+import pytest
+
+from repro.datasets import fd_workload, random_relation
+from repro.metrics import levenshtein
+from repro.relation import InvertedIndex, SortedIndex, StrippedPartition
+
+
+@pytest.fixture(scope="module")
+def wide():
+    return random_relation(2000, 4, domain_size=50, seed=1)
+
+
+def test_partition_build(benchmark, wide):
+    pi = benchmark(
+        lambda: StrippedPartition.from_relation(wide, ["A0"])
+    )
+    assert pi.n == 2000
+
+
+def test_partition_product(benchmark, wide):
+    pi_0 = StrippedPartition.from_relation(wide, ["A0"])
+    pi_1 = StrippedPartition.from_relation(wide, ["A1"])
+    product = benchmark(lambda: pi_0.product(pi_1))
+    assert product == StrippedPartition.from_relation(wide, ["A0", "A1"])
+
+
+def test_g3_from_partitions(benchmark, wide):
+    pi_x = StrippedPartition.from_relation(wide, ["A0"])
+    pi_xy = StrippedPartition.from_relation(wide, ["A0", "A1"])
+    err = benchmark(lambda: pi_x.g3_error(pi_xy))
+    assert 0.0 <= err <= 1.0
+
+
+def test_group_by(benchmark, wide):
+    groups = benchmark(lambda: wide.group_by(["A0", "A1"]))
+    assert sum(len(g) for g in groups.values()) == len(wide)
+
+
+def test_levenshtein_medium_strings(benchmark):
+    a = "No.5, Central Park, New York City"
+    b = "#5 Central Park, NYC"
+    d = benchmark(lambda: levenshtein(a, b))
+    assert d > 0
+
+
+def test_levenshtein_bounded_early_exit(benchmark):
+    a = "a" * 60
+    b = "b" * 60
+    d = benchmark(lambda: levenshtein(a, b, bound=3))
+    assert d == 4  # bound + 1
+
+
+def test_inverted_index_build_and_lookup(benchmark):
+    w = fd_workload(3000, 40, seed=2)
+
+    def build_and_probe():
+        idx = InvertedIndex(w.relation, "code")
+        return idx.lookup(w.relation.value_at(0, "code"))
+
+    hits = benchmark(build_and_probe)
+    assert hits
+
+
+def test_sorted_index_range_query(benchmark, wide):
+    idx = SortedIndex(wide, "A2")
+    hits = benchmark(lambda: idx.in_range(10, 30))
+    assert all(10 <= wide.value_at(i, "A2") <= 30 for i in hits)

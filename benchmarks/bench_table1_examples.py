@@ -1,0 +1,41 @@
+"""Table 1 / Section 1: fd1 on the hotel relation r1.
+
+Regenerates the paper's motivating example — which pairs fd1 flags,
+which it misses — and benchmarks FD violation detection.
+"""
+
+from repro import FD, hotel_r1
+from _harness import write_artifact
+
+
+def test_table1_fd1_story(benchmark):
+    r1 = hotel_r1()
+    fd1 = FD("address", "region")
+
+    violations = benchmark(lambda: fd1.violations(r1))
+
+    pairs = {v.tuples for v in violations}
+    # The paper's claims (0-based indices: t1 = 0):
+    assert (2, 3) in pairs, "true error (t3, t4) detected"
+    assert (4, 5) in pairs, "format variety (t5, t6) falsely flagged"
+    assert not any({6, 7} & set(p) for p in pairs), "(t7, t8) missed"
+
+    lines = [
+        "Table 1 / Section 1.1-1.2 — fd1: address -> region on r1",
+        "",
+        r1.to_text(),
+        "",
+        "violations (1-based, as in the paper):",
+    ]
+    for v in violations:
+        lines.append(
+            f"  (t{v.tuples[0] + 1}, t{v.tuples[1] + 1}) — {v.reason}"
+        )
+    lines += [
+        "",
+        "paper narrative reproduced:",
+        "  (t3, t4): true violation detected       [OK]",
+        "  (t5, t6): variety false positive        [OK — motivates Sec. 3]",
+        "  (t7, t8): true violation missed by fd1  [OK — motivates Sec. 3]",
+    ]
+    write_artifact("table1_fd1", "\n".join(lines))

@@ -1,0 +1,32 @@
+"""Tables 2 and 4: the dependency index and the notation glossary.
+
+Regenerates both tables from the machine-readable registry, checks the
+registry's consistency with the implemented class hierarchy, and
+benchmarks the rendering (trivially fast — included so that *every*
+table has a harness target).
+"""
+
+from repro.survey import (
+    NOTATIONS,
+    consistency_problems,
+    render_table2,
+    render_table4,
+)
+from _harness import write_artifact
+
+
+def test_table2_index(benchmark):
+    text = benchmark(render_table2)
+    assert "Conditional Functional Dependencies" in text
+    assert consistency_problems() == []
+    # Spot-check rows against the paper.
+    assert NOTATIONS["MVD"].year == 1977
+    assert NOTATIONS["CFD"].publications == 471
+    assert NOTATIONS["SD"].definition_refs == ("[48]",)
+    write_artifact("table2_index", text)
+
+
+def test_table4_notations(benchmark):
+    text = benchmark(render_table4)
+    assert "pattern tuple" in text
+    write_artifact("table4_notations", text)

@@ -1,0 +1,103 @@
+"""Table 3: the application matrix, with one live engine per row.
+
+Regenerates the matrix from the registry and *executes* a working
+instance of each application (detection, repair, optimization, CQA,
+dedup, partition-style clustering, normalization, fairness), proving
+every cell of Table 3 is backed by code.  Benchmarks the detection
+engine (the most-cited row).
+"""
+
+import pytest
+
+from repro import DD, FD, MD, MVD, OD, SFD
+from repro.datasets import fd_workload, heterogeneous_workload, hotel_r5
+from repro.quality import (
+    Deduplicator,
+    Detector,
+    SelectivityEstimator,
+    bcnf_decompose,
+    consistent_answers,
+    is_interventionally_fair,
+    repair_fds,
+    repair_for_fairness,
+    select_query,
+    verify_repair,
+)
+from repro.survey import APPLICATIONS, render_table3
+from _harness import write_artifact
+
+
+def test_table3_matrix_and_live_demos(benchmark):
+    lines = [render_table3(), "", "live demonstration per application row:"]
+
+    w = fd_workload(120, 12, error_rate=0.05, seed=21)
+    h = heterogeneous_workload(20, 3, 0.4, 0.0, seed=21)
+    r5 = hotel_r5()
+
+    # violation detection (benchmarked)
+    detector = Detector(w.true_fds)
+    quality = benchmark(
+        lambda: detector.score(w.relation, w.error_tuples)
+    )
+    assert quality.recall == 1.0
+    lines.append(f"  violation detection: {quality}")
+
+    # data repairing
+    repaired, log = repair_fds(w.relation, w.true_fds)
+    assert verify_repair(repaired, w.true_fds)
+    lines.append(f"  data repairing: {log.cost()} edits, rules restored")
+
+    # query optimization
+    est = SelectivityEstimator(w.relation, [SFD("code", "city", 0.95)])
+    err_indep = est.average_estimation_error(["code", "city"], False)
+    err_sfd = est.average_estimation_error(["code", "city"], True)
+    assert err_sfd < err_indep
+    lines.append(
+        f"  query optimization: estimation error {err_indep:.4f} -> "
+        f"{err_sfd:.4f} with the SFD"
+    )
+
+    # consistent query answering
+    certain = consistent_answers(
+        r5, [FD("address", "region")], select_query(["region"])
+    )
+    assert ("Jackson",) in certain
+    lines.append(f"  consistent query answering: certain regions {certain}")
+
+    # data deduplication
+    dedup = Deduplicator([MD({"address": 0}, "city")])
+    mq = dedup.score(h.relation, h.duplicate_pairs)
+    assert mq.f1 == 1.0
+    lines.append(
+        f"  data deduplication: precision {mq.precision:.2f}, "
+        f"recall {mq.recall:.2f}"
+    )
+
+    # data partition (MD/DD clusters partition the data)
+    clusters = dedup.clusters(h.relation)
+    assert sum(len(c) for c in clusters) == len(h.relation)
+    lines.append(f"  data partition: {len(clusters)} blocks via MD clusters")
+
+    # schema normalization
+    parts = bcnf_decompose(
+        list(w.relation.schema.names()),
+        w.true_fds + [FD("city", "state")],
+    )
+    lines.append(f"  schema normalization: BCNF parts {parts}")
+
+    # model fairness
+    from repro.relation import Relation
+
+    biased = Relation.from_rows(
+        ["adm", "prot", "outcome"],
+        [("l", "a", "n"), ("l", "b", "y"), ("h", "a", "y")],
+    )
+    assert not is_interventionally_fair(biased, ["adm"], ["prot"])
+    repaired_fair, dropped = repair_for_fairness(biased, ["adm"], ["prot"])
+    assert is_interventionally_fair(repaired_fair, ["adm"], ["prot"])
+    lines.append(
+        f"  model fairness: MVD repair dropped {len(dropped)} tuple(s)"
+    )
+
+    assert len(APPLICATIONS) == 8
+    write_artifact("table3_applications", "\n".join(lines))

@@ -1,0 +1,83 @@
+"""Table 5 / Section 2: every categorical measure on r5.
+
+Regenerates all Section 2 worked numbers (SFD strength, PFD
+probability, AFD g3, NUD fanout, CFD/eCFD/MVD satisfaction) and
+benchmarks the measure computations.
+"""
+
+import pytest
+
+from repro import AFD, CFD, ECFD, MVD, NUD, PFD, SFD, hotel_r5
+from _harness import format_rows, write_artifact
+
+
+@pytest.fixture(scope="module")
+def r5():
+    return hotel_r5()
+
+
+def test_table5_statistical_measures(benchmark, r5):
+    def compute():
+        return {
+            "S(address -> region)": SFD("address", "region").measure(r5),
+            "S(name -> address)": SFD("name", "address").measure(r5),
+            "P(address -> region)": PFD("address", "region").measure(r5),
+            "P(name -> address)": PFD("name", "address").measure(r5),
+            "g3(address -> region)": AFD("address", "region").measure(r5),
+            "g3(name -> address)": AFD("name", "address").measure(r5),
+        }
+
+    measures = benchmark(compute)
+
+    expected = {
+        "S(address -> region)": 2 / 3,
+        "S(name -> address)": 1 / 2,
+        "P(address -> region)": 3 / 4,
+        "P(name -> address)": 1 / 2,
+        "g3(address -> region)": 1 / 4,
+        "g3(name -> address)": 1 / 2,
+    }
+    for key, value in expected.items():
+        assert measures[key] == pytest.approx(value), key
+
+    rows = [
+        [key, f"{expected[key]:.4f}", f"{measures[key]:.4f}", "match"]
+        for key in expected
+    ]
+    write_artifact(
+        "table5_measures",
+        "Table 5 / Section 2 — statistical measures on r5\n\n"
+        + format_rows(["measure", "paper", "measured", "verdict"], rows),
+    )
+
+
+def test_table5_conditional_and_mvd(benchmark, r5):
+    cfd1 = CFD(["region", "name"], "address", {"region": "Jackson"})
+    ecfd1 = ECFD(["rate", "name"], "address", {"rate": ("<=", 200)})
+    nud1 = NUD("address", "region", 2)
+    mvd1 = MVD(["address", "rate"], "region")
+
+    def check_all():
+        return (
+            cfd1.holds(r5),
+            ecfd1.holds(r5),
+            nud1.holds(r5),
+            nud1.max_fanout(r5),
+            mvd1.holds(r5),
+        )
+
+    cfd_ok, ecfd_ok, nud_ok, fanout, mvd_ok = benchmark(check_all)
+    assert cfd_ok and ecfd_ok and nud_ok and mvd_ok
+    assert fanout == 2
+
+    rows = [
+        [str(cfd1), "holds", str(cfd_ok)],
+        [str(ecfd1), "holds", str(ecfd_ok)],
+        [f"{nud1} (max fanout {fanout})", "holds", str(nud_ok)],
+        [str(mvd1), "holds", str(mvd_ok)],
+    ]
+    write_artifact(
+        "table5_conditional",
+        "Table 5 — conditional/tuple-generating rules on r5\n\n"
+        + format_rows(["rule", "paper", "measured"], rows),
+    )

@@ -1,0 +1,63 @@
+"""Table 7 / Section 4: every numerical-data rule on r7.
+
+Regenerates ofd1, od1, dc1, sd1 (gaps 180/170/160) and sd2, and
+benchmarks the order/sequence checks.
+"""
+
+import pytest
+
+from repro import CSD, DC, OD, OFD, SD, hotel_r7, pred2
+from _harness import format_rows, write_artifact
+
+
+@pytest.fixture(scope="module")
+def r7():
+    return hotel_r7()
+
+
+def test_table7_order_rules(benchmark, r7):
+    ofd1 = OFD("subtotal", "taxes")
+    od1 = OD([("nights", "<=")], [("avg/night", ">=")])
+    dc1 = DC([pred2("subtotal", "<"), pred2("taxes", ">")])
+
+    def check_all():
+        return ofd1.holds(r7), od1.holds(r7), dc1.holds(r7)
+
+    results = benchmark(check_all)
+    assert all(results)
+
+    rows = [
+        ["ofd1: " + str(ofd1), "holds", str(results[0])],
+        ["od1: " + str(od1), "holds", str(results[1])],
+        ["dc1: " + str(dc1), "holds", str(results[2])],
+    ]
+    write_artifact(
+        "table7_order_rules",
+        "Table 7 / Section 4 — order rules on r7\n\n"
+        + format_rows(["rule", "paper", "measured"], rows),
+    )
+
+
+def test_table7_sequential_rules(benchmark, r7):
+    sd1 = SD("nights", "subtotal", (100, 200))
+    sd2 = SD("nights", "avg/night", (None, 0))
+
+    gaps = benchmark(
+        lambda: [g for __, __, g in sd1.consecutive_gaps(r7)]
+    )
+    assert gaps == [180.0, 170.0, 160.0]
+    assert sd1.holds(r7) and sd2.holds(r7)
+
+    csd = CSD.from_sd(sd1)
+    assert csd.holds(r7)
+
+    write_artifact(
+        "table7_sequential",
+        "Table 7 / Section 4.4 — sequential rules on r7\n\n"
+        f"sd1: {sd1}\n"
+        f"  consecutive subtotal gaps: {gaps}  (paper: 180, 170, 160)\n"
+        f"  holds? {sd1.holds(r7)}\n"
+        f"sd2: {sd2}\n"
+        f"  holds? {sd2.holds(r7)}  (od1 rewritten as an SD, Sec. 4.4.2)\n"
+        f"csd (full-range tableau): holds? {csd.holds(r7)}",
+    )

@@ -1,0 +1,18 @@
+"""Repo-root pytest configuration.
+
+Makes the test and benchmark suites runnable without installing the
+package: ``src`` is prepended to ``sys.path`` unless ``repro`` is
+already importable (editable installs take precedence).
+
+Offline note: ``pip install -e .`` requires the ``wheel`` package for
+setuptools' PEP 660 editable builds; on machines without it, use
+``python setup.py develop`` — or nothing at all, thanks to this shim.
+"""
+
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (already installed)
+except ImportError:
+    sys.path.insert(0, str(Path(__file__).parent / "src"))

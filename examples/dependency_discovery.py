@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Discovery tour: every major algorithm of the survey's column (c).
+
+Runs TANE, FastFD, CORDS, PFD discovery, constant/variable CFD mining,
+the greedy CFD tableau, MVD search, MFD threshold discovery, DD and MD
+discovery, OD discovery, FASTDC, and the polynomial CSD tableau DP —
+each on an appropriate workload, printing what it found and what it
+cost.
+
+Run:  python examples/dependency_discovery.py
+"""
+
+from repro import FD, SD
+from repro.datasets import (
+    fd_workload,
+    hotel_r5,
+    hotel_r6,
+    hotel_r7,
+    ordered_workload,
+)
+from repro.discovery import (
+    cords,
+    discover_constant_cfds,
+    discover_csd_tableau,
+    discover_dcs,
+    discover_dds,
+    discover_general_cfds,
+    discover_mds,
+    discover_mfds,
+    discover_mvds_topdown,
+    discover_pairwise_ods,
+    discover_pfds,
+    discover_sds,
+    fastfd,
+    greedy_tableau,
+    tane,
+)
+
+
+def show(title: str, result, limit: int = 5) -> None:
+    print(f"\n== {title} ==")
+    print(f"   {result.summary()}")
+    for dep in list(result)[:limit]:
+        print(f"   {dep}")
+    if len(result) > limit:
+        print(f"   ... and {len(result) - limit} more")
+
+
+def main() -> None:
+    r5, r6, r7 = hotel_r5(), hotel_r6(), hotel_r7()
+
+    # -- exact and approximate FDs -------------------------------------
+    show("TANE on r5 (exact minimal FDs)", tane(r5))
+    show("FastFD on r5 (same output, difference-set search)", fastfd(r5))
+    dirty = fd_workload(200, 20, error_rate=0.05, seed=7)
+    show(
+        "TANE in AFD mode on a 5%-dirty workload (g3 <= 0.1)",
+        tane(dirty.relation, epsilon=0.1, max_lhs_size=1),
+    )
+
+    # -- statistical rules --------------------------------------------------
+    show(
+        "CORDS soft FDs (sampled, strength >= 0.95)",
+        cords(dirty.relation, strength_threshold=0.95, sample_size=150),
+    )
+    show(
+        "PFD discovery (probability >= 0.9)",
+        discover_pfds(dirty.relation, probability_threshold=0.9,
+                      max_lhs_size=1),
+    )
+
+    # -- conditional rules ---------------------------------------------------
+    show("Constant CFDs on r5 (CFDMiner)", discover_constant_cfds(r5))
+    show("General CFDs on r5 (CTANE-lite)", discover_general_cfds(r5))
+    tableau = greedy_tableau(
+        r5, FD(["region", "name"], "address"), support_target=0.9
+    )
+    print("\n== Greedy near-optimal CFD tableau (Golab et al.) ==")
+    print(f"   {tableau}")
+    print(f"   support: {tableau.support(r5):.2f}")
+
+    # -- tuple-generating rules -------------------------------------------
+    show("MVD discovery on r5 (top-down)", discover_mvds_topdown(r5))
+
+    # -- metric rules ----------------------------------------------------------
+    show("MFDs on r6 (minimal deltas <= 100)", discover_mfds(r6, 100.0))
+    show(
+        "DDs on r6 (data-driven thresholds)",
+        discover_dds(r6, ["name", "street"], ["address"]),
+    )
+    show(
+        "MDs on r6 targeting zip (support/confidence search)",
+        discover_mds(r6, "zip", ["street", "region"],
+                     min_support=0.01, min_confidence=1.0),
+    )
+
+    # -- order rules ------------------------------------------------------
+    show("Pairwise ODs on r7", discover_pairwise_ods(r7), limit=8)
+    show("FASTDC on r7 (DCs of width <= 2)", discover_dcs(r7, 2), limit=4)
+    show("SDs with fitted gap intervals on r7", discover_sds(r7))
+
+    # -- the tractable one: CSD tableau via DP (Fig. 3's PTIME island) --
+    glitched = ordered_workload(60, glitch_rate=0.08, seed=3)
+    sd = SD("t", "value", (0, 50))
+    csd = discover_csd_tableau(glitched.relation, sd, min_confidence=1.0)
+    print("\n== CSD tableau discovery (polynomial DP) ==")
+    print(f"   base SD: {sd} — holds globally? {sd.holds(glitched.relation)}")
+    print(f"   discovered: {csd}")
+    print(f"   holds on its tableau? {csd.holds(glitched.relation)}")
+
+
+if __name__ == "__main__":
+    main()

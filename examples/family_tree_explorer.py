@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Explore and *verify* the family tree of extensions (Fig. 1A).
+
+For every arrow of the paper's Fig. 1, rewrite a sample dependency into
+the more general formalism via the edge's embedding and empirically
+check the claimed relationship (equivalence, or implication for the
+FD -> MVD and OD -> SD arrows) on random relations.
+
+Run:  python examples/family_tree_explorer.py
+"""
+
+from repro import (
+    CFD,
+    DD,
+    ECFD,
+    FD,
+    MD,
+    MFD,
+    MVD,
+    NED,
+    OD,
+    OFD,
+    SD,
+    DEFAULT_TREE,
+    verify_edge,
+)
+from repro.datasets import random_relation
+from repro.survey import render_fig1b, render_fig2, render_fig3
+
+SAMPLES = {
+    "FD": FD(("A0", "A1"), ("A2",)),
+    "CFD": CFD(("A0", "A1"), ("A2",), {"A0": 1}),
+    "MVD": MVD(("A0",), ("A1",)),
+    "MFD": MFD(("A0",), ("A1",), 1.0),
+    "NED": NED({"A0": 1}, {"A1": 2}),
+    "DD": DD({"A0": 1}, {"A1": 2}),
+    "MD": MD({"A0": 1.0}, "A1"),
+    "OFD": OFD(("A0",), ("A1",)),
+    "OD": OD([("A0", "<=")], [("A1", ">=")]),
+    "eCFD": ECFD(("A0", "A1"), ("A2",), {"A0": ("<=", 2)}),
+    "SD": SD("A0", "A1", (0, None)),
+}
+
+NUMERICAL_SOURCES = {"MFD", "NED", "DD", "MD", "OFD", "OD", "eCFD", "SD"}
+
+
+def main() -> None:
+    print(DEFAULT_TREE.to_text())
+
+    print("\nEmpirical verification of every arrow (random relations):")
+    for edge in DEFAULT_TREE.edges:
+        numerical = edge.source in NUMERICAL_SOURCES
+        relations = [
+            random_relation(
+                n, 4, 5 if numerical else 3, seed=s, numerical=numerical
+            )
+            for s in range(10)
+            for n in (5, 9)
+        ]
+        result = verify_edge(edge, SAMPLES[edge.source], relations)
+        status = "ok" if result.passed else "FAIL"
+        rel = "equivalence" if edge.equivalence else "implication"
+        print(
+            f"  [{status}] {edge.source:>5} -> {edge.target:<5} "
+            f"({rel}, {result.agreements}/{result.checked} relations)"
+        )
+
+    print("\nQuerying the tree:")
+    print(f"  roots (most special): {DEFAULT_TREE.roots()}")
+    print(f"  maximal (most expressive): {DEFAULT_TREE.maximal()}")
+    print(
+        "  chain from FD to DC: "
+        + " -> ".join(DEFAULT_TREE.extension_path("FD", "DC"))
+    )
+    dep = FD("A0", "A1")
+    embedded = DEFAULT_TREE.embed_along_path(
+        dep, DEFAULT_TREE.extension_path("FD", "DC")
+    )
+    print(f"  FD {dep} rewritten as a DC: {embedded}")
+
+    print("\n" + render_fig1b())
+    print("\n" + render_fig2())
+    print("\n" + render_fig3())
+
+
+if __name__ == "__main__":
+    main()

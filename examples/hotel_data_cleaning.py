@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Data-cleaning pipeline on a dirty heterogeneous hotel feed.
+
+The survey's central application (Table 3): rule discovery ->
+violation detection -> repair -> deduplication, on generated data with
+known ground truth so every stage reports its measured quality.
+
+Run:  python examples/hotel_data_cleaning.py
+"""
+
+from repro import DD, FD, MD
+from repro.datasets import heterogeneous_workload
+from repro.discovery import tane
+from repro.quality import Deduplicator, Detector, repair_fds, verify_repair
+
+
+def main() -> None:
+    w = heterogeneous_workload(
+        n_entities=40,
+        records_per_entity=3,
+        variant_rate=0.35,
+        error_rate=0.08,
+        seed=42,
+    )
+    print(
+        f"workload: {len(w.relation)} records, "
+        f"{len(w.error_tuples)} injected errors, "
+        f"{len(w.variant_tuples)} format variants (not errors)"
+    )
+
+    # -- 1. Discover rules from the dirty data itself ------------------
+    discovered = tane(w.relation, epsilon=0.25, max_lhs_size=1)
+    print(f"\nAFD discovery (g3 <= 0.25): {len(discovered)} rules, e.g.")
+    for dep in list(discovered)[:4]:
+        print(f"  {dep}")
+
+    # -- 2. Detect with the strict FD vs the metric DD ------------------
+    fd = FD("address", "city")
+    dd = DD({"address": 0}, {"city": 4})
+    for rule, label in ((fd, "strict FD"), (dd, "metric DD")):
+        quality = Detector([rule]).score(w.relation, w.error_tuples)
+        print(
+            f"\n{label}: {rule}\n  detection vs injected errors: {quality}"
+        )
+    print(
+        "-> the DD keeps recall 1.0 but stops flagging format variants,"
+        " so precision rises (the paper's Section 1.2 point)."
+    )
+
+    # -- 3. Repair the true errors with the FD engine -------------------
+    repaired, log = repair_fds(w.relation, [fd])
+    print(f"\nFD repair: {log.cost()} cell edits")
+    print(f"  all rules hold after repair? {verify_repair(repaired, [fd])}")
+    restored = sum(
+        1
+        for i in w.error_tuples
+        if repaired.value_at(i, "city").startswith(
+            w.clean.value_at(i, "city")
+        )
+    )
+    print(
+        f"  errors restored to the (possibly variant-formatted) truth: "
+        f"{restored}/{len(w.error_tuples)}"
+    )
+
+    # -- 4. Deduplicate with a matching dependency ------------------------
+    md = MD({"address": 0, "name": 7}, "city")
+    dedup = Deduplicator([md])
+    clusters = dedup.duplicates(repaired)
+    quality = dedup.score(repaired, w.duplicate_pairs)
+    print(f"\nMD dedup: {md}")
+    print(
+        f"  {len(clusters)} entity clusters; pair quality: "
+        f"precision={quality.precision:.3f} recall={quality.recall:.3f}"
+    )
+
+    # -- 5. Enforce identification (the matching operator) ----------------
+    identified = dedup.identify(repaired)
+    print(
+        f"  after identification, FD address -> city holds? "
+        f"{FD('address', 'city').holds(identified)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Numerical-data monitoring with ODs, DCs, SDs and speed constraints.
+
+The survey's Section 4 scenario: a stream of measurements whose order
+and rate of change encode the integrity semantics — plus the Section
+5.3 future-work pilot (SCREEN speed-constraint repair).
+
+Run:  python examples/numerical_monitoring.py
+"""
+
+from repro import DC, OD, SD, pred2
+from repro.datasets import hotel_r7, ordered_workload
+from repro.discovery import discover_csd_tableau, discover_pairwise_ods
+from repro.frontier import SpeedConstraint, repair_distance, screen_repair
+from repro.quality import Detector, repair_dcs, verify_repair
+
+
+def main() -> None:
+    r7 = hotel_r7()
+    print("Table 7 — hotel rates:")
+    print(r7.to_text())
+
+    # -- ODs: the pricing policy ------------------------------------
+    od1 = OD([("nights", "<=")], [("avg/night", ">=")])
+    print(f"\nod1: {od1} — holds? {od1.holds(r7)}")
+    print("all pairwise ODs discovered on r7:")
+    for dep in discover_pairwise_ods(r7):
+        print(f"  {dep}")
+
+    # -- DCs: repair an order violation ---------------------------------
+    dc1 = DC([pred2("subtotal", "<"), pred2("taxes", ">")])
+    broken = r7.with_value(0, "taxes", 999)
+    print(f"\ndc1: {dc1}")
+    print(f"  holds on r7? {dc1.holds(r7)}; after corrupting t1? "
+          f"{dc1.holds(broken)}")
+    repaired, log = repair_dcs(broken, [dc1])
+    print(f"  holistic repair: {log.summary()}")
+    print(
+        f"  dc1 holds after repair? "
+        f"{verify_repair(repaired, [dc1], ignore_tuples=log.quarantined)}"
+    )
+
+    # -- SDs: the polling monitor (Section 4.4.4) -----------------------
+    sd1 = SD("nights", "subtotal", (100, 200))
+    print(f"\nsd1: {sd1} — holds? {sd1.holds(r7)}")
+    gaps = [g for __, __, g in sd1.consecutive_gaps(r7)]
+    print(f"  consecutive subtotal gaps: {gaps}")
+
+    # -- CSDs on a glitched series ------------------------------------------
+    w = ordered_workload(80, glitch_rate=0.06, seed=3)
+    sd = SD("t", "value", (0, 50))
+    quality = Detector([sd]).score(w.relation, w.error_tuples)
+    print(
+        f"\nglitched series ({len(w.error_tuples)} glitches): "
+        f"SD detection {quality}"
+    )
+    csd = discover_csd_tableau(w.relation, sd, min_confidence=1.0)
+    print(f"  CSD tableau (quadratic DP): {csd}")
+
+    # -- speed constraints (Section 5.3 pilot) --------------------------------
+    series = [
+        (float(w.relation.value_at(i, "t")),
+         float(w.relation.value_at(i, "value")))
+        for i in range(len(w.relation))
+    ]
+    sc = SpeedConstraint(0.0, 50.0, window=10)
+    repaired_series = screen_repair(series, sc)
+    print(
+        f"\nSCREEN speed-constraint repair: constraint satisfied after? "
+        f"{sc.satisfied(repaired_series)}; total value change "
+        f"{repair_distance(series, repaired_series):.1f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

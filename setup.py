@@ -1,0 +1,4 @@
+"""Legacy shim so `pip install -e .` works with older setuptools/no wheel."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,132 @@
+"""repro — an executable reproduction of the data-dependency family tree.
+
+This library makes the survey *Data Dependencies Extended for Variety
+and Veracity: A Family Tree* (Song, Gao, Huang, Wang; TKDE 2022 / ICDE
+2023) executable:
+
+* :mod:`repro.relation` — the relational substrate (schemas, relations,
+  stripped partitions, indexes, CSV I/O);
+* :mod:`repro.metrics` — distance/similarity metrics and fuzzy
+  resemblance relations;
+* :mod:`repro.core` — all 24 dependency notations of the survey with
+  uniform ``holds``/``violations`` semantics, and the family tree of
+  extensions (Fig. 1A) with executable embeddings;
+* :mod:`repro.discovery` — the cited discovery algorithms (TANE,
+  FastFD, CORDS, CFD/DC/OD/SD discovery, ...);
+* :mod:`repro.quality` — the application engines of Table 3 (violation
+  detection, repair, dedup, imputation, CQA, optimizer statistics,
+  normalization, fairness);
+* :mod:`repro.datasets` — the paper's worked-example tables and
+  synthetic workload generators;
+* :mod:`repro.survey` — machine-readable Tables 2/3 and Figs 1B/2/3.
+
+Quickstart::
+
+    from repro import FD, hotel_r1
+    fd1 = FD("address", "region")
+    r1 = hotel_r1()
+    print(fd1.holds(r1))            # False
+    print(fd1.violations(r1))       # (t3, t4) and (t5, t6), 1-based
+"""
+
+from .relation import (
+    Attribute,
+    AttributeType,
+    Relation,
+    Schema,
+    read_csv,
+    read_csv_text,
+)
+from .metrics import (
+    ABS_DIFF,
+    DISCRETE,
+    EDIT_DISTANCE,
+    Metric,
+    MetricRegistry,
+)
+from .core import (
+    AFD,
+    ALPHA,
+    AMVD,
+    BETA,
+    CD,
+    CDD,
+    CFD,
+    CFDTableau,
+    CMD,
+    CSD,
+    DC,
+    DD,
+    DEFAULT_TREE,
+    ECFD,
+    FD,
+    FFD,
+    FHD,
+    MD,
+    MFD,
+    MVD,
+    NED,
+    NUD,
+    OD,
+    OFD,
+    PAC,
+    PFD,
+    SD,
+    SFD,
+    Conjunction,
+    Dependency,
+    DependencyError,
+    DifferentialFunction,
+    ExtensionEdge,
+    FamilyTree,
+    Interval,
+    MarkedAttribute,
+    Pattern,
+    Predicate,
+    SimilarityFunction,
+    SimilarityPredicate,
+    Violation,
+    ViolationSet,
+    pred2,
+    predc,
+    verify_edge,
+)
+from .datasets import (
+    dataspace_person,
+    fd_workload,
+    heterogeneous_workload,
+    hotel_r1,
+    hotel_r5,
+    hotel_r6,
+    hotel_r7,
+    ordered_workload,
+    random_relation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # substrate
+    "Attribute", "AttributeType", "Relation", "Schema",
+    "read_csv", "read_csv_text",
+    "Metric", "MetricRegistry", "EDIT_DISTANCE", "ABS_DIFF", "DISCRETE",
+    # framework
+    "Dependency", "DependencyError", "Conjunction",
+    "Violation", "ViolationSet",
+    # notations
+    "FD", "SFD", "PFD", "AFD", "NUD", "CFD", "CFDTableau", "ECFD",
+    "MVD", "FHD", "AMVD",
+    "MFD", "NED", "DD", "CDD", "CD", "PAC", "FFD", "MD", "CMD",
+    "OFD", "OD", "DC", "SD", "CSD",
+    # building blocks
+    "Pattern", "Interval", "DifferentialFunction", "SimilarityPredicate",
+    "SimilarityFunction", "MarkedAttribute", "Predicate", "pred2", "predc",
+    "ALPHA", "BETA",
+    # family tree
+    "FamilyTree", "ExtensionEdge", "verify_edge", "DEFAULT_TREE",
+    # datasets
+    "hotel_r1", "hotel_r5", "hotel_r6", "hotel_r7", "dataspace_person",
+    "fd_workload", "heterogeneous_workload", "ordered_workload",
+    "random_relation",
+]

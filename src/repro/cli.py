@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``profile <csv>`` — discover dependencies in a CSV and report them
+  (see :mod:`repro.profiler`);
+* ``check <csv> --fd X->Y [--fd ...]`` — validate declared FDs and
+  print their violations;
+* ``tree`` — print the family tree of extensions (Fig. 1A);
+* ``survey`` — print the regenerated Tables 2/3 and Figs 1B/2/3.
+
+Column types: numerical columns are auto-detected (every non-empty cell
+parses as a number) unless ``--text`` / ``--numerical`` overrides are
+given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .core.categorical import FD
+from .profiler import profile_relation
+from .relation import Attribute, AttributeType, Relation, Schema
+from .relation.io import read_csv
+
+
+def _detect_schema(path: str, numerical: set[str], text: set[str]) -> Schema:
+    """Infer column types from the CSV head, honouring overrides."""
+    raw = read_csv(path)
+
+    def is_number(v: object) -> bool:
+        try:
+            float(str(v))
+        except (TypeError, ValueError):
+            return False
+        return True
+
+    attrs = []
+    for name in raw.schema.names():
+        if name in numerical:
+            dtype = AttributeType.NUMERICAL
+        elif name in text:
+            dtype = AttributeType.TEXT
+        else:
+            column = [v for v in raw.column(name) if v is not None]
+            dtype = (
+                AttributeType.NUMERICAL
+                if column and all(is_number(v) for v in column)
+                else AttributeType.TEXT
+            )
+        attrs.append(Attribute(name, dtype))
+    return Schema(attrs)
+
+
+def load_relation(path: str, numerical: Sequence[str] = (),
+                  text: Sequence[str] = ()) -> Relation:
+    """Load a CSV with auto-detected (or overridden) column types."""
+    schema = _detect_schema(path, set(numerical), set(text))
+    return read_csv(path, schema)
+
+
+def _parse_fd(spec: str) -> FD:
+    """Parse ``a,b->c`` into an FD."""
+    if "->" not in spec:
+        raise argparse.ArgumentTypeError(
+            f"FD spec must look like 'a,b->c', got {spec!r}"
+        )
+    lhs, __, rhs = spec.partition("->")
+    return FD(
+        [a.strip() for a in lhs.split(",") if a.strip()],
+        [a.strip() for a in rhs.split(",") if a.strip()],
+    )
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    relation = load_relation(args.csv, args.numerical, args.text)
+    report = profile_relation(
+        relation,
+        epsilon=args.epsilon,
+        max_lhs_size=args.max_lhs,
+    )
+    print(report.render())
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    relation = load_relation(args.csv, args.numerical, args.text)
+    exit_code = 0
+    for dep in args.fd:
+        try:
+            dep.validate_schema(relation.schema)
+        except KeyError as exc:
+            print(f"[error] {dep}: {exc}")
+            return 2
+        violations = dep.violations(relation)
+        if violations:
+            exit_code = 1
+            print(f"[FAIL] {dep}: {len(violations)} violations")
+            print("  " + violations.summary(limit=args.limit)
+                  .replace("\n", "\n  "))
+        else:
+            print(f"[ok]   {dep}")
+    return exit_code
+
+
+def cmd_tree(args: argparse.Namespace) -> int:
+    from .core.familytree import DEFAULT_TREE
+
+    print(DEFAULT_TREE.to_text())
+    return 0
+
+
+def cmd_survey(args: argparse.Namespace) -> int:
+    from .survey import (
+        render_fig1b,
+        render_fig2,
+        render_fig3,
+        render_table2,
+        render_table3,
+    )
+
+    for block in (
+        render_table2(),
+        render_table3(),
+        render_fig1b(),
+        render_fig2(),
+        render_fig3(),
+    ):
+        print(block)
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Data-dependency profiling and checking "
+        "(Song et al.'s family tree, executable).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_profile = sub.add_parser(
+        "profile", help="discover dependencies in a CSV"
+    )
+    p_profile.add_argument("csv")
+    p_profile.add_argument(
+        "--epsilon", type=float, default=0.05,
+        help="AFD g3 tolerance (default 0.05)",
+    )
+    p_profile.add_argument(
+        "--max-lhs", type=int, default=2, dest="max_lhs",
+        help="max determinant size (default 2)",
+    )
+    p_profile.add_argument("--numerical", action="append", default=[],
+                           help="force a column numerical")
+    p_profile.add_argument("--text", action="append", default=[],
+                           help="force a column textual")
+    p_profile.set_defaults(func=cmd_profile)
+
+    p_check = sub.add_parser("check", help="validate declared FDs")
+    p_check.add_argument("csv")
+    p_check.add_argument(
+        "--fd", action="append", required=True, type=_parse_fd,
+        help="an FD like 'zip->city' (repeatable)",
+    )
+    p_check.add_argument("--limit", type=int, default=5,
+                         help="violations to print per rule")
+    p_check.add_argument("--numerical", action="append", default=[])
+    p_check.add_argument("--text", action="append", default=[])
+    p_check.set_defaults(func=cmd_check)
+
+    p_tree = sub.add_parser("tree", help="print the family tree")
+    p_tree.set_defaults(func=cmd_tree)
+
+    p_survey = sub.add_parser(
+        "survey", help="print the regenerated tables and figures"
+    )
+    p_survey.set_defaults(func=cmd_survey)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; standard
+        # CLI etiquette is a quiet exit.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

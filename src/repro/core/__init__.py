@@ -1,0 +1,103 @@
+"""The paper's contribution: the dependency family and its family tree."""
+
+from .base import (
+    Conjunction,
+    Dependency,
+    DependencyError,
+    MeasuredDependency,
+    PairwiseDependency,
+)
+from .violation import Violation, ViolationSet
+from .categorical import (
+    AFD,
+    AMVD,
+    CFD,
+    CFDTableau,
+    ECFD,
+    FD,
+    FHD,
+    MVD,
+    NUD,
+    PFD,
+    SFD,
+    Pattern,
+    PatternEntry,
+    const,
+    ecfd,
+    fd,
+    g3_error,
+    pred,
+    wildcard,
+)
+from .heterogeneous import (
+    CD,
+    CDD,
+    CMD,
+    DD,
+    FFD,
+    MD,
+    MFD,
+    NED,
+    PAC,
+    DifferentialFunction,
+    Interval,
+    RelativeCandidateKey,
+    md_implies,
+    minimal_md_cover,
+    SimilarityFunction,
+    SimilarityPredicate,
+)
+from .numerical import (
+    ALPHA,
+    BETA,
+    CSD,
+    DC,
+    OD,
+    OFD,
+    SD,
+    MarkedAttribute,
+    Predicate,
+    pred2,
+    predc,
+)
+from .implication import (
+    armstrong_relation,
+    closed_sets,
+    equivalent,
+    implies,
+    minimal_cover,
+)
+from .familytree import (
+    BRANCHES,
+    CLASSES,
+    DEFAULT_TREE,
+    EDGES,
+    EdgeVerification,
+    ExtensionEdge,
+    FamilyTree,
+    verify_edge,
+)
+
+__all__ = [
+    # framework
+    "Dependency", "DependencyError", "PairwiseDependency",
+    "MeasuredDependency", "Conjunction", "Violation", "ViolationSet",
+    # categorical
+    "FD", "fd", "SFD", "PFD", "AFD", "g3_error", "NUD",
+    "Pattern", "PatternEntry", "wildcard", "const", "pred",
+    "CFD", "CFDTableau", "ECFD", "ecfd", "MVD", "FHD", "AMVD",
+    # heterogeneous
+    "Interval", "DifferentialFunction", "SimilarityPredicate",
+    "MFD", "NED", "DD", "CDD", "CD", "SimilarityFunction", "PAC",
+    "FFD", "MD", "CMD", "RelativeCandidateKey",
+    "md_implies", "minimal_md_cover",
+    # numerical
+    "OFD", "OD", "MarkedAttribute", "DC", "Predicate", "pred2", "predc",
+    "ALPHA", "BETA", "SD", "CSD",
+    # implication reasoning
+    "implies", "equivalent", "minimal_cover", "closed_sets",
+    "armstrong_relation",
+    # family tree
+    "FamilyTree", "ExtensionEdge", "EdgeVerification", "verify_edge",
+    "EDGES", "BRANCHES", "CLASSES", "DEFAULT_TREE",
+]

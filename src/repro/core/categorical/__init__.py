@@ -1,0 +1,39 @@
+"""Dependencies over categorical data (Section 2 of the survey).
+
+Statistical extensions (SFD, PFD, AFD, NUD) relax *how strictly* an FD
+must hold over the whole relation; conditional extensions (CFD, eCFD)
+restrict *where* it must hold; tuple-generating extensions (MVD, FHD,
+AMVD) require the presence of tuples rather than ruling them out.
+"""
+
+from .fd import FD, fd
+from .sfd import SFD
+from .pfd import PFD
+from .afd import AFD, g3_error
+from .nud import NUD
+from .pattern import Pattern, PatternEntry, const, pred, wildcard
+from .cfd import CFD, CFDTableau
+from .ecfd import ECFD, ecfd
+from .mvd import AMVD, FHD, MVD
+
+__all__ = [
+    "FD",
+    "fd",
+    "SFD",
+    "PFD",
+    "AFD",
+    "g3_error",
+    "NUD",
+    "Pattern",
+    "PatternEntry",
+    "wildcard",
+    "const",
+    "pred",
+    "CFD",
+    "CFDTableau",
+    "ECFD",
+    "ecfd",
+    "MVD",
+    "FHD",
+    "AMVD",
+]

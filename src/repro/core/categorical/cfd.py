@@ -1,0 +1,244 @@
+"""Conditional functional dependencies (CFDs) — Section 2.5.
+
+A CFD ``(X -> Y, t_p)`` embeds a standard FD that holds only on the
+subset of tuples matching the pattern tuple ``t_p``.  Pattern cells are
+constants or the unnamed variable ``'_'``.  An all-wildcard pattern
+recovers a plain FD (Section 2.5.2).
+
+Semantics (Fan et al. [34]): for tuples ``t1, t2`` *matching t_p on X*
+and agreeing on ``X``, they must agree on ``Y`` and both match ``t_p``
+on ``Y``.  With constants on the right-hand side this also constrains
+single tuples (a tuple matching the LHS pattern whose Y-value differs
+from the RHS constant violates on its own).
+
+Worked example (Table 5): ``cfd1: region = "Jackson", name = _ ->
+address = _`` is satisfied by t1, t2.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Mapping, Sequence
+
+from ...relation.relation import Relation
+from ...relation.schema import Attribute
+from ..base import Dependency, DependencyError, format_attrs
+from ..violation import Violation, ViolationSet
+from .fd import FD
+from .pattern import Pattern
+
+
+class CFD(Dependency):
+    """A conditional functional dependency ``(X -> Y, t_p)``."""
+
+    kind = "CFD"
+
+    #: eCFD subclass flips this to allow operator entries.
+    _allow_operators = False
+
+    def __init__(
+        self,
+        lhs: Sequence[Attribute | str] | Attribute | str,
+        rhs: Sequence[Attribute | str] | Attribute | str,
+        pattern: Pattern | Mapping[str, object] | None = None,
+    ) -> None:
+        self.embedded = FD(lhs, rhs)
+        self.lhs = self.embedded.lhs
+        self.rhs = self.embedded.rhs
+        self.pattern = pattern if isinstance(pattern, Pattern) else Pattern(pattern)
+        scope = set(self.lhs) | set(self.rhs)
+        stray = [a for a in self.pattern.entries() if a not in scope]
+        if stray:
+            raise DependencyError(
+                f"pattern mentions attributes outside X ∪ Y: {sorted(stray)}"
+            )
+        if not self._allow_operators and not self.pattern.uses_only_constants(
+            scope
+        ):
+            raise DependencyError(
+                "CFD patterns allow only constants and wildcards; "
+                "use ECFD for operator predicates"
+            )
+
+    def __str__(self) -> str:
+        return (
+            f"{format_attrs(self.lhs)} -> {format_attrs(self.rhs)}, "
+            f"{self.pattern.render(self.lhs, self.rhs)}"
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.lhs!r}, {self.rhs!r}, {self.pattern!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CFD):
+            return NotImplemented
+        return (
+            type(self) is type(other)
+            and self.lhs == other.lhs
+            and self.rhs == other.rhs
+            and self.pattern == other.pattern
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.lhs, self.rhs, self.pattern))
+
+    def attributes(self) -> tuple[str, ...]:
+        return self.embedded.attributes()
+
+    # -- structure ------------------------------------------------------------
+
+    def is_constant_cfd(self) -> bool:
+        """True iff every pattern cell (over X and Y) is a constant."""
+        return all(
+            not self.pattern.entry(a).is_wildcard
+            for a in self.lhs + self.rhs
+        )
+
+    def is_variable_cfd(self) -> bool:
+        """True iff the RHS pattern is a wildcard (variable CFD)."""
+        return all(self.pattern.entry(a).is_wildcard for a in self.rhs)
+
+    def matching_indices(self, relation: Relation) -> list[int]:
+        """Tuples matching ``t_p`` on the LHS — the conditioned subset."""
+        return [
+            i
+            for i in range(len(relation))
+            if self.pattern.matches(relation.record_at(i), self.lhs)
+        ]
+
+    def support(self, relation: Relation) -> float:
+        """Fraction of tuples the condition covers (Section 2.5.3)."""
+        if len(relation) == 0:
+            return 0.0
+        return len(self.matching_indices(relation)) / len(relation)
+
+    # -- semantics ------------------------------------------------------------
+
+    def violations(self, relation: Relation) -> ViolationSet:
+        vs = ViolationSet()
+        label = self.label()
+        matching = self.matching_indices(relation)
+
+        # Single-tuple part: RHS constants must be met by each matching tuple.
+        rhs_conditioned = [
+            a for a in self.rhs if not self.pattern.entry(a).is_wildcard
+        ]
+        for i in matching:
+            record = relation.record_at(i)
+            for a in rhs_conditioned:
+                if not self.pattern.entry(a).matches(record.get(a)):
+                    vs.add(
+                        Violation(
+                            label,
+                            (i,),
+                            f"{a} = {record.get(a)!r} fails pattern "
+                            f"{self.pattern.entry(a)}",
+                        )
+                    )
+
+        # Pairwise part: the embedded FD on the matching subset.
+        groups: dict[tuple, list[int]] = {}
+        for i in matching:
+            groups.setdefault(relation.values_at(i, self.lhs), []).append(i)
+        for x_value, indices in groups.items():
+            if len(indices) < 2:
+                continue
+            by_y: dict[tuple, list[int]] = {}
+            for t in indices:
+                by_y.setdefault(relation.values_at(t, self.rhs), []).append(t)
+            if len(by_y) < 2:
+                continue
+            for (ya, ta), (yb, tb) in combinations(list(by_y.items()), 2):
+                for i in ta:
+                    for j in tb:
+                        vs.add(
+                            Violation(
+                                label,
+                                (i, j),
+                                f"X={x_value!r} (matching pattern): "
+                                f"{ya!r} vs {yb!r}",
+                            )
+                        )
+        return vs
+
+    def holds(self, relation: Relation) -> bool:
+        matching = self.matching_indices(relation)
+        rhs_conditioned = [
+            a for a in self.rhs if not self.pattern.entry(a).is_wildcard
+        ]
+        groups: dict[tuple, tuple] = {}
+        for i in matching:
+            record = relation.record_at(i)
+            for a in rhs_conditioned:
+                if not self.pattern.entry(a).matches(record.get(a)):
+                    return False
+            x = relation.values_at(i, self.lhs)
+            y = relation.values_at(i, self.rhs)
+            if x in groups:
+                if groups[x] != y:
+                    return False
+            else:
+                groups[x] = y
+        return True
+
+    # -- family tree -------------------------------------------------------------
+
+    @classmethod
+    def from_fd(cls, dep: FD) -> "CFD":
+        """Embed an FD as the CFD with the all-wildcard pattern (Fig. 1)."""
+        return cls(dep.lhs, dep.rhs, Pattern())
+
+
+class CFDTableau:
+    """A set of pattern tuples sharing one embedded FD.
+
+    CFD practice (and CFD discovery, Section 2.5.3) treats the rule as
+    an embedded FD plus a *tableau* of pattern rows; the constraint is
+    the conjunction of the per-row CFDs.
+    """
+
+    def __init__(
+        self,
+        lhs: Sequence[Attribute | str] | Attribute | str,
+        rhs: Sequence[Attribute | str] | Attribute | str,
+        patterns: Sequence[Pattern | Mapping[str, object]] = (),
+    ) -> None:
+        self.embedded = FD(lhs, rhs)
+        self.rows: list[CFD] = [
+            CFD(self.embedded.lhs, self.embedded.rhs, p) for p in patterns
+        ]
+
+    def add(self, pattern: Pattern | Mapping[str, object]) -> None:
+        self.rows.append(CFD(self.embedded.lhs, self.embedded.rhs, pattern))
+
+    def holds(self, relation: Relation) -> bool:
+        return all(row.holds(relation) for row in self.rows)
+
+    def violations(self, relation: Relation) -> ViolationSet:
+        vs = ViolationSet()
+        for row in self.rows:
+            vs.extend(row.violations(relation))
+        return vs
+
+    def support(self, relation: Relation) -> float:
+        """Fraction of tuples covered by at least one tableau row."""
+        if len(relation) == 0:
+            return 0.0
+        covered: set[int] = set()
+        for row in self.rows:
+            covered.update(row.matching_indices(relation))
+        return len(covered) / len(relation)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __str__(self) -> str:
+        header = f"{format_attrs(self.embedded.lhs)} -> {format_attrs(self.embedded.rhs)}"
+        rows = "; ".join(
+            r.pattern.render(self.embedded.lhs, self.embedded.rhs)
+            for r in self.rows
+        )
+        return f"{header} with tableau [{rows}]"

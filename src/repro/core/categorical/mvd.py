@@ -1,0 +1,328 @@
+"""Multivalued dependencies (MVDs) — Section 2.6 — plus FHDs and AMVDs.
+
+An MVD ``X ->> Y`` over ``R`` (with ``Z = R - X - Y``) is a
+*tuple-generating* dependency: a relation satisfies it iff
+``r = π_XY(r) ⋈ π_XZ(r)`` — for each ``X``-value, the set of
+``Y``-values is independent of the ``Z``-values.  Every FD ``X -> Y``
+is an MVD (Section 2.6.2).
+
+Also here, because the paper presents them as MVD refinements:
+
+* :class:`FHD` (Section 2.6.5) — full hierarchical dependencies
+  ``X : {Y1, ..., Yk}``, lossless decomposition into k+1 projections;
+  ``k = 1`` recovers an MVD.
+* :class:`AMVD` (Section 2.6.6) — approximate MVDs that tolerate a
+  fraction ``epsilon`` of spurious tuples in the re-join;
+  ``epsilon = 0`` recovers an exact MVD.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...relation.relation import Relation
+from ...relation.schema import Attribute
+from ..base import (
+    Dependency,
+    DependencyError,
+    MeasuredDependency,
+    ensure_nonempty,
+    format_attrs,
+)
+from ..violation import Violation, ViolationSet
+from .fd import FD, _names
+
+
+class MVD(Dependency):
+    """A multivalued dependency ``X ->> Y``.
+
+    ``Z`` is implicit: all attributes of the relation not in ``X ∪ Y``.
+    """
+
+    kind = "MVD"
+
+    def __init__(
+        self,
+        lhs: Sequence[Attribute | str] | Attribute | str,
+        rhs: Sequence[Attribute | str] | Attribute | str,
+    ) -> None:
+        self.lhs = ensure_nonempty(_names(lhs), "MVD left-hand side")
+        self.rhs = ensure_nonempty(_names(rhs), "MVD right-hand side")
+        overlap = set(self.lhs) & set(self.rhs)
+        if overlap:
+            # Overlapping X/Y is definable but the paper partitions R;
+            # normalize by removing X from Y.
+            self.rhs = tuple(a for a in self.rhs if a not in overlap)
+            if not self.rhs:
+                raise DependencyError("MVD right-hand side is contained in X")
+
+    def __str__(self) -> str:
+        return f"{format_attrs(self.lhs)} ->> {format_attrs(self.rhs)}"
+
+    def __repr__(self) -> str:
+        return f"MVD({self.lhs!r}, {self.rhs!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MVD):
+            return NotImplemented
+        return self.lhs == other.lhs and set(self.rhs) == set(other.rhs)
+
+    def __hash__(self) -> int:
+        return hash(("MVD", self.lhs, frozenset(self.rhs)))
+
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(self.lhs + self.rhs))
+
+    def complement_attributes(self, relation: Relation) -> tuple[str, ...]:
+        """``Z = R - X - Y`` for a concrete relation."""
+        used = set(self.lhs) | set(self.rhs)
+        return tuple(
+            n for n in relation.schema.names() if n not in used
+        )
+
+    # -- semantics -----------------------------------------------------------
+
+    def holds(self, relation: Relation) -> bool:
+        """Check ``r = π_XY(r) ⋈ π_XZ(r)`` group-wise in linear space.
+
+        Per X-group the observed (Y, Z) combinations must be the full
+        cross product of observed Y-values and observed Z-values.  When
+        ``Z`` is empty the MVD is trivial.
+        """
+        z = self.complement_attributes(relation)
+        if not z:
+            return True
+        for indices in relation.group_by(self.lhs).values():
+            ys = {relation.values_at(t, self.rhs) for t in indices}
+            zs = {relation.values_at(t, z) for t in indices}
+            combos = {
+                (relation.values_at(t, self.rhs), relation.values_at(t, z))
+                for t in indices
+            }
+            if len(combos) != len(ys) * len(zs):
+                return False
+        return True
+
+    def violations(self, relation: Relation) -> ViolationSet:
+        """Pairs (t1, t2) with equal X whose swap tuple is missing.
+
+        The MVD requires that for any t1, t2 agreeing on X, the tuple
+        built from (X, t1[Y], t2[Z]) also appears; each absence is one
+        violation — the classical chase-style evidence.
+        """
+        vs = ViolationSet()
+        label = self.label()
+        z = self.complement_attributes(relation)
+        if not z:
+            return vs
+        for indices in relation.group_by(self.lhs).values():
+            if len(indices) < 2:
+                continue
+            combos = {
+                (relation.values_at(t, self.rhs), relation.values_at(t, z))
+                for t in indices
+            }
+            for t1 in indices:
+                y1 = relation.values_at(t1, self.rhs)
+                for t2 in indices:
+                    if t1 == t2:
+                        continue
+                    z2 = relation.values_at(t2, z)
+                    if (y1, z2) not in combos:
+                        vs.add(
+                            Violation(
+                                label,
+                                (t1, t2),
+                                f"missing tuple with {format_attrs(self.rhs)}"
+                                f"={y1!r} and {format_attrs(z)}={z2!r}",
+                            )
+                        )
+        return vs
+
+    def decompose(self, relation: Relation) -> tuple[Relation, Relation]:
+        """The 4NF decomposition ``(π_XY(r), π_XZ(r))``."""
+        z = self.complement_attributes(relation)
+        return (
+            relation.project(list(self.lhs + self.rhs)),
+            relation.project(list(self.lhs + z)),
+        )
+
+    def join_of_decomposition(self, relation: Relation) -> Relation:
+        """``π_XY(r) ⋈ π_XZ(r)`` reprojected to the original column order."""
+        left, right = self.decompose(relation)
+        joined = left.natural_join(right)
+        return joined.project(list(relation.schema.names()))
+
+    def spurious_fraction(self, relation: Relation) -> float:
+        """Fraction of the re-join that is spurious (AMVD's accuracy).
+
+        0 iff the MVD holds exactly.
+        """
+        joined = self.join_of_decomposition(relation)
+        if len(joined) == 0:
+            return 0.0
+        original = {tuple(row) for row in relation.rows()}
+        spurious = sum(
+            1 for row in joined.rows() if tuple(row) not in original
+        )
+        return spurious / len(joined)
+
+    # -- family tree ---------------------------------------------------------
+
+    @classmethod
+    def from_fd(cls, dep: FD) -> "MVD":
+        """Embed an FD as an MVD (every FD is an MVD, Section 2.6.2)."""
+        return cls(dep.lhs, dep.rhs)
+
+
+class FHD(Dependency):
+    """A full hierarchical dependency ``X : {Y1, ..., Yk}``.
+
+    Satisfied iff ``r = π_XY1(r) ⋈ ... ⋈ π_XYk(r) ⋈ π_X(R - X Y1..Yk)(r)``.
+    """
+
+    kind = "FHD"
+
+    def __init__(
+        self,
+        lhs: Sequence[Attribute | str] | Attribute | str,
+        branches: Sequence[Sequence[Attribute | str] | Attribute | str],
+    ) -> None:
+        self.lhs = ensure_nonempty(_names(lhs), "FHD left-hand side")
+        self.branches: tuple[tuple[str, ...], ...] = tuple(
+            ensure_nonempty(_names(b), "FHD branch") for b in branches
+        )
+        if not self.branches:
+            raise DependencyError("FHD needs at least one branch")
+        seen: set[str] = set(self.lhs)
+        for b in self.branches:
+            for a in b:
+                if a in seen:
+                    raise DependencyError(
+                        f"FHD branches must partition attributes; {a!r} repeats"
+                    )
+                seen.add(a)
+
+    def __str__(self) -> str:
+        branches = ", ".join("{" + format_attrs(b) + "}" for b in self.branches)
+        return f"{format_attrs(self.lhs)} : {branches}"
+
+    def __repr__(self) -> str:
+        return f"FHD({self.lhs!r}, {self.branches!r})"
+
+    def attributes(self) -> tuple[str, ...]:
+        out = list(self.lhs)
+        for b in self.branches:
+            out.extend(b)
+        return tuple(dict.fromkeys(out))
+
+    def rest(self, relation: Relation) -> tuple[str, ...]:
+        """``R - X - Y1 - ... - Yk`` for a concrete relation."""
+        used = set(self.attributes())
+        return tuple(n for n in relation.schema.names() if n not in used)
+
+    def projections(self, relation: Relation) -> list[Relation]:
+        parts = [
+            relation.project(list(self.lhs + b)) for b in self.branches
+        ]
+        rest = self.rest(relation)
+        if rest:
+            parts.append(relation.project(list(self.lhs + rest)))
+        return parts
+
+    def holds(self, relation: Relation) -> bool:
+        parts = self.projections(relation)
+        joined = parts[0]
+        for p in parts[1:]:
+            joined = joined.natural_join(p)
+        joined = joined.project(list(relation.schema.names()))
+        return set(joined.rows()) == set(relation.distinct().rows())
+
+    def violations(self, relation: Relation) -> ViolationSet:
+        """One violation naming each spurious joined tuple's X-group."""
+        vs = ViolationSet()
+        label = self.label()
+        parts = self.projections(relation)
+        joined = parts[0]
+        for p in parts[1:]:
+            joined = joined.natural_join(p)
+        joined = joined.project(list(relation.schema.names()))
+        original = set(relation.rows())
+        groups = relation.group_by(self.lhs)
+        for row in joined.rows():
+            if tuple(row) not in original:
+                x_value = tuple(
+                    row[relation.schema.index_of(a)] for a in self.lhs
+                )
+                indices = tuple(groups.get(x_value, ()))
+                vs.add(
+                    Violation(
+                        label,
+                        indices,
+                        f"decomposition join generates spurious tuple {row!r}",
+                    )
+                )
+        return vs
+
+    def as_mvds(self) -> list[MVD]:
+        """The MVDs implied branch-wise: ``X ->> Yi`` for each branch."""
+        return [MVD(self.lhs, b) for b in self.branches]
+
+    @classmethod
+    def from_mvd(cls, dep: MVD) -> "FHD":
+        """Embed an MVD as the single-branch FHD (k = 1, Section 2.6.5)."""
+        return cls(dep.lhs, [dep.rhs])
+
+
+class AMVD(MeasuredDependency):
+    """An approximate MVD: spurious-join fraction at most ``epsilon``.
+
+    Section 2.6.6: "the accuracy relates to the percentage of spurious
+    tuples that will be introduced by joining the relations decomposed
+    referring to the MVDs"; ``epsilon = 0`` is the exact MVD.
+    """
+
+    kind = "AMVD"
+    measure_direction = "<="
+
+    def __init__(
+        self,
+        lhs: Sequence[Attribute | str] | Attribute | str,
+        rhs: Sequence[Attribute | str] | Attribute | str,
+        epsilon: float = 0.0,
+    ) -> None:
+        if not 0.0 <= epsilon < 1.0:
+            raise DependencyError(
+                f"AMVD epsilon must be in [0, 1), got {epsilon}"
+            )
+        self.embedded = MVD(lhs, rhs)
+        self.lhs = self.embedded.lhs
+        self.rhs = self.embedded.rhs
+        self.epsilon = epsilon
+
+    @property
+    def threshold(self) -> float:
+        return self.epsilon
+
+    def __str__(self) -> str:
+        return (
+            f"{format_attrs(self.lhs)} ->>_{self.epsilon:g} "
+            f"{format_attrs(self.rhs)}"
+        )
+
+    def __repr__(self) -> str:
+        return f"AMVD({self.lhs!r}, {self.rhs!r}, epsilon={self.epsilon})"
+
+    def attributes(self) -> tuple[str, ...]:
+        return self.embedded.attributes()
+
+    def measure(self, relation: Relation) -> float:
+        return self.embedded.spurious_fraction(relation)
+
+    def violations(self, relation: Relation) -> ViolationSet:
+        return self.embedded.violations(relation)
+
+    @classmethod
+    def from_mvd(cls, dep: MVD) -> "AMVD":
+        """Embed an MVD as the AMVD with epsilon 0 (Fig. 1 edge)."""
+        return cls(dep.lhs, dep.rhs, epsilon=0.0)

@@ -1,0 +1,110 @@
+"""Numerical dependencies (NUDs) — Section 2.4.
+
+A NUD ``X ->_k Y`` (weight ``k >= 1``) states that each ``X``-value is
+associated with at most ``k`` distinct ``Y``-values.  Despite the name
+(historical, from Grant & Minker 1981), NUDs constrain *cardinality*,
+not numeric domains.  ``k = 1`` recovers exact FDs (Section 2.4.2).
+
+Worked example (Table 5): ``nud1: address ->_2 region`` holds — "El
+Paso" has two representation variants, no address has three.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...relation.relation import Relation
+from ...relation.schema import Attribute
+from ..base import Dependency, DependencyError, format_attrs
+from ..violation import Violation, ViolationSet
+from .fd import FD
+
+
+class NUD(Dependency):
+    """A numerical dependency ``X ->_k Y``."""
+
+    kind = "NUD"
+
+    def __init__(
+        self,
+        lhs: Sequence[Attribute | str] | Attribute | str,
+        rhs: Sequence[Attribute | str] | Attribute | str,
+        weight: int = 1,
+    ) -> None:
+        if weight < 1:
+            raise DependencyError(f"NUD weight must be >= 1, got {weight}")
+        self.embedded = FD(lhs, rhs)
+        self.lhs = self.embedded.lhs
+        self.rhs = self.embedded.rhs
+        self.weight = int(weight)
+
+    def __str__(self) -> str:
+        return (
+            f"{format_attrs(self.lhs)} ->_{self.weight} "
+            f"{format_attrs(self.rhs)}"
+        )
+
+    def __repr__(self) -> str:
+        return f"NUD({self.lhs!r}, {self.rhs!r}, weight={self.weight})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NUD):
+            return NotImplemented
+        return (
+            self.lhs == other.lhs
+            and self.rhs == other.rhs
+            and self.weight == other.weight
+        )
+
+    def __hash__(self) -> int:
+        return hash(("NUD", self.lhs, self.rhs, self.weight))
+
+    def attributes(self) -> tuple[str, ...]:
+        return self.embedded.attributes()
+
+    # -- semantics -----------------------------------------------------------
+
+    def fanout(self, relation: Relation) -> dict[tuple, int]:
+        """Number of distinct Y-values per X-value."""
+        return {
+            x: len({relation.values_at(t, self.rhs) for t in indices})
+            for x, indices in relation.group_by(self.lhs).items()
+        }
+
+    def max_fanout(self, relation: Relation) -> int:
+        """The smallest weight k for which the NUD would hold (0 if empty)."""
+        fanout = self.fanout(relation)
+        return max(fanout.values(), default=0)
+
+    def holds(self, relation: Relation) -> bool:
+        return self.max_fanout(relation) <= self.weight
+
+    def violations(self, relation: Relation) -> ViolationSet:
+        """One violation per over-weight X-group, citing all its tuples."""
+        vs = ViolationSet()
+        label = self.label()
+        for x_value, indices in relation.group_by(self.lhs).items():
+            distinct = {relation.values_at(t, self.rhs) for t in indices}
+            if len(distinct) > self.weight:
+                vs.add(
+                    Violation(
+                        label,
+                        tuple(indices),
+                        f"X={x_value!r} maps to {len(distinct)} distinct "
+                        f"{format_attrs(self.rhs)} values (> {self.weight})",
+                    )
+                )
+        return vs
+
+    # -- applications (Section 2.4.3) ------------------------------------------
+
+    def projection_size_bound(self, relation: Relation) -> int:
+        """Upper bound on ``|π_XY(r)|`` implied by the NUD: |dom(X)| * k."""
+        return relation.distinct_count(self.lhs) * self.weight
+
+    # -- family tree ---------------------------------------------------------
+
+    @classmethod
+    def from_fd(cls, dep: FD) -> "NUD":
+        """Embed an FD as the special NUD with weight 1 (Fig. 1 edge)."""
+        return cls(dep.lhs, dep.rhs, weight=1)

@@ -1,0 +1,129 @@
+"""Probabilistic functional dependencies (PFDs) — Section 2.2.
+
+A PFD ``X ->_p Y`` holds when the per-value likelihood of the embedded
+FD, averaged over the distinct ``X``-values, is at least ``p``:
+
+    P(X -> Y, V_X) = |V_Y, V_X| / |V_X|   (V_Y the modal Y for V_X)
+    P(X -> Y, r)   = mean over distinct V_X of P(X -> Y, V_X)
+
+Worked example (Table 5): P(address -> region, r5) = (1 + 1/2)/2 = 3/4
+and P(name -> address, r5) = 1/2 — asserted in tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from ...relation.relation import Relation
+from ...relation.schema import Attribute
+from ..base import DependencyError, MeasuredDependency, format_attrs
+from ..violation import Violation, ViolationSet
+from .fd import FD
+
+
+class PFD(MeasuredDependency):
+    """A probabilistic functional dependency ``X ->_p Y``."""
+
+    kind = "PFD"
+    measure_direction = ">="
+
+    def __init__(
+        self,
+        lhs: Sequence[Attribute | str] | Attribute | str,
+        rhs: Sequence[Attribute | str] | Attribute | str,
+        probability: float = 1.0,
+    ) -> None:
+        if not 0.0 < probability <= 1.0:
+            raise DependencyError(
+                f"PFD probability must be in (0, 1], got {probability}"
+            )
+        self.embedded = FD(lhs, rhs)
+        self.lhs = self.embedded.lhs
+        self.rhs = self.embedded.rhs
+        self.probability = probability
+
+    @property
+    def threshold(self) -> float:
+        return self.probability
+
+    def __str__(self) -> str:
+        return (
+            f"{format_attrs(self.lhs)} ->_{self.probability:g} "
+            f"{format_attrs(self.rhs)}"
+        )
+
+    def __repr__(self) -> str:
+        return f"PFD({self.lhs!r}, {self.rhs!r}, probability={self.probability})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PFD):
+            return NotImplemented
+        return (
+            self.lhs == other.lhs
+            and self.rhs == other.rhs
+            and self.probability == other.probability
+        )
+
+    def __hash__(self) -> int:
+        return hash(("PFD", self.lhs, self.rhs, self.probability))
+
+    def attributes(self) -> tuple[str, ...]:
+        return self.embedded.attributes()
+
+    # -- semantics ------------------------------------------------------------
+
+    def per_value_probability(self, relation: Relation) -> dict[tuple, float]:
+        """``P(X -> Y, V_X)`` for each distinct X-value."""
+        out: dict[tuple, float] = {}
+        for x_value, indices in relation.group_by(self.lhs).items():
+            counts = Counter(
+                relation.values_at(t, self.rhs) for t in indices
+            )
+            modal = counts.most_common(1)[0][1]
+            out[x_value] = modal / len(indices)
+        return out
+
+    def measure(self, relation: Relation) -> float:
+        """Average per-value probability (1.0 on empty input)."""
+        per_value = self.per_value_probability(relation)
+        if not per_value:
+            return 1.0
+        return sum(per_value.values()) / len(per_value)
+
+    def violations(self, relation: Relation) -> ViolationSet:
+        """Tuples deviating from the modal Y of their X-group.
+
+        This is the PFD-native evidence used to "pinpoint data sources
+        with low quality data" (Section 2.2.4): each non-modal tuple is a
+        single-tuple violation, rather than the pairwise FD evidence.
+        """
+        vs = ViolationSet()
+        label = self.label()
+        for x_value, indices in relation.group_by(self.lhs).items():
+            by_y: dict[tuple, list[int]] = {}
+            for t in indices:
+                by_y.setdefault(relation.values_at(t, self.rhs), []).append(t)
+            if len(by_y) < 2:
+                continue
+            modal_y = max(by_y, key=lambda y: len(by_y[y]))
+            for y_value, ts in by_y.items():
+                if y_value == modal_y:
+                    continue
+                for t in ts:
+                    vs.add(
+                        Violation(
+                            label,
+                            (t,),
+                            f"X={x_value!r}: {y_value!r} deviates from "
+                            f"modal {modal_y!r}",
+                        )
+                    )
+        return vs
+
+    # -- family tree --------------------------------------------------------
+
+    @classmethod
+    def from_fd(cls, dep: FD) -> "PFD":
+        """Embed an FD as the special PFD with p = 1 (Fig. 1 edge)."""
+        return cls(dep.lhs, dep.rhs, probability=1.0)

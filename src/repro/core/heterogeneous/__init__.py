@@ -1,0 +1,41 @@
+"""Dependencies over heterogeneous data (Section 3 of the survey).
+
+Equality gives way to distance/similarity metrics: on the dependent
+side only (MFDs), on both sides (NEDs, DDs), across synonym attributes
+(CDs), with probability (PACs), with fuzzy resemblance (FFDs), and as
+record-matching rules (MDs, CMDs).
+"""
+
+from .constraints import (
+    DifferentialFunction,
+    Interval,
+    SimilarityPredicate,
+    coerce_predicates,
+)
+from .mfd import MFD
+from .ned import NED
+from .dd import CDD, DD
+from .cd import CD, SimilarityFunction
+from .pac import PAC
+from .ffd import FFD
+from .md import CMD, MD, RelativeCandidateKey, md_implies, minimal_md_cover
+
+__all__ = [
+    "Interval",
+    "DifferentialFunction",
+    "SimilarityPredicate",
+    "coerce_predicates",
+    "MFD",
+    "NED",
+    "DD",
+    "CDD",
+    "CD",
+    "SimilarityFunction",
+    "PAC",
+    "FFD",
+    "MD",
+    "CMD",
+    "RelativeCandidateKey",
+    "md_implies",
+    "minimal_md_cover",
+]

@@ -1,0 +1,229 @@
+"""Differential dependencies (DDs) — Section 3.3 — and conditional DDs.
+
+A DD ``φ[X] -> φ[Y]`` states that any two tuples compatible with the
+differential function ``φ[X]`` (per-attribute distance *ranges*, which
+can express "similar" ``<= b`` as well as "dissimilar" ``>= b``) must
+be compatible with ``φ[Y]``.  DDs extend NEDs, whose predicates only
+express the "similar" side (Section 3.3.2).
+
+Worked examples (Table 6)::
+
+    dd1: name(<=1), street(<=5) -> address(<=5)
+    dd2: street(>=10) -> address(>5)     # "dissimilar implies dissimilar"
+
+:class:`CDD` (Section 3.3.5) adds a categorical condition pattern: the
+DD needs to hold only among tuples matching the pattern — extending
+both DDs (heterogeneous) and CFDs (categorical).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ...metrics.registry import DEFAULT_REGISTRY, MetricRegistry
+from ...relation.relation import Relation
+from ..base import DependencyError, PairwiseDependency
+from ..categorical.pattern import Pattern
+from .constraints import DifferentialFunction, Interval
+from .ned import NED
+
+
+def _as_function(
+    spec: DifferentialFunction | Mapping[str, object],
+) -> DifferentialFunction:
+    if isinstance(spec, DifferentialFunction):
+        return spec
+    return DifferentialFunction(spec)
+
+
+class DD(PairwiseDependency):
+    """A differential dependency ``φ[X] -> φ[Y]``."""
+
+    kind = "DD"
+
+    def __init__(
+        self,
+        lhs: DifferentialFunction | Mapping[str, object],
+        rhs: DifferentialFunction | Mapping[str, object],
+        *,
+        registry: MetricRegistry = DEFAULT_REGISTRY,
+    ) -> None:
+        self.lhs = _as_function(lhs)
+        self.rhs = _as_function(rhs)
+        self.registry = registry
+
+    def __str__(self) -> str:
+        return f"{self.lhs} -> {self.rhs}"
+
+    def __repr__(self) -> str:
+        return f"DD({self.lhs!r}, {self.rhs!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DD):
+            return NotImplemented
+        return (
+            type(self) is type(other)
+            and self.lhs == other.lhs
+            and self.rhs == other.rhs
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.lhs, self.rhs))
+
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(
+            dict.fromkeys(self.lhs.attributes() + self.rhs.attributes())
+        )
+
+    # -- semantics ----------------------------------------------------------
+
+    def pair_violation(self, relation: Relation, i: int, j: int) -> str | None:
+        if not self.lhs.compatible(relation, i, j, self.registry):
+            return None
+        if self.rhs.compatible(relation, i, j, self.registry):
+            return None
+        dists = self.rhs.distances(relation, i, j, self.registry)
+        detail = ", ".join(
+            f"{a}: d={d:g} ∉ {self.rhs.ranges[a]}" for a, d in dists.items()
+            if not self.rhs.ranges[a].contains(d)
+        )
+        return f"compatible with φ[X] but violates φ[Y] ({detail})"
+
+    # -- structure (minimality, Section 3.3.3) ---------------------------------
+
+    def subsumes(self, other: "DD") -> bool:
+        """Logical subsumption test for minimal-DD pruning.
+
+        ``self`` subsumes ``other`` when self's LHS is *looser* (matches
+        at least the pairs other's LHS matches) and self's RHS is
+        *tighter* — then ``self`` implies ``other``.
+        """
+        return self._lhs_looser(other) and self._rhs_tighter(other)
+
+    def _lhs_looser(self, other: "DD") -> bool:
+        # self.lhs matches ⊇ pairs of other.lhs: every self constraint
+        # must be implied by other's constraints.
+        return self.lhs.subsumes(other.lhs)
+
+    def _rhs_tighter(self, other: "DD") -> bool:
+        return other.rhs.subsumes(self.rhs)
+
+    # -- family tree ----------------------------------------------------------
+
+    @classmethod
+    def from_ned(cls, dep: NED) -> "DD":
+        """Embed an NED as the similar-ranges-only DD (Fig. 1 edge)."""
+        lhs = DifferentialFunction(
+            {p.attribute: Interval.at_most(p.threshold) for p in dep.lhs}
+        )
+        rhs = DifferentialFunction(
+            {p.attribute: Interval.at_most(p.threshold) for p in dep.rhs}
+        )
+        registry = dep.registry
+        for p in list(dep.lhs) + list(dep.rhs):
+            if p.metric is not None:
+                registry = registry.bind(p.attribute, p.metric)
+        return cls(lhs, rhs, registry=registry)
+
+
+class CDD(DD):
+    """A conditional differential dependency — a DD plus a condition.
+
+    The DD applies only to tuple pairs in which *both* tuples match the
+    categorical condition pattern (Section 3.3.5's example: "in the
+    region of Chicago, similar names imply similar addresses").  CDDs
+    thereby extend DDs (condition = match-all) and CFDs (distance
+    ranges = equality, i.e. ``<= 0`` under the discrete metric).
+    """
+
+    kind = "CDD"
+
+    def __init__(
+        self,
+        lhs: DifferentialFunction | Mapping[str, object],
+        rhs: DifferentialFunction | Mapping[str, object],
+        condition: Pattern | Mapping[str, object] | None = None,
+        *,
+        registry: MetricRegistry = DEFAULT_REGISTRY,
+    ) -> None:
+        super().__init__(lhs, rhs, registry=registry)
+        self.condition = (
+            condition if isinstance(condition, Pattern) else Pattern(condition)
+        )
+
+    def __str__(self) -> str:
+        cond = ", ".join(
+            f"{a}={e}" for a, e in self.condition.entries().items()
+        )
+        return f"[{cond}] {self.lhs} -> {self.rhs}" if cond else super().__str__()
+
+    def __repr__(self) -> str:
+        return f"CDD({self.lhs!r}, {self.rhs!r}, {self.condition!r})"
+
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(
+            dict.fromkeys(
+                super().attributes() + tuple(self.condition.entries())
+            )
+        )
+
+    def matches_condition(self, relation: Relation, i: int) -> bool:
+        record = relation.record_at(i)
+        return self.condition.matches(record, self.condition.entries())
+
+    def pair_violation(self, relation: Relation, i: int, j: int) -> str | None:
+        if not (
+            self.matches_condition(relation, i)
+            and self.matches_condition(relation, j)
+        ):
+            return None
+        return super().pair_violation(relation, i, j)
+
+    # -- family tree -----------------------------------------------------------
+
+    @classmethod
+    def from_dd(cls, dep: DD) -> "CDD":
+        """Embed a DD as the CDD with the empty (match-all) condition."""
+        return cls(dep.lhs, dep.rhs, None, registry=dep.registry)
+
+    @classmethod
+    def from_cfd(cls, dep) -> "CDD":
+        """Embed a (variable) CFD as a CDD (Fig. 1 edge).
+
+        The CFD's constants become the CDD condition; the embedded FD's
+        equality tests become zero-distance ranges under the discrete
+        metric.  Only constant-or-wildcard CFD patterns are supported
+        (eCFD operator predicates are not CDD conditions).
+        """
+        from ...metrics.numeric import DISCRETE
+        from ..categorical.cfd import CFD
+
+        if not isinstance(dep, CFD):
+            raise DependencyError(f"expected a CFD, got {type(dep).__name__}")
+        rhs_constants = {
+            a
+            for a in dep.rhs
+            if not dep.pattern.entry(a).is_wildcard
+        }
+        if rhs_constants:
+            raise DependencyError(
+                "CDD embedding supports variable CFDs (wildcard RHS); "
+                f"constant RHS cells on {sorted(rhs_constants)}"
+            )
+        condition = Pattern(
+            {
+                a: dep.pattern.entry(a)
+                for a in dep.lhs
+                if not dep.pattern.entry(a).is_wildcard
+            }
+        )
+        lhs = DifferentialFunction(
+            {a: Interval.at_most(0.0) for a in dep.lhs}
+        )
+        rhs = DifferentialFunction(
+            {a: Interval.at_most(0.0) for a in dep.rhs}
+        )
+        registry = MetricRegistry(
+            {a: DISCRETE for a in dep.lhs + dep.rhs}
+        )
+        return cls(lhs, rhs, condition, registry=registry)

@@ -1,0 +1,97 @@
+"""Fuzzy functional dependencies (FFDs) — Section 3.6.
+
+An FFD ``X ~> Y`` holds in a fuzzy relation when, for all tuple pairs,
+
+    mu_EQ(t1[X], t2[X]) <= mu_EQ(t1[Y], t2[Y])
+
+where ``mu_EQ`` over an attribute set is the minimum of the
+per-attribute fuzzy resemblance relations — the values on ``Y`` must be
+at least as "equal" as those on ``X``.  With crisp (0/1) resemblances
+this recovers a classical FD (Section 3.6.2).
+
+Worked example (Table 6): ``ffd1: name, price ~> tax`` with crisp
+equality on name and reciprocal resemblances (beta 1 on price, 10 on
+tax) is violated by (t1, t2): min(1, 1/2) > 1/91.  Asserted in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ...metrics.fuzzy import Resemblance, crisp_equal
+from ...relation.relation import Relation
+from ...relation.schema import Attribute
+from ..base import DependencyError, PairwiseDependency, format_attrs
+from ..categorical.fd import FD, _names
+
+
+class FFD(PairwiseDependency):
+    """A fuzzy functional dependency ``X ~> Y``.
+
+    ``resemblances`` maps attribute names to fuzzy EQUAL relations;
+    attributes not mapped use crisp equality — "appropriately selected
+    during database creation" per the paper, so it is part of the
+    dependency declaration here.
+    """
+
+    kind = "FFD"
+
+    def __init__(
+        self,
+        lhs: Sequence[Attribute | str] | Attribute | str,
+        rhs: Sequence[Attribute | str] | Attribute | str,
+        resemblances: Mapping[str, Resemblance] | None = None,
+    ) -> None:
+        self.lhs = _names(lhs)
+        self.rhs = _names(rhs)
+        if not self.lhs or not self.rhs:
+            raise DependencyError("FFD needs attributes on both sides")
+        self.resemblances: dict[str, Resemblance] = dict(resemblances or {})
+
+    def __str__(self) -> str:
+        return f"{format_attrs(self.lhs)} ~> {format_attrs(self.rhs)}"
+
+    def __repr__(self) -> str:
+        return f"FFD({self.lhs!r}, {self.rhs!r})"
+
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(self.lhs + self.rhs))
+
+    # -- semantics --------------------------------------------------------
+
+    def mu(self, attribute: str, a: object, b: object) -> float:
+        """The resemblance mu_EQ for one attribute (crisp by default)."""
+        fn = self.resemblances.get(attribute, crisp_equal)
+        return fn(a, b)
+
+    def mu_set(
+        self, relation: Relation, i: int, j: int, attrs: Sequence[str]
+    ) -> float:
+        """mu_EQ over an attribute set: the minimum over attributes."""
+        return min(
+            self.mu(a, relation.value_at(i, a), relation.value_at(j, a))
+            for a in attrs
+        )
+
+    def pair_violation(self, relation: Relation, i: int, j: int) -> str | None:
+        mu_x = self.mu_set(relation, i, j, self.lhs)
+        mu_y = self.mu_set(relation, i, j, self.rhs)
+        if mu_x <= mu_y:
+            return None
+        return (
+            f"mu_EQ(X) = {mu_x:.4g} > mu_EQ(Y) = {mu_y:.4g}: "
+            f"Y values less 'equal' than X values"
+        )
+
+    # -- family tree -----------------------------------------------------------
+
+    @classmethod
+    def from_fd(cls, dep: FD) -> "FFD":
+        """Embed an FD as the crisp-resemblance FFD (Fig. 1 edge).
+
+        With mu in {0, 1} everywhere, ``mu(X) <= mu(Y)`` fails exactly
+        when X-values are equal (mu 1) and Y-values differ (mu 0) — the
+        FD's violation condition.
+        """
+        resemblances = {a: crisp_equal for a in dep.lhs + dep.rhs}
+        return cls(dep.lhs, dep.rhs, resemblances)

@@ -1,0 +1,154 @@
+"""Metric functional dependencies (MFDs) — Section 3.1.
+
+An MFD ``X ->^δ Y`` keeps the equality test on the determinant ``X``
+but relaxes the dependent side: two tuples with equal ``X``-values must
+be within metric distance ``δ`` on ``Y``.  ``δ = 0`` recovers an FD
+(Section 3.1.2).
+
+Worked example (Table 6): ``mfd1: name, region ->^500 price`` — tuples
+t2 and t6 share name/region and differ by 0 <= 500 on price.
+
+Verification (Section 3.1.3) groups tuples by ``X`` and computes each
+group's *diameter*; the MFD holds iff every diameter is <= δ.  That
+exact check is O(n²) in the worst case; :meth:`MFD.holds_approximate`
+implements the cheap 2-approximation via per-group eccentricity from a
+pivot.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...metrics.base import Metric
+from ...metrics.registry import DEFAULT_REGISTRY, MetricRegistry
+from ...relation.relation import Relation
+from ...relation.schema import Attribute
+from ..base import DependencyError, PairwiseDependency, format_attrs
+from ..categorical.fd import FD
+
+
+class MFD(PairwiseDependency):
+    """A metric functional dependency ``X ->^δ Y``.
+
+    With multiple dependent attributes, each attribute's distance must
+    individually be within ``δ`` (the max-combine of per-attribute
+    metrics — the natural product-metric choice).
+    """
+
+    kind = "MFD"
+
+    def __init__(
+        self,
+        lhs: Sequence[Attribute | str] | Attribute | str,
+        rhs: Sequence[Attribute | str] | Attribute | str,
+        delta: float = 0.0,
+        *,
+        registry: MetricRegistry = DEFAULT_REGISTRY,
+        metric: Metric | None = None,
+    ) -> None:
+        if delta < 0:
+            raise DependencyError(f"MFD delta must be >= 0, got {delta}")
+        self.embedded = FD(lhs, rhs)
+        self.lhs = self.embedded.lhs
+        self.rhs = self.embedded.rhs
+        self.delta = float(delta)
+        self.registry = registry if metric is None else MetricRegistry(
+            {a: metric for a in self.rhs}
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{format_attrs(self.lhs)} ->^{self.delta:g} "
+            f"{format_attrs(self.rhs)}"
+        )
+
+    def __repr__(self) -> str:
+        return f"MFD({self.lhs!r}, {self.rhs!r}, delta={self.delta})"
+
+    def attributes(self) -> tuple[str, ...]:
+        return self.embedded.attributes()
+
+    # -- semantics --------------------------------------------------------
+
+    def _rhs_distance(self, relation: Relation, i: int, j: int) -> float:
+        """Max per-attribute distance over the dependent side."""
+        worst = 0.0
+        for a in self.rhs:
+            metric = self.registry.metric_for(relation.schema[a])
+            d = metric.distance(
+                relation.value_at(i, a), relation.value_at(j, a)
+            )
+            worst = max(worst, d)
+        return worst
+
+    def pair_violation(self, relation: Relation, i: int, j: int) -> str | None:
+        if relation.values_at(i, self.lhs) != relation.values_at(j, self.lhs):
+            return None
+        d = self._rhs_distance(relation, i, j)
+        if d <= self.delta:
+            return None
+        return (
+            f"equal {format_attrs(self.lhs)} but {format_attrs(self.rhs)} "
+            f"distance {d:g} > {self.delta:g}"
+        )
+
+    def holds(self, relation: Relation) -> bool:
+        """Exact group-diameter verification ([64], Section 3.1.3)."""
+        for diameter in self.group_diameters(relation).values():
+            if diameter > self.delta:
+                return False
+        return True
+
+    def group_diameters(self, relation: Relation) -> dict[tuple, float]:
+        """Max pairwise dependent-side distance per equal-X group."""
+        out: dict[tuple, float] = {}
+        for x_value, indices in relation.group_by(self.lhs).items():
+            diameter = 0.0
+            for a, i in enumerate(indices):
+                for j in indices[a + 1:]:
+                    diameter = max(
+                        diameter, self._rhs_distance(relation, i, j)
+                    )
+            out[x_value] = diameter
+        return out
+
+    def holds_approximate(self, relation: Relation) -> bool:
+        """One-pivot eccentricity check — a linear-time 2-approximation.
+
+        Per group, distances from the first tuple bound the diameter:
+        ecc <= diameter <= 2·ecc (triangle inequality).  Accepting when
+        ``ecc <= δ/2`` guarantees no false accepts at δ; rejecting when
+        ``ecc > δ`` guarantees no false rejects.  In between, fall back
+        to the exact check for that group only.
+        """
+        for indices in relation.group_by(self.lhs).values():
+            if len(indices) < 2:
+                continue
+            pivot = indices[0]
+            ecc = max(
+                self._rhs_distance(relation, pivot, t) for t in indices[1:]
+            )
+            if ecc > self.delta:
+                return False
+            if 2 * ecc <= self.delta:
+                continue
+            # Uncertain band: exact diameter for this group.
+            for a, i in enumerate(indices):
+                for j in indices[a + 1:]:
+                    if self._rhs_distance(relation, i, j) > self.delta:
+                        return False
+        return True
+
+    # -- family tree ----------------------------------------------------------
+
+    @classmethod
+    def from_fd(cls, dep: FD) -> "MFD":
+        """Embed an FD as the MFD with δ = 0 under the discrete metric.
+
+        δ = 0 under *any* metric satisfying identity of indiscernibles
+        makes "within distance 0" mean "equal", so the default registry
+        works too; the discrete metric makes the equivalence obvious.
+        """
+        from ...metrics.numeric import DISCRETE
+
+        return cls(dep.lhs, dep.rhs, delta=0.0, metric=DISCRETE)

@@ -1,0 +1,28 @@
+"""Dependencies over numerical data (Section 4 of the survey).
+
+Order relationships replace equality: pointwise-ordered OFDs, marked
+ODs, general denial constraints, and distance-on-consecutive-tuples
+SDs/CSDs.
+"""
+
+from .ofd import OFD, lex_leq, pointwise_leq
+from .od import OD, MarkedAttribute, coerce_marked
+from .dc import ALPHA, BETA, DC, Predicate, pred2, predc
+from .sd import CSD, SD
+
+__all__ = [
+    "OFD",
+    "pointwise_leq",
+    "lex_leq",
+    "OD",
+    "MarkedAttribute",
+    "coerce_marked",
+    "DC",
+    "Predicate",
+    "pred2",
+    "predc",
+    "ALPHA",
+    "BETA",
+    "SD",
+    "CSD",
+]

@@ -1,0 +1,155 @@
+"""Order dependencies (ODs) — Section 4.2.
+
+ODs generalize OFDs by letting each attribute carry its own *marked*
+ordering direction: ``A^<=``, ``A^>=``, ``A^<``, ``A^>``.  An OD
+``X -> Y`` over marked attributes states that ``t1[X] t2`` (each marked
+comparison holds) implies ``t1[Y] t2``.
+
+Worked example (Table 7): ``od1: nights^<= -> avg/night^>=`` — the more
+nights, the lower the per-night average.  OFDs are ODs with all marks
+``<=`` (Section 4.2.2).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ...relation.relation import Relation
+from ...relation.schema import Attribute
+from ..base import DependencyError, PairwiseDependency
+from .ofd import OFD
+
+_MARK_OPS: dict[str, Callable] = {
+    "<=": operator.le,
+    ">=": operator.ge,
+    "<": operator.lt,
+    ">": operator.gt,
+}
+
+_ALIASES = {"≤": "<=", "≥": ">=", "asc": "<=", "desc": ">="}
+
+#: Logical negation of each mark (used by the OD -> DC embedding).
+_NEG_MARK = {"<=": ">", ">=": "<", "<": ">=", ">": "<="}
+
+
+@dataclass(frozen=True)
+class MarkedAttribute:
+    """An attribute with an ordering mark, e.g. ``nights^<=``."""
+
+    attribute: str
+    mark: str = "<="
+
+    def __post_init__(self) -> None:
+        mark = _ALIASES.get(self.mark, self.mark)
+        object.__setattr__(self, "mark", mark)
+        if mark not in _MARK_OPS:
+            raise DependencyError(
+                f"unknown ordering mark {self.mark!r}; "
+                f"expected one of {sorted(_MARK_OPS)}"
+            )
+
+    def compare(self, a: object, b: object) -> bool:
+        """``a mark b``; undefined (None/incomparable) returns False."""
+        if a is None or b is None:
+            return False
+        try:
+            return _MARK_OPS[self.mark](a, b)
+        except TypeError:
+            return False
+
+    def __str__(self) -> str:
+        return f"{self.attribute}^{self.mark}"
+
+
+def coerce_marked(
+    spec: Sequence[MarkedAttribute | tuple[str, str] | str] | str,
+) -> tuple[MarkedAttribute, ...]:
+    """Accept marked attributes, (attr, mark) pairs, or bare names.
+
+    Bare names default to ascending (``<=``).
+    """
+    if isinstance(spec, str):
+        spec = [spec]
+    out: list[MarkedAttribute] = []
+    for item in spec:
+        if isinstance(item, MarkedAttribute):
+            out.append(item)
+        elif isinstance(item, tuple):
+            out.append(MarkedAttribute(item[0], item[1]))
+        else:
+            out.append(MarkedAttribute(item))
+    return tuple(out)
+
+
+class OD(PairwiseDependency):
+    """An order dependency over marked attribute lists."""
+
+    kind = "OD"
+
+    def __init__(
+        self,
+        lhs: Sequence[MarkedAttribute | tuple[str, str] | str] | str,
+        rhs: Sequence[MarkedAttribute | tuple[str, str] | str] | str,
+    ) -> None:
+        self.lhs = coerce_marked(lhs)
+        self.rhs = coerce_marked(rhs)
+        if not self.lhs or not self.rhs:
+            raise DependencyError("OD needs marked attributes on both sides")
+
+    def __str__(self) -> str:
+        left = ", ".join(str(m) for m in self.lhs)
+        right = ", ".join(str(m) for m in self.rhs)
+        return f"{left} -> {right}"
+
+    def __repr__(self) -> str:
+        return f"OD({self.lhs!r}, {self.rhs!r})"
+
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(
+            dict.fromkeys(
+                [m.attribute for m in self.lhs]
+                + [m.attribute for m in self.rhs]
+            )
+        )
+
+    # -- semantics ------------------------------------------------------------
+
+    def _ordered(
+        self, relation: Relation, i: int, j: int, marks: tuple[MarkedAttribute, ...]
+    ) -> bool:
+        return all(
+            m.compare(
+                relation.value_at(i, m.attribute),
+                relation.value_at(j, m.attribute),
+            )
+            for m in marks
+        )
+
+    def pair_violation(self, relation: Relation, i: int, j: int) -> str | None:
+        """ODs are direction-sensitive: check both pair orientations."""
+        for a, b in ((i, j), (j, i)):
+            if self._ordered(relation, a, b, self.lhs) and not self._ordered(
+                relation, a, b, self.rhs
+            ):
+                left = ", ".join(str(m) for m in self.lhs)
+                right = ", ".join(str(m) for m in self.rhs)
+                return (
+                    f"t{a}[{left}]t{b} holds but t{a}[{right}]t{b} fails"
+                )
+        return None
+
+    # -- family tree -----------------------------------------------------------
+
+    @classmethod
+    def from_ofd(cls, dep: OFD) -> "OD":
+        """Embed a (pointwise) OFD as the all-ascending OD (Fig. 1)."""
+        if dep.ordering != "pointwise":
+            raise DependencyError(
+                "only pointwise OFDs embed directly into ODs"
+            )
+        return cls(
+            [MarkedAttribute(a, "<=") for a in dep.lhs],
+            [MarkedAttribute(a, "<=") for a in dep.rhs],
+        )

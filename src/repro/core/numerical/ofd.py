@@ -1,0 +1,97 @@
+"""Ordered functional dependencies (OFDs) — Section 4.1.
+
+An OFD ``X ->^P Y`` (pointwise ordering) states: for all tuple pairs,
+``t1[X] <=_P t2[X]`` implies ``t1[Y] <=_P t2[Y]``, where ``<=_P`` holds
+when *every* attribute value of the left tuple is <= the right tuple's.
+The paper also mentions the lexicographical variant [76, 77], provided
+here as ``ordering="lex"``.
+
+Worked example (Table 7): ``ofd1: subtotal ->^P taxes`` — higher
+subtotal implies higher taxes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...relation.relation import Relation
+from ...relation.schema import Attribute
+from ..base import DependencyError, PairwiseDependency, format_attrs
+from ..categorical.fd import _names
+
+_ORDERINGS = ("pointwise", "lex")
+
+
+def pointwise_leq(a: tuple, b: tuple) -> bool:
+    """``a <=_P b``: every component of a is <= the matching one of b."""
+    try:
+        return all(x <= y for x, y in zip(a, b))
+    except TypeError:
+        return False
+
+
+def lex_leq(a: tuple, b: tuple) -> bool:
+    """Lexicographical ``a <= b``."""
+    try:
+        return a <= b
+    except TypeError:
+        return False
+
+
+class OFD(PairwiseDependency):
+    """An ordered functional dependency ``X ->^P Y``."""
+
+    kind = "OFD"
+
+    def __init__(
+        self,
+        lhs: Sequence[Attribute | str] | Attribute | str,
+        rhs: Sequence[Attribute | str] | Attribute | str,
+        ordering: str = "pointwise",
+    ) -> None:
+        self.lhs = _names(lhs)
+        self.rhs = _names(rhs)
+        if not self.lhs or not self.rhs:
+            raise DependencyError("OFD needs attributes on both sides")
+        if ordering not in _ORDERINGS:
+            raise DependencyError(
+                f"ordering must be one of {_ORDERINGS}, got {ordering!r}"
+            )
+        self.ordering = ordering
+        self._leq = pointwise_leq if ordering == "pointwise" else lex_leq
+
+    def __str__(self) -> str:
+        sup = "P" if self.ordering == "pointwise" else "lex"
+        return f"{format_attrs(self.lhs)} ->^{sup} {format_attrs(self.rhs)}"
+
+    def __repr__(self) -> str:
+        return f"OFD({self.lhs!r}, {self.rhs!r}, ordering={self.ordering!r})"
+
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(self.lhs + self.rhs))
+
+    # -- semantics ---------------------------------------------------------
+
+    def pair_violation(self, relation: Relation, i: int, j: int) -> str | None:
+        """Check both orientations of the (unordered) scanner pair.
+
+        ``None`` values make a comparison undefined; such pairs are
+        skipped (cannot witness a violation).
+        """
+        xi = relation.values_at(i, self.lhs)
+        xj = relation.values_at(j, self.lhs)
+        yi = relation.values_at(i, self.rhs)
+        yj = relation.values_at(j, self.rhs)
+        if any(v is None for v in xi + xj + yi + yj):
+            return None
+        if self._leq(xi, xj) and not self._leq(yi, yj):
+            return (
+                f"{format_attrs(self.lhs)}: {xi!r} <= {xj!r} but "
+                f"{format_attrs(self.rhs)}: {yi!r} !<= {yj!r}"
+            )
+        if self._leq(xj, xi) and not self._leq(yj, yi):
+            return (
+                f"{format_attrs(self.lhs)}: {xj!r} <= {xi!r} but "
+                f"{format_attrs(self.rhs)}: {yj!r} !<= {yi!r}"
+            )
+        return None

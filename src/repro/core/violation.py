@@ -1,0 +1,106 @@
+"""Violation evidence produced by dependency checking.
+
+Every dependency in the family tree reports *why* it fails on a relation
+as a set of :class:`Violation` records — the tuple indices involved plus
+a human-readable reason.  Downstream consumers:
+
+* the detection engine scores violations against injected ground truth;
+* the repair engines turn violations into a conflict (hyper)graph;
+* tests assert the exact violating tuples of the paper's examples
+  (e.g. fd1 flags (t3, t4) and (t5, t6) but not (t7, t8) on Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One piece of violation evidence.
+
+    ``tuples`` holds the 0-based indices of the tuples jointly violating
+    the constraint — a pair for pairwise notations (FDs, DCs, ...), one
+    index for single-tuple constant constraints (constant CFDs, constant
+    DCs), possibly more for tuple-generating dependencies (MVDs report
+    the group whose required tuple is missing).
+    """
+
+    dependency: str
+    tuples: tuple[int, ...]
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        # Normalize ordering so {(i, j)} and {(j, i)} dedupe.
+        object.__setattr__(self, "tuples", tuple(sorted(self.tuples)))
+
+    def involves(self, index: int) -> bool:
+        return index in self.tuples
+
+    def __str__(self) -> str:
+        ts = ", ".join(f"t{i}" for i in self.tuples)
+        msg = f" — {self.reason}" if self.reason else ""
+        return f"[{self.dependency}] ({ts}){msg}"
+
+
+class ViolationSet:
+    """An ordered, duplicate-free collection of violations."""
+
+    __slots__ = ("_items", "_seen")
+
+    def __init__(self, items: Iterable[Violation] = ()) -> None:
+        self._items: list[Violation] = []
+        self._seen: set[tuple[str, tuple[int, ...]]] = set()
+        for v in items:
+            self.add(v)
+
+    def add(self, violation: Violation) -> None:
+        key = (violation.dependency, violation.tuples)
+        if key not in self._seen:
+            self._seen.add(key)
+            self._items.append(violation)
+
+    def extend(self, violations: Iterable[Violation]) -> None:
+        for v in violations:
+            self.add(v)
+
+    def __iter__(self) -> Iterator[Violation]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __getitem__(self, i: int) -> Violation:
+        return self._items[i]
+
+    def tuple_indices(self) -> set[int]:
+        """All tuple indices implicated in at least one violation."""
+        out: set[int] = set()
+        for v in self._items:
+            out.update(v.tuples)
+        return out
+
+    def pairs(self) -> set[tuple[int, int]]:
+        """All violating pairs (for pairwise dependencies)."""
+        return {
+            (v.tuples[0], v.tuples[1]) for v in self._items if len(v.tuples) == 2
+        }
+
+    def by_dependency(self) -> dict[str, list[Violation]]:
+        out: dict[str, list[Violation]] = {}
+        for v in self._items:
+            out.setdefault(v.dependency, []).append(v)
+        return out
+
+    def __repr__(self) -> str:
+        return f"ViolationSet({len(self._items)} violations)"
+
+    def summary(self, limit: int = 10) -> str:
+        lines = [str(v) for v in self._items[:limit]]
+        if len(self._items) > limit:
+            lines.append(f"... and {len(self._items) - limit} more")
+        return "\n".join(lines) if lines else "(no violations)"

@@ -1,0 +1,35 @@
+"""Datasets: the paper's worked-example tables and synthetic workloads."""
+
+from .paper import (
+    PAPER_RELATIONS,
+    dataspace_person,
+    hotel_r1,
+    hotel_r5,
+    hotel_r6,
+    hotel_r7,
+)
+from .generators import (
+    DirtyDataset,
+    dataspace_workload,
+    multisource_workload,
+    fd_workload,
+    heterogeneous_workload,
+    ordered_workload,
+    random_relation,
+)
+
+__all__ = [
+    "hotel_r1",
+    "hotel_r5",
+    "hotel_r6",
+    "hotel_r7",
+    "dataspace_person",
+    "PAPER_RELATIONS",
+    "DirtyDataset",
+    "dataspace_workload",
+    "multisource_workload",
+    "fd_workload",
+    "heterogeneous_workload",
+    "ordered_workload",
+    "random_relation",
+]

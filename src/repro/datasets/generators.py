@@ -1,0 +1,337 @@
+"""Synthetic workload generators with known ground truth.
+
+The survey motivates each extension with a data pathology: dirty values
+violating clean FDs (veracity), format variety across sources,
+monotone numerical series with glitches.  These generators produce such
+workloads *with the injected ground truth recorded*, so detection and
+repair quality (precision/recall) can be scored — the Perf-3 experiment
+of DESIGN.md.
+
+All generators are deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..relation import Attribute, AttributeType, Relation, Schema
+
+_C = AttributeType.CATEGORICAL
+_T = AttributeType.TEXT
+_N = AttributeType.NUMERICAL
+
+
+@dataclass
+class DirtyDataset:
+    """A generated relation plus the ground truth of what was injected."""
+
+    relation: Relation
+    clean: Relation
+    #: Indices of tuples whose values were corrupted (true errors).
+    error_tuples: set[int] = field(default_factory=set)
+    #: Indices of tuples rewritten into a variant format (not errors).
+    variant_tuples: set[int] = field(default_factory=set)
+    #: Pairs of indices that are true duplicates of one entity.
+    duplicate_pairs: set[tuple[int, int]] = field(default_factory=set)
+    #: The FDs that hold on the clean data.
+    true_fds: list = field(default_factory=list)
+
+
+def _random_word(rng: random.Random, length: int = 8) -> str:
+    return "".join(rng.choices(string.ascii_lowercase, k=length))
+
+
+def fd_workload(
+    n_rows: int = 200,
+    n_keys: int = 20,
+    error_rate: float = 0.05,
+    seed: int = 0,
+) -> DirtyDataset:
+    """Categorical data where ``code -> city, state`` holds, then dirtied.
+
+    Each key maps to one (city, state); ``error_rate`` of the tuples get
+    a wrong city — the classic FD-violation workload of Section 2.
+    """
+    from ..core.categorical import FD
+
+    rng = random.Random(seed)
+    schema = Schema(
+        [
+            Attribute("code", _C),
+            Attribute("city", _C),
+            Attribute("state", _C),
+            Attribute("payload", _C),
+        ]
+    )
+    keys = [f"K{k:04d}" for k in range(n_keys)]
+    cities = {k: _random_word(rng).title() for k in keys}
+    states = {k: _random_word(rng, 2).upper() for k in keys}
+    clean_rows = []
+    for __ in range(n_rows):
+        k = rng.choice(keys)
+        clean_rows.append((k, cities[k], states[k], _random_word(rng, 5)))
+    clean = Relation.from_rows(schema, clean_rows)
+
+    dirty_rows = [list(r) for r in clean_rows]
+    errors: set[int] = set()
+    for i in range(n_rows):
+        if rng.random() < error_rate:
+            wrong = rng.choice(
+                [c for c in cities.values() if c != dirty_rows[i][1]]
+            )
+            dirty_rows[i][1] = wrong
+            errors.add(i)
+    return DirtyDataset(
+        relation=Relation.from_rows(schema, dirty_rows),
+        clean=clean,
+        error_tuples=errors,
+        true_fds=[FD("code", "city"), FD("code", "state")],
+    )
+
+
+def heterogeneous_workload(
+    n_entities: int = 40,
+    records_per_entity: int = 3,
+    variant_rate: float = 0.4,
+    error_rate: float = 0.05,
+    seed: int = 0,
+) -> DirtyDataset:
+    """The Section 1.2 motivation, synthesized at scale.
+
+    Entities (hotels) appear in several records.  With probability
+    ``variant_rate`` a record's city is rendered in a variant format
+    ("Chicago, IL" style — *not* an error); with probability
+    ``error_rate`` the city is truly wrong (an error).  FDs flag the
+    variants (false positives); similarity-based rules should not.
+    """
+    rng = random.Random(seed)
+    schema = Schema(
+        [
+            Attribute("name", _T),
+            Attribute("address", _T),
+            Attribute("city", _T),
+            Attribute("price", _N),
+        ]
+    )
+    state_codes = ["IL", "MA", "NY", "CA", "TX", "WA"]
+    entities = []
+    for e in range(n_entities):
+        city = _random_word(rng, 7).title()
+        entities.append(
+            {
+                "name": f"{_random_word(rng, 6).title()} Hotel",
+                "address": f"No.{rng.randrange(1, 99)}, "
+                f"{_random_word(rng, 6).title()} St.",
+                "city": city,
+                "state": rng.choice(state_codes),
+                "price": rng.randrange(80, 600),
+            }
+        )
+
+    clean_rows: list[tuple] = []
+    dirty_rows: list[tuple] = []
+    variants: set[int] = set()
+    errors: set[int] = set()
+    duplicates: set[tuple[int, int]] = set()
+    entity_rows: dict[int, list[int]] = {}
+    idx = 0
+    for e, ent in enumerate(entities):
+        for __ in range(records_per_entity):
+            clean_city = ent["city"]
+            city = clean_city
+            name = ent["name"]
+            roll = rng.random()
+            if roll < error_rate:
+                other = rng.choice(
+                    [x for x in entities if x["city"] != clean_city]
+                )
+                city = other["city"]
+                errors.add(idx)
+            elif roll < error_rate + variant_rate:
+                city = f"{clean_city}, {ent['state']}"
+                # Name also drops the suffix in variant records, as in
+                # Table 1's "New Center" vs "New Center Hotel".
+                name = name.replace(" Hotel", "")
+                variants.add(idx)
+            clean_rows.append(
+                (ent["name"], ent["address"], clean_city, ent["price"])
+            )
+            dirty_rows.append((name, ent["address"], city, ent["price"]))
+            entity_rows.setdefault(e, []).append(idx)
+            idx += 1
+    for rows in entity_rows.values():
+        for a_pos, a in enumerate(rows):
+            for b in rows[a_pos + 1:]:
+                duplicates.add((a, b))
+
+    from ..core.categorical import FD
+
+    return DirtyDataset(
+        relation=Relation.from_rows(schema, dirty_rows),
+        clean=Relation.from_rows(schema, clean_rows),
+        error_tuples=errors,
+        variant_tuples=variants,
+        duplicate_pairs=duplicates,
+        true_fds=[FD("address", "city")],
+    )
+
+
+def ordered_workload(
+    n_rows: int = 100,
+    glitch_rate: float = 0.05,
+    slope: float = 15.0,
+    noise: float = 2.0,
+    seed: int = 0,
+) -> DirtyDataset:
+    """Numerical data where ``t -> value`` increases steadily, with glitches.
+
+    The clean series increases by ``slope ± noise`` per step (an SD with
+    a tight gap interval holds); glitched tuples get a large negative
+    jump, violating the OD/SD — the Section 4 workload.
+    """
+    rng = random.Random(seed)
+    schema = Schema(
+        [
+            Attribute("t", _N),
+            Attribute("value", _N),
+            Attribute("cost", _N),
+        ]
+    )
+    clean_rows: list[tuple] = []
+    value = 100.0
+    for k in range(n_rows):
+        value += slope + rng.uniform(-noise, noise)
+        clean_rows.append((k, round(value, 2), round(value * 0.1, 2)))
+    dirty_rows = [list(r) for r in clean_rows]
+    errors: set[int] = set()
+    for i in range(1, n_rows):
+        if rng.random() < glitch_rate:
+            dirty_rows[i][1] = round(dirty_rows[i][1] - 10 * slope, 2)
+            errors.add(i)
+    return DirtyDataset(
+        relation=Relation.from_rows(schema, dirty_rows),
+        clean=Relation.from_rows(schema, clean_rows),
+        error_tuples=errors,
+    )
+
+
+def dataspace_workload(
+    n_entities: int = 60,
+    seed: int = 0,
+) -> Relation:
+    """A two-source dataspace with synonym attributes (Section 3.4).
+
+    Each entity appears once per source: source 1 fills region/addr,
+    source 2 fills city/post with light format variants (one appended
+    character).  Distinct random city stems keep cross-entity string
+    distances large, so tight θ thresholds separate entities cleanly.
+    """
+    import string as _string
+
+    rng = random.Random(seed)
+    schema = Schema(
+        [
+            Attribute("name", _T),
+            Attribute("region", _T),
+            Attribute("city", _T),
+            Attribute("addr", _T),
+            Attribute("post", _T),
+        ]
+    )
+    rows = []
+    seen: set[str] = set()
+    for e in range(n_entities):
+        while True:
+            stem = "".join(rng.choices(_string.ascii_lowercase, k=8))
+            if stem not in seen:
+                seen.add(stem)
+                break
+        city = stem.title()
+        addr = f"no {e} {stem} street"
+        rows.append((f"p{e}", city, None, addr, None))
+        rows.append((f"p{e}", None, city + "s", None, addr + "."))
+    return Relation.from_rows(schema, rows)
+
+
+def multisource_workload(
+    n_sources: int = 4,
+    rows_per_source: int = 50,
+    n_keys: int = 10,
+    error_rates: Sequence[float] | None = None,
+    seed: int = 0,
+) -> list[DirtyDataset]:
+    """Several sources over one schema with per-source dirtiness.
+
+    The pay-as-you-go PFD setting of [104]: sources share the true
+    FD ``code -> city, state`` but differ in quality.  Default error
+    rates grow with the source index, so merged-probability discovery
+    can pinpoint the low-quality source.
+    """
+    if error_rates is None:
+        error_rates = [0.02 * k for k in range(n_sources)]
+    if len(error_rates) != n_sources:
+        raise ValueError("need one error rate per source")
+    rng = random.Random(seed)
+    schema = Schema(
+        [
+            Attribute("code", _C),
+            Attribute("city", _C),
+            Attribute("state", _C),
+        ]
+    )
+    # One shared ground-truth mapping across all sources.
+    keys = [f"K{k:04d}" for k in range(n_keys)]
+    cities = {k: _random_word(rng).title() for k in keys}
+    states = {k: _random_word(rng, 2).upper() for k in keys}
+
+    out: list[DirtyDataset] = []
+    for rate in error_rates:
+        clean_rows = []
+        for __ in range(rows_per_source):
+            k = rng.choice(keys)
+            clean_rows.append((k, cities[k], states[k]))
+        dirty_rows = [list(r) for r in clean_rows]
+        errors: set[int] = set()
+        for i in range(rows_per_source):
+            if rng.random() < rate:
+                wrong = rng.choice(
+                    [c for c in cities.values() if c != dirty_rows[i][1]]
+                )
+                dirty_rows[i][1] = wrong
+                errors.add(i)
+        from ..core.categorical import FD
+
+        out.append(
+            DirtyDataset(
+                relation=Relation.from_rows(schema, dirty_rows),
+                clean=Relation.from_rows(schema, clean_rows),
+                error_tuples=errors,
+                true_fds=[FD("code", "city"), FD("code", "state")],
+            )
+        )
+    return out
+
+
+def random_relation(
+    n_rows: int,
+    n_cols: int,
+    domain_size: int = 4,
+    seed: int = 0,
+    numerical: bool = False,
+) -> Relation:
+    """A small random relation for property-based edge verification.
+
+    Small domains make FD/MVD (non-)satisfaction likely in both
+    directions, exercising both branches of equivalence checks.
+    """
+    rng = random.Random(seed)
+    dtype = _N if numerical else _C
+    schema = Schema([Attribute(f"A{c}", dtype) for c in range(n_cols)])
+    rows = [
+        tuple(rng.randrange(domain_size) for __ in range(n_cols))
+        for __ in range(n_rows)
+    ]
+    return Relation.from_rows(schema, rows)

@@ -1,0 +1,161 @@
+"""The paper's worked-example relations, transcribed exactly.
+
+Tables 1, 5, 6 and 7 of the survey (plus the Section 3.4.1 dataspace)
+are the datasets every definition is illustrated on; all the numbers in
+the paper's Sections 2-4 are computed from these instances, and the
+test suite asserts each of them literally.
+
+Tuple subscripts in the paper are 1-based (t1..t8); tuple indices here
+are 0-based (t1 = index 0).
+"""
+
+from __future__ import annotations
+
+from ..relation import Attribute, AttributeType, Relation, Schema
+
+_C = AttributeType.CATEGORICAL
+_T = AttributeType.TEXT
+_N = AttributeType.NUMERICAL
+
+
+def hotel_r1() -> Relation:
+    """Table 1: relation r1 of Hotel.
+
+    fd1 = address -> region is violated by (t3, t4) [true error], by
+    (t5, t6) [format variety, not an error], and *not* by (t7, t8)
+    [true error the FD misses since the addresses differ].
+    """
+    schema = Schema(
+        [
+            Attribute("name", _T),
+            Attribute("address", _T),
+            Attribute("region", _T),
+            Attribute("star", _N),
+            Attribute("price", _N),
+        ]
+    )
+    rows = [
+        ("New Center", "No.5, Central Park", "New York", 3, 299),
+        ("New Center Hotel", "No.5, Central Park", "New York", 3, 299),
+        ("St. Regis Hotel", "#3, West Lake Rd.", "Boston", 3, 319),
+        ("St. Regis", "#3, West Lake Rd.", "Chicago, MA", 3, 319),
+        ("West Wood Hotel", "Fifth Avenue, 61st Street", "Chicago", 4, 499),
+        ("West Wood", "Fifth Avenue, 61st Street", "Chicago, IL", 4, 499),
+        ("Christina Hotel", "No.7, West Lake Rd.", "Boston, MA", 5, 599),
+        ("Christina", "#7, West Lake Rd.", "San Francisco", 5, 0),
+    ]
+    return Relation.from_rows(schema, rows)
+
+
+def hotel_r5() -> Relation:
+    """Table 5: relation r5 where address -> region *almost* holds.
+
+    The paper computes on this instance: SFD strength 2/3 (address ->
+    region) and 1/2 (name -> address); PFD probability 3/4 and 1/2;
+    AFD g3 error 1/4 and 1/2; NUD max fanout 2; cfd1 and ecfd1 hold;
+    mvd1: address, rate ->> region.
+    """
+    schema = Schema(
+        [
+            Attribute("name", _T),
+            Attribute("address", _T),
+            Attribute("region", _T),
+            Attribute("rate", _N),
+        ]
+    )
+    rows = [
+        ("Hyatt", "175 North Jackson Street", "Jackson", 230),
+        ("Hyatt", "175 North Jackson Street", "Jackson", 250),
+        ("Hyatt", "6030 Gateway Boulevard E", "El Paso", 189),
+        ("Hyatt", "6030 Gateway Boulevard E", "El Paso, TX", 189),
+    ]
+    return Relation.from_rows(schema, rows)
+
+
+def hotel_r6() -> Relation:
+    """Table 6: relation r6 with tuples from heterogeneous sources.
+
+    The paper computes on this instance: mfd1 (name, region ->^500
+    price); ned1 (name^1 address^5 -> street^5, t2/t6 edit distances 0,
+    1, 3); dd1 and dd2; pac1 confidence 8/11; ffd1 conflict between t1
+    and t2; md1 (street≈, region≈ -> zip⇌).
+    """
+    schema = Schema(
+        [
+            Attribute("source", _C),
+            Attribute("name", _T),
+            Attribute("street", _T),
+            Attribute("address", _T),
+            Attribute("region", _T),
+            Attribute("zip", _C),
+            Attribute("price", _N),
+            Attribute("tax", _N),
+        ]
+    )
+    rows = [
+        ("s1", "NC", "CPark", "#5, Central Park", "New York", "10041", 299, 29),
+        ("s2", "NC", "12th St.", "#2 Ave, 12th St.", "San Jose", "95102", 300, 20),
+        ("s1", "Regis", "CPark", "#9, Central Park", "New York", "10041", 319, 31),
+        ("s2", "Chris", "61st St.", "#5 Ave, 61st St.", "Chicago", "60601", 499, 49),
+        ("s2", "WD", "12th St.", "#6 Ave, 12th St.", "San Jose", "95102", 399, 27),
+        ("s1", "NC", "12th Str", "#2 Aven, 12th St.", "San Jose", "95102", 300, 20),
+    ]
+    return Relation.from_rows(schema, rows)
+
+
+def hotel_r7() -> Relation:
+    """Table 7: relation r7 with multiple numerical attributes.
+
+    The paper computes on this instance: ofd1 (subtotal ->^P taxes);
+    od1 (nights^<= -> avg/night^>=); dc1 (subtotal/taxes order); sd1
+    (nights ->_[100,200] subtotal, gaps 180/170/160); sd2
+    (nights ->_(-inf,0] avg/night).
+    """
+    schema = Schema(
+        [
+            Attribute("nights", _N),
+            Attribute("avg/night", _N),
+            Attribute("subtotal", _N),
+            Attribute("taxes", _N),
+        ]
+    )
+    rows = [
+        (1, 190, 190, 38),
+        (2, 185, 370, 74),
+        (3, 180, 540, 108),
+        (4, 175, 700, 140),
+    ]
+    return Relation.from_rows(schema, rows)
+
+
+def dataspace_person() -> Relation:
+    """The Section 3.4.1 dataspace: 3 tuples with synonym attributes.
+
+    Heterogeneous sources use region vs city and addr vs post; missing
+    attributes are None.  cd1: θ(region, city) -> θ(addr, post).
+    """
+    schema = Schema(
+        [
+            Attribute("name", _T),
+            Attribute("region", _T),
+            Attribute("city", _T),
+            Attribute("addr", _T),
+            Attribute("post", _T),
+        ]
+    )
+    rows = [
+        ("Alice", "Petersburg", None, "#7 T Avenue", None),
+        ("Alice", None, "St Petersburg", None, "#7 T Avenue"),
+        ("Alex", "St Petersburg", None, None, "No 7 T Ave"),
+    ]
+    return Relation.from_rows(schema, rows)
+
+
+#: Convenient name -> constructor map for the bench harness.
+PAPER_RELATIONS = {
+    "r1 (Table 1)": hotel_r1,
+    "r5 (Table 5)": hotel_r5,
+    "r6 (Table 6)": hotel_r6,
+    "r7 (Table 7)": hotel_r7,
+    "dataspace (Section 3.4.1)": dataspace_person,
+}

@@ -1,0 +1,111 @@
+"""Discovery algorithms for the dependency family (Table 2's column c).
+
+Every entry point returns a :class:`~repro.discovery.common.DiscoveryResult`
+(dependencies + search statistics).
+"""
+
+from .common import DiscoveryResult, DiscoveryStats
+from .tane import brute_force_fds, tane
+from .fastfd import difference_sets, fastfd
+from .cords import ColumnPairAnalysis, chi_square_statistic, cords
+from .pfd_discovery import (
+    discover_pfds,
+    discover_pfds_multisource,
+    merged_probability,
+)
+from .cfd_discovery import (
+    candidate_patterns,
+    discover_constant_cfds,
+    discover_ecfds,
+    discover_general_cfds,
+    greedy_tableau,
+    pattern_confidence,
+)
+from .mvd_discovery import discover_mvds_bottomup, discover_mvds_topdown
+from .mfd_verify import (
+    discover_mfds,
+    minimal_delta,
+    verify_mfd,
+    verify_mfd_approximate,
+)
+from .dd_discovery import (
+    candidate_thresholds,
+    discover_dds,
+    pairwise_distances,
+)
+from .md_discovery import (
+    concise_matching_keys,
+    discover_mds,
+    discover_mds_approximate,
+)
+from .od_discovery import discover_ods, discover_pairwise_ods
+from .dc_discovery import (
+    build_predicate_space,
+    discover_constant_dcs,
+    discover_dcs,
+    discover_dcs_approximate,
+    evidence_sets,
+)
+from .sd_discovery import (
+    discover_csd_tableau,
+    discover_sds,
+    fit_gap_interval,
+    sd_confidence,
+)
+from .nud_discovery import discover_nuds, minimal_weight
+from .misc_discovery import (
+    discover_amvds,
+    discover_cds,
+    discover_ffds,
+    fit_pac,
+)
+
+__all__ = [
+    "DiscoveryResult",
+    "DiscoveryStats",
+    "tane",
+    "brute_force_fds",
+    "fastfd",
+    "difference_sets",
+    "cords",
+    "chi_square_statistic",
+    "ColumnPairAnalysis",
+    "discover_pfds",
+    "discover_pfds_multisource",
+    "merged_probability",
+    "discover_constant_cfds",
+    "discover_ecfds",
+    "discover_general_cfds",
+    "greedy_tableau",
+    "candidate_patterns",
+    "pattern_confidence",
+    "discover_mvds_topdown",
+    "discover_mvds_bottomup",
+    "verify_mfd",
+    "verify_mfd_approximate",
+    "minimal_delta",
+    "discover_mfds",
+    "pairwise_distances",
+    "candidate_thresholds",
+    "discover_dds",
+    "discover_mds",
+    "discover_mds_approximate",
+    "concise_matching_keys",
+    "discover_pairwise_ods",
+    "discover_ods",
+    "build_predicate_space",
+    "evidence_sets",
+    "discover_dcs",
+    "discover_dcs_approximate",
+    "discover_constant_dcs",
+    "sd_confidence",
+    "discover_csd_tableau",
+    "discover_sds",
+    "fit_gap_interval",
+    "discover_nuds",
+    "minimal_weight",
+    "discover_amvds",
+    "fit_pac",
+    "discover_ffds",
+    "discover_cds",
+]

@@ -1,0 +1,102 @@
+"""Shared machinery for dependency discovery algorithms.
+
+Level-wise lattice traversal (TANE-family), minimality filtering, and
+the uniform :class:`DiscoveryResult` container that every discovery
+entry point returns (discovered dependencies + search statistics, so
+the benchmark harness can report work done, not just wall-clock).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence, TypeVar
+
+from ..core.base import Dependency
+
+D = TypeVar("D", bound=Dependency)
+
+
+@dataclass
+class DiscoveryStats:
+    """Work counters common across discovery algorithms."""
+
+    candidates_checked: int = 0
+    candidates_pruned: int = 0
+    levels: int = 0
+    partitions_built: int = 0
+
+    def merge(self, other: "DiscoveryStats") -> None:
+        self.candidates_checked += other.candidates_checked
+        self.candidates_pruned += other.candidates_pruned
+        self.levels = max(self.levels, other.levels)
+        self.partitions_built += other.partitions_built
+
+
+@dataclass
+class DiscoveryResult:
+    """Dependencies found by one discovery run, with statistics."""
+
+    dependencies: list
+    stats: DiscoveryStats = field(default_factory=DiscoveryStats)
+    algorithm: str = ""
+
+    def __iter__(self):
+        return iter(self.dependencies)
+
+    def __len__(self) -> int:
+        return len(self.dependencies)
+
+    def __contains__(self, dep) -> bool:
+        return dep in self.dependencies
+
+    def summary(self) -> str:
+        return (
+            f"{self.algorithm}: {len(self.dependencies)} dependencies, "
+            f"{self.stats.candidates_checked} candidates checked, "
+            f"{self.stats.candidates_pruned} pruned"
+        )
+
+
+def subsets_of_size(
+    items: Sequence[str], size: int
+) -> Iterator[tuple[str, ...]]:
+    """All ``size``-subsets in deterministic order."""
+    return itertools.combinations(items, size)
+
+
+def proper_subsets(items: tuple[str, ...]) -> Iterator[tuple[str, ...]]:
+    """All immediate (size-1) subsets of an attribute combination."""
+    for drop in range(len(items)):
+        yield items[:drop] + items[drop + 1:]
+
+
+def is_superset_of_any(
+    candidate: tuple[str, ...], found: Iterable[tuple[str, ...]]
+) -> bool:
+    """Whether ``candidate`` ⊇ some already-found LHS (minimality prune)."""
+    cset = set(candidate)
+    return any(cset >= set(f) for f in found)
+
+
+def generate_next_level(
+    level: list[tuple[str, ...]]
+) -> list[tuple[str, ...]]:
+    """Apriori-style candidate generation: join k-sets sharing a prefix.
+
+    Keeps only candidates all of whose k-subsets are present in the
+    current level — the standard level-wise pruning of TANE [53, 54].
+    """
+    present = set(level)
+    next_level: list[tuple[str, ...]] = []
+    by_prefix: dict[tuple[str, ...], list[tuple[str, ...]]] = {}
+    for combo in level:
+        by_prefix.setdefault(combo[:-1], []).append(combo)
+    for group in by_prefix.values():
+        for a, b in itertools.combinations(sorted(group), 2):
+            candidate = tuple(sorted(set(a) | set(b)))
+            if len(candidate) != len(a) + 1:
+                continue
+            if all(sub in present for sub in proper_subsets(candidate)):
+                next_level.append(candidate)
+    return sorted(set(next_level))

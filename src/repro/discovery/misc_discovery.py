@@ -1,0 +1,192 @@
+"""Discovery routines for the remaining Table 2 rows.
+
+* :func:`discover_amvds` — approximate MVDs by spurious-join fraction
+  (Kenig et al. [59] direction: mining approximate acyclic schemes);
+* :func:`fit_pac` — PAC-Man-style parameter instantiation [63]: given
+  a rule template (LHS/RHS attributes) and training data, choose the
+  distance tolerances and report the achieved confidence;
+* :func:`discover_ffds` — TANE-style FFD mining [109]: single-RHS FFDs
+  under user-supplied resemblance relations, level-wise with
+  minimality pruning;
+* :func:`discover_cds` — pay-as-you-go CD discovery [92]: given the
+  currently identified comparison functions, emit the CDs they
+  support; calling it again with more functions extends the result
+  incrementally (the dataspace setting).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Mapping, Sequence
+
+from ..core.categorical import MVD
+from ..core.heterogeneous import CD, PAC, SimilarityFunction
+from ..core.heterogeneous.ffd import FFD
+from ..metrics.fuzzy import Resemblance
+from ..metrics.registry import DEFAULT_REGISTRY, MetricRegistry
+from ..relation.relation import Relation
+from .common import DiscoveryResult, DiscoveryStats
+from .dd_discovery import candidate_thresholds, pairwise_distances
+from .mvd_discovery import _candidate_rhs
+
+
+def discover_amvds(
+    relation: Relation,
+    epsilon: float = 0.05,
+    max_lhs_size: int | None = None,
+) -> DiscoveryResult:
+    """AMVDs whose spurious-join fraction is at most ``epsilon``.
+
+    Minimality as for exact MVDs: an LHS is pruned when a subset
+    already qualifies for the same (canonical) RHS.
+    """
+    from ..core.categorical import AMVD
+
+    stats = DiscoveryStats()
+    names = sorted(relation.schema.names())
+    if max_lhs_size is None:
+        max_lhs_size = max(len(names) - 2, 1)
+    found: list[AMVD] = []
+    done: dict[tuple[str, ...], list[tuple[str, ...]]] = {}
+    for size in range(1, max_lhs_size + 1):
+        stats.levels = size
+        for lhs in combinations(names, size):
+            for rhs in _candidate_rhs(names, lhs):
+                covered = done.get(rhs, [])
+                if any(set(c) <= set(lhs) for c in covered):
+                    stats.candidates_pruned += 1
+                    continue
+                stats.candidates_checked += 1
+                candidate = AMVD(lhs, rhs, epsilon)
+                if candidate.measure(relation) <= epsilon:
+                    found.append(candidate)
+                    done.setdefault(rhs, []).append(lhs)
+    return DiscoveryResult(
+        dependencies=found, stats=stats,
+        algorithm=f"AMVD(eps={epsilon})",
+    )
+
+
+def fit_pac(
+    relation: Relation,
+    lhs_attributes: Sequence[str],
+    rhs_attributes: Sequence[str],
+    target_confidence: float = 0.9,
+    registry: MetricRegistry = DEFAULT_REGISTRY,
+) -> tuple[PAC, float]:
+    """Instantiate a PAC's tolerances from training data (PAC-Man [63]).
+
+    Template: "if tuples are close on ``lhs_attributes`` then they are
+    close on ``rhs_attributes`` with probability >= target".  LHS
+    tolerances are set to the median observed pairwise distance (a
+    meaningful closeness neighbourhood); the RHS tolerance is then the
+    smallest grid candidate achieving the target confidence (falling
+    back to the largest candidate).  Returns the PAC and its measured
+    confidence — PAC-Man keeps monitoring that number over time.
+    """
+    lhs_tol: dict[str, float] = {}
+    for a in lhs_attributes:
+        dists = [
+            d
+            for d in pairwise_distances(relation, a, registry)
+            if d != float("inf")
+        ]
+        lhs_tol[a] = dists[len(dists) // 2] if dists else 0.0
+
+    rhs_grids = {
+        a: candidate_thresholds(pairwise_distances(relation, a, registry))
+        for a in rhs_attributes
+    }
+    # Tightest-first joint sweep over per-attribute grid positions.
+    max_len = max(len(g) for g in rhs_grids.values())
+    chosen: dict[str, float] = {}
+    pac = None
+    confidence = 0.0
+    for level in range(max_len):
+        chosen = {
+            a: g[min(level, len(g) - 1)] for a, g in rhs_grids.items()
+        }
+        pac = PAC(lhs_tol, chosen, target_confidence, registry=registry)
+        confidence = pac.measure(relation)
+        if confidence >= target_confidence:
+            break
+    assert pac is not None
+    return pac, confidence
+
+
+def discover_ffds(
+    relation: Relation,
+    resemblances: Mapping[str, Resemblance],
+    max_lhs_size: int = 2,
+) -> DiscoveryResult:
+    """Level-wise FFD mining under given resemblance relations [109].
+
+    Emits minimal single-RHS FFDs (crisp equality for attributes not in
+    ``resemblances``): an LHS is pruned when a subset already yields a
+    holding FFD for the same RHS — adding LHS attributes can only lower
+    ``mu_EQ(X)`` and therefore weaken the constraint.
+    """
+    stats = DiscoveryStats()
+    names = sorted(relation.schema.names())
+    found: list[FFD] = []
+    done: dict[str, list[tuple[str, ...]]] = {a: [] for a in names}
+    for size in range(1, max_lhs_size + 1):
+        stats.levels = size
+        for lhs in combinations(names, size):
+            for a in names:
+                if a in lhs:
+                    continue
+                if any(set(q) <= set(lhs) for q in done[a]):
+                    stats.candidates_pruned += 1
+                    continue
+                stats.candidates_checked += 1
+                cand = FFD(lhs, (a,), dict(resemblances))
+                if cand.holds(relation):
+                    found.append(cand)
+                    done[a].append(lhs)
+    return DiscoveryResult(
+        dependencies=found, stats=stats, algorithm="FFD-mine"
+    )
+
+
+def discover_cds(
+    relation: Relation,
+    functions: Sequence[SimilarityFunction],
+    min_confidence: float = 1.0,
+    existing: Sequence[CD] = (),
+    registry: MetricRegistry = DEFAULT_REGISTRY,
+) -> DiscoveryResult:
+    """Pay-as-you-go CD discovery over identified comparison functions.
+
+    Single-LHS CDs ``θ_i -> θ_j`` whose confidence clears the
+    threshold.  ``existing`` carries CDs from earlier increments; they
+    are kept and not re-derived, so each call only pays for the newly
+    identified functions — the incremental regime of [92].
+    """
+    stats = DiscoveryStats()
+    known = {
+        (id_lhs, id_rhs)
+        for cd in existing
+        for id_lhs in [tuple((f.attr_i, f.attr_j) for f in cd.lhs)]
+        for id_rhs in [(cd.rhs.attr_i, cd.rhs.attr_j)]
+    }
+    found: list[CD] = list(existing)
+    for lhs_fn in functions:
+        for rhs_fn in functions:
+            if lhs_fn is rhs_fn:
+                continue
+            key = (
+                ((lhs_fn.attr_i, lhs_fn.attr_j),),
+                (rhs_fn.attr_i, rhs_fn.attr_j),
+            )
+            if key in known:
+                stats.candidates_pruned += 1
+                continue
+            stats.candidates_checked += 1
+            cand = CD([lhs_fn], rhs_fn, registry=registry)
+            if cand.confidence(relation) >= min_confidence:
+                found.append(cand)
+                known.add(key)
+    return DiscoveryResult(
+        dependencies=found, stats=stats, algorithm="CD-payg"
+    )

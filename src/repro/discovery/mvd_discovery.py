@@ -1,0 +1,116 @@
+"""MVD discovery — hypothesis-space search (Savnik & Flach [82]).
+
+The hypothesis space for MVDs ``X ->> Y`` is ordered by generalization:
+smaller ``X`` is more general.  The **top-down** strategy searches from
+the most general hypotheses toward more specific ones, keeping the
+*positive border* of valid MVDs; the **bottom-up** strategy first
+collects invalid MVDs (the negative border) from violating evidence and
+then emits the most general dependencies not above any invalid one.
+
+Both return minimal valid MVDs: no discovered MVD has another
+discovered (or valid) MVD with a subset LHS and the same RHS partition.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..core.categorical import MVD
+from ..relation.relation import Relation
+from .common import DiscoveryResult, DiscoveryStats
+
+
+def _candidate_rhs(names: list[str], lhs: tuple[str, ...]) -> list[tuple[str, ...]]:
+    """Non-trivial RHS choices for a given LHS: proper, non-empty,
+    non-complement subsets of the remaining attributes.
+
+    ``X ->> Y`` and ``X ->> Z`` (complementation rule) are equivalent;
+    we canonicalize by keeping the lexicographically smaller side.
+    """
+    rest = [a for a in names if a not in lhs]
+    out: list[tuple[str, ...]] = []
+    for size in range(1, len(rest)):
+        for y in combinations(rest, size):
+            z = tuple(a for a in rest if a not in y)
+            if y <= z:  # canonical representative of the {Y, Z} pair
+                out.append(y)
+    return out
+
+
+def discover_mvds_topdown(
+    relation: Relation, max_lhs_size: int | None = None
+) -> DiscoveryResult:
+    """Top-down search for the positive border of valid MVDs.
+
+    Starts from the most general hypotheses (smallest LHS) and only
+    specializes hypotheses that failed; a valid MVD stops its branch
+    (any superset-LHS version is implied by augmentation and thus not
+    minimal).
+    """
+    stats = DiscoveryStats()
+    names = sorted(relation.schema.names())
+    if max_lhs_size is None:
+        max_lhs_size = max(len(names) - 2, 1)
+    found: list[MVD] = []
+    valid_lhs_per_rhs: dict[tuple[str, ...], list[tuple[str, ...]]] = {}
+    for size in range(1, max_lhs_size + 1):
+        stats.levels = size
+        for lhs in combinations(names, size):
+            for rhs in _candidate_rhs(names, lhs):
+                done = valid_lhs_per_rhs.get(rhs, [])
+                if any(set(v) <= set(lhs) for v in done):
+                    stats.candidates_pruned += 1
+                    continue
+                stats.candidates_checked += 1
+                mvd = MVD(lhs, rhs)
+                if mvd.holds(relation):
+                    found.append(mvd)
+                    valid_lhs_per_rhs.setdefault(rhs, []).append(lhs)
+    return DiscoveryResult(
+        dependencies=found, stats=stats, algorithm="MVD-topdown"
+    )
+
+
+def discover_mvds_bottomup(
+    relation: Relation, max_lhs_size: int | None = None
+) -> DiscoveryResult:
+    """Bottom-up: elicit the negative border first, then emit minimal
+    valid MVDs not subsumed by an invalid hypothesis's generalizations.
+
+    The negative border is built by testing hypotheses from specific to
+    general; an invalid MVD at LHS ``X`` invalidates nothing above it
+    (supersets may still be valid), so the border bounds the space the
+    final sweep must verify — fewer full verifications on relations
+    where most general hypotheses fail.
+    """
+    stats = DiscoveryStats()
+    names = sorted(relation.schema.names())
+    if max_lhs_size is None:
+        max_lhs_size = max(len(names) - 2, 1)
+    invalid: set[tuple[tuple[str, ...], tuple[str, ...]]] = set()
+    found: list[MVD] = []
+    valid_lhs_per_rhs: dict[tuple[str, ...], list[tuple[str, ...]]] = {}
+    # Pass 1: negative border, most specific (largest LHS) first.
+    for size in range(max_lhs_size, 0, -1):
+        for lhs in combinations(names, size):
+            for rhs in _candidate_rhs(names, lhs):
+                stats.candidates_checked += 1
+                if not MVD(lhs, rhs).holds(relation):
+                    invalid.add((lhs, rhs))
+    # Pass 2: emit minimal valid hypotheses (not in the invalid set and
+    # with no valid subset-LHS for the same RHS already emitted).
+    for size in range(1, max_lhs_size + 1):
+        stats.levels = size
+        for lhs in combinations(names, size):
+            for rhs in _candidate_rhs(names, lhs):
+                if (lhs, rhs) in invalid:
+                    continue
+                done = valid_lhs_per_rhs.get(rhs, [])
+                if any(set(v) <= set(lhs) for v in done):
+                    stats.candidates_pruned += 1
+                    continue
+                found.append(MVD(lhs, rhs))
+                valid_lhs_per_rhs.setdefault(rhs, []).append(lhs)
+    return DiscoveryResult(
+        dependencies=found, stats=stats, algorithm="MVD-bottomup"
+    )

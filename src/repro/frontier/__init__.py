@@ -1,0 +1,25 @@
+"""Future-direction pilots (Section 5): uncertain, graph, temporal data.
+
+Working but deliberately small implementations of the survey's three
+future-work directions; marked experimental in the documentation.
+"""
+
+from .uncertain import (
+    UncertainRelation,
+    holds_horizontally,
+    holds_vertically,
+)
+from .graph import NeighborhoodConstraint, repair_labels, violating_edges
+from .temporal import SpeedConstraint, repair_distance, screen_repair
+
+__all__ = [
+    "UncertainRelation",
+    "holds_horizontally",
+    "holds_vertically",
+    "NeighborhoodConstraint",
+    "violating_edges",
+    "repair_labels",
+    "SpeedConstraint",
+    "screen_repair",
+    "repair_distance",
+]

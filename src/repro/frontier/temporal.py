@@ -1,0 +1,93 @@
+"""Speed constraints on time series (Section 5.3, after SCREEN [97]).
+
+A :class:`SpeedConstraint` bounds the rate of change between
+consecutive points of a time series: ``s_min <= (x_j - x_i)/(t_j -
+t_i) <= s_max`` within a window.  SCREEN repairs a dirty series to
+satisfy the constraint with minimum change; this pilot implements the
+streaming median-candidate repair over a sliding window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+Point = tuple[float, float]  # (timestamp, value)
+
+
+@dataclass(frozen=True)
+class SpeedConstraint:
+    """Rate-of-change bounds with a window (in time units)."""
+
+    s_min: float
+    s_max: float
+    window: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.s_min > self.s_max:
+            raise ValueError("s_min must be <= s_max")
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+
+    def violations(self, series: Sequence[Point]) -> list[tuple[int, int]]:
+        """Index pairs (i, j), i < j within the window, breaking the bounds."""
+        out: list[tuple[int, int]] = []
+        for i in range(len(series)):
+            ti, xi = series[i]
+            for j in range(i + 1, len(series)):
+                tj, xj = series[j]
+                if tj - ti > self.window:
+                    break
+                if tj == ti:
+                    continue
+                speed = (xj - xi) / (tj - ti)
+                if not self.s_min <= speed <= self.s_max:
+                    out.append((i, j))
+        return out
+
+    def satisfied(self, series: Sequence[Point]) -> bool:
+        return not self.violations(series)
+
+
+def screen_repair(
+    series: Sequence[Point], constraint: SpeedConstraint
+) -> list[Point]:
+    """SCREEN-style streaming repair under a speed constraint.
+
+    Processes points in time order; each point's repaired value is the
+    median of (its observed value, the minimum feasible value, the
+    maximum feasible value) w.r.t. the already-repaired points inside
+    the window — the online median-based fix of [97], which changes
+    clean points not at all and pulls spikes to the feasible boundary.
+    """
+    if not series:
+        return []
+    ordered = sorted(series, key=lambda p: p[0])
+    repaired: list[Point] = [ordered[0]]
+    for k in range(1, len(ordered)):
+        tk, xk = ordered[k]
+        lower = -float("inf")
+        upper = float("inf")
+        for ti, xi in repaired:
+            dt = tk - ti
+            if dt <= 0 or dt > constraint.window:
+                continue
+            lower = max(lower, xi + constraint.s_min * dt)
+            upper = min(upper, xi + constraint.s_max * dt)
+        if lower > upper:
+            # Conflicting bounds from earlier points (should not occur
+            # when the prefix satisfies the constraint); keep midpoint.
+            fixed = (lower + upper) / 2
+        else:
+            fixed = sorted((xk, lower, upper))[1]  # median of three
+        repaired.append((tk, fixed))
+    return repaired
+
+
+def repair_distance(
+    original: Sequence[Point], repaired: Sequence[Point]
+) -> float:
+    """Total absolute value change of a repair (its cost)."""
+    return sum(
+        abs(a[1] - b[1]) for a, b in zip(original, repaired)
+    )

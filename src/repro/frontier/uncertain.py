@@ -1,0 +1,111 @@
+"""FDs over uncertain relations (Section 5.1, after Sarma et al. [81]).
+
+An :class:`UncertainRelation` gives each tuple a set of alternative
+values per attribute (an x-tuple), representing a set of *possible
+worlds* (ordinary relations).  Two FD semantics from [81]:
+
+* **horizontal FDs** — the FD must hold in *every* possible world
+  (certain satisfaction);
+* **vertical FDs** — the FD must hold in *some* possible world
+  (possible satisfaction).
+
+Both collapse to ordinary FD satisfaction when no tuple carries
+uncertainty, which is the consistency property the paper highlights —
+asserted in our tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from ..core.categorical import FD
+from ..relation.relation import Relation
+from ..relation.schema import Schema
+
+Alternatives = tuple
+
+
+class UncertainRelation:
+    """A relation whose cells may hold several alternative values.
+
+    ``rows`` entries are sequences whose items are either plain values
+    (certain) or tuples/lists/sets of alternatives (uncertain).
+    """
+
+    def __init__(
+        self,
+        schema: Schema | Sequence[str],
+        rows: Iterable[Sequence[object]],
+    ) -> None:
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        self.schema = schema
+        self._rows: list[tuple[tuple[object, ...], ...]] = []
+        for row in rows:
+            norm: list[tuple[object, ...]] = []
+            for cell in row:
+                if isinstance(cell, (tuple, list, set, frozenset)):
+                    alts = tuple(sorted(cell, key=repr))
+                    if not alts:
+                        raise ValueError("empty alternative set in cell")
+                    norm.append(alts)
+                else:
+                    norm.append((cell,))
+            if len(norm) != len(schema):
+                raise ValueError("row width does not match schema")
+            self._rows.append(tuple(norm))
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def is_certain(self) -> bool:
+        """No cell has more than one alternative."""
+        return all(
+            len(cell) == 1 for row in self._rows for cell in row
+        )
+
+    def world_count(self) -> int:
+        count = 1
+        for row in self._rows:
+            for cell in row:
+                count *= len(cell)
+        return count
+
+    def possible_worlds(self, limit: int | None = 4096) -> Iterable[Relation]:
+        """Enumerate possible worlds (cross product of alternatives)."""
+        cells = [cell for row in self._rows for cell in row]
+        width = len(self.schema)
+        produced = 0
+        for choice in itertools.product(*cells):
+            rows = [
+                choice[k * width: (k + 1) * width]
+                for k in range(len(self._rows))
+            ]
+            yield Relation.from_rows(self.schema, rows)
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+
+    def certain_world(self) -> Relation:
+        """The unique world of a certain relation (raises otherwise)."""
+        if not self.is_certain:
+            raise ValueError("relation has uncertain cells")
+        return Relation.from_rows(
+            self.schema, [tuple(c[0] for c in row) for row in self._rows]
+        )
+
+
+def holds_horizontally(
+    urel: UncertainRelation, dep: FD, limit: int | None = 4096
+) -> bool:
+    """Horizontal FD: holds in *every* possible world."""
+    return all(dep.holds(w) for w in urel.possible_worlds(limit))
+
+
+def holds_vertically(
+    urel: UncertainRelation, dep: FD, limit: int | None = 4096
+) -> bool:
+    """Vertical FD: holds in *some* possible world."""
+    return any(dep.holds(w) for w in urel.possible_worlds(limit))

@@ -1,0 +1,64 @@
+"""Distance/similarity metrics for heterogeneous-data dependencies."""
+
+from .base import Metric, SupportsDistance, check_metric_axioms
+from .string import (
+    DAMERAU_DISTANCE,
+    EDIT_DISTANCE,
+    JACCARD_METRIC,
+    JARO_WINKLER_METRIC,
+    QGRAM_METRIC,
+    damerau_levenshtein,
+    jaccard,
+    jaccard_distance,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    qgram_distance,
+    qgrams,
+)
+from .numeric import (
+    ABS_DIFF,
+    DISCRETE,
+    REL_DIFF,
+    absolute_difference,
+    discrete,
+    relative_difference,
+)
+from .fuzzy import (
+    crisp_equal,
+    reciprocal_equal,
+    scaled_similarity,
+    validate_resemblance,
+)
+from .registry import DEFAULT_REGISTRY, MetricRegistry
+
+__all__ = [
+    "Metric",
+    "SupportsDistance",
+    "check_metric_axioms",
+    "EDIT_DISTANCE",
+    "DAMERAU_DISTANCE",
+    "JACCARD_METRIC",
+    "JARO_WINKLER_METRIC",
+    "QGRAM_METRIC",
+    "levenshtein",
+    "damerau_levenshtein",
+    "jaccard",
+    "jaccard_distance",
+    "jaro",
+    "jaro_winkler",
+    "qgrams",
+    "qgram_distance",
+    "ABS_DIFF",
+    "REL_DIFF",
+    "DISCRETE",
+    "absolute_difference",
+    "relative_difference",
+    "discrete",
+    "crisp_equal",
+    "reciprocal_equal",
+    "scaled_similarity",
+    "validate_resemblance",
+    "MetricRegistry",
+    "DEFAULT_REGISTRY",
+]

@@ -1,0 +1,72 @@
+"""Fuzzy resemblance relations for fuzzy functional dependencies (FFDs).
+
+Section 3.6 defines, per attribute domain, a fuzzy relation
+``EQUAL mu_EQ(a, b) in [0, 1]`` expressing how "equal" two domain values
+are, then lifts it to attribute sets by taking the minimum.  This module
+provides the resemblance constructors the paper uses in its worked
+example:
+
+* :func:`crisp_equal` — 1 if equal else 0 (recovers classical FDs,
+  Section 3.6.2);
+* :func:`reciprocal_equal` — ``1 / (1 + beta * |a - b|)`` for numeric
+  domains (the Table 6 ffd1 example with beta = 1 for price, 10 for tax);
+* :func:`scaled_similarity` — wrap any Metric's similarity as a
+  resemblance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .base import Metric
+
+Value = Any
+Resemblance = Callable[[Value, Value], float]
+
+
+def crisp_equal(a: Value, b: Value) -> float:
+    """Classical equality as a fuzzy relation: mu in {0, 1}."""
+    return 1.0 if a == b else 0.0
+
+
+def reciprocal_equal(beta: float = 1.0) -> Resemblance:
+    """``mu_EQ(a, b) = 1 / (1 + beta * |a - b|)`` on numeric domains.
+
+    Larger ``beta`` makes the relation stricter (values must be closer
+    to count as "equal").  This is exactly the resemblance of the paper's
+    ffd1 example over price (beta=1) and tax (beta=10).
+    """
+    if beta < 0:
+        raise ValueError(f"beta must be non-negative, got {beta}")
+
+    def mu(a: Value, b: Value) -> float:
+        return 1.0 / (1.0 + beta * abs(float(a) - float(b)))
+
+    return mu
+
+
+def scaled_similarity(metric: Metric) -> Resemblance:
+    """Use a metric's similarity (in [0, 1]) as a resemblance relation."""
+
+    def mu(a: Value, b: Value) -> float:
+        return metric.similarity(a, b)
+
+    return mu
+
+
+def validate_resemblance(
+    mu: Resemblance, samples: list[Value], *, tolerance: float = 1e-9
+) -> list[str]:
+    """Check mu is reflexive (mu(a,a)=1), symmetric, and within [0, 1]."""
+    problems: list[str] = []
+    for a in samples:
+        if abs(mu(a, a) - 1.0) > tolerance:
+            problems.append(f"mu({a!r},{a!r}) != 1")
+    for i, a in enumerate(samples):
+        for b in samples[i + 1:]:
+            v, w = mu(a, b), mu(b, a)
+            if not -tolerance <= v <= 1 + tolerance:
+                problems.append(f"mu({a!r},{b!r}) = {v} outside [0,1]")
+            if abs(v - w) > tolerance:
+                problems.append(f"mu({a!r},{b!r}) != mu({b!r},{a!r})")
+    return problems

@@ -1,0 +1,41 @@
+"""Numeric distance metrics.
+
+Section 3.3.1: "the metric on a numerical attribute can be the absolute
+value of difference, i.e., d_A(a, b) = |a - b|" — that is
+:data:`ABS_DIFF`, the workhorse of DDs/PACs/MFDs over prices, taxes and
+rates in the paper's examples.  A relative-difference variant and an
+exact-equality metric (distance 0/1) round out the toolbox.
+"""
+
+from __future__ import annotations
+
+from .base import Metric
+
+
+def absolute_difference(a: float, b: float) -> float:
+    """``|a - b|``."""
+    return abs(float(a) - float(b))
+
+
+def relative_difference(a: float, b: float) -> float:
+    """``|a - b| / max(|a|, |b|)`` with 0 when both are 0."""
+    a, b = float(a), float(b)
+    denom = max(abs(a), abs(b))
+    if denom == 0:
+        return 0.0
+    return abs(a - b) / denom
+
+
+def discrete(a: object, b: object) -> float:
+    """The discrete metric: 0 if equal, else 1.
+
+    Under this metric every similarity-based dependency degenerates to
+    its equality-based special case — the mechanism behind several of
+    the family tree's "FDs are special X" embeddings.
+    """
+    return 0.0 if a == b else 1.0
+
+
+ABS_DIFF = Metric("abs_diff", absolute_difference)
+REL_DIFF = Metric("rel_diff", relative_difference)
+DISCRETE = Metric("discrete", discrete)

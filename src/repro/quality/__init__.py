@@ -1,0 +1,137 @@
+"""Application engines of the survey's Table 3.
+
+Violation detection, data repairing, record matching/deduplication,
+missing-value imputation, consistent query answering, optimizer
+statistics, schema normalization, and MVD-based fairness.
+"""
+
+from .detection import (
+    DetectionQuality,
+    DetectionReport,
+    Detector,
+    detect_violations,
+    rank_sources_by_quality,
+    rank_suspects,
+)
+from .repair import (
+    CellEdit,
+    RepairLog,
+    repair_cfds,
+    repair_dcs,
+    repair_fds,
+    verify_repair,
+)
+from .dedup import Deduplicator, MatchQuality, UnionFind, match_across
+from .imputation import (
+    afd_impute,
+    afd_value_distribution,
+    dd_impute,
+    imputation_accuracy,
+    p_neighborhood_impute,
+)
+from .cqa import (
+    consistent_answers,
+    fd_repairs,
+    is_exhaustive,
+    possible_answers,
+    select_query,
+)
+from .optimizer import (
+    CorrelationMap,
+    SelectivityEstimator,
+    od_sort_reuse,
+    projection_size_estimate,
+)
+from .normalize import (
+    bcnf_decompose,
+    bcnf_violations,
+    candidate_keys,
+    closure,
+    fourth_nf_decompose,
+    fourth_nf_violations,
+    is_bcnf,
+    is_lossless,
+    is_superkey,
+)
+from .propagation import (
+    check_propagation,
+    propagate_cfds,
+    propagate_to_projection,
+    propagate_to_selection,
+    project_view,
+    select_view,
+)
+from .dataspace import (
+    SearchResult,
+    cd_accelerated_search,
+    comparable_search,
+)
+from .interaction import (
+    CleaningRound,
+    CleaningTrace,
+    interactive_clean,
+)
+from .fairness import (
+    fairness_violations,
+    independence_mvd,
+    is_interventionally_fair,
+    repair_for_fairness,
+)
+
+__all__ = [
+    "Detector",
+    "DetectionReport",
+    "DetectionQuality",
+    "detect_violations",
+    "rank_suspects",
+    "rank_sources_by_quality",
+    "CellEdit",
+    "RepairLog",
+    "repair_fds",
+    "repair_cfds",
+    "repair_dcs",
+    "verify_repair",
+    "Deduplicator",
+    "MatchQuality",
+    "UnionFind",
+    "match_across",
+    "p_neighborhood_impute",
+    "dd_impute",
+    "afd_impute",
+    "afd_value_distribution",
+    "imputation_accuracy",
+    "fd_repairs",
+    "is_exhaustive",
+    "consistent_answers",
+    "possible_answers",
+    "select_query",
+    "SelectivityEstimator",
+    "CorrelationMap",
+    "projection_size_estimate",
+    "od_sort_reuse",
+    "closure",
+    "is_superkey",
+    "candidate_keys",
+    "bcnf_violations",
+    "is_bcnf",
+    "bcnf_decompose",
+    "fourth_nf_violations",
+    "fourth_nf_decompose",
+    "is_lossless",
+    "propagate_cfds",
+    "propagate_to_projection",
+    "propagate_to_selection",
+    "project_view",
+    "select_view",
+    "check_propagation",
+    "SearchResult",
+    "comparable_search",
+    "cd_accelerated_search",
+    "CleaningRound",
+    "CleaningTrace",
+    "interactive_clean",
+    "fairness_violations",
+    "independence_mvd",
+    "is_interventionally_fair",
+    "repair_for_fairness",
+]

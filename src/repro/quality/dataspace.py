@@ -1,0 +1,114 @@
+"""CD-driven query evaluation over dataspaces (Song et al. [92], §3.4.4).
+
+In a dataspace, tuples from heterogeneous sources use synonym
+attributes (region vs city) and variant value formats.  A query tuple
+that names one attribute should still match records using the other —
+that is what the similarity functions ``θ(Ai, Aj)`` of comparable
+dependencies encode.
+
+* :func:`comparable_search` — evaluate an equality-intent query
+  through the θs: a record matches when, for every queried attribute,
+  the record is θ-similar to a probe tuple carrying the query values;
+* :func:`cd_accelerated_search` — "according to the comparable
+  dependency, if LHS attributes of the query tuple and a data tuple
+  are found comparable, then the data tuple can be returned without
+  evaluating on RHS attributes": with a CD whose LHS covers the
+  queried attributes, the RHS test is skipped and the number of
+  comparisons drops — the efficiency effect is returned alongside the
+  answers so benches can report it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.heterogeneous.cd import CD, SimilarityFunction
+from ..metrics.registry import DEFAULT_REGISTRY, MetricRegistry
+from ..relation.relation import Relation
+
+
+def _probe_relation(relation: Relation, query: Mapping[str, object]) -> Relation:
+    """The relation extended with one probe tuple holding the query.
+
+    θ evaluation is pairwise over one relation, so the probe rides
+    along as the last tuple.
+    """
+    row = [query.get(name) for name in relation.schema.names()]
+    return relation.extend([tuple(row)])
+
+
+@dataclass
+class SearchResult:
+    """Answers plus the work counter (θ evaluations performed)."""
+
+    indices: list[int]
+    comparisons: int
+
+
+def comparable_search(
+    relation: Relation,
+    query: Mapping[str, object],
+    functions: Sequence[SimilarityFunction],
+    registry: MetricRegistry = DEFAULT_REGISTRY,
+) -> SearchResult:
+    """Tuples θ-similar to the query on every queried attribute.
+
+    Each queried attribute must be covered by some θ (as ``attr_i`` or
+    ``attr_j``); uncovered attributes fall back to strict equality.
+    """
+    probe = _probe_relation(relation, query)
+    probe_idx = len(probe) - 1
+    theta_for: dict[str, SimilarityFunction] = {}
+    for f in functions:
+        theta_for.setdefault(f.attr_i, f)
+        theta_for.setdefault(f.attr_j, f)
+
+    out: list[int] = []
+    comparisons = 0
+    for i in range(len(relation)):
+        ok = True
+        for attr, value in query.items():
+            theta = theta_for.get(attr)
+            if theta is None:
+                if relation.value_at(i, attr) != value:
+                    ok = False
+                    break
+                continue
+            comparisons += 1
+            if not theta.similar(probe, i, probe_idx, registry):
+                ok = False
+                break
+        if ok:
+            out.append(i)
+    return SearchResult(out, comparisons)
+
+
+def cd_accelerated_search(
+    relation: Relation,
+    query: Mapping[str, object],
+    cd: CD,
+    registry: MetricRegistry = DEFAULT_REGISTRY,
+) -> SearchResult:
+    """Answer a query over LHS ∪ RHS attributes using only LHS checks.
+
+    Sound when the CD holds on the dataspace: LHS-similarity implies
+    RHS-similarity, so records similar to the probe on every LHS θ
+    would pass the RHS θ too — the RHS evaluation is skipped entirely.
+    The query must bind the LHS θs' attributes; RHS query values ride
+    along un-checked (they are implied).
+    """
+    probe = _probe_relation(relation, query)
+    probe_idx = len(probe) - 1
+    out: list[int] = []
+    comparisons = 0
+    for i in range(len(relation)):
+        ok = True
+        for f in cd.lhs:
+            comparisons += 1
+            if not f.similar(probe, i, probe_idx, registry):
+                ok = False
+                break
+        if ok:
+            out.append(i)
+    return SearchResult(out, comparisons)

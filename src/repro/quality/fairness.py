@@ -1,0 +1,83 @@
+"""MVDs for model fairness (Salimi et al. [80], Section 2.6.4).
+
+Interventional fairness reduces to a database property: the training
+data should satisfy a conditional independence — protected attributes
+independent of the outcome given the admissible attributes — which is
+*exactly* the saturated conditional independence an MVD
+``K ->> P`` (with outcome in the complement) expresses.
+
+This module provides:
+
+* :func:`independence_mvd` — the MVD encoding a fairness requirement;
+* :func:`fairness_violations` — the witness pairs breaking it;
+* :func:`repair_for_fairness` — a minimal-deletion repair making the
+  MVD hold (the "database repair problem" the paper reduces fairness
+  to), via greedy removal of tuples blocking the cross product.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.categorical import MVD
+from ..relation.relation import Relation
+
+
+def independence_mvd(
+    admissible: Sequence[str], protected: Sequence[str]
+) -> MVD:
+    """The MVD stating: given ``admissible``, ``protected`` varies
+    independently of everything else (including the outcome)."""
+    return MVD(tuple(admissible), tuple(protected))
+
+
+def fairness_violations(
+    relation: Relation,
+    admissible: Sequence[str],
+    protected: Sequence[str],
+):
+    """Witnesses that the protected attributes leak past ``admissible``."""
+    return independence_mvd(admissible, protected).violations(relation)
+
+
+def is_interventionally_fair(
+    relation: Relation,
+    admissible: Sequence[str],
+    protected: Sequence[str],
+) -> bool:
+    """Whether the saturated conditional independence holds exactly."""
+    return independence_mvd(admissible, protected).holds(relation)
+
+
+def repair_for_fairness(
+    relation: Relation,
+    admissible: Sequence[str],
+    protected: Sequence[str],
+    max_rounds: int | None = None,
+) -> tuple[Relation, list[int]]:
+    """Greedy minimal-deletion repair enforcing the independence MVD.
+
+    Repeatedly drops the tuple participating in the most violation
+    witnesses until the MVD holds.  Returns (repaired relation, dropped
+    original indices).  Deletion repairs always exist for MVDs (single
+    tuples are trivially independent).
+    """
+    mvd = independence_mvd(admissible, protected)
+    current = relation
+    # Map current positions back to original indices as we drop.
+    original = list(range(len(relation)))
+    dropped: list[int] = []
+    rounds = max_rounds if max_rounds is not None else len(relation)
+    for __ in range(rounds):
+        violations = mvd.violations(current)
+        if not violations:
+            break
+        degree: dict[int, int] = {}
+        for v in violations:
+            for t in v.tuples:
+                degree[t] = degree.get(t, 0) + 1
+        victim = max(degree, key=degree.get)
+        dropped.append(original[victim])
+        original.pop(victim)
+        current = current.drop([victim])
+    return current, dropped

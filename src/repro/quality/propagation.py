@@ -1,0 +1,117 @@
+"""CFD propagation to views (Fan et al. [40], Section 2.5.4).
+
+Given CFDs on a source relation, determine which constraints remain
+valid on a *view* of that source — "useful for data integration, data
+exchange and data cleaning".  Supported view shapes (the SPC fragment
+without joins):
+
+* **projection** ``π_V(r)`` — a CFD survives iff all its attributes
+  are kept;
+* **selection** ``σ_{A=c}(r)`` — every CFD survives (a subset of the
+  tuples cannot introduce violations), and the selection condition can
+  be *absorbed* into the pattern tuple, sometimes turning a variable
+  CFD into a more informative conditional one;
+* composition of both.
+
+:func:`propagate_cfds` computes the cover of propagated CFDs;
+:func:`check_propagation` verifies a propagation claim on data (the
+view is materialized and the CFD checked), used by the tests as the
+semantic oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.categorical import CFD, Pattern
+from ..core.categorical.pattern import PatternEntry, const
+from ..relation.relation import Relation
+
+
+def project_view(relation: Relation, attributes: Sequence[str]) -> Relation:
+    """``π_V(r)`` with bag semantics (views keep duplicates here)."""
+    return relation.project_bag(list(attributes))
+
+
+def select_view(
+    relation: Relation, condition: Mapping[str, object]
+) -> Relation:
+    """``σ_{A=c ∧ ...}(r)``."""
+    return relation.select(
+        lambda t: all(t.get(a) == v for a, v in condition.items())
+    )
+
+
+def propagate_to_projection(
+    cfds: Sequence[CFD], view_attributes: Sequence[str]
+) -> list[CFD]:
+    """CFDs whose attributes survive the projection."""
+    keep = set(view_attributes)
+    return [
+        dep for dep in cfds if set(dep.attributes()) <= keep
+    ]
+
+
+def propagate_to_selection(
+    cfds: Sequence[CFD], condition: Mapping[str, object]
+) -> list[CFD]:
+    """CFDs rewritten for ``σ_condition``; None-compatible entries only.
+
+    Every input CFD remains valid on the selection.  When the selection
+    fixes an attribute of the CFD's LHS, the pattern cell is specialized
+    to the selected constant — unless the cell already holds a
+    *different* constant, in which case the CFD is vacuous on the view
+    (no tuple matches) and is dropped from the propagated cover.
+    """
+    out: list[CFD] = []
+    for dep in cfds:
+        entries: dict[str, PatternEntry] = dep.pattern.entries()
+        vacuous = False
+        for a, v in condition.items():
+            if a not in dep.lhs:
+                continue
+            current = dep.pattern.entry(a)
+            if current.is_wildcard:
+                entries[a] = const(v)
+            elif current.is_constant and current.constant != v:
+                vacuous = True
+                break
+            # equality with the same constant: unchanged
+        if not vacuous:
+            out.append(CFD(dep.lhs, dep.rhs, Pattern(entries)))
+    return out
+
+
+def propagate_cfds(
+    cfds: Sequence[CFD],
+    view_attributes: Sequence[str] | None = None,
+    condition: Mapping[str, object] | None = None,
+) -> list[CFD]:
+    """Propagated CFD cover for ``π_V(σ_condition(r))``."""
+    current = list(cfds)
+    if condition:
+        current = propagate_to_selection(current, condition)
+    if view_attributes is not None:
+        current = propagate_to_projection(current, view_attributes)
+    return current
+
+
+def check_propagation(
+    relation: Relation,
+    cfds: Sequence[CFD],
+    view_attributes: Sequence[str] | None = None,
+    condition: Mapping[str, object] | None = None,
+) -> bool:
+    """Semantic oracle: if the CFDs hold on ``r``, the propagated ones
+    hold on the materialized view."""
+    if not all(dep.holds(relation) for dep in cfds):
+        return True  # premise fails; nothing to check
+    view = relation
+    if condition:
+        view = select_view(view, condition)
+    if view_attributes is not None:
+        view = project_view(view, view_attributes)
+    return all(
+        dep.holds(view)
+        for dep in propagate_cfds(cfds, view_attributes, condition)
+    )

@@ -1,0 +1,234 @@
+"""Data repairing — FD/CFD equivalence-class repair and holistic DC repair.
+
+Three engines, matching the Table 3 repair row:
+
+* :func:`repair_fds` — Cong et al. [25] / Bohannon et al. [12] style:
+  build equivalence classes of cells that must agree (connected
+  components of FD-violation groups) and assign each class the value
+  minimizing change cost (majority value);
+* :func:`repair_cfds` — the same machinery on the conditioned subsets,
+  plus constant-pattern enforcement;
+* :func:`repair_dcs` — Chu et al. [20] holistic style: collect all DC
+  violations into a conflict hypergraph and greedily fix the cell that
+  resolves the most violations (value flip to a non-violating value, or
+  tuple quarantine when no value works).
+
+Repairs return a new relation plus a :class:`RepairLog` of cell edits —
+relations are immutable here, as in the rest of the library.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.categorical import CFD, FD
+from ..core.numerical import DC
+from ..relation.relation import Relation
+
+
+@dataclass(frozen=True)
+class CellEdit:
+    """One repair: tuple ``index``'s ``attribute`` rewritten."""
+
+    index: int
+    attribute: str
+    old_value: object
+    new_value: object
+
+    def __str__(self) -> str:
+        return (
+            f"t{self.index}.{self.attribute}: "
+            f"{self.old_value!r} -> {self.new_value!r}"
+        )
+
+
+@dataclass
+class RepairLog:
+    """The edits applied by a repair engine, plus leftovers."""
+
+    edits: list[CellEdit] = field(default_factory=list)
+    #: Tuples quarantined because no consistent fix existed.
+    quarantined: list[int] = field(default_factory=list)
+
+    def cost(self) -> int:
+        """Number of cell edits (the usual repair cost model)."""
+        return len(self.edits)
+
+    def summary(self) -> str:
+        lines = [f"{len(self.edits)} cell edits"]
+        lines.extend(f"  {e}" for e in self.edits[:10])
+        if len(self.edits) > 10:
+            lines.append(f"  ... and {len(self.edits) - 10} more")
+        if self.quarantined:
+            lines.append(f"quarantined tuples: {self.quarantined}")
+        return "\n".join(lines)
+
+
+def repair_fds(
+    relation: Relation, fds: Sequence[FD]
+) -> tuple[Relation, RepairLog]:
+    """Equivalence-class repair: majority value per violating group.
+
+    Iterates to a fixpoint (a repair for one FD can surface violations
+    of another); each pass repairs every currently violating group of
+    every FD by rewriting minority RHS values to the group majority.
+    """
+    log = RepairLog()
+    current = relation
+    for __ in range(len(fds) * 2 + 2):  # fixpoint bound
+        changed = False
+        for dep in fds:
+            for x_value, indices in dep.violating_groups(current).items():
+                counts = Counter(
+                    current.values_at(t, dep.rhs) for t in indices
+                )
+                majority, __count = counts.most_common(1)[0]
+                for t in indices:
+                    if current.values_at(t, dep.rhs) == majority:
+                        continue
+                    for a, new_v in zip(dep.rhs, majority):
+                        old_v = current.value_at(t, a)
+                        if old_v != new_v:
+                            current = current.with_value(t, a, new_v)
+                            log.edits.append(CellEdit(t, a, old_v, new_v))
+                            changed = True
+        if not changed:
+            break
+    return current, log
+
+
+def repair_cfds(
+    relation: Relation, cfds: Sequence[CFD]
+) -> tuple[Relation, RepairLog]:
+    """CFD repair: constant enforcement + conditioned majority repair."""
+    log = RepairLog()
+    current = relation
+    for __ in range(len(cfds) * 2 + 2):
+        changed = False
+        for dep in cfds:
+            matching = dep.matching_indices(current)
+            # Constant RHS cells: force the constants.
+            for a in dep.rhs:
+                entry = dep.pattern.entry(a)
+                if entry.is_wildcard or not entry.is_constant:
+                    continue
+                for t in matching:
+                    old_v = current.value_at(t, a)
+                    if old_v != entry.constant:
+                        current = current.with_value(t, a, entry.constant)
+                        log.edits.append(
+                            CellEdit(t, a, old_v, entry.constant)
+                        )
+                        changed = True
+            # Variable part: majority repair within matched groups.
+            groups: dict[tuple, list[int]] = defaultdict(list)
+            for t in matching:
+                groups[current.values_at(t, dep.lhs)].append(t)
+            for indices in groups.values():
+                values = Counter(
+                    current.values_at(t, dep.rhs) for t in indices
+                )
+                if len(values) < 2:
+                    continue
+                majority, __c = values.most_common(1)[0]
+                for t in indices:
+                    if current.values_at(t, dep.rhs) == majority:
+                        continue
+                    for a, new_v in zip(dep.rhs, majority):
+                        old_v = current.value_at(t, a)
+                        if old_v != new_v:
+                            current = current.with_value(t, a, new_v)
+                            log.edits.append(CellEdit(t, a, old_v, new_v))
+                            changed = True
+        if not changed:
+            break
+    return current, log
+
+
+def repair_dcs(
+    relation: Relation,
+    dcs: Sequence[DC],
+    max_rounds: int = 50,
+) -> tuple[Relation, RepairLog]:
+    """Holistic greedy DC repair (violation hypergraph, max-degree cell).
+
+    Each round: collect all violations of all DCs; pick the tuple
+    participating in the most violations; try rewriting one of its
+    cells (attributes mentioned by the violated DCs) to a value from
+    another tuple's cell that removes its violations; quarantine the
+    tuple when no single-cell rewrite works.
+    """
+    log = RepairLog()
+    current = relation
+    quarantine: set[int] = set()
+
+    def active_violations() -> list[tuple[DC, tuple[int, ...]]]:
+        out = []
+        for dc in dcs:
+            for v in dc.violations(current):
+                if not (set(v.tuples) & quarantine):
+                    out.append((dc, v.tuples))
+        return out
+
+    for __ in range(max_rounds):
+        violations = active_violations()
+        if not violations:
+            break
+        degree: Counter = Counter()
+        for __dc, tuples in violations:
+            degree.update(tuples)
+        victim = degree.most_common(1)[0][0]
+        involved_dcs = [
+            dc for dc, tuples in violations if victim in tuples
+        ]
+        attrs = sorted(
+            {a for dc in involved_dcs for a in dc.attributes()}
+        )
+        before = sum(1 for __dc, ts in violations if victim in ts)
+        fixed = False
+        for a in attrs:
+            old_v = current.value_at(victim, a)
+            candidates = {
+                current.value_at(i, a)
+                for i in range(len(current))
+                if i != victim
+            } - {old_v, None}
+            for new_v in sorted(candidates, key=repr):
+                trial = current.with_value(victim, a, new_v)
+                after = 0
+                for dc in dcs:
+                    for v in dc.violations(trial):
+                        if victim in v.tuples and not (
+                            set(v.tuples) & quarantine
+                        ):
+                            after += 1
+                if after < before:
+                    current = trial
+                    log.edits.append(CellEdit(victim, a, old_v, new_v))
+                    fixed = True
+                    break
+            if fixed:
+                break
+        if not fixed:
+            quarantine.add(victim)
+            log.quarantined.append(victim)
+    return current, log
+
+
+def verify_repair(
+    relation: Relation,
+    rules: Sequence,
+    ignore_tuples: Sequence[int] = (),
+) -> bool:
+    """Check that all rules hold on the repaired relation.
+
+    ``ignore_tuples`` excludes quarantined tuples from the check.
+    """
+    if ignore_tuples:
+        keep = [
+            i for i in range(len(relation)) if i not in set(ignore_tuples)
+        ]
+        relation = relation.take(keep)
+    return all(rule.holds(relation) for rule in rules)

@@ -1,0 +1,31 @@
+"""Relational substrate: schemas, relation instances, partitions, indexes.
+
+Everything in the dependency family tree is evaluated against the
+:class:`~repro.relation.relation.Relation` defined here — a small,
+immutable, column-oriented relation instance with exactly the access
+paths the survey's algorithms require (grouping, stripped partitions,
+sorted/inverted indexes, projection/join for MVD semantics).
+"""
+
+from .schema import Attribute, AttributeType, Schema, SchemaError, as_attribute_names
+from .relation import Relation
+from .partition import StrippedPartition
+from .index import InvertedIndex, SortedIndex, build_indexes
+from .io import read_csv, read_csv_text, to_csv_text, write_csv
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "Schema",
+    "SchemaError",
+    "as_attribute_names",
+    "Relation",
+    "StrippedPartition",
+    "InvertedIndex",
+    "SortedIndex",
+    "build_indexes",
+    "read_csv",
+    "read_csv_text",
+    "to_csv_text",
+    "write_csv",
+]

@@ -1,0 +1,125 @@
+"""Secondary indexes over relation columns.
+
+Discovery and detection algorithms repeatedly ask three kinds of
+questions that a raw column answers slowly:
+
+* "which tuples hold value v in A?" — :class:`InvertedIndex`
+  (constant CFD mining, equivalence-class repair);
+* "which tuples are within distance d of value v?" — :class:`SortedIndex`
+  over numerical columns (DD/PAC candidate generation, SD checking);
+* "in value order, what are the consecutive gaps?" — also
+  :class:`SortedIndex` (OD/SD verification sorts once and scans).
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from typing import Any, Hashable, Iterable
+
+from .relation import Relation
+from .schema import Attribute
+
+Value = Any
+
+
+class InvertedIndex:
+    """value -> sorted list of tuple indices, for one attribute."""
+
+    __slots__ = ("attribute", "_postings")
+
+    def __init__(self, relation: Relation, attribute: Attribute | str) -> None:
+        self.attribute = (
+            attribute.name if isinstance(attribute, Attribute) else attribute
+        )
+        postings: dict[Hashable, list[int]] = defaultdict(list)
+        for i, v in enumerate(relation.column(attribute)):
+            postings[v].append(i)
+        self._postings = dict(postings)
+
+    def lookup(self, value: Hashable) -> tuple[int, ...]:
+        """Tuple indices whose attribute equals ``value``."""
+        return tuple(self._postings.get(value, ()))
+
+    def values(self) -> tuple[Hashable, ...]:
+        """All distinct values, insertion-ordered."""
+        return tuple(self._postings)
+
+    def frequency(self, value: Hashable) -> int:
+        return len(self._postings.get(value, ()))
+
+    def most_frequent(self) -> tuple[Hashable, int]:
+        """The modal value and its count (PFD per-value probability)."""
+        if not self._postings:
+            raise ValueError("index over empty relation has no mode")
+        value = max(self._postings, key=lambda v: len(self._postings[v]))
+        return value, len(self._postings[value])
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+
+class SortedIndex:
+    """Tuple indices sorted by a (numerical) column's values.
+
+    ``None`` values are excluded; callers that care about missing data
+    inspect :attr:`missing`.
+    """
+
+    __slots__ = ("attribute", "_values", "_indices", "missing")
+
+    def __init__(self, relation: Relation, attribute: Attribute | str) -> None:
+        self.attribute = (
+            attribute.name if isinstance(attribute, Attribute) else attribute
+        )
+        pairs = [
+            (v, i)
+            for i, v in enumerate(relation.column(attribute))
+            if v is not None
+        ]
+        pairs.sort(key=lambda p: p[0])
+        self._values = [p[0] for p in pairs]
+        self._indices = [p[1] for p in pairs]
+        self.missing = tuple(
+            i for i, v in enumerate(relation.column(attribute)) if v is None
+        )
+
+    def in_range(self, low: float, high: float) -> tuple[int, ...]:
+        """Tuple indices with value in the closed interval [low, high]."""
+        lo = bisect.bisect_left(self._values, low)
+        hi = bisect.bisect_right(self._values, high)
+        return tuple(self._indices[lo:hi])
+
+    def within(self, center: float, radius: float) -> tuple[int, ...]:
+        """Tuple indices within ``radius`` of ``center`` (inclusive)."""
+        return self.in_range(center - radius, center + radius)
+
+    def ordered_indices(self) -> tuple[int, ...]:
+        """Tuple indices in ascending value order (stable)."""
+        return tuple(self._indices)
+
+    def ordered_values(self) -> tuple[Value, ...]:
+        return tuple(self._values)
+
+    def gaps(self) -> list[float]:
+        """Consecutive differences of the sorted values (SD evidence)."""
+        return [
+            self._values[k + 1] - self._values[k]
+            for k in range(len(self._values) - 1)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+def build_indexes(
+    relation: Relation, attributes: Iterable[Attribute | str] | None = None
+) -> dict[str, InvertedIndex]:
+    """Inverted indexes for the given (default: all) attributes."""
+    if attributes is None:
+        attributes = relation.schema.names()
+    out: dict[str, InvertedIndex] = {}
+    for a in attributes:
+        idx = InvertedIndex(relation, a)
+        out[idx.attribute] = idx
+    return out

@@ -1,0 +1,106 @@
+"""Reading and writing relations (CSV and inline literals).
+
+Kept deliberately small: the library's data lives either in the paper's
+literal tables (:mod:`repro.datasets.paper`) or in generated workloads,
+but downstream users need CSV round-tripping to run the tooling on their
+own data.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Sequence
+
+from .relation import Relation, Value
+from .schema import Attribute, AttributeType, Schema
+
+
+def _coerce(text: str, dtype: AttributeType) -> Value:
+    if text == "":
+        return None
+    if dtype is AttributeType.NUMERICAL:
+        try:
+            f = float(text)
+        except ValueError as exc:
+            raise ValueError(
+                f"non-numeric value {text!r} in numerical column"
+            ) from exc
+        return int(f) if f.is_integer() else f
+    return text
+
+
+def read_csv(
+    path: str | Path,
+    schema: Schema | Sequence[Attribute | str] | None = None,
+    *,
+    delimiter: str = ",",
+) -> Relation:
+    """Load a relation from a CSV file with a header row.
+
+    If ``schema`` is omitted, every column is treated as categorical; the
+    header order must match the schema order when one is given.
+    """
+    with open(path, newline="", encoding="utf-8") as f:
+        return _read(f, schema, delimiter)
+
+
+def read_csv_text(
+    text: str,
+    schema: Schema | Sequence[Attribute | str] | None = None,
+    *,
+    delimiter: str = ",",
+) -> Relation:
+    """Load a relation from CSV text (header row required)."""
+    return _read(io.StringIO(text), schema, delimiter)
+
+
+def _read(f, schema, delimiter) -> Relation:
+    reader = csv.reader(f, delimiter=delimiter)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError("CSV input has no header row") from None
+    header = [h.strip() for h in header]
+    if schema is None:
+        schema = Schema(header)
+    elif not isinstance(schema, Schema):
+        schema = Schema(schema)
+    if list(schema.names()) != header:
+        raise ValueError(
+            f"CSV header {header} does not match schema {list(schema.names())}"
+        )
+    dtypes = [a.dtype for a in schema]
+    rows = []
+    for raw in reader:
+        if not raw:
+            continue
+        if len(raw) != len(schema):
+            raise ValueError(
+                f"CSV row of width {len(raw)} does not match schema "
+                f"of width {len(schema)}: {raw!r}"
+            )
+        rows.append(
+            tuple(_coerce(cell.strip(), dt) for cell, dt in zip(raw, dtypes))
+        )
+    return Relation.from_rows(schema, rows)
+
+
+def write_csv(relation: Relation, path: str | Path) -> None:
+    """Write a relation to CSV with a header row; ``None`` becomes empty."""
+    with open(path, "w", newline="", encoding="utf-8") as f:
+        writer = csv.writer(f)
+        writer.writerow(relation.schema.names())
+        for row in relation.rows():
+            writer.writerow(["" if v is None else v for v in row])
+
+
+def to_csv_text(relation: Relation) -> str:
+    """Render a relation as CSV text."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(relation.schema.names())
+    for row in relation.rows():
+        writer.writerow(["" if v is None else v for v in row])
+    return buf.getvalue()

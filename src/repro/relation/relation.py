@@ -1,0 +1,340 @@
+"""The in-memory relation instance: a small column-store.
+
+This is the substrate every dependency in the family tree is evaluated
+against.  A :class:`Relation` stores one Python list per attribute
+(column-oriented), which makes the access patterns of the discovery
+algorithms cheap:
+
+* ``column(A)`` — a whole column for partitioning (TANE) or for metric
+  index construction (DDs/MDs);
+* ``tuple_at(i)`` / ``values_at(i, X)`` — tuple access for pairwise
+  checks (MFDs, DCs, ...);
+* ``group_by(X)`` — the equal-``X`` groups that FD-style semantics
+  quantify over;
+* ``project``, ``select``, ``natural_join`` — the relational algebra
+  needed by tuple-generating dependencies (MVDs decompose/join).
+
+``None`` is the missing-value marker throughout; by SQL convention a
+``None`` never equals anything (including another ``None``) in
+selections, but tuples compare positionally for the join/set semantics.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Hashable, Iterable, Iterator, Mapping, Sequence
+
+from .schema import Attribute, Schema
+
+Value = Any
+Row = tuple[Value, ...]
+
+
+class Relation:
+    """An immutable relation instance ``r`` over a schema ``R``.
+
+    Construct with :meth:`from_rows` / :meth:`from_dicts` /
+    :meth:`from_columns`.  All mutating operations return new relations.
+    """
+
+    __slots__ = ("_schema", "_columns", "_size")
+
+    def __init__(self, schema: Schema, columns: Sequence[Sequence[Value]]) -> None:
+        if len(columns) != len(schema):
+            raise ValueError(
+                f"{len(schema)} attributes but {len(columns)} columns supplied"
+            )
+        sizes = {len(c) for c in columns}
+        if len(sizes) > 1:
+            raise ValueError(f"ragged columns: lengths {sorted(sizes)}")
+        self._schema = schema
+        self._columns: tuple[tuple[Value, ...], ...] = tuple(
+            tuple(c) for c in columns
+        )
+        self._size = len(self._columns[0]) if self._columns else 0
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        schema: Schema | Sequence[Attribute | str],
+        rows: Iterable[Sequence[Value]],
+    ) -> "Relation":
+        """Build a relation from an iterable of row sequences."""
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        materialized = [tuple(row) for row in rows]
+        for row in materialized:
+            if len(row) != len(schema):
+                raise ValueError(
+                    f"row of width {len(row)} does not fit schema of width "
+                    f"{len(schema)}: {row!r}"
+                )
+        columns = [
+            [row[i] for row in materialized] for i in range(len(schema))
+        ]
+        return cls(schema, columns)
+
+    @classmethod
+    def from_dicts(
+        cls,
+        schema: Schema | Sequence[Attribute | str],
+        rows: Iterable[Mapping[str, Value]],
+    ) -> "Relation":
+        """Build a relation from an iterable of ``{name: value}`` mappings.
+
+        Missing keys become ``None``.
+        """
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        names = schema.names()
+        return cls.from_rows(
+            schema, ([row.get(n) for n in names] for row in rows)
+        )
+
+    @classmethod
+    def from_columns(
+        cls,
+        schema: Schema | Sequence[Attribute | str],
+        columns: Mapping[str, Sequence[Value]] | Sequence[Sequence[Value]],
+    ) -> "Relation":
+        """Build a relation from per-attribute columns."""
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        if isinstance(columns, Mapping):
+            ordered = [columns[n] for n in schema.names()]
+        else:
+            ordered = list(columns)
+        return cls(schema, ordered)
+
+    @classmethod
+    def empty(cls, schema: Schema | Sequence[Attribute | str]) -> "Relation":
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        return cls(schema, [[] for __ in schema])
+
+    # -- basic protocol -------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        # A relation with zero tuples is still a relation; avoid the
+        # truthiness trap of ``if relation:`` meaning non-empty.
+        return True
+
+    def __iter__(self) -> Iterator[Row]:
+        return (self.tuple_at(i) for i in range(self._size))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._schema == other._schema and self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash((self._schema, self._columns))
+
+    def __repr__(self) -> str:
+        return f"Relation({list(self._schema.names())}, n={self._size})"
+
+    # -- access ----------------------------------------------------------
+
+    def column(self, attribute: Attribute | str) -> tuple[Value, ...]:
+        """The full column of ``attribute``."""
+        idx = self._schema.index_of(attribute)
+        return self._columns[idx]
+
+    def tuple_at(self, i: int) -> Row:
+        """The ``i``-th tuple as a positional value tuple."""
+        if not 0 <= i < self._size:
+            raise IndexError(f"tuple index {i} out of range [0, {self._size})")
+        return tuple(col[i] for col in self._columns)
+
+    def record_at(self, i: int) -> dict[str, Value]:
+        """The ``i``-th tuple as a ``{name: value}`` dict."""
+        return dict(zip(self._schema.names(), self.tuple_at(i)))
+
+    def value_at(self, i: int, attribute: Attribute | str) -> Value:
+        """Single cell ``t_i[A]``."""
+        return self.column(attribute)[i]
+
+    def values_at(
+        self, i: int, attributes: Sequence[Attribute | str]
+    ) -> Row:
+        """Sub-tuple ``t_i[X]`` over the attribute list ``X``."""
+        return tuple(self.column(a)[i] for a in attributes)
+
+    def rows(self) -> list[Row]:
+        """All tuples, materialized."""
+        return [self.tuple_at(i) for i in range(self._size)]
+
+    # -- relational algebra ----------------------------------------------
+
+    def project(self, attributes: Sequence[Attribute | str]) -> "Relation":
+        """Projection *with* duplicate elimination (set semantics).
+
+        MVD/FHD satisfaction is defined via ``r = π_XY(r) ⋈ π_XZ(r)``,
+        which requires set semantics on the projections.
+        """
+        sub = self._schema.project(attributes)
+        seen: set[Row] = set()
+        rows: list[Row] = []
+        for i in range(self._size):
+            row = self.values_at(i, attributes)
+            if row not in seen:
+                seen.add(row)
+                rows.append(row)
+        return Relation.from_rows(sub, rows)
+
+    def project_bag(self, attributes: Sequence[Attribute | str]) -> "Relation":
+        """Projection keeping duplicates (bag semantics)."""
+        sub = self._schema.project(attributes)
+        return Relation.from_rows(
+            sub, (self.values_at(i, attributes) for i in range(self._size))
+        )
+
+    def select(self, predicate: Callable[[dict[str, Value]], bool]) -> "Relation":
+        """Selection by a predicate over tuple dicts."""
+        keep = [
+            i for i in range(self._size) if predicate(self.record_at(i))
+        ]
+        return self.take(keep)
+
+    def take(self, indices: Sequence[int]) -> "Relation":
+        """New relation keeping exactly the tuples at ``indices``."""
+        columns = [
+            [col[i] for i in indices] for col in self._columns
+        ]
+        return Relation(self._schema, columns)
+
+    def drop(self, indices: Iterable[int]) -> "Relation":
+        """New relation with the tuples at ``indices`` removed."""
+        dropped = set(indices)
+        keep = [i for i in range(self._size) if i not in dropped]
+        return self.take(keep)
+
+    def extend(self, rows: Iterable[Sequence[Value]]) -> "Relation":
+        """New relation with ``rows`` appended."""
+        return Relation.from_rows(self._schema, list(self.rows()) + [
+            tuple(r) for r in rows
+        ])
+
+    def with_value(
+        self, i: int, attribute: Attribute | str, value: Value
+    ) -> "Relation":
+        """New relation with cell ``t_i[A]`` replaced — the repair primitive."""
+        idx = self._schema.index_of(attribute)
+        columns = [list(c) for c in self._columns]
+        if not 0 <= i < self._size:
+            raise IndexError(f"tuple index {i} out of range [0, {self._size})")
+        columns[idx][i] = value
+        return Relation(self._schema, columns)
+
+    def natural_join(self, other: "Relation") -> "Relation":
+        """Natural join on shared attribute names (hash join).
+
+        The joined schema lists self's attributes first, then other's
+        non-shared attributes, matching the usual π/⋈ identities used in
+        MVD semantics.
+        """
+        shared = [n for n in self._schema.names() if n in other._schema]
+        other_only = [
+            a for a in other._schema if a.name not in self._schema
+        ]
+        out_schema = Schema(list(self._schema) + list(other_only))
+        index: dict[Row, list[int]] = defaultdict(list)
+        for j in range(len(other)):
+            index[other.values_at(j, shared)].append(j)
+        rows: list[Row] = []
+        other_only_names = [a.name for a in other_only]
+        for i in range(self._size):
+            key = self.values_at(i, shared)
+            for j in index.get(key, ()):
+                rows.append(
+                    self.tuple_at(i) + other.values_at(j, other_only_names)
+                )
+        return Relation.from_rows(out_schema, rows)
+
+    def distinct(self) -> "Relation":
+        """Duplicate-free copy of the relation."""
+        return self.project(list(self._schema.names()))
+
+    # -- grouping and counting ---------------------------------------------
+
+    def group_by(
+        self, attributes: Sequence[Attribute | str]
+    ) -> dict[Row, list[int]]:
+        """Tuple indices grouped by their ``X``-value.
+
+        This is the backbone of FD-style semantics: a dependency
+        ``X -> Y`` quantifies over each group of equal ``X`` values.
+        Groups preserve first-occurrence order of keys via dict ordering.
+        """
+        groups: dict[Row, list[int]] = defaultdict(list)
+        for i in range(self._size):
+            groups[self.values_at(i, attributes)].append(i)
+        return dict(groups)
+
+    def distinct_count(self, attributes: Sequence[Attribute | str]) -> int:
+        """``|dom(X)|_r`` — number of distinct ``X``-values (SFD strength)."""
+        return len({self.values_at(i, attributes) for i in range(self._size)})
+
+    def value_counts(
+        self, attribute: Attribute | str
+    ) -> dict[Hashable, int]:
+        """Frequency of each value in a column."""
+        counts: dict[Hashable, int] = defaultdict(int)
+        for v in self.column(attribute):
+            counts[v] += 1
+        return dict(counts)
+
+    def tuple_pairs(self) -> Iterator[tuple[int, int]]:
+        """All unordered tuple-index pairs ``i < j``.
+
+        Pairwise dependencies (MFDs, DDs, DCs, ...) quantify over these.
+        """
+        for i in range(self._size):
+            for j in range(i + 1, self._size):
+                yield i, j
+
+    def sample(self, k: int, seed: int = 0) -> "Relation":
+        """Deterministic pseudo-random sample of ``min(k, n)`` tuples.
+
+        CORDS-style discovery samples the relation; a seeded sample keeps
+        discovery reproducible.
+        """
+        import random
+
+        if k >= self._size:
+            return self
+        rng = random.Random(seed)
+        indices = sorted(rng.sample(range(self._size), k))
+        return self.take(indices)
+
+    # -- pretty printing ------------------------------------------------
+
+    def to_text(self, max_rows: int | None = 20) -> str:
+        """Fixed-width textual rendering (used by the bench harness)."""
+        names = self._schema.names()
+        shown = self.rows() if max_rows is None else self.rows()[:max_rows]
+        cells = [[str(n) for n in names]] + [
+            ["" if v is None else str(v) for v in row] for row in shown
+        ]
+        widths = [
+            max(len(r[c]) for r in cells) for c in range(len(names))
+        ]
+        lines = []
+        for r, row in enumerate(cells):
+            lines.append(
+                "  ".join(val.ljust(widths[c]) for c, val in enumerate(row))
+            )
+            if r == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        if max_rows is not None and self._size > max_rows:
+            lines.append(f"... ({self._size - max_rows} more tuples)")
+        return "\n".join(lines)

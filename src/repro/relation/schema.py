@@ -1,0 +1,186 @@
+"""Relation schemas: typed attributes and attribute sets.
+
+The paper (Table 4) works with a relation scheme ``R``, attribute sets
+``X, Y`` and single attributes ``A, B``.  This module provides those
+objects: :class:`Attribute` (a named, typed column), :class:`Schema`
+(an ordered collection of attributes), and :class:`AttributeType`
+(the three data types the survey is organized around: categorical,
+numerical, and free text from heterogeneous sources).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+
+class AttributeType(enum.Enum):
+    """Data type of an attribute, mirroring the survey's categorization.
+
+    * ``CATEGORICAL`` — compared with equality (Section 2).
+    * ``TEXT`` — heterogeneous representations compared with string
+      similarity metrics (Section 3).
+    * ``NUMERICAL`` — compared with order and absolute difference
+      (Section 4).
+    """
+
+    CATEGORICAL = "categorical"
+    TEXT = "text"
+    NUMERICAL = "numerical"
+
+    @property
+    def is_ordered(self) -> bool:
+        """Whether ``<``/``>`` comparisons are meaningful for this type."""
+        return self is AttributeType.NUMERICAL
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed column of a relation scheme.
+
+    Attributes are value objects: two attributes are interchangeable iff
+    their name and type match.  They are hashable so they can be used in
+    the attribute sets (``X``, ``Y``) that dependencies are declared over.
+    """
+
+    name: str
+    dtype: AttributeType = AttributeType.CATEGORICAL
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Attribute({self.name!r}, {self.dtype.value})"
+
+
+class SchemaError(KeyError):
+    """Raised when an attribute is missing from, or duplicated in, a schema."""
+
+
+class Schema:
+    """An ordered collection of uniquely named attributes.
+
+    A :class:`Schema` plays the role of the relation scheme ``R`` of the
+    paper.  It supports lookup by name, projection to a sub-schema, and
+    set-style queries used throughout dependency definitions.
+    """
+
+    __slots__ = ("_attributes", "_by_name")
+
+    def __init__(self, attributes: Iterable[Attribute | str]) -> None:
+        attrs: list[Attribute] = []
+        for a in attributes:
+            if isinstance(a, str):
+                a = Attribute(a)
+            attrs.append(a)
+        by_name: dict[str, Attribute] = {}
+        for a in attrs:
+            if a.name in by_name:
+                raise SchemaError(f"duplicate attribute name: {a.name!r}")
+            by_name[a.name] = a
+        self._attributes: tuple[Attribute, ...] = tuple(attrs)
+        self._by_name = by_name
+
+    # -- basic container protocol ------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Attribute):
+            return self._by_name.get(item.name) == item
+        if isinstance(item, str):
+            return item in self._by_name
+        return False
+
+    def __getitem__(self, key: int | str) -> Attribute:
+        if isinstance(key, int):
+            return self._attributes[key]
+        try:
+            return self._by_name[key]
+        except KeyError:
+            raise SchemaError(
+                f"no attribute {key!r} in schema {self.names()}"
+            ) from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self.names())})"
+
+    # -- queries ------------------------------------------------------
+
+    def names(self) -> tuple[str, ...]:
+        """The attribute names, in schema order."""
+        return tuple(a.name for a in self._attributes)
+
+    def index_of(self, attribute: Attribute | str) -> int:
+        """Position of ``attribute`` within the schema."""
+        name = attribute.name if isinstance(attribute, Attribute) else attribute
+        for i, a in enumerate(self._attributes):
+            if a.name == name:
+                return i
+        raise SchemaError(f"no attribute {name!r} in schema {self.names()}")
+
+    def attribute(self, name: str) -> Attribute:
+        """Lookup an attribute by name (alias of ``schema[name]``)."""
+        return self[name]
+
+    def resolve(self, names: Iterable[Attribute | str]) -> tuple[Attribute, ...]:
+        """Map a mixed iterable of names/attributes to schema attributes.
+
+        Raises :class:`SchemaError` for anything not in the schema, so
+        dependencies fail fast when declared over the wrong relation.
+        """
+        return tuple(
+            self[n.name if isinstance(n, Attribute) else n] for n in names
+        )
+
+    def project(self, names: Sequence[Attribute | str]) -> "Schema":
+        """A new schema restricted to ``names``, in the order given."""
+        return Schema(self.resolve(names))
+
+    def complement(self, names: Iterable[Attribute | str]) -> tuple[Attribute, ...]:
+        """Attributes of the schema *not* listed in ``names``.
+
+        Used by tuple-generating dependencies (MVDs, FHDs) where the
+        "rest" of the schema ``Z = R - X - Y`` matters.
+        """
+        drop = {n.name if isinstance(n, Attribute) else n for n in names}
+        missing = drop - set(self.names())
+        if missing:
+            raise SchemaError(f"attributes not in schema: {sorted(missing)}")
+        return tuple(a for a in self._attributes if a.name not in drop)
+
+    def numerical_attributes(self) -> tuple[Attribute, ...]:
+        """Attributes whose domain carries a meaningful order."""
+        return tuple(
+            a for a in self._attributes if a.dtype is AttributeType.NUMERICAL
+        )
+
+    def categorical_attributes(self) -> tuple[Attribute, ...]:
+        return tuple(
+            a for a in self._attributes if a.dtype is AttributeType.CATEGORICAL
+        )
+
+    def text_attributes(self) -> tuple[Attribute, ...]:
+        return tuple(a for a in self._attributes if a.dtype is AttributeType.TEXT)
+
+
+def as_attribute_names(attrs: Iterable[Attribute | str]) -> tuple[str, ...]:
+    """Normalize an iterable of attributes-or-names to a name tuple."""
+    return tuple(a.name if isinstance(a, Attribute) else a for a in attrs)

@@ -1,0 +1,53 @@
+"""The survey's own artifacts: Tables 2/3/4 and Figs 1B/2/3, executable."""
+
+from .registry import (
+    APPLICATIONS,
+    COMPLEXITY,
+    NOTATIONS,
+    NotationInfo,
+    ROOT_YEAR,
+    applications_of,
+    notations_by_branch,
+    tractable_problems,
+)
+from .figures import (
+    fig1a_family_tree,
+    fig1b_publications,
+    fig2_timeline,
+    fig3_complexity,
+    render_fig1b,
+    render_fig2,
+    render_fig3,
+    timeline_milestones,
+)
+from .tables import (
+    TABLE4_NOTATIONS,
+    consistency_problems,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+
+__all__ = [
+    "NotationInfo",
+    "NOTATIONS",
+    "APPLICATIONS",
+    "COMPLEXITY",
+    "ROOT_YEAR",
+    "notations_by_branch",
+    "applications_of",
+    "tractable_problems",
+    "fig1a_family_tree",
+    "fig1b_publications",
+    "fig2_timeline",
+    "fig3_complexity",
+    "render_fig1b",
+    "render_fig2",
+    "render_fig3",
+    "timeline_milestones",
+    "TABLE4_NOTATIONS",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "consistency_problems",
+]

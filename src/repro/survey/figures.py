@@ -1,0 +1,98 @@
+"""Regenerating the survey's figures as data series + ASCII renderings.
+
+* :func:`fig1a_family_tree` — the extension graph (delegates to
+  :mod:`repro.core.familytree`);
+* :func:`fig1b_publications` — publications per notation (bar series);
+* :func:`fig2_timeline` — proposal timeline 1977-2020;
+* :func:`fig3_complexity` — the discovery-complexity landscape.
+
+Each returns structured data (for the benchmark harness to print and
+the tests to assert) plus a ``render_*`` companion producing the ASCII
+figure.
+"""
+
+from __future__ import annotations
+
+from ..core.familytree import DEFAULT_TREE, FamilyTree
+from .registry import COMPLEXITY, NOTATIONS
+
+
+def fig1a_family_tree() -> FamilyTree:
+    """Fig. 1A: the family tree of extensions."""
+    return DEFAULT_TREE
+
+
+def fig1b_publications() -> list[tuple[str, int]]:
+    """Fig. 1B series: (notation, #publications), descending.
+
+    Notations without a recorded count (AMVDs) are omitted, as in the
+    source figure.
+    """
+    pairs = [
+        (info.abbrev, info.publications)
+        for info in NOTATIONS.values()
+        if info.publications is not None
+    ]
+    return sorted(pairs, key=lambda p: (-p[1], p[0]))
+
+
+def render_fig1b(width: int = 50) -> str:
+    """ASCII bar chart of Fig. 1B."""
+    series = fig1b_publications()
+    top = series[0][1]
+    lines = ["Fig. 1B — publications using each data dependency:"]
+    for name, count in series:
+        bar = "#" * max(1, round(count / top * width))
+        lines.append(f"{name:>5} {bar} {count}")
+    return "\n".join(lines)
+
+
+def fig2_timeline() -> list[tuple[int, list[str]]]:
+    """Fig. 2 series: (year, notations proposed that year), ascending."""
+    by_year: dict[int, list[str]] = {}
+    for info in NOTATIONS.values():
+        by_year.setdefault(info.year, []).append(info.abbrev)
+    return sorted((y, sorted(names)) for y, names in by_year.items())
+
+
+def render_fig2() -> str:
+    """ASCII timeline of Fig. 2."""
+    lines = ["Fig. 2 — timeline of data dependency proposals:"]
+    for year, names in fig2_timeline():
+        lines.append(f"  {year}: {', '.join(names)}")
+    return "\n".join(lines)
+
+
+def timeline_milestones() -> dict[str, int]:
+    """The milestones the paper calls out in Section 1.4.1."""
+    return {
+        "AFDs (first approximate extensions)": NOTATIONS["AFD"].year,
+        "SFDs (statistical line continues)": NOTATIONS["SFD"].year,
+        "PFDs (statistical line continues)": NOTATIONS["PFD"].year,
+        "CFDs (conditional line starts)": NOTATIONS["CFD"].year,
+        "CDDs (conditional line continues)": NOTATIONS["CDD"].year,
+        "CMDs (conditional line continues)": NOTATIONS["CMD"].year,
+    }
+
+
+def fig3_complexity() -> dict[str, str]:
+    """Fig. 3 series: problem -> complexity class."""
+    return {name: meta["class"] for name, meta in COMPLEXITY.items()}
+
+
+def render_fig3() -> str:
+    """ASCII rendering of Fig. 3, grouped by complexity class."""
+    groups: dict[str, list[str]] = {}
+    for name, meta in COMPLEXITY.items():
+        key = meta["class"]
+        groups.setdefault(key, []).append(f"{name} ({meta['source']})")
+    lines = ["Fig. 3 — difficulties of dependency discovery problems:"]
+    order = sorted(
+        groups,
+        key=lambda k: (not k.startswith("PTIME"), k),
+    )
+    for key in order:
+        lines.append(f"\n[{key}]")
+        for item in sorted(groups[key]):
+            lines.append(f"  {item}")
+    return "\n".join(lines)

@@ -1,0 +1,300 @@
+"""Machine-readable Tables 2 and 3 and Fig. 3 of the survey.
+
+:data:`NOTATIONS` transcribes Table 2 — for each dependency notation:
+full name, data-type branch, year proposed, reference keys for
+definition/discovery/application, and the Google-Scholar publication
+count shown in Fig. 1B.
+
+Transcription note: the publication-count column of the source text is
+mis-aligned around the CFD/eCFD rows; we assign 471 to CFDs and 76 to
+eCFDs, consistent with Fig. 1B's narrative that "the extensions over
+the conventional categorical data such as CFDs attract more attention".
+AMVDs (2020) have no count in the table and are recorded as None.
+
+:data:`APPLICATIONS` transcribes Table 3 (application -> data type ->
+notations).  :data:`COMPLEXITY` transcribes Fig. 3's discovery/
+implication complexity landscape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class NotationInfo:
+    """One row of Table 2."""
+
+    abbrev: str
+    full_name: str
+    branch: str
+    year: int
+    publications: int | None
+    definition_refs: tuple[str, ...] = ()
+    discovery_refs: tuple[str, ...] = ()
+    application_refs: tuple[str, ...] = ()
+
+
+NOTATIONS: dict[str, NotationInfo] = {
+    info.abbrev: info
+    for info in [
+        # -- categorical (Section 2) ---------------------------------
+        NotationInfo(
+            "SFD", "Soft Functional Dependencies", "categorical", 2004, 327,
+            ("[55]",), ("[55]", "[60]"), ("[55]", "[60]"),
+        ),
+        NotationInfo(
+            "PFD", "Probabilistic Functional Dependencies", "categorical",
+            2009, 55, ("[104]",), ("[104]",), ("[104]",),
+        ),
+        NotationInfo(
+            "AFD", "Approximate Functional Dependencies", "categorical",
+            1995, 248, ("[61]",), ("[53]", "[54]"), ("[111]",),
+        ),
+        NotationInfo(
+            "NUD", "Numerical Dependencies", "categorical", 1981, 404,
+            ("[50]",), (), ("[22]",),
+        ),
+        NotationInfo(
+            "CFD", "Conditional Functional Dependencies", "categorical",
+            2007, 471, ("[11]", "[34]"),
+            ("[18]", "[35]", "[36]", "[49]", "[113]"), ("[25]", "[40]"),
+        ),
+        NotationInfo(
+            "eCFD", "extended CFDs", "categorical", 2008, 76,
+            ("[14]",), ("[114]",), ("[14]",),
+        ),
+        NotationInfo(
+            "MVD", "Multivalued Dependencies", "categorical", 1977, 191,
+            ("[30]",), ("[82]",), ("[80]",),
+        ),
+        NotationInfo(
+            "FHD", "Full Hierarchical Dependencies", "categorical", 1978, 1,
+            ("[27]", "[52]"), (), (),
+        ),
+        NotationInfo(
+            "AMVD", "Approximate MVDs", "categorical", 2020, None,
+            ("[59]",), ("[59]",), ("[59]",),
+        ),
+        # -- heterogeneous (Section 3) ------------------------------------
+        NotationInfo(
+            "MFD", "Metric Functional Dependencies", "heterogeneous", 2009,
+            86, ("[64]",), ("[64]",), ("[64]",),
+        ),
+        NotationInfo(
+            "NED", "Neighborhood Dependencies", "heterogeneous", 2001, 15,
+            ("[4]",), ("[4]",), ("[4]",),
+        ),
+        NotationInfo(
+            "DD", "Differential Dependencies", "heterogeneous", 2011, 109,
+            ("[86]",), ("[65]", "[86]", "[88]", "[89]"),
+            ("[86]", "[93]", "[94]", "[95]", "[96]"),
+        ),
+        NotationInfo(
+            "CDD", "Conditional Differential Dependencies", "heterogeneous",
+            2015, 3, ("[66]",), ("[66]",), ("[66]",),
+        ),
+        NotationInfo(
+            "CD", "Comparable Dependencies", "heterogeneous", 2011, 18,
+            ("[91]", "[92]"), ("[92]",), ("[92]",),
+        ),
+        NotationInfo(
+            "PAC", "Probabilistic Approximate Constraints", "heterogeneous",
+            2003, 39, ("[63]",), ("[63]",), ("[63]",),
+        ),
+        NotationInfo(
+            "FFD", "Fuzzy Functional Dependencies", "heterogeneous", 1988,
+            496, ("[79]",), ("[109]", "[108]"), ("[13]", "[56]", "[71]"),
+        ),
+        NotationInfo(
+            "MD", "Matching Dependencies", "heterogeneous", 2009, 197,
+            ("[33]", "[37]"), ("[85]", "[87]", "[90]"),
+            ("[37]", "[38]", "[41]"),
+        ),
+        NotationInfo(
+            "CMD", "Conditional Matching Dependencies", "heterogeneous",
+            2017, 15, ("[110]",), ("[110]",), ("[110]",),
+        ),
+        # -- numerical (Section 4) ------------------------------------------
+        NotationInfo(
+            "OFD", "Ordered Functional Dependencies", "numerical", 1999, 27,
+            ("[76]", "[77]"), (), ("[75]",),
+        ),
+        NotationInfo(
+            "OD", "Order Dependencies", "numerical", 1982, 27,
+            ("[28]",), ("[67]", "[99]"), ("[28]", "[100]"),
+        ),
+        NotationInfo(
+            "DC", "Denial Constraints", "numerical", 2005, 52,
+            ("[8]", "[9]"), ("[10]", "[19]", "[21]", "[78]"),
+            ("[8]", "[9]", "[20]", "[70]", "[98]"),
+        ),
+        NotationInfo(
+            "SD", "Sequential Dependencies", "numerical", 2009, 97,
+            ("[48]",), ("[48]",), ("[48]",),
+        ),
+        NotationInfo(
+            "CSD", "Conditional Sequential Dependencies", "numerical", 2009,
+            97, ("[48]",), ("[48]",), ("[48]",),
+        ),
+    ]
+}
+
+#: FD itself (the root; not a Table 2 row but needed for Figs 1-2).
+ROOT_YEAR = 1971  # Codd's further-normalization report [24]
+
+#: Table 3: application -> data-type branch -> notations.
+APPLICATIONS: dict[str, dict[str, tuple[str, ...]]] = {
+    "violation detection": {
+        "categorical": ("FD", "PFD", "CFD", "eCFD"),
+        "heterogeneous": ("MFD", "CD", "CDD", "PAC"),
+        "numerical": ("OD", "DC", "SD", "CSD"),
+    },
+    "data repairing": {
+        "categorical": ("FD", "CFD", "eCFD", "MVD"),
+        "heterogeneous": ("NED", "DD", "CDD", "MD", "CMD"),
+        "numerical": ("DC", "OD"),
+    },
+    "query optimization": {
+        "categorical": ("SFD", "AFD", "NUD", "AMVD"),
+        "heterogeneous": ("DD", "CD", "PAC", "FFD"),
+        "numerical": ("OD",),
+    },
+    "consistent query answering": {
+        "categorical": ("FD",),
+        "heterogeneous": ("OFD", "DC"),
+        "numerical": (),
+    },
+    "data deduplication": {
+        "categorical": ("CFD",),
+        "heterogeneous": ("DD", "CD", "FFD", "MD", "CMD"),
+        "numerical": (),
+    },
+    "data partition": {
+        "categorical": (),
+        "heterogeneous": ("DD", "MD"),
+        "numerical": (),
+    },
+    "schema normalization": {
+        "categorical": ("FD", "PFD", "MVD", "FHD"),
+        "heterogeneous": (),
+        "numerical": (),
+    },
+    "model fairness": {
+        "categorical": ("MVD",),
+        "heterogeneous": (),
+        "numerical": (),
+    },
+}
+
+#: Fig. 3: discovery/implication problems and their complexity classes.
+#: ``demo`` names the module/function here that exhibits the tractable
+#: cases live (the benchmark harness runs them).
+COMPLEXITY: dict[str, dict[str, str]] = {
+    "FD minimal-cover discovery": {
+        "class": "output exponential",
+        "source": "[72], [73], [83]",
+        "demo": "repro.discovery.tane",
+    },
+    "minimum key (size < k)": {
+        "class": "NP-complete",
+        "source": "[5]",
+        "demo": "",
+    },
+    "CFD optimal tableau generation": {
+        "class": "NP-complete",
+        "source": "[49]",
+        "demo": "repro.discovery.cfd_discovery.greedy_tableau (heuristic)",
+    },
+    "CFD implication": {
+        "class": "coNP-complete",
+        "source": "[11]",
+        "demo": "",
+    },
+    "eCFD implication": {
+        "class": "coNP-complete",
+        "source": "[14]",
+        "demo": "",
+    },
+    "NED discovery": {
+        "class": "NP-hard",
+        "source": "[4]",
+        "demo": "",
+    },
+    "DD implication": {
+        "class": "coNP-complete",
+        "source": "[86]",
+        "demo": "",
+    },
+    "CDD discovery": {
+        "class": "NP-hard (no easier than CFDs)",
+        "source": "[66], Section 3.3.5",
+        "demo": "",
+    },
+    "CD error/confidence validation": {
+        "class": "NP-complete",
+        "source": "[91]",
+        "demo": "repro.core.heterogeneous.cd.CD.g3_error (greedy)",
+    },
+    "MD concise matching keys": {
+        "class": "NP-complete",
+        "source": "[90]",
+        "demo": "repro.discovery.md_discovery.concise_matching_keys (greedy)",
+    },
+    "CMD g3 validation": {
+        "class": "NP-complete",
+        "source": "[110]",
+        "demo": "repro.core.heterogeneous.md.CMD.g3_error (greedy)",
+    },
+    "OD implication": {
+        "class": "coNP-complete",
+        "source": "[101]",
+        "demo": "",
+    },
+    "DC discovery": {
+        "class": "NP-hard (subsumes CFDs)",
+        "source": "Section 1.4.2",
+        "demo": "repro.discovery.dc_discovery (bounded width)",
+    },
+    "MFD verification": {
+        "class": "PTIME (O(n^2))",
+        "source": "[64]",
+        "demo": "repro.discovery.mfd_verify",
+    },
+    "SD confidence computation": {
+        "class": "PTIME",
+        "source": "[48]",
+        "demo": "repro.discovery.sd_discovery.sd_confidence",
+    },
+    "CSD tableau discovery": {
+        "class": "PTIME (quadratic DP)",
+        "source": "[48]",
+        "demo": "repro.discovery.sd_discovery.discover_csd_tableau",
+    },
+}
+
+
+def notations_by_branch() -> dict[str, list[NotationInfo]]:
+    """Table 2 rows grouped by data-type branch, original order."""
+    out: dict[str, list[NotationInfo]] = {}
+    for info in NOTATIONS.values():
+        out.setdefault(info.branch, []).append(info)
+    return out
+
+
+def applications_of(notation: str) -> list[str]:
+    """Which Table 3 application rows mention a notation."""
+    return [
+        app
+        for app, branches in APPLICATIONS.items()
+        if any(notation in names for names in branches.values())
+    ]
+
+
+def tractable_problems() -> list[str]:
+    """Fig. 3's PTIME problems (the family tree's tractable frontier)."""
+    return sorted(
+        name
+        for name, meta in COMPLEXITY.items()
+        if meta["class"].startswith("PTIME")
+    )

@@ -1,0 +1,104 @@
+"""Rendering the survey's tables from the machine-readable registry."""
+
+from __future__ import annotations
+
+from .registry import APPLICATIONS, NOTATIONS, notations_by_branch
+
+#: Table 4: the paper's notation glossary, verbatim.
+TABLE4_NOTATIONS: dict[str, str] = {
+    "R": "relation scheme",
+    "X, Y": "attribute sets in R",
+    "A, B": "single attributes in R",
+    "r": "relation instance",
+    "t": "tuple in r",
+    "t_p": "pattern tuple of conditions",
+}
+
+
+def _grid(rows: list[list[str]]) -> str:
+    widths = [
+        max(len(r[c]) for r in rows) for c in range(len(rows[0]))
+    ]
+    lines = []
+    for k, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row))
+        )
+        if k == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_table2() -> str:
+    """Table 2: the index of data dependencies."""
+    rows = [
+        ["type", "abbrev", "name", "year", "#pubs", "definition",
+         "discovery", "application"]
+    ]
+    for branch, infos in notations_by_branch().items():
+        for info in infos:
+            rows.append(
+                [
+                    branch,
+                    info.abbrev,
+                    info.full_name,
+                    str(info.year),
+                    "-" if info.publications is None
+                    else str(info.publications),
+                    " ".join(info.definition_refs) or "-",
+                    " ".join(info.discovery_refs) or "-",
+                    " ".join(info.application_refs) or "-",
+                ]
+            )
+    return "Table 2 — index of data dependencies:\n" + _grid(rows)
+
+
+def render_table3() -> str:
+    """Table 3: applications of data dependencies."""
+    rows = [["application", "categorical", "heterogeneous", "numerical"]]
+    for app, branches in APPLICATIONS.items():
+        rows.append(
+            [
+                app,
+                ", ".join(branches.get("categorical", ())) or "-",
+                ", ".join(branches.get("heterogeneous", ())) or "-",
+                ", ".join(branches.get("numerical", ())) or "-",
+            ]
+        )
+    return "Table 3 — applications of data dependencies:\n" + _grid(rows)
+
+
+def render_table4() -> str:
+    """Table 4: notations."""
+    rows = [["symbol", "description"]]
+    rows.extend([s, d] for s, d in TABLE4_NOTATIONS.items())
+    return "Table 4 — notations:\n" + _grid(rows)
+
+
+def consistency_problems() -> list[str]:
+    """Cross-check the registry against the implemented family tree.
+
+    Returns human-readable inconsistencies (empty = registry, classes
+    and Fig. 1 graph agree).  Run by tests and the bench harness.
+    """
+    from ..core.familytree import BRANCHES, CLASSES
+
+    problems: list[str] = []
+    for abbrev, info in NOTATIONS.items():
+        if abbrev not in CLASSES:
+            problems.append(f"{abbrev} has no implementing class")
+        if BRANCHES.get(abbrev) != info.branch:
+            problems.append(
+                f"{abbrev}: registry branch {info.branch!r} != tree "
+                f"branch {BRANCHES.get(abbrev)!r}"
+            )
+    for app, branches in APPLICATIONS.items():
+        for branch, names in branches.items():
+            for name in names:
+                if name in ("FD", "OFD"):
+                    continue  # roots appear in several branches' rows
+                if name not in NOTATIONS:
+                    problems.append(
+                        f"Table 3 {app!r} mentions unknown {name}"
+                    )
+    return problems

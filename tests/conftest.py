@@ -1,0 +1,36 @@
+"""Shared fixtures: the paper's relations and common dependencies."""
+
+import pytest
+
+from repro.datasets import (
+    dataspace_person,
+    hotel_r1,
+    hotel_r5,
+    hotel_r6,
+    hotel_r7,
+)
+
+
+@pytest.fixture
+def r1():
+    return hotel_r1()
+
+
+@pytest.fixture
+def r5():
+    return hotel_r5()
+
+
+@pytest.fixture
+def r6():
+    return hotel_r6()
+
+
+@pytest.fixture
+def r7():
+    return hotel_r7()
+
+
+@pytest.fixture
+def dataspace():
+    return dataspace_person()

@@ -1,0 +1,134 @@
+"""Tests for the shared framework: violations, conjunctions, results."""
+
+import pytest
+
+from repro.core import Conjunction, DependencyError, FD, Violation, ViolationSet
+from repro.core.base import brute_force_pairs, format_attrs
+from repro.discovery.common import (
+    DiscoveryResult,
+    DiscoveryStats,
+    generate_next_level,
+    is_superset_of_any,
+    proper_subsets,
+    subsets_of_size,
+)
+from repro.relation import Relation
+
+
+class TestViolation:
+    def test_tuples_normalized_sorted(self):
+        v = Violation("dep", (3, 1))
+        assert v.tuples == (1, 3)
+
+    def test_involves(self):
+        v = Violation("dep", (1, 3))
+        assert v.involves(3) and not v.involves(2)
+
+    def test_str_contains_reason(self):
+        v = Violation("FD: a -> b", (0, 1), "because")
+        assert "because" in str(v) and "t0" in str(v)
+
+
+class TestViolationSet:
+    def test_dedupes_on_dependency_and_tuples(self):
+        vs = ViolationSet()
+        vs.add(Violation("d", (0, 1), "x"))
+        vs.add(Violation("d", (1, 0), "y"))  # same pair, same dep
+        assert len(vs) == 1
+
+    def test_different_dependencies_kept(self):
+        vs = ViolationSet([Violation("a", (0, 1)), Violation("b", (0, 1))])
+        assert len(vs) == 2
+
+    def test_tuple_indices_and_pairs(self):
+        vs = ViolationSet([Violation("d", (0, 1)), Violation("d", (2,))])
+        assert vs.tuple_indices() == {0, 1, 2}
+        assert vs.pairs() == {(0, 1)}
+
+    def test_by_dependency(self):
+        vs = ViolationSet([Violation("a", (0, 1)), Violation("b", (1, 2))])
+        grouped = vs.by_dependency()
+        assert set(grouped) == {"a", "b"}
+
+    def test_summary_truncates(self):
+        vs = ViolationSet(
+            Violation("d", (i, i + 1)) for i in range(20)
+        )
+        text = vs.summary(limit=3)
+        assert "and 17 more" in text
+
+    def test_empty_summary(self):
+        assert "no violations" in ViolationSet().summary()
+
+    def test_indexing_and_bool(self):
+        vs = ViolationSet([Violation("d", (0, 1))])
+        assert vs[0].tuples == (0, 1)
+        assert vs
+        assert not ViolationSet()
+
+
+class TestConjunction:
+    def test_holds_is_and(self):
+        r = Relation.from_rows(["a", "b"], [(1, 1), (1, 2)])
+        good = FD("b", "a")
+        bad = FD("a", "b")
+        assert not Conjunction([good, bad]).holds(r)
+        assert Conjunction([good]).holds(r)
+
+    def test_violations_aggregate(self):
+        r = Relation.from_rows(["a", "b"], [(1, 1), (1, 2)])
+        conj = Conjunction([FD("a", "b"), FD("b", "a")])
+        assert len(conj.violations(r)) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(DependencyError):
+            Conjunction([])
+
+    def test_attributes_union(self):
+        conj = Conjunction([FD("a", "b"), FD("b", "c")])
+        assert conj.attributes() == ("a", "b", "c")
+
+    def test_str(self):
+        conj = Conjunction([FD("a", "b")])
+        assert "AND" not in str(conj) or str(conj)
+
+
+class TestDiscoveryCommon:
+    def test_proper_subsets(self):
+        assert list(proper_subsets(("a", "b", "c"))) == [
+            ("b", "c"), ("a", "c"), ("a", "b"),
+        ]
+
+    def test_is_superset_of_any(self):
+        assert is_superset_of_any(("a", "b"), [("a",)])
+        assert not is_superset_of_any(("b",), [("a",)])
+
+    def test_generate_next_level_requires_all_subsets(self):
+        level = [("a", "b"), ("a", "c")]
+        # ("a","b","c") needs ("b","c") present too.
+        assert generate_next_level(level) == []
+        level.append(("b", "c"))
+        assert generate_next_level(level) == [("a", "b", "c")]
+
+    def test_subsets_of_size(self):
+        assert list(subsets_of_size(["a", "b", "c"], 2)) == [
+            ("a", "b"), ("a", "c"), ("b", "c"),
+        ]
+
+    def test_stats_merge(self):
+        a = DiscoveryStats(candidates_checked=2, levels=1)
+        b = DiscoveryStats(candidates_checked=3, levels=4)
+        a.merge(b)
+        assert a.candidates_checked == 5 and a.levels == 4
+
+    def test_result_container(self):
+        dep = FD("a", "b")
+        res = DiscoveryResult([dep], algorithm="X")
+        assert dep in res
+        assert len(res) == 1
+        assert "X" in res.summary()
+
+
+def test_format_attrs_and_pairs():
+    assert format_attrs(("a", "b")) == "a, b"
+    assert list(brute_force_pairs(3)) == [(0, 1), (0, 2), (1, 2)]

@@ -1,0 +1,180 @@
+"""Unit tests for patterns, CFDs, eCFDs and tableaux."""
+
+import pytest
+
+from repro.core import (
+    CFD,
+    CFDTableau,
+    DependencyError,
+    ECFD,
+    FD,
+    Pattern,
+    const,
+    ecfd,
+    pred,
+    wildcard,
+)
+from repro.relation import Relation
+
+
+class TestPatternEntry:
+    def test_wildcard_matches_everything(self):
+        w = wildcard()
+        assert w.matches("x") and w.matches(None) and w.matches(42)
+
+    def test_constant(self):
+        c = const("x")
+        assert c.matches("x") and not c.matches("y")
+        assert not c.matches(None)
+
+    def test_operators(self):
+        assert pred("<=", 200).matches(200)
+        assert pred("<=", 200).matches(150)
+        assert not pred("<=", 200).matches(201)
+        assert pred("!=", 5).matches(6)
+
+    def test_unicode_aliases(self):
+        assert pred("≤", 5).op == "<="
+        assert pred("≠", 5).op == "!="
+
+    def test_incomparable_types_do_not_match(self):
+        assert not pred("<", 5).matches("abc")
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            pred("~", 1)
+
+
+class TestPattern:
+    def test_unmentioned_attributes_are_wildcards(self):
+        p = Pattern({"a": 1})
+        assert p.entry("zzz").is_wildcard
+
+    def test_matches_record(self):
+        p = Pattern({"a": 1, "b": ("<=", 10)})
+        assert p.matches({"a": 1, "b": 5}, ["a", "b"])
+        assert not p.matches({"a": 1, "b": 50}, ["a", "b"])
+
+    def test_equality_ignores_explicit_wildcards(self):
+        assert Pattern({"a": "_"}) == Pattern({})
+        assert Pattern({"a": 1}) != Pattern({})
+
+    def test_constants(self):
+        p = Pattern({"a": 1, "b": "_"})
+        assert p.constants() == {"a": 1}
+
+    def test_render(self):
+        p = Pattern({"a": "J"})
+        assert p.render(["a"], ["b"]) == "('J' || _)"
+
+
+@pytest.fixture
+def cfd1():
+    """The paper's cfd1: region = Jackson, name = _ -> address = _."""
+    return CFD(["region", "name"], "address", {"region": "Jackson"})
+
+
+class TestCFD:
+    def test_cfd1_holds_on_r5(self, cfd1, r5):
+        assert cfd1.holds(r5)
+
+    def test_matching_indices(self, cfd1, r5):
+        assert cfd1.matching_indices(r5) == [0, 1]
+
+    def test_support(self, cfd1, r5):
+        assert cfd1.support(r5) == pytest.approx(0.5)
+
+    def test_all_wildcard_equals_fd(self, r5, r1):
+        for rel in (r5, r1):
+            for lhs in rel.schema.names():
+                for rhs in rel.schema.names():
+                    if lhs == rhs:
+                        continue
+                    assert CFD(lhs, rhs).holds(rel) == FD(lhs, rhs).holds(rel)
+
+    def test_conditioned_fd_violation(self):
+        r = Relation.from_rows(
+            ["cond", "x", "y"],
+            [("in", 1, "a"), ("in", 1, "b"), ("out", 2, "a"), ("out", 2, "b")],
+        )
+        dep = CFD(["cond", "x"], "y", {"cond": "in"})
+        assert not dep.holds(r)
+        assert {v.tuples for v in dep.violations(r)} == {(0, 1)}
+
+    def test_constant_rhs_single_tuple_violation(self):
+        r = Relation.from_rows(["cc", "ac"], [("44", "131"), ("44", "99")])
+        dep = CFD("cc", "ac", {"cc": "44", "ac": "131"})
+        assert not dep.holds(r)
+        tuples = {v.tuples for v in dep.violations(r)}
+        assert (1,) in tuples
+
+    def test_pattern_outside_fd_rejected(self):
+        with pytest.raises(DependencyError):
+            CFD("a", "b", {"c": 1})
+
+    def test_operator_pattern_rejected_for_plain_cfd(self):
+        with pytest.raises(DependencyError):
+            CFD("a", "b", {"a": ("<=", 5)})
+
+    def test_constant_and_variable_classification(self, cfd1):
+        assert not cfd1.is_constant_cfd()
+        assert cfd1.is_variable_cfd()
+        full = CFD("a", "b", {"a": 1, "b": 2})
+        assert full.is_constant_cfd()
+        assert not full.is_variable_cfd()
+
+    def test_holds_matches_violations_emptiness(self, r5, cfd1):
+        assert cfd1.holds(r5) == (len(cfd1.violations(r5)) == 0)
+
+
+class TestECFD:
+    def test_ecfd1_holds_on_r5(self, r5):
+        """Section 2.5.5: rate <= 200, name = _ -> address = _."""
+        e1 = ecfd(["rate", "name"], "address", {"rate": ("<=", 200)})
+        assert e1.holds(r5)
+
+    def test_ecfd_catches_conditioned_violation(self):
+        r = Relation.from_rows(
+            ["rate", "name", "addr"],
+            [(100, "H", "a1"), (100, "H", "a2"), (300, "K", "b1"),
+             (300, "K", "b2")],
+        )
+        e = ecfd(["rate", "name"], "addr", {"rate": ("<=", 200)})
+        assert not e.holds(r)
+        assert {v.tuples for v in e.violations(r)} == {(0, 1)}
+
+    def test_inequality_condition(self, r5):
+        e = ecfd(["rate", "name"], "address", {"rate": (">", 200)})
+        # rate > 200 matches t1, t2 (230, 250): same name "Hyatt",
+        # same address -> holds.
+        assert e.holds(r5)
+
+    def test_from_cfd_preserves_semantics(self, r5, cfd1):
+        e = ECFD.from_cfd(cfd1)
+        assert e.holds(r5) == cfd1.holds(r5)
+
+
+class TestCFDTableau:
+    def test_conjunction_semantics(self, r5):
+        tab = CFDTableau(
+            ["region", "name"],
+            "address",
+            [{"region": "Jackson"}, {"region": "El Paso"}],
+        )
+        assert tab.holds(r5)
+        assert len(tab) == 2
+
+    def test_tableau_support_unions_coverage(self, r5):
+        tab = CFDTableau(
+            ["region", "name"], "address", [{"region": "Jackson"}]
+        )
+        assert tab.support(r5) == pytest.approx(0.5)
+        tab.add({"region": "El Paso"})
+        assert tab.support(r5) == pytest.approx(0.75)
+
+    def test_violations_aggregate(self):
+        r = Relation.from_rows(
+            ["c", "x", "y"], [("a", 1, 1), ("a", 1, 2)]
+        )
+        tab = CFDTableau(["c", "x"], "y", [{"c": "a"}])
+        assert len(tab.violations(r)) == 1

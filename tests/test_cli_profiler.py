@@ -1,0 +1,142 @@
+"""Tests for the profiler and the CLI."""
+
+import pytest
+
+from repro.cli import _parse_fd, load_relation, main
+from repro.datasets import fd_workload, hotel_r1, hotel_r7
+from repro.profiler import profile_relation
+from repro.relation import AttributeType
+from repro.relation.io import write_csv
+
+
+@pytest.fixture
+def r1_csv(tmp_path):
+    path = tmp_path / "r1.csv"
+    write_csv(hotel_r1(), path)
+    return str(path)
+
+
+@pytest.fixture
+def r7_csv(tmp_path):
+    path = tmp_path / "r7.csv"
+    write_csv(hotel_r7(), path)
+    return str(path)
+
+
+class TestProfiler:
+    def test_profile_r1(self):
+        report = profile_relation(hotel_r1())
+        categories = set(report.by_category())
+        assert any("exact FDs" in c for c in categories)
+        text = report.render()
+        assert "8 tuples" in text
+
+    def test_profile_dirty_workload_has_soft_and_approximate(self):
+        w = fd_workload(120, 12, error_rate=0.05, seed=3)
+        report = profile_relation(
+            w.relation, epsilon=0.1, max_lhs_size=1, sfd_strength=0.6
+        )
+        categories = set(report.by_category())
+        assert any("approximate FDs" in c for c in categories)
+        assert any("soft FDs" in c for c in categories)
+        assert any("constant CFDs" in c for c in categories)
+
+    def test_profile_r7_finds_order_rules(self):
+        report = profile_relation(hotel_r7())
+        ods = report.by_category().get("order dependencies", [])
+        assert any("avg/night" in str(r.rule) for r in ods)
+        sds = report.by_category().get(
+            "sequential dependencies (fitted gaps)", []
+        )
+        assert sds
+
+    def test_empty_relation_notes(self):
+        from repro.relation import Relation
+
+        report = profile_relation(Relation.empty(["a"]))
+        assert report.rules == []
+        assert report.notes
+
+    def test_pairwise_skip_note(self):
+        w = fd_workload(60, 6, seed=1)
+        report = profile_relation(w.relation, max_rows_for_pairwise=10)
+        assert any("skipped OD" in n for n in report.notes)
+
+    def test_violation_counts_populated(self):
+        w = fd_workload(80, 8, error_rate=0.1, seed=2)
+        report = profile_relation(w.relation, epsilon=0.2, max_lhs_size=1)
+        approx = [
+            r
+            for r in report.rules
+            if r.category.startswith("approximate")
+        ]
+        assert any(r.violations > 0 for r in approx)
+
+
+class TestCLI:
+    def test_parse_fd(self):
+        dep = _parse_fd("a, b->c")
+        assert dep.lhs == ("a", "b") and dep.rhs == ("c",)
+
+    def test_parse_fd_rejects_garbage(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_fd("nonsense")
+
+    def test_load_relation_autodetects_types(self, r1_csv):
+        rel = load_relation(r1_csv)
+        assert rel.schema["star"].dtype is AttributeType.NUMERICAL
+        assert rel.schema["name"].dtype is AttributeType.TEXT
+
+    def test_load_relation_overrides(self, r1_csv):
+        rel = load_relation(r1_csv, text=["star"])
+        assert rel.schema["star"].dtype is AttributeType.TEXT
+
+    def test_profile_command(self, r1_csv, capsys):
+        assert main(["profile", r1_csv]) == 0
+        out = capsys.readouterr().out
+        assert "exact FDs" in out
+
+    def test_check_command_failure_exit(self, r1_csv, capsys):
+        code = main(["check", r1_csv, "--fd", "address->region"])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_check_command_success_exit(self, r1_csv, capsys):
+        code = main(["check", r1_csv, "--fd", "address->star"])
+        assert code == 0
+        assert "[ok]" in capsys.readouterr().out
+
+    def test_check_unknown_attribute(self, r1_csv, capsys):
+        code = main(["check", r1_csv, "--fd", "nope->region"])
+        assert code == 2
+
+    def test_tree_command(self, capsys):
+        assert main(["tree"]) == 0
+        assert "Family tree" in capsys.readouterr().out
+
+    def test_survey_command(self, capsys):
+        assert main(["survey"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "Fig. 3" in out
+
+    def test_numerical_profile(self, r7_csv, capsys):
+        assert main(["profile", r7_csv]) == 0
+        out = capsys.readouterr().out
+        assert "order dependencies" in out
+
+
+def test_python_dash_m_entry_point():
+    """``python -m repro`` is the documented CLI entry."""
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "tree"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert proc.returncode == 0
+    assert "Family tree" in proc.stdout

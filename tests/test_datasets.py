@@ -1,0 +1,171 @@
+"""Tests for dataset generators (determinism, ground-truth bookkeeping)."""
+
+import pytest
+
+from repro.core import FD
+from repro.datasets import (
+    PAPER_RELATIONS,
+    fd_workload,
+    heterogeneous_workload,
+    ordered_workload,
+    random_relation,
+)
+
+
+class TestFDWorkload:
+    def test_clean_satisfies_true_fds(self):
+        w = fd_workload(100, 10, error_rate=0.1, seed=1)
+        for dep in w.true_fds:
+            assert dep.holds(w.clean)
+
+    def test_error_tuples_actually_differ(self):
+        w = fd_workload(100, 10, error_rate=0.1, seed=1)
+        for i in w.error_tuples:
+            assert w.relation.tuple_at(i) != w.clean.tuple_at(i)
+
+    def test_non_error_tuples_match_clean(self):
+        w = fd_workload(100, 10, error_rate=0.1, seed=1)
+        for i in range(len(w.relation)):
+            if i not in w.error_tuples:
+                assert w.relation.tuple_at(i) == w.clean.tuple_at(i)
+
+    def test_deterministic(self):
+        a = fd_workload(60, 5, error_rate=0.1, seed=9)
+        b = fd_workload(60, 5, error_rate=0.1, seed=9)
+        assert a.relation == b.relation
+        assert a.error_tuples == b.error_tuples
+
+    def test_zero_error_rate_clean(self):
+        w = fd_workload(50, 5, error_rate=0.0, seed=2)
+        assert w.error_tuples == set()
+        assert w.relation == w.clean
+
+
+class TestHeterogeneousWorkload:
+    def test_duplicate_pairs_share_entity(self):
+        w = heterogeneous_workload(10, 3, 0.3, 0.0, seed=5)
+        for a, b in w.duplicate_pairs:
+            # Same entity => same address in this generator.
+            assert w.relation.value_at(a, "address") == w.relation.value_at(
+                b, "address"
+            )
+
+    def test_variants_are_not_errors(self):
+        w = heterogeneous_workload(20, 3, 0.4, 0.1, seed=6)
+        assert not (w.variant_tuples & w.error_tuples)
+
+    def test_variant_city_extends_clean_value(self):
+        w = heterogeneous_workload(20, 3, 0.5, 0.0, seed=7)
+        for i in w.variant_tuples:
+            clean_city = w.clean.value_at(i, "city")
+            dirty_city = w.relation.value_at(i, "city")
+            assert dirty_city.startswith(clean_city)
+            assert dirty_city != clean_city
+
+    def test_true_fd_holds_on_clean(self):
+        w = heterogeneous_workload(10, 2, 0.3, 0.05, seed=8)
+        for dep in w.true_fds:
+            assert dep.holds(w.clean)
+
+
+class TestOrderedWorkload:
+    def test_clean_series_increases(self):
+        w = ordered_workload(50, glitch_rate=0.0, seed=1)
+        values = w.clean.column("value")
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_glitches_recorded(self):
+        w = ordered_workload(50, glitch_rate=0.2, seed=1)
+        assert w.error_tuples
+        for i in w.error_tuples:
+            assert w.relation.value_at(i, "value") < w.clean.value_at(
+                i, "value"
+            )
+
+
+class TestRandomRelation:
+    def test_shape(self):
+        r = random_relation(10, 4, seed=0)
+        assert len(r) == 10 and len(r.schema) == 4
+
+    def test_numerical_flag_sets_dtype(self):
+        r = random_relation(5, 2, seed=0, numerical=True)
+        assert len(r.schema.numerical_attributes()) == 2
+
+    def test_deterministic(self):
+        assert random_relation(8, 3, seed=4) == random_relation(8, 3, seed=4)
+
+
+def test_paper_relations_registry():
+    assert len(PAPER_RELATIONS) == 5
+    for name, ctor in PAPER_RELATIONS.items():
+        rel = ctor()
+        assert len(rel) > 0, name
+
+
+class TestDataspaceWorkload:
+    def test_two_rows_per_entity(self):
+        from repro.datasets import dataspace_workload
+
+        ds = dataspace_workload(10, seed=1)
+        assert len(ds) == 20
+        # source-1 rows fill region/addr; source-2 rows fill city/post.
+        assert ds.value_at(0, "region") is not None
+        assert ds.value_at(0, "city") is None
+        assert ds.value_at(1, "city") is not None
+        assert ds.value_at(1, "region") is None
+
+    def test_variant_is_one_edit(self):
+        from repro.datasets import dataspace_workload
+        from repro.metrics import levenshtein
+
+        ds = dataspace_workload(5, seed=2)
+        for e in range(5):
+            region = ds.value_at(2 * e, "region")
+            city = ds.value_at(2 * e + 1, "city")
+            assert levenshtein(region, city) == 1
+
+
+class TestMultisourceWorkload:
+    def test_shared_ground_truth(self):
+        from repro.datasets import multisource_workload
+
+        sources = multisource_workload(3, 40, 6, seed=4)
+        # All sources agree on the clean mapping: union of clean rows
+        # satisfies the true FDs.
+        from repro.relation import Relation
+
+        merged = Relation.from_rows(
+            sources[0].clean.schema,
+            [row for s in sources for row in s.clean.rows()],
+        )
+        for dep in sources[0].true_fds:
+            assert dep.holds(merged)
+
+    def test_error_rates_increase_by_default(self):
+        from repro.datasets import multisource_workload
+
+        sources = multisource_workload(4, 200, 8, seed=5)
+        errors = [len(s.error_tuples) for s in sources]
+        assert errors[0] == 0
+        assert errors[-1] > errors[0]
+
+    def test_pinpoints_low_quality_source(self):
+        from repro.datasets import multisource_workload
+        from repro.quality import rank_sources_by_quality
+
+        sources = multisource_workload(
+            4, 150, 8, error_rates=[0.0, 0.0, 0.0, 0.25], seed=6
+        )
+        ranking = rank_sources_by_quality(
+            [s.relation for s in sources], ["code"], "city"
+        )
+        worst_index, worst_p = ranking[0]
+        assert worst_index == 3
+        assert worst_p < ranking[-1][1]
+
+    def test_rate_length_validation(self):
+        from repro.datasets import multisource_workload
+
+        with pytest.raises(ValueError):
+            multisource_workload(3, 10, 4, error_rates=[0.1])

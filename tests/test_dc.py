@@ -1,0 +1,142 @@
+"""Unit tests for denial constraints."""
+
+import pytest
+
+from repro.core import (
+    ALPHA,
+    CFD,
+    DC,
+    ECFD,
+    FD,
+    OD,
+    Conjunction,
+    DependencyError,
+    Predicate,
+    pred2,
+    predc,
+)
+from repro.relation import Relation
+
+
+class TestPredicate:
+    def test_two_tuple_evaluation(self, r7):
+        p = pred2("subtotal", "<")
+        assert p.evaluate(r7, {"a": 0, "b": 1})
+        assert not p.evaluate(r7, {"a": 1, "b": 0})
+
+    def test_constant_evaluation(self, r7):
+        p = predc("nights", ">=", 3)
+        assert p.evaluate(r7, {"a": 2})
+        assert not p.evaluate(r7, {"a": 0})
+
+    def test_none_never_satisfies(self):
+        r = Relation.from_rows(["x"], [(None,), (1,)])
+        p = pred2("x", "=")
+        assert not p.evaluate(r, {"a": 0, "b": 1})
+
+    def test_negation_involution(self):
+        p = pred2("x", "<")
+        assert p.negated().op == ">="
+        assert p.negated().negated().op == "<"
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(DependencyError):
+            Predicate("a", "x", "~", "b", "x")
+
+    def test_bad_variable_rejected(self):
+        with pytest.raises(DependencyError):
+            Predicate("q", "x", "=", None, None, 1)
+
+
+class TestDC:
+    def test_paper_dc1_on_r7(self, r7):
+        """Section 4.3.1: subtotal < & taxes > never co-hold on r7."""
+        dc1 = DC([pred2("subtotal", "<"), pred2("taxes", ">")])
+        assert dc1.holds(r7)
+
+    def test_dc1_violation_when_order_broken(self, r7):
+        broken = r7.with_value(0, "taxes", 999)
+        dc1 = DC([pred2("subtotal", "<"), pred2("taxes", ">")])
+        assert not dc1.holds(broken)
+        vs = dc1.violations(broken)
+        assert all(0 in v.tuples for v in vs)
+
+    def test_single_tuple_dc(self, r7):
+        dc = DC([predc("nights", ">", 10)])
+        assert dc.holds(r7)
+        bad = r7.with_value(0, "nights", 11)
+        assert not bad is r7
+        assert not dc.holds(bad)
+        assert {v.tuples for v in dc.violations(bad)} == {(0,)}
+
+    def test_constant_and_pairwise_mix(self, r5):
+        """The paper's Section 1.6 rule: no price < 200 in Chicago —
+        shaped as a single-tuple DC with two constant atoms."""
+        r = Relation.from_rows(
+            ["region", "price"],
+            [("Chicago", 250), ("Chicago", 150), ("Boston", 100)],
+        )
+        dc = DC([predc("region", "=", "Chicago"), predc("price", "<", 200)])
+        assert not dc.holds(r)
+        assert {v.tuples for v in dc.violations(r)} == {(1,)}
+
+    def test_empty_dc_rejected(self):
+        with pytest.raises(DependencyError):
+            DC([])
+
+    def test_g3_error(self, r7):
+        dc1 = DC([pred2("subtotal", "<"), pred2("taxes", ">")])
+        assert dc1.g3_error(r7) == 0.0
+        broken = r7.with_value(0, "taxes", 999)
+        assert 0.0 < dc1.g3_error(broken) <= 0.5
+
+    def test_width_and_equality(self):
+        a = DC([pred2("x", "="), pred2("y", "!=")])
+        b = DC([pred2("y", "!="), pred2("x", "=")])
+        assert a == b
+        assert a.width() == 2
+
+
+class TestEmbeddings:
+    def test_fd_embedding(self, r1, r5):
+        for rel in (r1, r5):
+            for lhs in rel.schema.names():
+                for rhs in rel.schema.names():
+                    if lhs == rhs:
+                        continue
+                    dep = FD(lhs, rhs)
+                    assert DC.from_fd(dep).holds(rel) == dep.holds(rel)
+
+    def test_fd_embedding_multi_rhs_rejected(self):
+        with pytest.raises(DependencyError):
+            DC.from_fd(FD("a", ["b", "c"]))
+
+    def test_paper_dc2_od_embedding(self, r7):
+        """Section 4.3.2: od1 as dc2."""
+        od1 = OD([("nights", "<=")], [("avg/night", ">=")])
+        dc2 = DC.from_od(od1)
+        assert dc2.holds(r7) == od1.holds(r7)
+        # structure check: the negated RHS mark is '<'
+        ops = {p.op for p in dc2.predicates}
+        assert ops == {"<=", "<"}
+
+    def test_paper_dc3_ecfd_embedding(self, r5):
+        """Section 4.3.3: ecfd1 as dc3."""
+        e1 = ECFD(["rate", "name"], "address", {"rate": ("<=", 200)})
+        dc3 = DC.from_ecfd(e1)
+        assert dc3.holds(r5) == e1.holds(r5)
+
+    def test_ecfd_constant_rhs_gives_two_dcs(self):
+        e = ECFD("a", "b", {"a": 1, "b": 2})
+        dcs = DC.from_ecfd_all(e)
+        assert len(dcs) == 2
+        r_ok = Relation.from_rows(["a", "b"], [(1, 2), (3, 9)])
+        r_bad = Relation.from_rows(["a", "b"], [(1, 5)])
+        assert Conjunction(dcs).holds(r_ok) == e.holds(r_ok) is True
+        assert Conjunction(dcs).holds(r_bad) == e.holds(r_bad) is False
+
+    def test_multi_rhs_od_embedding(self, r7):
+        od = OD([("nights", "<=")], [("subtotal", "<="), ("taxes", "<=")])
+        dcs = DC.from_od_all(od)
+        assert len(dcs) == 2
+        assert Conjunction(dcs).holds(r7) == od.holds(r7)

@@ -1,0 +1,148 @@
+"""Unit tests for Intervals, DifferentialFunctions, DDs and CDDs."""
+
+import math
+
+import pytest
+
+from repro.core import CDD, CFD, DD, DifferentialFunction, Interval, NED
+from repro.relation import Relation
+
+
+class TestInterval:
+    def test_constructors(self):
+        assert Interval.at_most(5).contains(5)
+        assert not Interval.at_most(5).contains(5.1)
+        assert Interval.at_least(10).contains(10)
+        assert not Interval.at_least(10).contains(9.9)
+        assert Interval.greater_than(5).contains(5.1)
+        assert not Interval.greater_than(5).contains(5)
+        assert Interval.less_than(5).contains(4.9)
+        assert not Interval.less_than(5).contains(5)
+        assert Interval.exactly(3).contains(3)
+        assert not Interval.exactly(3).contains(2)
+
+    def test_parse(self):
+        assert Interval.parse(5) == Interval.at_most(5)
+        assert Interval.parse(("<=", 5)) == Interval.at_most(5)
+        assert Interval.parse((">=", 2)) == Interval.at_least(2)
+        assert Interval.parse((1, 3)) == Interval.between(1, 3)
+        assert Interval.parse(Interval.exactly(1)) == Interval.exactly(1)
+
+    def test_parse_bad_operator(self):
+        with pytest.raises(ValueError):
+            Interval.parse(("~", 1))
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5, 3)
+
+    def test_subsumes(self):
+        assert Interval.at_most(5).subsumes(Interval.at_most(3))
+        assert not Interval.at_most(3).subsumes(Interval.at_most(5))
+        assert Interval.everything().subsumes(Interval.exactly(7))
+        assert Interval.at_most(5).subsumes(Interval.less_than(5))
+        assert not Interval.less_than(5).subsumes(Interval.at_most(5))
+
+    def test_similarity_range(self):
+        assert Interval.at_most(5).is_similarity_range()
+        assert not Interval.at_least(5).is_similarity_range()
+        assert not Interval.everything().is_similarity_range()
+
+    def test_str(self):
+        assert str(Interval.at_most(5)) == "<=5"
+        assert str(Interval.at_least(2)) == ">=2"
+        assert str(Interval.exactly(3)) == "=3"
+
+
+class TestDifferentialFunction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DifferentialFunction({})
+
+    def test_compatibility(self, r6):
+        phi = DifferentialFunction({"name": 1, "street": 5})
+        assert phi.compatible(r6, 1, 5)  # t2, t6
+        assert not phi.compatible(r6, 0, 3)
+
+    def test_subsumption(self):
+        loose = DifferentialFunction({"a": 5})
+        tight = DifferentialFunction({"a": 2})
+        assert loose.subsumes(tight)
+        assert not tight.subsumes(loose)
+        # A function with fewer attributes and looser ranges matches a
+        # superset of the pairs, so it subsumes the stricter one.
+        more_attrs = DifferentialFunction({"a": 2, "b": 1})
+        assert loose.subsumes(more_attrs)
+        assert not more_attrs.subsumes(loose)
+
+
+class TestDD:
+    def test_paper_dd1_on_r6(self, r6):
+        """Section 3.3.1: name(<=1), street(<=5) -> address(<=5)."""
+        dd1 = DD({"name": 1, "street": 5}, {"address": 5})
+        assert dd1.holds(r6)
+
+    def test_paper_dd2_dissimilar_on_r6(self, r6):
+        """dd2: street(>=10) -> address(>5) — dissimilarity semantics."""
+        dd2 = DD({"street": (">=", 10)}, {"address": (">", 5)})
+        assert dd2.holds(r6)
+
+    def test_violation_of_dissimilar_rule(self):
+        r = Relation.from_rows(
+            ["s", "a"],
+            [("aaaaaaaaaaaa", "same addr"), ("bbbbbbbbbbbb", "same addr")],
+        )
+        dd = DD({"s": (">=", 10)}, {"a": (">", 5)})
+        assert not dd.holds(r)
+
+    def test_from_ned_equivalence(self, r6):
+        ned = NED({"name": 1, "address": 5}, {"street": 5})
+        dd = DD.from_ned(ned)
+        assert dd.holds(r6) == ned.holds(r6)
+
+    def test_dd_subsumption(self):
+        general = DD({"a": 5}, {"b": 1})
+        specific = DD({"a": 2}, {"b": 3})
+        assert general.subsumes(specific)
+        assert not specific.subsumes(general)
+
+
+class TestCDD:
+    def test_conditioned_scope(self, r6):
+        """Section 3.3.5's example shape: within one region, similar
+        names imply similar addresses."""
+        cdd = CDD(
+            {"name": 1}, {"address": 5}, {"region": "San Jose"}
+        )
+        assert cdd.holds(r6)
+
+    def test_condition_limits_pairs(self):
+        r = Relation.from_rows(
+            ["region", "name", "addr"],
+            [
+                ("X", "aa", "place one"),
+                ("X", "ab", "completely different location"),
+                ("Y", "aa", "spot"),
+            ],
+        )
+        unconditioned = DD({"name": 1}, {"addr": 5})
+        assert not unconditioned.holds(r)
+        conditioned = CDD({"name": 1}, {"addr": 5}, {"region": "Y"})
+        assert conditioned.holds(r)
+
+    def test_from_dd_equivalence(self, r6):
+        dd = DD({"name": 1, "street": 5}, {"address": 5})
+        cdd = CDD.from_dd(dd)
+        assert cdd.holds(r6) == dd.holds(r6)
+
+    def test_from_cfd_equivalence(self, r5):
+        cfd = CFD(["region", "name"], "address", {"region": "Jackson"})
+        cdd = CDD.from_cfd(cfd)
+        assert cdd.holds(r5) == cfd.holds(r5)
+
+    def test_from_cfd_rejects_constant_rhs(self):
+        from repro.core import DependencyError
+
+        cfd = CFD("a", "b", {"a": 1, "b": 2})
+        with pytest.raises(DependencyError):
+            CDD.from_cfd(cfd)

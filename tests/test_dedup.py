@@ -1,0 +1,124 @@
+"""Tests for MD-driven deduplication."""
+
+import pytest
+
+from repro.core import MD
+from repro.datasets import heterogeneous_workload
+from repro.quality import Deduplicator, UnionFind
+
+
+class TestUnionFind:
+    def test_clusters(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(3, 4)
+        uf.union(1, 3)
+        assert uf.clusters() == [[0, 1, 3, 4], [2]]
+
+    def test_idempotent_union(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        uf.union(0, 1)
+        assert uf.find(1) == uf.find(0)
+
+
+class TestDeduplicator:
+    @pytest.fixture
+    def workload(self):
+        return heterogeneous_workload(
+            20, 3, variant_rate=0.4, error_rate=0.0, seed=7
+        )
+
+    def test_same_address_clusters_entity(self, workload):
+        dedup = Deduplicator([MD({"address": 0}, "city")])
+        q = dedup.score(workload.relation, workload.duplicate_pairs)
+        assert q.precision == 1.0
+        assert q.recall == 1.0
+
+    def test_duplicates_only_size_two_plus(self, workload):
+        dedup = Deduplicator([MD({"address": 0}, "city")])
+        for cluster in dedup.duplicates(workload.relation):
+            assert len(cluster) >= 2
+
+    def test_identify_canonicalizes_city(self, workload):
+        dedup = Deduplicator([MD({"address": 0}, "city")])
+        identified = dedup.identify(workload.relation)
+        for cluster in dedup.duplicates(workload.relation):
+            values = {identified.value_at(t, "city") for t in cluster}
+            assert len(values) == 1
+
+    def test_md1_on_r6_identifies_zip(self, r6):
+        dedup = Deduplicator([MD({"street": 5, "region": 2}, "zip")])
+        clusters = dedup.duplicates(r6)
+        # t2, t5, t6 (0-based 1, 4, 5) share street/region neighborhood.
+        assert any({1, 4, 5} <= set(c) for c in clusters)
+
+    def test_transitive_closure_expands_pairs(self):
+        from repro.relation import Relation
+
+        r = Relation.from_rows(
+            ["s", "z"], [("aa", 1), ("ab", 1), ("bb", 1)]
+        )
+        dedup = Deduplicator([MD({"s": 1}, "z")])
+        # aa~ab and ab~bb but not aa~bb; closure puts all three together.
+        clusters = dedup.duplicates(r)
+        assert clusters == [[0, 1, 2]]
+
+    def test_match_quality_zero_division(self):
+        from repro.quality import MatchQuality
+
+        q = MatchQuality(0, 0, 0)
+        assert q.precision == 1.0 and q.recall == 1.0
+
+
+class TestMatchAcross:
+    def test_cross_relation_pairs(self):
+        from repro.quality import match_across
+        from repro.relation import Attribute, AttributeType, Relation, Schema
+
+        schema = Schema(
+            [
+                Attribute("name", AttributeType.TEXT),
+                Attribute("city", AttributeType.TEXT),
+            ]
+        )
+        left = Relation.from_rows(
+            schema, [("Grand Hotel", "Boston"), ("Plaza", "NYC")]
+        )
+        right = Relation.from_rows(
+            schema, [("Grand Hotl", "Boston"), ("Hilton", "Miami")]
+        )
+        md = MD({"name": 2}, "city")
+        pairs = match_across(left, right, md)
+        assert pairs == [(0, 0)]
+
+    def test_within_relation_pairs_excluded(self):
+        from repro.quality import match_across
+        from repro.relation import Relation
+
+        left = Relation.from_rows(["name", "city"], [("aa", 1), ("ab", 1)])
+        right = Relation.from_rows(["name", "city"], [("zz", 9)])
+        md = MD({"name": 1}, "city")
+        # aa~ab is a within-left pair: must not be returned.
+        assert match_across(left, right, md) == []
+
+    def test_missing_attribute_raises(self):
+        from repro.quality import match_across
+        from repro.relation import Relation
+
+        left = Relation.from_rows(["name", "city"], [("a", 1)])
+        right = Relation.from_rows(["name"], [("a",)])
+        md = MD({"name": 1}, "city")
+        with pytest.raises(KeyError):
+            match_across(left, right, md)
+
+    def test_extra_attributes_ignored(self):
+        from repro.quality import match_across
+        from repro.relation import Relation
+
+        left = Relation.from_rows(
+            ["name", "city", "extra"], [("aa", 1, "x")]
+        )
+        right = Relation.from_rows(["city", "name"], [(1, "aa")])
+        md = MD({"name": 0}, "city")
+        assert match_across(left, right, md) == [(0, 0)]

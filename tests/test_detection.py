@@ -1,0 +1,107 @@
+"""Tests for the violation-detection engine and its scoring."""
+
+import pytest
+
+from repro.core import DD, FD, MFD, SD
+from repro.datasets import fd_workload, heterogeneous_workload
+from repro.quality import DetectionQuality, Detector, detect_violations
+
+
+class TestDetector:
+    def test_mixed_rule_report(self, r1, r7):
+        det = Detector([FD("address", "region")])
+        report = det.detect(r1)
+        assert len(report.violations) == 2
+        assert report.rule_count() == 1
+        assert "violations" in report.summary()
+
+    def test_flagged_tuples_union(self, r1):
+        det = Detector(
+            [FD("address", "region"), FD("address", "name")]
+        )
+        flagged = det.detect(r1).flagged_tuples()
+        assert {0, 1, 2, 3, 4, 5} <= flagged
+
+    def test_holds_conjunction(self, r7):
+        from repro.core import OD
+
+        det = Detector(
+            [
+                OD([("nights", "<=")], [("avg/night", ">=")]),
+                SD("nights", "subtotal", (100, 200)),
+            ]
+        )
+        assert det.holds(r7)
+
+    def test_detect_violations_wrapper(self, r1):
+        vs = detect_violations(r1, [FD("address", "region")])
+        assert len(vs) == 2
+
+
+class TestScoring:
+    def test_perfect_scores(self):
+        q = DetectionQuality(5, 0, 0)
+        assert q.precision == 1.0 and q.recall == 1.0 and q.f1 == 1.0
+
+    def test_zero_division_conventions(self):
+        assert DetectionQuality(0, 0, 0).precision == 1.0
+        assert DetectionQuality(0, 0, 0).recall == 1.0
+        assert DetectionQuality(0, 0, 0).f1 == 0.0 or DetectionQuality(
+            0, 0, 0
+        ).f1 == 1.0
+
+    def test_fd_recall_perfect_on_injected_errors(self):
+        w = fd_workload(200, 20, error_rate=0.05, seed=2)
+        q = Detector(w.true_fds).score(w.relation, w.error_tuples)
+        assert q.recall == 1.0  # every injected error violates the FD
+        assert q.precision < 1.0  # clean partners get flagged too
+
+    def test_metric_rules_cut_false_positives(self):
+        """The Section 1.2 story quantified: on variety-ridden data, the
+        FD flags format variants; the DD with a tolerant city metric
+        does not."""
+        w = heterogeneous_workload(
+            30, 3, variant_rate=0.5, error_rate=0.08, seed=1
+        )
+        fd_q = Detector([FD("address", "city")]).score(
+            w.relation, w.error_tuples
+        )
+        dd = DD({"address": 0}, {"city": 4})
+        dd_q = Detector([dd]).score(w.relation, w.error_tuples)
+        assert dd_q.precision > fd_q.precision
+        assert dd_q.recall == 1.0
+
+    def test_str_rendering(self):
+        q = DetectionQuality(1, 1, 2)
+        assert "precision=" in str(q)
+
+
+class TestRankSuspects:
+    def test_most_flagged_tuple_first(self, r1):
+        from repro.core import FD
+        from repro.quality import rank_suspects
+
+        rules = [FD("address", "region"), FD("address", "name")]
+        ranking = rank_suspects(r1, rules)
+        assert ranking, "r1 has violations"
+        top_index, top_count = ranking[0]
+        assert top_count == max(c for __, c in ranking)
+        counts = [c for __, c in ranking]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_true_errors_rank_high(self):
+        from repro.datasets import fd_workload
+        from repro.quality import rank_suspects
+
+        w = fd_workload(150, 15, error_rate=0.04, seed=23)
+        ranking = rank_suspects(w.relation, w.true_fds)
+        top = {i for i, __ in ranking[: max(len(w.error_tuples), 1)]}
+        # At least half of the top slots are real injected errors.
+        assert len(top & w.error_tuples) * 2 >= len(w.error_tuples)
+
+    def test_clean_relation_empty_ranking(self, r7):
+        from repro.core import OD
+        from repro.quality import rank_suspects
+
+        rules = [OD([("nights", "<=")], [("subtotal", "<=")])]
+        assert rank_suspects(r7, rules) == []

@@ -1,0 +1,119 @@
+"""Tests for CORDS (SFDs), PFD discovery, and NUD discovery."""
+
+import pytest
+
+from repro.core import NUD, PFD, SFD
+from repro.datasets import fd_workload, hotel_r5, random_relation
+from repro.discovery import (
+    chi_square_statistic,
+    cords,
+    discover_nuds,
+    discover_pfds,
+    discover_pfds_multisource,
+    merged_probability,
+    minimal_weight,
+)
+from repro.relation import Relation
+
+
+class TestCords:
+    def test_finds_strong_pairs_on_clean_workload(self):
+        w = fd_workload(150, 12, error_rate=0.0, seed=1)
+        found = cords(w.relation, strength_threshold=0.95)
+        pairs = {(d.lhs[0], d.rhs[0]) for d in found}
+        assert ("code", "city") in pairs
+        assert ("code", "state") in pairs
+
+    def test_dirty_workload_lowers_strength(self):
+        clean = fd_workload(150, 12, error_rate=0.0, seed=1)
+        dirty = fd_workload(150, 12, error_rate=0.3, seed=1)
+        s_clean = SFD("code", "city").measure(clean.relation)
+        s_dirty = SFD("code", "city").measure(dirty.relation)
+        assert s_dirty < s_clean
+
+    def test_chi_square_detects_correlation(self):
+        w = fd_workload(300, 8, error_rate=0.0, seed=2)
+        stat_corr, dof1 = chi_square_statistic(w.relation, "code", "city")
+        stat_indep, dof2 = chi_square_statistic(
+            w.relation, "payload", "city"
+        )
+        assert stat_corr / max(dof1, 1) > stat_indep / max(dof2, 1)
+
+    def test_analyses_attached(self):
+        w = fd_workload(60, 6, error_rate=0.0, seed=3)
+        res = cords(w.relation)
+        assert hasattr(res, "analyses")
+        assert all(0.0 < a.strength <= 1.0 for a in res.analyses)
+
+    def test_sampling_is_deterministic(self):
+        w = fd_workload(400, 10, error_rate=0.1, seed=4)
+        a = cords(w.relation, sample_size=100, seed=5)
+        b = cords(w.relation, sample_size=100, seed=5)
+        assert {str(d) for d in a} == {str(d) for d in b}
+
+
+class TestPFDDiscovery:
+    def test_finds_approximate_fds(self):
+        w = fd_workload(120, 10, error_rate=0.05, seed=5)
+        found = discover_pfds(w.relation, probability_threshold=0.85)
+        pairs = {(d.lhs, d.rhs[0]) for d in found}
+        assert (("code",), "city") in pairs
+
+    def test_results_meet_threshold(self, r5):
+        for dep in discover_pfds(r5, probability_threshold=0.7):
+            assert PFD(dep.lhs, dep.rhs).measure(r5) >= 0.7
+
+    def test_minimality_pruning(self):
+        w = fd_workload(80, 8, error_rate=0.0, seed=6)
+        found = discover_pfds(w.relation, probability_threshold=0.9)
+        lhs_by_rhs: dict[str, list] = {}
+        for dep in found:
+            lhs_by_rhs.setdefault(dep.rhs[0], []).append(set(dep.lhs))
+        for sets in lhs_by_rhs.values():
+            for a in sets:
+                for b in sets:
+                    assert a is b or not (a < b)
+
+    def test_multisource_weighted_merge(self):
+        r_good = Relation.from_rows(
+            ["a", "b"], [(1, "x")] * 8
+        )
+        r_bad = Relation.from_rows(
+            ["a", "b"], [(1, "x"), (1, "y")]
+        )
+        p = merged_probability([r_good, r_bad], ("a",), "b")
+        # good source: prob 1 on 8 tuples; bad: 1/2 on 2 tuples.
+        assert p == pytest.approx((1.0 * 8 + 0.5 * 2) / 10)
+
+    def test_multisource_requires_same_schema(self):
+        r1_ = Relation.from_rows(["a"], [(1,)])
+        r2_ = Relation.from_rows(["b"], [(1,)])
+        with pytest.raises(ValueError):
+            discover_pfds_multisource([r1_, r2_])
+
+    def test_multisource_discovery(self):
+        sources = [
+            fd_workload(40, 5, error_rate=0.0, seed=s).relation
+            for s in range(3)
+        ]
+        found = discover_pfds_multisource(sources, 0.9)
+        assert any(
+            d.lhs == ("code",) and d.rhs == ("city",) for d in found
+        )
+
+
+class TestNUDDiscovery:
+    def test_minimal_weight_on_r5(self, r5):
+        assert minimal_weight(r5, ["address"], ["region"]) == 2
+        assert minimal_weight(r5, ["address"], ["name"]) == 1
+
+    def test_discovered_nuds_hold_and_are_tight(self, r5):
+        for dep in discover_nuds(r5, max_weight=3):
+            assert dep.holds(r5)
+            if dep.weight > 1:
+                tighter = NUD(dep.lhs, dep.rhs, dep.weight - 1)
+                assert not tighter.holds(r5)
+
+    def test_weight_cap(self, r5):
+        for dep in discover_nuds(r5, max_weight=2):
+            assert dep.weight <= 2

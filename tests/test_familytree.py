@@ -1,0 +1,133 @@
+"""Tests for the executable family tree (Fig. 1A)."""
+
+import pytest
+
+from repro.core import (
+    CFD,
+    DD,
+    ECFD,
+    FD,
+    MD,
+    MFD,
+    MVD,
+    NED,
+    OD,
+    OFD,
+    SD,
+)
+from repro.core.familytree import (
+    BRANCHES,
+    CLASSES,
+    DEFAULT_TREE,
+    EDGES,
+    verify_edge,
+)
+from repro.datasets import random_relation
+
+
+class TestStructure:
+    def test_is_a_dag(self):
+        assert DEFAULT_TREE.is_dag()
+
+    def test_24_notations_and_24_edges(self):
+        assert len(BRANCHES) == 24
+        assert len(EDGES) == 24
+
+    def test_roots_are_fd_and_ofd(self):
+        assert DEFAULT_TREE.roots() == ["FD", "OFD"]
+
+    def test_every_notation_has_a_class(self):
+        assert set(CLASSES) == set(BRANCHES)
+
+    def test_branch_sizes_match_paper_sections(self):
+        by_branch = DEFAULT_TREE.by_branch()
+        assert len(by_branch["categorical"]) == 10
+        assert len(by_branch["heterogeneous"]) == 9
+        assert len(by_branch["numerical"]) == 5
+
+    def test_dc_subsumes_fd_transitively(self):
+        """FD -> CFD -> eCFD -> DC: the paper's deepest chain."""
+        assert DEFAULT_TREE.extends("DC", "FD")
+        assert DEFAULT_TREE.extension_path("FD", "DC") == [
+            "FD", "CFD", "eCFD", "DC",
+        ]
+
+    def test_specializations_of_dc(self):
+        specs = DEFAULT_TREE.specializations("DC")
+        assert {"FD", "CFD", "eCFD", "OD", "OFD"} <= set(specs)
+
+    def test_generalizations_of_fd(self):
+        gens = DEFAULT_TREE.generalizations("FD")
+        # FD reaches every categorical/heterogeneous notation and,
+        # through eCFD, the DCs.
+        assert {"SFD", "PFD", "AFD", "NUD", "CFD", "eCFD", "MVD", "MFD",
+                "NED", "DD", "CDD", "CD", "PAC", "FFD", "MD", "CMD",
+                "DC"} <= set(gens)
+        assert "OFD" not in gens
+
+    def test_no_edge_between_unrelated(self):
+        with pytest.raises(KeyError):
+            DEFAULT_TREE.edge("SFD", "PFD")
+
+    def test_to_text_mentions_every_edge(self):
+        text = DEFAULT_TREE.to_text()
+        for e in EDGES:
+            assert e.target in text
+
+
+class TestEmbeddingChains:
+    def test_embed_along_path_fd_to_dd(self, r6):
+        """FD --MFD--NED--DD chain rewrites an FD into an equivalent DD."""
+        dep = FD("address", "region")
+        path = DEFAULT_TREE.extension_path("FD", "DD")
+        embedded = DEFAULT_TREE.embed_along_path(dep, path)
+        assert isinstance(embedded, DD)
+        for seed in range(5):
+            r = random_relation(8, 4, 3, seed=seed)
+            dep2 = FD("A0", "A1")
+            emb2 = DEFAULT_TREE.embed_along_path(
+                dep2, DEFAULT_TREE.extension_path("FD", "DD")
+            )
+            assert emb2.holds(r) == dep2.holds(r)
+
+    def test_embed_along_path_ofd_to_dc(self):
+        dep = OFD("A0", "A1")
+        path = DEFAULT_TREE.extension_path("OFD", "DC")
+        for seed in range(5):
+            r = random_relation(8, 3, 5, seed=seed, numerical=True)
+            embedded = DEFAULT_TREE.embed_along_path(dep, path)
+            assert embedded.holds(r) == dep.holds(r)
+
+
+def _sample_for(source: str):
+    """A representative child dependency per edge source."""
+    return {
+        "FD": FD(("A0", "A1"), ("A2",)),
+        "CFD": CFD(("A0", "A1"), ("A2",), {"A0": 1}),
+        "MVD": MVD(("A0",), ("A1",)),
+        "MFD": MFD(("A0",), ("A1",), 1.0),
+        "NED": NED({"A0": 1}, {"A1": 2}),
+        "DD": DD({"A0": 1}, {"A1": 2}),
+        "MD": MD({"A0": 1.0}, "A1"),
+        "OFD": OFD(("A0",), ("A1",)),
+        "OD": OD([("A0", "<=")], [("A1", ">=")]),
+        "eCFD": ECFD(("A0", "A1"), ("A2",), {"A0": ("<=", 2)}),
+        "SD": SD("A0", "A1", (0, None)),
+    }[source]
+
+
+@pytest.mark.parametrize("edge", EDGES, ids=lambda e: f"{e.source}->{e.target}")
+def test_every_edge_verifies_on_random_relations(edge):
+    """The reproduction of Fig. 1A: each arrow's claim holds empirically."""
+    numerical = edge.source in {"MFD", "NED", "DD", "MD", "OFD", "OD",
+                                "eCFD", "SD"}
+    relations = [
+        random_relation(n, 4, 3 if not numerical else 5, seed=s,
+                        numerical=numerical)
+        for s in range(6)
+        for n in (4, 9)
+    ]
+    result = verify_edge(edge, _sample_for(edge.source), relations)
+    assert result.passed, (
+        f"{edge}: counterexamples {result.counterexamples[:3]}"
+    )

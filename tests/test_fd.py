@@ -1,0 +1,107 @@
+"""Unit tests for FDs — the family tree's root."""
+
+import pytest
+
+from repro.core import FD, DependencyError
+from repro.relation import Relation
+
+
+@pytest.fixture
+def rel():
+    return Relation.from_rows(
+        ["a", "b", "c"],
+        [(1, "x", 1), (1, "x", 2), (2, "y", 1), (2, "z", 1)],
+    )
+
+
+class TestConstruction:
+    def test_single_names_accepted(self):
+        dep = FD("a", "b")
+        assert dep.lhs == ("a",) and dep.rhs == ("b",)
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(DependencyError):
+            FD([], "b")
+        with pytest.raises(DependencyError):
+            FD("a", [])
+
+    def test_equality_and_hash(self):
+        assert FD("a", "b") == FD(("a",), ("b",))
+        assert FD("a", "b") != FD("b", "a")
+        assert len({FD("a", "b"), FD("a", "b")}) == 1
+
+    def test_trivial(self):
+        assert FD(["a", "b"], "a").is_trivial()
+        assert not FD("a", "b").is_trivial()
+
+    def test_attributes_deduped(self):
+        assert FD(["a", "b"], ["b", "c"]).attributes() == ("a", "b", "c")
+
+    def test_str(self):
+        assert str(FD(["a", "b"], "c")) == "a, b -> c"
+
+
+class TestSemantics:
+    def test_holds(self, rel):
+        assert FD("a", "b").holds(rel) is False  # a=2 -> y and z
+        assert FD("b", "a").holds(rel) is True
+        assert FD(["a", "c"], "b").holds(rel) is False
+
+    def test_violations_are_cross_pairs(self, rel):
+        vs = FD("a", "b").violations(rel)
+        assert {v.tuples for v in vs} == {(2, 3)}
+
+    def test_violations_on_fd1_r1(self, r1):
+        """Table 1: fd1 flags (t3,t4) and (t5,t6), 0-based (2,3),(4,5)."""
+        fd1 = FD("address", "region")
+        assert {v.tuples for v in fd1.violations(r1)} == {(2, 3), (4, 5)}
+
+    def test_fd1_misses_t7_t8(self, r1):
+        """(t7, t8) differ on address, so fd1 cannot flag them."""
+        fd1 = FD("address", "region")
+        flagged = fd1.violations(r1).tuple_indices()
+        assert 6 not in flagged and 7 not in flagged
+
+    def test_holds_on_empty_and_single(self):
+        empty = Relation.empty(["a", "b"])
+        assert FD("a", "b").holds(empty)
+        single = Relation.from_rows(["a", "b"], [(1, 2)])
+        assert FD("a", "b").holds(single)
+
+    def test_pairwise_agrees_with_group_based(self, rel):
+        dep = FD("a", "b")
+        pairwise = {
+            (i, j)
+            for i, j in rel.tuple_pairs()
+            if dep.pair_violation(rel, i, j) is not None
+        }
+        assert pairwise == {v.tuples for v in dep.violations(rel)}
+
+    def test_none_values_compare_as_equal_cells(self):
+        # Two None X-values group together; None Y-values equal.
+        r = Relation.from_rows(["a", "b"], [(None, 1), (None, 1)])
+        assert FD("a", "b").holds(r)
+        r2 = Relation.from_rows(["a", "b"], [(None, 1), (None, 2)])
+        assert not FD("a", "b").holds(r2)
+
+
+class TestDerived:
+    def test_violating_groups(self, rel):
+        groups = FD("a", "b").violating_groups(rel)
+        assert list(groups) == [(2,)]
+        assert groups[(2,)] == [2, 3]
+
+    def test_keeps_is_maximum_consistent_subset(self, rel):
+        dep = FD("a", "b")
+        kept = dep.keeps(rel)
+        assert len(kept) == 3
+        assert dep.holds(rel.take(kept))
+
+    def test_keeps_on_satisfying_relation_keeps_all(self, rel):
+        dep = FD("b", "a")
+        assert dep.keeps(rel) == [0, 1, 2, 3]
+
+    def test_validate_schema(self, rel):
+        FD("a", "b").validate_schema(rel.schema)
+        with pytest.raises(KeyError):
+            FD("a", "nope").validate_schema(rel.schema)

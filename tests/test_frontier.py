@@ -1,0 +1,133 @@
+"""Tests for the future-direction pilots (Section 5)."""
+
+import networkx as nx
+import pytest
+
+from repro.core import FD
+from repro.frontier import (
+    NeighborhoodConstraint,
+    SpeedConstraint,
+    UncertainRelation,
+    holds_horizontally,
+    holds_vertically,
+    repair_distance,
+    repair_labels,
+    screen_repair,
+    violating_edges,
+)
+
+
+class TestUncertain:
+    def test_certain_relation_consistency(self, r5):
+        """Horizontal/vertical FDs coincide with plain FDs when the
+        relation carries no uncertainty — the [81] consistency property."""
+        urel = UncertainRelation(r5.schema, r5.rows())
+        for lhs in ("address", "name"):
+            dep = FD(lhs, "region")
+            expected = dep.holds(r5)
+            assert holds_horizontally(urel, dep) == expected
+            assert holds_vertically(urel, dep) == expected
+
+    def test_vertical_weaker_than_horizontal(self):
+        urel = UncertainRelation(
+            ["k", "v"],
+            [(1, ("a", "b")), (1, "a")],
+        )
+        dep = FD("k", "v")
+        assert not holds_horizontally(urel, dep)  # world with v=b breaks
+        assert holds_vertically(urel, dep)        # world with v=a works
+
+    def test_world_count(self):
+        urel = UncertainRelation(["a"], [(("x", "y"),)])
+        assert urel.world_count() == 2
+        assert len(list(urel.possible_worlds())) == 2
+
+    def test_certain_world_extraction(self, r7):
+        urel = UncertainRelation(r7.schema, r7.rows())
+        assert urel.certain_world() == r7
+
+    def test_certain_world_raises_on_uncertain(self):
+        urel = UncertainRelation(["a"], [(("x", "y"),)])
+        with pytest.raises(ValueError):
+            urel.certain_world()
+
+    def test_empty_alternatives_rejected(self):
+        with pytest.raises(ValueError):
+            UncertainRelation(["a"], [((),)])
+
+
+class TestGraph:
+    def _line_graph(self, labels):
+        g = nx.path_graph(len(labels))
+        for i, lab in enumerate(labels):
+            g.nodes[i]["label"] = lab
+        return g
+
+    def test_violating_edges(self):
+        constraint = NeighborhoodConstraint([("a", "b"), ("b", "c")])
+        g = self._line_graph(["a", "b", "a", "c"])
+        bad = violating_edges(g, constraint)
+        assert bad == [(2, 3)]  # a-c not allowed
+
+    def test_repair_fixes_labels(self):
+        constraint = NeighborhoodConstraint([("a", "b")])
+        g = self._line_graph(["a", "b", "a", "c"])
+        repaired, log = repair_labels(g, constraint)
+        assert violating_edges(repaired, constraint) == []
+        assert log  # something was relabeled
+
+    def test_from_specification(self):
+        spec = self._line_graph(["start", "work", "end"])
+        constraint = NeighborhoodConstraint.from_specification(spec)
+        assert constraint.allows("start", "work")
+        assert not constraint.allows("start", "end")
+
+    def test_clean_graph_untouched(self):
+        constraint = NeighborhoodConstraint([("a", "b")])
+        g = self._line_graph(["a", "b", "a"])
+        repaired, log = repair_labels(g, constraint)
+        assert log == []
+
+
+class TestTemporal:
+    def test_violations_within_window(self):
+        sc = SpeedConstraint(-5, 5, window=10)
+        series = [(0, 0), (1, 3), (2, 100)]
+        bad = sc.violations(series)
+        assert (1, 2) in bad
+        assert (0, 1) not in bad
+
+    def test_window_limits_comparisons(self):
+        sc = SpeedConstraint(-1, 1, window=1)
+        series = [(0, 0), (10, 100)]  # outside the window
+        assert sc.satisfied(series)
+
+    def test_screen_repair_fixes_spike(self):
+        sc = SpeedConstraint(-5, 5, window=100)
+        series = [(t, 2.0 * t) for t in range(10)]
+        dirty = list(series)
+        dirty[5] = (5, 500.0)
+        repaired = screen_repair(dirty, sc)
+        assert sc.satisfied(repaired)
+        # Clean points unchanged.
+        for k in (0, 1, 2, 3, 4, 6, 7, 8, 9):
+            assert repaired[k][1] == pytest.approx(dirty[k][1])
+
+    def test_repair_cost_only_from_spike(self):
+        sc = SpeedConstraint(-5, 5, window=100)
+        series = [(t, 2.0 * t) for t in range(10)]
+        dirty = list(series)
+        dirty[5] = (5, 500.0)
+        repaired = screen_repair(dirty, sc)
+        cost = repair_distance(dirty, repaired)
+        assert cost > 0
+        assert repair_distance(series, screen_repair(series, sc)) == 0
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            SpeedConstraint(5, -5)
+        with pytest.raises(ValueError):
+            SpeedConstraint(0, 1, window=0)
+
+    def test_empty_series(self):
+        assert screen_repair([], SpeedConstraint(-1, 1)) == []

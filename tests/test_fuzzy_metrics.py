@@ -1,0 +1,63 @@
+"""Unit tests for fuzzy resemblance relations (FFD substrate)."""
+
+import pytest
+
+from repro.metrics import (
+    EDIT_DISTANCE,
+    crisp_equal,
+    reciprocal_equal,
+    scaled_similarity,
+    validate_resemblance,
+)
+
+
+class TestCrisp:
+    def test_values(self):
+        assert crisp_equal("a", "a") == 1.0
+        assert crisp_equal("a", "b") == 0.0
+
+    def test_valid(self):
+        assert validate_resemblance(crisp_equal, ["a", "b", "c"]) == []
+
+
+class TestReciprocal:
+    def test_paper_ffd1_numbers(self):
+        """Section 3.6.1: mu(299,300)=1/2 with beta 1; mu(29,20)=1/91
+        with beta 10."""
+        mu_price = reciprocal_equal(1)
+        mu_tax = reciprocal_equal(10)
+        assert mu_price(299, 300) == pytest.approx(1 / 2)
+        assert mu_tax(29, 20) == pytest.approx(1 / 91)
+
+    def test_identity(self):
+        assert reciprocal_equal(5)(7, 7) == 1.0
+
+    def test_monotone_in_distance(self):
+        mu = reciprocal_equal(1)
+        assert mu(0, 1) > mu(0, 2) > mu(0, 10)
+
+    def test_beta_zero_is_always_equal(self):
+        mu = reciprocal_equal(0)
+        assert mu(0, 1000) == 1.0
+
+    def test_negative_beta_rejected(self):
+        with pytest.raises(ValueError):
+            reciprocal_equal(-1)
+
+    def test_valid(self):
+        assert validate_resemblance(reciprocal_equal(2), [0, 1, 5.5]) == []
+
+
+class TestScaledSimilarity:
+    def test_from_metric(self):
+        mu = scaled_similarity(EDIT_DISTANCE)
+        assert mu("abc", "abc") == 1.0
+        assert 0.0 < mu("abc", "abd") < 1.0
+
+    def test_valid(self):
+        mu = scaled_similarity(EDIT_DISTANCE)
+        assert validate_resemblance(mu, ["", "a", "xyz"]) == []
+
+
+def test_validator_catches_non_reflexive():
+    assert validate_resemblance(lambda a, b: 0.5, ["a"]) != []

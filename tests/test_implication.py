@@ -1,0 +1,115 @@
+"""Tests for FD implication reasoning (Armstrong toolkit)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import FD
+from repro.core.implication import (
+    armstrong_relation,
+    closed_sets,
+    closure,
+    equivalent,
+    implies,
+    minimal_cover,
+)
+
+ABC = ["a", "b", "c", "d"]
+
+
+class TestClosureAndImplication:
+    def test_closure_transitivity(self):
+        fds = [FD("a", "b"), FD("b", "c")]
+        assert closure(["a"], fds) == {"a", "b", "c"}
+
+    def test_implies_transitive_fd(self):
+        fds = [FD("a", "b"), FD("b", "c")]
+        assert implies(fds, FD("a", "c"))
+        assert not implies(fds, FD("c", "a"))
+
+    def test_reflexivity_always_implied(self):
+        assert implies([], FD(["a", "b"], "a"))
+
+    def test_augmentation(self):
+        fds = [FD("a", "b")]
+        assert implies(fds, FD(["a", "c"], ["b", "c"]))
+
+    def test_equivalent_covers(self):
+        a = [FD("a", ["b", "c"])]
+        b = [FD("a", "b"), FD("a", "c")]
+        assert equivalent(a, b)
+        assert not equivalent(a, [FD("a", "b")])
+
+
+class TestMinimalCover:
+    def test_splits_rhs(self):
+        cover = minimal_cover([FD("a", ["b", "c"])])
+        assert all(len(dep.rhs) == 1 for dep in cover)
+
+    def test_removes_redundant(self):
+        fds = [FD("a", "b"), FD("b", "c"), FD("a", "c")]
+        cover = minimal_cover(fds)
+        assert equivalent(cover, fds)
+        assert len(cover) == 2  # a -> c is implied transitively
+
+    def test_left_reduction(self):
+        fds = [FD("a", "b"), FD(["a", "c"], "b")]
+        cover = minimal_cover(fds)
+        assert equivalent(cover, fds)
+        assert all(dep.lhs == ("a",) for dep in cover)
+
+    def test_drops_trivial(self):
+        assert minimal_cover([FD(["a", "b"], "a")]) == []
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_sets_stay_equivalent(self, seed):
+        rng = random.Random(seed)
+        fds = []
+        for __ in range(5):
+            lhs = rng.sample(ABC, rng.randint(1, 2))
+            rhs = rng.sample([x for x in ABC if x not in lhs], 1)
+            fds.append(FD(lhs, rhs))
+        cover = minimal_cover(fds)
+        assert equivalent(cover, fds)
+
+
+class TestClosedSets:
+    def test_full_set_always_closed(self):
+        sets = closed_sets(ABC, [FD("a", "b")])
+        assert frozenset(ABC) in sets
+
+    def test_closed_property(self):
+        fds = [FD("a", "b"), FD("c", "d")]
+        for s in closed_sets(ABC, fds):
+            assert closure(s, fds) == s
+
+
+class TestArmstrongRelation:
+    @pytest.mark.parametrize(
+        "fds",
+        [
+            [],
+            [FD("a", "b")],
+            [FD("a", "b"), FD("b", "c")],
+            [FD(["a", "b"], "c")],
+            [FD("a", "b"), FD("b", "a")],
+        ],
+        ids=["empty", "single", "chain", "composite", "cycle"],
+    )
+    def test_satisfies_exactly_implied_fds(self, fds):
+        names = ["a", "b", "c"]
+        rel = armstrong_relation(names, fds)
+        for size in (1, 2):
+            for lhs in itertools.combinations(names, size):
+                for a in names:
+                    if a in lhs:
+                        continue
+                    candidate = FD(lhs, (a,))
+                    assert candidate.holds(rel) == implies(fds, candidate), (
+                        f"{candidate} disagrees"
+                    )
+
+    def test_nonempty(self):
+        rel = armstrong_relation(["a", "b"], [FD("a", "b")])
+        assert len(rel) >= 2

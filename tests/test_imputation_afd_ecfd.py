@@ -1,0 +1,108 @@
+"""Tests for QPIAD-style AFD imputation and eCFD predicate discovery."""
+
+import pytest
+
+from repro.datasets import fd_workload, hotel_r5
+from repro.discovery import discover_ecfds
+from repro.quality import afd_impute, afd_value_distribution
+from repro.relation import Relation
+
+
+class TestAFDImputation:
+    @pytest.fixture
+    def holed(self):
+        """A code -> city workload with some cities removed."""
+        w = fd_workload(120, 10, error_rate=0.0, seed=19)
+        rel = w.relation
+        removed = [5, 20, 40]
+        for i in removed:
+            rel = rel.with_value(i, "city", None)
+        return rel, w.relation, removed
+
+    def test_distribution_from_group(self, holed):
+        rel, truth, removed = holed
+        dist = afd_value_distribution(rel, ["code"], "city", removed[0])
+        assert dist
+        assert sum(dist.values()) == pytest.approx(1.0)
+        # Clean FD workload: the group is unanimous.
+        assert max(dist.values()) == 1.0
+
+    def test_impute_restores_truth(self, holed):
+        rel, truth, removed = holed
+        filled = afd_impute(rel, ["code"], "city")
+        for i in removed:
+            assert filled.value_at(i, "city") == truth.value_at(i, "city")
+
+    def test_confidence_gate(self):
+        r = Relation.from_rows(
+            ["k", "v"],
+            [(1, "a"), (1, "b"), (1, None)],
+        )
+        # Mode probability is 1/2 < 0.9: stays missing.
+        gated = afd_impute(r, ["k"], "v", min_confidence=0.9)
+        assert gated.value_at(2, "v") is None
+        filled = afd_impute(r, ["k"], "v", min_confidence=0.0)
+        assert filled.value_at(2, "v") in ("a", "b")
+
+    def test_no_evidence_stays_missing(self):
+        r = Relation.from_rows(["k", "v"], [(1, None), (2, "x")])
+        filled = afd_impute(r, ["k"], "v")
+        assert filled.value_at(0, "v") is None
+
+    def test_distribution_proportions(self):
+        r = Relation.from_rows(
+            ["k", "v"],
+            [(1, "a"), (1, "a"), (1, "b"), (1, None)],
+        )
+        dist = afd_value_distribution(r, ["k"], "v", 3)
+        assert dist["a"] == pytest.approx(2 / 3)
+        assert dist["b"] == pytest.approx(1 / 3)
+
+
+class TestECFDDiscovery:
+    def test_finds_rate_condition_on_r5(self, r5):
+        found = discover_ecfds(r5, min_support=2, max_lhs_size=2)
+        assert len(found) > 0
+        for dep in found:
+            assert dep.holds(r5)
+            # Each eCFD has at least one operator predicate.
+            assert any(
+                not dep.pattern.entry(a).is_wildcard for a in dep.lhs
+            )
+
+    def test_redundant_when_fd_holds(self):
+        r = Relation.from_rows(
+            ["x", "y"], [(1, "a"), (2, "b"), (3, "c")]
+        )
+        # x -> y holds exactly: no eCFD needed.
+        found = discover_ecfds(r, min_support=1, max_lhs_size=1)
+        assert len(found) == 0
+
+    def test_support_respected(self, r5):
+        for dep in discover_ecfds(r5, min_support=3, max_lhs_size=1):
+            assert len(dep.matching_indices(r5)) >= 3
+
+    def test_synthetic_threshold_rule(self):
+        """name -> addr holds only among cheap records (the ecfd1 shape)."""
+        rows = [
+            (100, "H", "a1"),
+            (100, "H", "a1"),
+            (300, "K", "b1"),
+            (300, "K", "b2"),  # breaks the plain FD name, rate -> addr
+        ]
+        from repro.relation import Attribute, AttributeType, Schema
+
+        schema = Schema(
+            [
+                Attribute("rate", AttributeType.NUMERICAL),
+                Attribute("name", AttributeType.CATEGORICAL),
+                Attribute("addr", AttributeType.CATEGORICAL),
+            ]
+        )
+        r = Relation.from_rows(schema, rows)
+        found = discover_ecfds(r, min_support=2, max_lhs_size=2)
+        assert any(
+            set(dep.lhs) == {"rate", "name"}
+            and dep.rhs == ("addr",)
+            for dep in found
+        )

@@ -1,0 +1,131 @@
+"""Tests for imputation (P-neighborhood, DD) and consistent query answering."""
+
+import pytest
+
+from repro.core import DD, FD
+from repro.quality import (
+    consistent_answers,
+    dd_impute,
+    fd_repairs,
+    imputation_accuracy,
+    is_exhaustive,
+    p_neighborhood_impute,
+    possible_answers,
+    select_query,
+)
+from repro.relation import Attribute, AttributeType, Relation, Schema
+
+
+def textnum_relation(rows):
+    schema = Schema(
+        [
+            Attribute("name", AttributeType.TEXT),
+            Attribute("city", AttributeType.TEXT),
+            Attribute("price", AttributeType.NUMERICAL),
+        ]
+    )
+    return Relation.from_rows(schema, rows)
+
+
+class TestPNeighborhood:
+    def test_categorical_majority_fill(self):
+        r = textnum_relation(
+            [
+                ("hotel a", "springfield", 100),
+                ("hotel b", "springfield", 110),
+                ("hotel c", None, 105),
+                ("other place", "shelbyville", 500),
+            ]
+        )
+        filled = p_neighborhood_impute(r, {"price": 20}, "city")
+        assert filled.value_at(2, "city") == "springfield"
+        # Distant tuple untouched.
+        assert filled.value_at(3, "city") == "shelbyville"
+
+    def test_numerical_median_fill(self):
+        r = textnum_relation(
+            [
+                ("a", "x", 100),
+                ("ab", "x", 120),
+                ("ac", "x", None),
+            ]
+        )
+        filled = p_neighborhood_impute(r, {"name": 2}, "price")
+        assert filled.value_at(2, "price") in (100, 120)
+
+    def test_no_neighbours_stays_missing(self):
+        r = textnum_relation([("solo", None, 100)])
+        filled = p_neighborhood_impute(r, {"price": 1}, "city")
+        assert filled.value_at(0, "city") is None
+
+    def test_accuracy_metric(self):
+        truth = textnum_relation([("a", "x", 1), ("b", "y", 2)])
+        guess = textnum_relation([("a", "x", 1), ("b", "z", 2)])
+        assert imputation_accuracy(guess, truth, "city", [0, 1]) == 0.5
+        assert imputation_accuracy(guess, truth, "city", []) == 1.0
+
+
+class TestDDImpute:
+    def test_fills_from_compatible_neighbours(self):
+        r = textnum_relation(
+            [
+                ("grand hotel", "boston", 200),
+                ("grand hotol", "boston", 210),
+                ("grand hote", None, 205),
+                ("far away inn", "miami", 90),
+            ]
+        )
+        rule = DD({"name": 3}, {"city": 2})
+        filled = dd_impute(r, rule, "city")
+        assert filled.value_at(2, "city") == "boston"
+        assert filled.value_at(3, "city") == "miami"
+
+    def test_target_must_be_constrained(self):
+        rule = DD({"name": 3}, {"city": 2})
+        with pytest.raises(ValueError):
+            dd_impute(textnum_relation([]), rule, "price")
+
+
+class TestCQA:
+    def test_repairs_of_r5(self, r5):
+        reps = fd_repairs(r5, [FD("address", "region")])
+        assert len(reps) == 2
+        assert all(FD("address", "region").holds(r) for r in reps)
+        assert {len(r) for r in reps} == {3}
+
+    def test_exhaustiveness_flag(self, r5):
+        assert is_exhaustive(r5, [FD("address", "region")])
+
+    def test_certain_vs_possible(self, r5):
+        fd = FD("address", "region")
+        q = select_query(["region"])
+        certain = consistent_answers(r5, [fd], q)
+        possible = possible_answers(r5, [fd], q)
+        assert ("Jackson",) in certain
+        assert certain <= possible
+        # The conflicting El Paso variants are possible but not certain.
+        assert ("El Paso",) in possible
+        assert ("El Paso",) not in certain
+
+    def test_consistent_relation_answers_directly(self, r7):
+        q = select_query(["nights"])
+        certain = consistent_answers(r7, [FD("nights", "subtotal")], q)
+        assert certain == {(1,), (2,), (3,), (4,)}
+
+    def test_selection_predicate(self, r5):
+        fd = FD("address", "region")
+        q = select_query(["name"], lambda t: t["rate"] > 200)
+        certain = consistent_answers(r5, [fd], q)
+        assert certain == {("Hyatt",)}
+
+    def test_multiple_fds(self):
+        r = Relation.from_rows(
+            ["k", "v", "w"],
+            [(1, "a", "p"), (1, "b", "p"), (2, "c", "q"), (2, "c", "r")],
+        )
+        fds = [FD("k", "v"), FD("k", "w")]
+        reps = fd_repairs(r, fds)
+        assert all(
+            all(dep.holds(rep) for dep in fds) for rep in reps
+        )
+        assert len(reps) == 4

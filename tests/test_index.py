@@ -1,0 +1,64 @@
+"""Unit tests for inverted/sorted indexes."""
+
+import pytest
+
+from repro.relation import InvertedIndex, Relation, SortedIndex, build_indexes
+
+
+@pytest.fixture
+def rel():
+    return Relation.from_rows(
+        ["name", "price"],
+        [("a", 10), ("b", 30), ("a", 20), ("c", None), ("b", 15)],
+    )
+
+
+class TestInvertedIndex:
+    def test_lookup(self, rel):
+        idx = InvertedIndex(rel, "name")
+        assert idx.lookup("a") == (0, 2)
+        assert idx.lookup("zzz") == ()
+
+    def test_frequency_and_mode(self, rel):
+        idx = InvertedIndex(rel, "name")
+        assert idx.frequency("b") == 2
+        mode, count = idx.most_frequent()
+        assert (mode, count) in {("a", 2), ("b", 2)}
+
+    def test_len_is_distinct_values(self, rel):
+        assert len(InvertedIndex(rel, "name")) == 3
+
+    def test_mode_of_empty_raises(self):
+        idx = InvertedIndex(Relation.empty(["a"]), "a")
+        with pytest.raises(ValueError):
+            idx.most_frequent()
+
+
+class TestSortedIndex:
+    def test_excludes_missing(self, rel):
+        idx = SortedIndex(rel, "price")
+        assert len(idx) == 4
+        assert idx.missing == (3,)
+
+    def test_in_range(self, rel):
+        idx = SortedIndex(rel, "price")
+        assert set(idx.in_range(10, 20)) == {0, 2, 4}
+
+    def test_within(self, rel):
+        idx = SortedIndex(rel, "price")
+        assert set(idx.within(15, 5)) == {0, 2, 4}
+
+    def test_ordered(self, rel):
+        idx = SortedIndex(rel, "price")
+        assert idx.ordered_values() == (10, 15, 20, 30)
+        assert idx.ordered_indices() == (0, 4, 2, 1)
+
+    def test_gaps(self, rel):
+        idx = SortedIndex(rel, "price")
+        assert idx.gaps() == [5, 5, 10]
+
+
+def test_build_indexes_all_columns(rel):
+    idxs = build_indexes(rel)
+    assert set(idxs) == {"name", "price"}
+    assert idxs["name"].lookup("c") == (3,)

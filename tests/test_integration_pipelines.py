@@ -1,0 +1,98 @@
+"""End-to-end integration: discovery -> detection -> repair pipelines."""
+
+import pytest
+
+from repro.core import DD, FD, MD, SD
+from repro.datasets import (
+    fd_workload,
+    heterogeneous_workload,
+    ordered_workload,
+)
+from repro.discovery import (
+    discover_csd_tableau,
+    discover_dds,
+    tane,
+)
+from repro.quality import Deduplicator, Detector, repair_fds, verify_repair
+
+
+class TestCategoricalPipeline:
+    def test_discover_detect_repair(self):
+        """AFD discovery on dirty data -> exact repair -> all FDs hold."""
+        w = fd_workload(150, 15, error_rate=0.05, seed=11)
+        # 1. Discover approximate FDs tolerant to the injected noise.
+        approx = tane(w.relation, epsilon=0.1, max_lhs_size=1)
+        rules = [
+            FD(d.lhs, d.rhs)
+            for d in approx
+            if d.lhs == ("code",) and d.rhs[0] in ("city", "state")
+        ]
+        assert rules, "expected code -> city/state to be discovered"
+        # 2. Detect: injected errors are all flagged.
+        quality = Detector(rules).score(w.relation, w.error_tuples)
+        assert quality.recall == 1.0
+        # 3. Repair: majority restores exact satisfaction.
+        repaired, log = repair_fds(w.relation, rules)
+        assert verify_repair(repaired, rules)
+        # 4. Most repairs match the hidden clean data.
+        agree = sum(
+            1
+            for i in range(len(repaired))
+            if repaired.tuple_at(i) == w.clean.tuple_at(i)
+        )
+        assert agree / len(repaired) > 0.95
+
+    def test_discovered_rules_hold_after_repair(self):
+        w = fd_workload(100, 10, error_rate=0.06, seed=12)
+        rules = [FD("code", "city"), FD("code", "state")]
+        repaired, __ = repair_fds(w.relation, rules)
+        post = tane(repaired, max_lhs_size=1)
+        found = {str(d) for d in post}
+        assert "code -> city" in found and "code -> state" in found
+
+
+class TestHeterogeneousPipeline:
+    def test_dd_discovery_then_dedup(self):
+        """Discover a DD on heterogeneous data; use MD dedup to cluster."""
+        w = heterogeneous_workload(
+            15, 3, variant_rate=0.5, error_rate=0.0, seed=13
+        )
+        dds = discover_dds(
+            w.relation, ["address"], ["city"], max_lhs_attrs=1
+        )
+        assert all(dd.holds(w.relation) for dd in dds)
+        dedup = Deduplicator([MD({"address": 0}, "city")])
+        quality = dedup.score(w.relation, w.duplicate_pairs)
+        assert quality.f1 == 1.0
+
+    def test_identification_then_fd_holds(self):
+        """After enforcing the matching operator, the FD address->city
+        (broken by format variants) holds again."""
+        w = heterogeneous_workload(
+            15, 3, variant_rate=0.5, error_rate=0.0, seed=14
+        )
+        fd = FD("address", "city")
+        assert not fd.holds(w.relation)
+        dedup = Deduplicator([MD({"address": 0}, "city")])
+        identified = dedup.identify(w.relation)
+        assert fd.holds(identified)
+
+
+class TestNumericalPipeline:
+    def test_sd_detection_and_csd_recovery(self):
+        """Glitched series: the SD fails globally, the discovered CSD
+        tableau isolates the clean stretches."""
+        w = ordered_workload(60, glitch_rate=0.08, seed=3)
+        sd = SD("t", "value", (0, 50))
+        detector = Detector([sd])
+        quality = detector.score(w.relation, w.error_tuples)
+        assert quality.recall == 1.0  # every glitch breaks a gap
+        csd = discover_csd_tableau(w.relation, sd, min_confidence=1.0)
+        assert csd is not None and csd.holds(w.relation)
+
+    def test_clean_series_needs_single_interval(self):
+        w = ordered_workload(40, glitch_rate=0.0, seed=4)
+        sd = SD("t", "value", (0, 50))
+        csd = discover_csd_tableau(w.relation, sd)
+        assert csd is not None
+        assert len(csd.intervals) == 1

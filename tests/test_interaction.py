@@ -1,0 +1,76 @@
+"""Tests for interleaved matching + repairing (Section 3.7.4)."""
+
+import pytest
+
+from repro.core import CFD, FD, MD
+from repro.quality import interactive_clean
+from repro.relation import Attribute, AttributeType, Relation, Schema
+
+
+def source_relation():
+    """Two records of one hotel with divergent names and a wrong zip,
+    plus a CFD anchor record.
+
+    Matching on address identifies the zips; once zips agree, the CFD
+    (zip -> city) can repair the city — the mutual-enablement story.
+    """
+    schema = Schema(
+        [
+            Attribute("name", AttributeType.TEXT),
+            Attribute("address", AttributeType.TEXT),
+            Attribute("zip", AttributeType.CATEGORICAL),
+            Attribute("city", AttributeType.CATEGORICAL),
+        ]
+    )
+    return Relation.from_rows(
+        schema,
+        [
+            ("Grand Hotel", "1 Main St", "10001", "New York"),
+            ("Grand Htl", "1 Main St", "99999", "Newark"),
+            ("Plaza", "5 Side Ave", "10001", "New York"),
+        ],
+    )
+
+
+class TestInteractiveClean:
+    def test_matching_enables_repair(self):
+        r = source_relation()
+        mds = [MD({"address": 0}, "zip")]
+        cfds = [CFD("zip", "city")]
+        # The CFD alone cannot fire on t2: its wrong zip (99999) is
+        # internally consistent with its wrong city, so zip -> city
+        # holds on the dirty data; only matching exposes the conflict.
+        assert CFD("zip", "city").holds(r)
+        assert not FD("address", "zip").holds(r)
+        cleaned, trace = interactive_clean(r, cfds, mds)
+        assert CFD("zip", "city").holds(cleaned)
+        assert FD("address", "zip").holds(cleaned)
+        assert cleaned.value_at(1, "zip") == "10001"
+        assert cleaned.value_at(1, "city") == "New York"
+        assert trace.converged
+        assert trace.total_changes() >= 2
+
+    def test_clean_input_converges_immediately(self):
+        r = source_relation()
+        mds = [MD({"address": 0}, "zip")]
+        cfds = [CFD("zip", "city")]
+        cleaned, __ = interactive_clean(r, cfds, mds)
+        again, trace = interactive_clean(cleaned, cfds, mds)
+        assert again == cleaned
+        assert len(trace.rounds) == 1
+        assert trace.rounds[0].total == 0
+
+    def test_round_cap_respected(self):
+        r = source_relation()
+        __, trace = interactive_clean(
+            r, [CFD("zip", "city")], [MD({"address": 0}, "zip")],
+            max_rounds=1,
+        )
+        assert len(trace.rounds) == 1
+
+    def test_no_rules_is_noop(self):
+        r = source_relation()
+        cleaned, trace = interactive_clean(r, [], [MD({"address": 0}, "zip")])
+        # identification may still fire; but with no CFDs only matching
+        # changes the data, and the loop still terminates.
+        assert trace.rounds

@@ -1,0 +1,71 @@
+"""Unit tests for CSV I/O."""
+
+import pytest
+
+from repro.relation import (
+    Attribute,
+    AttributeType,
+    Relation,
+    Schema,
+    read_csv,
+    read_csv_text,
+    to_csv_text,
+    write_csv,
+)
+
+CSV = "name,price\nalpha,10\nbeta,20.5\ngamma,\n"
+
+
+def numeric_schema():
+    return Schema(
+        [Attribute("name"), Attribute("price", AttributeType.NUMERICAL)]
+    )
+
+
+class TestRead:
+    def test_untyped_read_keeps_strings(self):
+        r = read_csv_text(CSV)
+        # No numeric coercion without a typed schema; empties are None.
+        assert r.column("price") == ("10", "20.5", None)
+
+    def test_typed_read_coerces_numbers(self):
+        r = read_csv_text(CSV, numeric_schema())
+        assert r.column("price") == (10, 20.5, None)
+
+    def test_int_preserved_as_int(self):
+        r = read_csv_text(CSV, numeric_schema())
+        assert isinstance(r.value_at(0, "price"), int)
+
+    def test_header_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            read_csv_text(CSV, ["x", "y"])
+
+    def test_ragged_row_raises(self):
+        with pytest.raises(ValueError):
+            read_csv_text("a,b\n1\n")
+
+    def test_no_header_raises(self):
+        with pytest.raises(ValueError):
+            read_csv_text("")
+
+    def test_bad_number_raises(self):
+        with pytest.raises(ValueError):
+            read_csv_text("price\nabc\n", numeric_schema().project(["price"]))
+
+
+class TestRoundTrip:
+    def test_text_roundtrip(self):
+        r = read_csv_text(CSV, numeric_schema())
+        again = read_csv_text(to_csv_text(r), numeric_schema())
+        assert again == r
+
+    def test_file_roundtrip(self, tmp_path):
+        r = read_csv_text(CSV, numeric_schema())
+        path = tmp_path / "out.csv"
+        write_csv(r, path)
+        assert read_csv(path, numeric_schema()) == r
+
+    def test_none_written_as_empty(self):
+        r = Relation.from_rows(["a", "b"], [(None, "x")])
+        lines = to_csv_text(r).splitlines()
+        assert lines == ["a,b", ",x"]

@@ -1,0 +1,149 @@
+"""Unit tests for MDs, CMDs, and relative candidate keys."""
+
+import pytest
+
+from repro.core import CMD, FD, MD, DependencyError, RelativeCandidateKey
+from repro.relation import Relation
+
+
+class TestMD:
+    def test_paper_md1_on_r6(self, r6):
+        """Section 3.7.1: street≈5, region≈2 -> zip⇌ — t5/t6 identified."""
+        md1 = MD({"street": 5, "region": 2}, "zip")
+        assert md1.holds(r6)
+        assert (1, 5) in md1.matches(r6) or (4, 5) in md1.matches(r6)
+
+    def test_violation_when_similar_but_not_identified(self):
+        r = Relation.from_rows(
+            ["street", "zip"],
+            [("12th St.", "95102"), ("12th Str", "99999")],
+        )
+        md = MD({"street": 5}, "zip")
+        assert not md.holds(r)
+        assert {v.tuples for v in md.violations(r)} == {(0, 1)}
+
+    def test_support_and_confidence(self, r6):
+        md = MD({"street": 5, "region": 2}, "zip")
+        assert 0.0 < md.support(r6) <= 1.0
+        assert md.confidence(r6) == 1.0
+
+    def test_confidence_counts_identified_fraction(self):
+        r = Relation.from_rows(
+            ["s", "z"],
+            [("aa", 1), ("ab", 1), ("ac", 2)],
+        )
+        md = MD({"s": 1}, "z")
+        assert md.confidence(r) == pytest.approx(1 / 3)
+
+    def test_exact_match_md_equals_fd(self, r5, r6):
+        for rel in (r5, r6):
+            for lhs in rel.schema.names():
+                for rhs in rel.schema.names():
+                    if lhs == rhs:
+                        continue
+                    md = MD.from_fd(FD(lhs, rhs))
+                    assert md.holds(rel) == FD(lhs, rhs).holds(rel)
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(DependencyError):
+            MD({}, "z")
+        with pytest.raises(DependencyError):
+            MD({"a": 1}, [])
+
+
+class TestCMD:
+    def test_condition_restricts_rule(self):
+        r = Relation.from_rows(
+            ["src", "street", "zip"],
+            [
+                ("good", "12th St.", "95102"),
+                ("good", "12th Str", "95102"),
+                ("bad", "9th Ave", "11111"),
+                ("bad", "9th Av", "22222"),
+            ],
+        )
+        md = MD({"street": 3}, "zip")
+        assert not md.holds(r)  # the 'bad' pair violates
+        cmd = CMD({"street": 3}, "zip", {"src": "good"})
+        assert cmd.holds(r)
+
+    def test_from_md_equivalence(self, r6):
+        md = MD({"street": 5, "region": 2}, "zip")
+        cmd = CMD.from_md(md)
+        assert cmd.holds(r6) == md.holds(r6)
+
+    def test_g3_error_bounds(self):
+        r = Relation.from_rows(
+            ["s", "z"],
+            [("aa", 1), ("ab", 2), ("ac", 3)],
+        )
+        cmd = CMD({"s": 1}, "z")
+        g3 = cmd.g3_error(r)
+        assert 0.0 < g3 < 1.0
+        assert CMD({"s": 1}, "z").g3_error(
+            Relation.from_rows(["s", "z"], [("aa", 1), ("ab", 1)])
+        ) == 0.0
+
+
+class TestRCK:
+    def test_coverage(self, r6):
+        rck = RelativeCandidateKey({"street": 5, "region": 2}, "zip")
+        pairs = [(1, 5), (0, 2)]
+        assert rck.covers(r6, (1, 5))
+        assert 0.0 <= rck.coverage(r6, pairs) <= 1.0
+
+    def test_empty_pairs_full_coverage(self, r6):
+        rck = RelativeCandidateKey({"street": 5}, "zip")
+        assert rck.coverage(r6, []) == 1.0
+
+
+class TestMDImplication:
+    def _md(self, thresholds, rhs="z"):
+        return MD(thresholds, rhs)
+
+    def test_tighter_specific_is_implied(self):
+        from repro.core import md_implies
+
+        general = self._md({"s": 5})
+        specific = self._md({"s": 2})
+        assert md_implies(general, specific)
+        assert not md_implies(specific, general)
+
+    def test_extra_lhs_predicate_is_implied(self):
+        from repro.core import md_implies
+
+        general = self._md({"s": 5})
+        specific = self._md({"s": 3, "r": 1})
+        assert md_implies(general, specific)
+
+    def test_rhs_must_be_covered(self):
+        from repro.core import md_implies
+
+        general = self._md({"s": 5}, rhs="z")
+        specific = self._md({"s": 2}, rhs="w")
+        assert not md_implies(general, specific)
+
+    def test_implication_is_semantically_sound(self, r6):
+        """If general implies specific and general holds, specific holds."""
+        from repro.core import md_implies
+
+        general = MD({"street": 5, "region": 2}, "zip")
+        specific = MD({"street": 2, "region": 1}, "zip")
+        assert md_implies(general, specific)
+        if general.holds(r6):
+            assert specific.holds(r6)
+
+    def test_minimal_cover_drops_dominated(self):
+        from repro.core import minimal_md_cover
+
+        general = self._md({"s": 5})
+        dominated = self._md({"s": 2})
+        cover = minimal_md_cover([general, dominated])
+        assert cover == [general]
+
+    def test_minimal_cover_keeps_incomparable(self):
+        from repro.core import minimal_md_cover
+
+        a = self._md({"s": 5})
+        b = self._md({"r": 5})
+        assert set(map(id, minimal_md_cover([a, b]))) == {id(a), id(b)}

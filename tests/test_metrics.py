@@ -1,0 +1,145 @@
+"""Unit tests for string/numeric metrics and the registry."""
+
+import math
+
+import pytest
+
+from repro.metrics import (
+    ABS_DIFF,
+    DISCRETE,
+    EDIT_DISTANCE,
+    JACCARD_METRIC,
+    JARO_WINKLER_METRIC,
+    Metric,
+    MetricRegistry,
+    QGRAM_METRIC,
+    check_metric_axioms,
+    damerau_levenshtein,
+    jaccard,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    qgram_distance,
+)
+from repro.relation import Attribute, AttributeType, Schema
+
+
+class TestLevenshtein:
+    def test_identity(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_known_distances(self):
+        assert levenshtein("kitten", "sitting") == 3
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("Chicago", "Chicago, IL") == 4
+
+    def test_paper_examples_from_table6(self):
+        # ned1: t2/t6 distances (Section 3.2.1).  The paper quotes the
+        # street distance as 3; standard Levenshtein gives 1 (single
+        # substitution '.' -> 'r') — both satisfy the <= 5 threshold,
+        # so ned1's conclusion is unchanged (see EXPERIMENTS.md).
+        assert levenshtein("NC", "NC") == 0
+        assert levenshtein("#2 Ave, 12th St.", "#2 Aven, 12th St.") == 1
+        assert levenshtein("12th St.", "12th Str") == 1
+
+    def test_symmetry(self):
+        assert levenshtein("abcd", "badc") == levenshtein("badc", "abcd")
+
+    def test_bounded_early_exit(self):
+        assert levenshtein("aaaa", "bbbb", bound=2) == 3  # bound + 1
+        assert levenshtein("aaaa", "aaab", bound=2) == 1
+
+    def test_bounded_length_shortcut(self):
+        assert levenshtein("a", "abcdef", bound=2) == 3
+
+
+class TestOtherStringMetrics:
+    def test_damerau_transposition(self):
+        assert damerau_levenshtein("ab", "ba") == 1
+        assert levenshtein("ab", "ba") == 2
+
+    def test_jaccard(self):
+        assert jaccard("a b c", "a b") == pytest.approx(2 / 3)
+        assert jaccard("", "") == 1.0
+
+    def test_qgram(self):
+        assert qgram_distance("abc", "abc") == 0
+        assert qgram_distance("abc", "abd") > 0
+
+    def test_jaro_bounds(self):
+        assert jaro("abc", "abc") == 1.0
+        assert jaro("abc", "xyz") == 0.0
+        assert 0.0 <= jaro("martha", "marhta") <= 1.0
+
+    def test_jaro_winkler_prefix_boost(self):
+        assert jaro_winkler("prefixed", "prefixes") >= jaro(
+            "prefixed", "prefixes"
+        )
+
+
+class TestMetricWrapper:
+    def test_none_handling(self):
+        assert EDIT_DISTANCE.distance(None, None) == 0.0
+        assert EDIT_DISTANCE.distance(None, "x") == math.inf
+        assert EDIT_DISTANCE.similarity(None, "x") == 0.0
+        assert EDIT_DISTANCE.similarity(None, None) == 1.0
+
+    def test_within(self):
+        assert ABS_DIFF.within(10, 13, 3)
+        assert not ABS_DIFF.within(10, 14, 3)
+
+    def test_default_similarity(self):
+        assert ABS_DIFF.similarity(0, 1) == pytest.approx(0.5)
+
+    def test_negative_distance_rejected(self):
+        bad = Metric("bad", lambda a, b: -1.0)
+        with pytest.raises(ValueError):
+            bad.distance(1, 2)
+
+    def test_callable(self):
+        assert ABS_DIFF(3, 5) == 2.0
+
+    def test_axiom_checker_passes_for_shipped_metrics(self):
+        samples = ["", "a", "ab", "ba", "hello world"]
+        for m in (EDIT_DISTANCE, JACCARD_METRIC, QGRAM_METRIC,
+                  JARO_WINKLER_METRIC):
+            assert check_metric_axioms(m, samples) == []
+        assert check_metric_axioms(ABS_DIFF, [0, 1, -5, 2.5]) == []
+        assert check_metric_axioms(DISCRETE, [0, "x", None is None]) == []
+
+    def test_axiom_checker_catches_asymmetry(self):
+        bad = Metric("asym", lambda a, b: float(len(str(a))))
+        assert check_metric_axioms(bad, ["a", "bb"]) != []
+
+
+class TestRegistry:
+    def test_type_defaults(self):
+        reg = MetricRegistry()
+        text = Attribute("t", AttributeType.TEXT)
+        num = Attribute("n", AttributeType.NUMERICAL)
+        assert reg.metric_for(text) is EDIT_DISTANCE
+        assert reg.metric_for(num) is ABS_DIFF
+
+    def test_override(self):
+        reg = MetricRegistry().bind("t", DISCRETE)
+        assert reg.metric_for(Attribute("t", AttributeType.TEXT)) is DISCRETE
+
+    def test_bind_is_functional(self):
+        reg = MetricRegistry()
+        reg2 = reg.bind("x", DISCRETE)
+        assert reg.metric_for("x") is not DISCRETE
+        assert reg2.metric_for("x") is DISCRETE
+
+    def test_for_schema(self):
+        schema = Schema(
+            [
+                Attribute("t", AttributeType.TEXT),
+                Attribute("n", AttributeType.NUMERICAL),
+            ]
+        )
+        resolved = MetricRegistry().for_schema(schema)
+        assert resolved["t"] is EDIT_DISTANCE
+        assert resolved["n"] is ABS_DIFF
+
+    def test_string_name_falls_back_to_text_default(self):
+        assert MetricRegistry().metric_for("unknown") is EDIT_DISTANCE

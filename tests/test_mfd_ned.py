@@ -1,0 +1,121 @@
+"""Unit tests for MFDs and NEDs (heterogeneous branch, equality->metric)."""
+
+import pytest
+
+from repro.core import FD, MFD, NED, DependencyError, SimilarityPredicate
+from repro.metrics import DISCRETE, MetricRegistry
+from repro.relation import Attribute, AttributeType, Relation, Schema
+
+
+def priced_relation(rows):
+    schema = Schema(
+        [
+            Attribute("name", AttributeType.TEXT),
+            Attribute("region", AttributeType.TEXT),
+            Attribute("price", AttributeType.NUMERICAL),
+        ]
+    )
+    return Relation.from_rows(schema, rows)
+
+
+class TestMFD:
+    def test_paper_mfd1_on_r6(self, r6):
+        """Section 3.1.1: name, region ->^500 price holds on r6."""
+        assert MFD(["name", "region"], "price", 500).holds(r6)
+
+    def test_tight_delta_fails(self):
+        r = priced_relation(
+            [("a", "x", 100), ("a", "x", 700)]
+        )
+        assert not MFD(["name", "region"], "price", 500).holds(r)
+        assert MFD(["name", "region"], "price", 600).holds(r)
+
+    def test_delta_zero_equals_fd(self, r5, r6):
+        for rel in (r5, r6):
+            for lhs in rel.schema.names():
+                for rhs in rel.schema.names():
+                    if lhs == rhs:
+                        continue
+                    mfd = MFD(lhs, rhs, 0.0, metric=DISCRETE)
+                    assert mfd.holds(rel) == FD(lhs, rhs).holds(rel)
+
+    def test_group_diameters(self):
+        r = priced_relation(
+            [("a", "x", 100), ("a", "x", 150), ("b", "y", 10)]
+        )
+        d = MFD(["name"], "price", 100).group_diameters(r)
+        assert d[("a",)] == 50.0
+        assert d[("b",)] == 0.0
+
+    def test_approximate_agrees_with_exact(self):
+        import random
+
+        rng = random.Random(0)
+        for __ in range(20):
+            rows = [
+                (rng.choice("ab"), "x", rng.randrange(100))
+                for __ in range(12)
+            ]
+            r = priced_relation(rows)
+            mfd = MFD(["name"], "price", 40)
+            assert mfd.holds_approximate(r) == mfd.holds(r)
+
+    def test_violations_pair_level(self):
+        r = priced_relation([("a", "x", 0), ("a", "x", 1000)])
+        vs = MFD(["name", "region"], "price", 500).violations(r)
+        assert {v.tuples for v in vs} == {(0, 1)}
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(DependencyError):
+            MFD("a", "b", -1)
+
+    def test_text_metric_on_dependent_side(self, r1):
+        # region variants within distance 4: "Chicago" vs "Chicago, IL"
+        mfd = MFD("address", "region", 4)
+        flagged = mfd.violations(r1).tuple_indices()
+        assert 4 not in flagged and 5 not in flagged  # variants pass
+        assert {2, 3} <= flagged  # Boston vs Chicago, MA is a real gap
+
+
+class TestNED:
+    def test_paper_ned1_on_r6(self, r6):
+        """Section 3.2.1: name^1 address^5 -> street^5 holds on r6."""
+        assert NED({"name": 1, "address": 5}, {"street": 5}).holds(r6)
+
+    def test_lhs_agreement(self, r6):
+        ned = NED({"name": 1, "address": 5}, {"street": 5})
+        assert ned.lhs_agrees(r6, 1, 5)  # t2 and t6 (paper example)
+        assert not ned.lhs_agrees(r6, 0, 3)
+
+    def test_violation_when_rhs_exceeds(self):
+        r = Relation.from_rows(
+            ["a", "b"], [("hello", "street one"), ("hella", "boulevard")]
+        )
+        ned = NED({"a": 1}, {"b": 3})
+        assert not ned.holds(r)
+        assert {v.tuples for v in ned.violations(r)} == {(0, 1)}
+
+    def test_support_and_confidence(self, r6):
+        ned = NED({"name": 1, "address": 5}, {"street": 5})
+        support, confidence = ned.support_and_confidence(r6)
+        assert support >= 1
+        assert confidence == 1.0
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(DependencyError):
+            NED({}, {"b": 1})
+        with pytest.raises(DependencyError):
+            NED({"a": 1}, {})
+
+    def test_from_mfd_equivalence(self, r6):
+        mfd = MFD(["name", "region"], "price", 500)
+        ned = NED.from_mfd(mfd)
+        assert ned.holds(r6) == mfd.holds(r6)
+
+    def test_explicit_predicates(self):
+        p = SimilarityPredicate("a", 2.0, DISCRETE)
+        ned = NED([p], [SimilarityPredicate("b", 0.0, DISCRETE)])
+        r = Relation.from_rows(["a", "b"], [(1, 1), (2, 1)])
+        assert ned.holds(r)  # discrete distance 1 <= 2; b equal
+        r2 = Relation.from_rows(["a", "b"], [(1, 1), (2, 2)])
+        assert not ned.holds(r2)

@@ -1,0 +1,131 @@
+"""Unit tests for MVDs, FHDs and AMVDs."""
+
+import pytest
+
+from repro.core import AMVD, FD, FHD, MVD, DependencyError
+from repro.relation import Relation
+
+
+@pytest.fixture
+def course_rel():
+    """Classic MVD example: course ->> teacher independent of book."""
+    return Relation.from_rows(
+        ["course", "teacher", "book"],
+        [
+            ("db", "ann", "b1"),
+            ("db", "ann", "b2"),
+            ("db", "bob", "b1"),
+            ("db", "bob", "b2"),
+            ("os", "cat", "b3"),
+        ],
+    )
+
+
+class TestMVD:
+    def test_holds_on_cross_product_groups(self, course_rel):
+        assert MVD("course", "teacher").holds(course_rel)
+
+    def test_fails_when_combination_missing(self, course_rel):
+        broken = course_rel.drop([3])  # remove (db, bob, b2)
+        assert not MVD("course", "teacher").holds(broken)
+
+    def test_violations_name_missing_tuple(self, course_rel):
+        broken = course_rel.drop([3])
+        vs = MVD("course", "teacher").violations(broken)
+        assert len(vs) > 0
+        for v in vs:
+            assert len(v.tuples) == 2
+
+    def test_paper_mvd1_on_r5(self, r5):
+        """Section 2.6.1: address, rate ->> region holds on r5."""
+        assert MVD(["address", "rate"], "region").holds(r5)
+
+    def test_join_decomposition_identity(self, course_rel):
+        mvd = MVD("course", "teacher")
+        joined = mvd.join_of_decomposition(course_rel)
+        assert set(joined.rows()) == set(course_rel.distinct().rows())
+
+    def test_spurious_fraction_zero_iff_holds(self, course_rel):
+        good = MVD("course", "teacher")
+        assert good.spurious_fraction(course_rel) == 0.0
+        broken = course_rel.drop([3])
+        assert good.spurious_fraction(broken) > 0.0
+
+    def test_fd_implies_mvd(self, r1, r5):
+        for rel in (r1, r5):
+            names = rel.schema.names()
+            for lhs in names:
+                for rhs in names:
+                    if lhs == rhs:
+                        continue
+                    if FD(lhs, rhs).holds(rel):
+                        assert MVD.from_fd(FD(lhs, rhs)).holds(rel)
+
+    def test_trivial_when_z_empty(self):
+        r = Relation.from_rows(["a", "b"], [(1, 2), (1, 3)])
+        assert MVD("a", "b").holds(r)
+
+    def test_rhs_subset_of_lhs_rejected(self):
+        with pytest.raises(DependencyError):
+            MVD(["a", "b"], "a")
+
+    def test_overlap_normalized(self):
+        mvd = MVD(["a"], ["a", "b"])
+        assert mvd.rhs == ("b",)
+
+
+class TestFHD:
+    def test_single_branch_equals_mvd(self, course_rel):
+        mvd = MVD("course", "teacher")
+        fhd = FHD.from_mvd(mvd)
+        assert fhd.holds(course_rel) == mvd.holds(course_rel)
+        broken = course_rel.drop([3])
+        assert fhd.holds(broken) == mvd.holds(broken)
+
+    def test_multi_branch_decomposition(self):
+        rows = []
+        for t in ("t1", "t2"):
+            for b in ("b1", "b2"):
+                for r_ in ("r1", "r2"):
+                    rows.append(("db", t, b, r_))
+        rel = Relation.from_rows(["course", "teacher", "book", "room"], rows)
+        fhd = FHD("course", [["teacher"], ["book"], ["room"]])
+        assert fhd.holds(rel)
+
+    def test_multi_branch_violation(self):
+        rel = Relation.from_rows(
+            ["course", "teacher", "book", "room"],
+            [("db", "t1", "b1", "r1"), ("db", "t2", "b2", "r2")],
+        )
+        fhd = FHD("course", [["teacher"], ["book"], ["room"]])
+        assert not fhd.holds(rel)
+        assert len(fhd.violations(rel)) > 0
+
+    def test_as_mvds(self):
+        fhd = FHD("a", [["b"], ["c"]])
+        assert [str(m) for m in fhd.as_mvds()] == ["a ->> b", "a ->> c"]
+
+    def test_overlapping_branches_rejected(self):
+        with pytest.raises(DependencyError):
+            FHD("a", [["b"], ["b"]])
+
+
+class TestAMVD:
+    def test_epsilon_zero_is_exact(self, course_rel):
+        assert AMVD("course", "teacher", 0.0).holds(course_rel)
+        broken = course_rel.drop([3])
+        assert not AMVD("course", "teacher", 0.0).holds(broken)
+
+    def test_tolerance_admits_spurious(self, course_rel):
+        broken = course_rel.drop([3])
+        measure = AMVD("course", "teacher").measure(broken)
+        assert 0.0 < measure < 1.0
+        assert AMVD("course", "teacher", measure).holds(broken)
+
+    def test_threshold_validation(self):
+        with pytest.raises(DependencyError):
+            AMVD("a", "b", 1.0)
+
+    def test_from_mvd(self):
+        amvd = AMVD.from_mvd(MVD("a", "b"))
+        assert amvd.epsilon == 0.0

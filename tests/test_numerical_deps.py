@@ -1,0 +1,109 @@
+"""Unit tests for OFDs and ODs (numerical branch)."""
+
+import pytest
+
+from repro.core import OD, OFD, DependencyError, MarkedAttribute
+from repro.core.numerical.ofd import lex_leq, pointwise_leq
+from repro.relation import Relation
+
+
+class TestOrderings:
+    def test_pointwise(self):
+        assert pointwise_leq((1, 2), (1, 3))
+        assert not pointwise_leq((1, 4), (2, 3))
+        assert pointwise_leq((1,), (1,))
+
+    def test_lex(self):
+        assert lex_leq((1, 9), (2, 0))
+        assert not lex_leq((2, 0), (1, 9))
+
+    def test_incomparable_types(self):
+        assert not pointwise_leq((1,), ("a",))
+
+
+class TestOFD:
+    def test_paper_ofd1_on_r7(self, r7):
+        """Section 4.1.1: subtotal ->^P taxes holds on r7."""
+        assert OFD("subtotal", "taxes").holds(r7)
+
+    def test_violation(self):
+        r = Relation.from_rows(["x", "y"], [(1, 10), (2, 5)])
+        dep = OFD("x", "y")
+        assert not dep.holds(r)
+        assert {v.tuples for v in dep.violations(r)} == {(0, 1)}
+
+    def test_multi_attribute_pointwise(self):
+        r = Relation.from_rows(
+            ["x1", "x2", "y"], [(1, 1, 10), (2, 0, 5), (2, 2, 20)]
+        )
+        # (1,1) <= (2,2) and 10 <= 20; (1,1) vs (2,0) incomparable.
+        assert OFD(["x1", "x2"], "y").holds(r)
+
+    def test_lex_ordering_variant(self):
+        r = Relation.from_rows(["x1", "x2", "y"], [(1, 9, 5), (2, 0, 4)])
+        assert not OFD(["x1", "x2"], "y", ordering="lex").holds(r)
+        assert OFD(["x1", "x2"], "y", ordering="pointwise").holds(r)
+
+    def test_none_pairs_skipped(self):
+        r = Relation.from_rows(["x", "y"], [(1, None), (2, 5)])
+        assert OFD("x", "y").holds(r)
+
+    def test_bad_ordering_rejected(self):
+        with pytest.raises(DependencyError):
+            OFD("x", "y", ordering="zigzag")
+
+
+class TestMarkedAttribute:
+    def test_marks(self):
+        assert MarkedAttribute("a", "<=").compare(1, 1)
+        assert not MarkedAttribute("a", "<").compare(1, 1)
+        assert MarkedAttribute("a", ">=").compare(2, 1)
+        assert MarkedAttribute("a", ">").compare(2, 1)
+
+    def test_aliases(self):
+        assert MarkedAttribute("a", "asc").mark == "<="
+        assert MarkedAttribute("a", "desc").mark == ">="
+        assert MarkedAttribute("a", "≤").mark == "<="
+
+    def test_none_is_unordered(self):
+        assert not MarkedAttribute("a", "<=").compare(None, 1)
+
+    def test_bad_mark_rejected(self):
+        with pytest.raises(DependencyError):
+            MarkedAttribute("a", "!!")
+
+
+class TestOD:
+    def test_paper_od1_on_r7(self, r7):
+        """Section 4.2.1: nights^<= -> avg/night^>= holds on r7."""
+        assert OD([("nights", "<=")], [("avg/night", ">=")]).holds(r7)
+
+    def test_paper_od2_on_r7(self, r7):
+        """Section 4.2.2: subtotal^<= -> taxes^<= (ofd1 as an OD)."""
+        assert OD([("subtotal", "<=")], [("taxes", "<=")]).holds(r7)
+
+    def test_violation_both_orientations_checked(self):
+        r = Relation.from_rows(["x", "y"], [(2, 10), (1, 5)])
+        # increasing x should decrease y; here x=1 -> y=5, x=2 -> y=10.
+        dep = OD([("x", "<=")], [("y", ">=")])
+        assert not dep.holds(r)
+
+    def test_strict_marks(self):
+        r = Relation.from_rows(["x", "y"], [(1, 5), (1, 7)])
+        # x ties: strict < never fires, so any RHS is fine.
+        assert OD([("x", "<")], [("y", "<")]).holds(r)
+        # with <=, ties on x require ties on y under <= both ways.
+        assert not OD([("x", "<=")], [("y", "<=")]).holds(r)
+
+    def test_from_ofd_equivalence(self, r7):
+        ofd = OFD("subtotal", "taxes")
+        od = OD.from_ofd(ofd)
+        assert od.holds(r7) == ofd.holds(r7)
+
+    def test_from_lex_ofd_rejected(self):
+        with pytest.raises(DependencyError):
+            OD.from_ofd(OFD("a", "b", ordering="lex"))
+
+    def test_string_shorthand(self):
+        dep = OD("x", "y")
+        assert dep.lhs[0].mark == "<=" and dep.rhs[0].mark == "<="

@@ -1,0 +1,173 @@
+"""Tests for optimizer statistics, normalization, and fairness."""
+
+import pytest
+
+from repro.core import FD, MVD, NUD, OD, SFD
+from repro.datasets import fd_workload
+from repro.quality import (
+    CorrelationMap,
+    SelectivityEstimator,
+    bcnf_decompose,
+    bcnf_violations,
+    candidate_keys,
+    closure,
+    fairness_violations,
+    fourth_nf_decompose,
+    fourth_nf_violations,
+    is_bcnf,
+    is_interventionally_fair,
+    is_lossless,
+    is_superkey,
+    od_sort_reuse,
+    projection_size_estimate,
+    repair_for_fairness,
+)
+from repro.relation import Relation
+
+
+class TestSelectivity:
+    @pytest.fixture
+    def workload(self):
+        return fd_workload(300, 15, error_rate=0.0, seed=1)
+
+    def test_sfd_estimate_beats_independence(self, workload):
+        est = SelectivityEstimator(
+            workload.relation, [SFD("code", "city", 0.95)]
+        )
+        err_indep = est.average_estimation_error(["code", "city"], False)
+        err_sfd = est.average_estimation_error(["code", "city"], True)
+        assert err_sfd < err_indep
+
+    def test_true_selectivity(self, workload):
+        est = SelectivityEstimator(workload.relation)
+        code = workload.relation.value_at(0, "code")
+        sel = est.true_selectivity({"code": code})
+        assert 0.0 < sel <= 1.0
+
+    def test_independence_is_product(self, workload):
+        est = SelectivityEstimator(workload.relation)
+        combined = est.independence_estimate(["code", "city"])
+        assert combined == pytest.approx(
+            est.single_selectivity("code") * est.single_selectivity("city")
+        )
+
+    def test_sfd_estimate_drops_determined_factor(self, workload):
+        est = SelectivityEstimator(
+            workload.relation, [SFD("code", "city", 0.95)]
+        )
+        assert est.sfd_aware_estimate(["code", "city"]) == pytest.approx(
+            est.single_selectivity("code")
+        )
+
+
+class TestCorrelationMap:
+    def test_strong_sfd_gives_small_map(self):
+        w = fd_workload(200, 10, error_rate=0.0, seed=2)
+        cmap = CorrelationMap(w.relation, "code", "city", buckets=8)
+        # Perfect FD: each code maps to exactly one city bucket.
+        for code in set(w.relation.column("code")):
+            assert len(cmap.target_buckets(code)) == 1
+        assert cmap.scan_fraction(w.relation.value_at(0, "code")) <= 1 / 4
+
+    def test_unknown_value_scans_nothing(self):
+        w = fd_workload(50, 5, seed=3)
+        cmap = CorrelationMap(w.relation, "code", "city")
+        assert cmap.target_buckets("missing") == set()
+
+
+class TestNUDEstimates:
+    def test_projection_bound_holds(self, r5):
+        nud = NUD("address", "region", 2)
+        bound, actual = projection_size_estimate(r5, nud)
+        assert actual <= bound
+
+    def test_od_sort_reuse(self, r7):
+        assert od_sort_reuse(
+            r7, OD([("nights", "<=")], [("subtotal", "<=")])
+        )
+        assert not od_sort_reuse(
+            r7, OD([("nights", "<=")], [("avg/night", "<=")])
+        )
+
+
+class TestNormalization:
+    FDS = [FD("code", "city"), FD("code", "state"), FD("city", "state")]
+    NAMES = ["code", "city", "state", "payload"]
+
+    def test_closure(self):
+        assert closure(["code"], self.FDS) == {"code", "city", "state"}
+
+    def test_superkey_and_keys(self):
+        assert is_superkey(["code", "payload"], self.NAMES, self.FDS)
+        keys = candidate_keys(self.NAMES, self.FDS)
+        assert keys == [("code", "payload")]
+
+    def test_bcnf_violations(self):
+        bad = bcnf_violations(self.NAMES, self.FDS)
+        assert bad  # code is not a key of the full schema
+
+    def test_bcnf_decompose_is_bcnf_everywhere(self):
+        parts = bcnf_decompose(self.NAMES, self.FDS)
+        assert all(len(p) <= len(self.NAMES) for p in parts)
+        names_union = set().union(*map(set, parts))
+        assert names_union == set(self.NAMES)
+
+    def test_bcnf_decomposition_lossless_on_data(self):
+        w = fd_workload(80, 8, error_rate=0.0, seed=4)
+        fds = w.true_fds
+        parts = bcnf_decompose(
+            list(w.relation.schema.names()), fds
+        )
+        projections = [w.relation.project(list(p)) for p in parts]
+        assert is_lossless(w.relation, projections)
+
+    def test_is_bcnf_after_decomposition(self):
+        for part in bcnf_decompose(self.NAMES, self.FDS):
+            from repro.quality.normalize import _project_fds
+
+            local = _project_fds(part, self.FDS)
+            assert is_bcnf(part, local)
+
+    def test_4nf_decompose(self):
+        rel = Relation.from_rows(
+            ["course", "teacher", "book"],
+            [
+                ("db", "ann", "b1"),
+                ("db", "ann", "b2"),
+                ("db", "bob", "b1"),
+                ("db", "bob", "b2"),
+            ],
+        )
+        mvd = MVD("course", "teacher")
+        assert fourth_nf_violations(rel, [mvd], [])
+        parts = fourth_nf_decompose(rel, [mvd], [])
+        assert len(parts) == 2
+        assert is_lossless(rel, parts)
+
+
+class TestFairness:
+    def test_independent_data_is_fair(self):
+        rows = []
+        for adm in ("low", "high"):
+            for prot in ("a", "b"):
+                for out in ("yes", "no"):
+                    rows.append((adm, prot, out))
+        rel = Relation.from_rows(["adm", "prot", "outcome"], rows)
+        assert is_interventionally_fair(rel, ["adm"], ["prot"])
+
+    def test_biased_data_detected_and_repaired(self):
+        rel = Relation.from_rows(
+            ["adm", "prot", "outcome"],
+            [
+                ("low", "a", "no"),
+                ("low", "b", "yes"),
+                ("high", "a", "yes"),
+                ("high", "a", "yes"),
+            ],
+        )
+        assert not is_interventionally_fair(rel, ["adm"], ["prot"])
+        assert len(fairness_violations(rel, ["adm"], ["prot"])) > 0
+        repaired, dropped = repair_for_fairness(rel, ["adm"], ["prot"])
+        assert is_interventionally_fair(repaired, ["adm"], ["prot"])
+        assert dropped
+        assert len(repaired) + len(dropped) == len(rel)

@@ -1,0 +1,102 @@
+"""Unit tests for stripped partitions (TANE's data structure)."""
+
+import pytest
+
+from repro.datasets import random_relation
+from repro.relation import Relation, StrippedPartition
+
+
+@pytest.fixture
+def rel():
+    # a: [1,1,2,2,3]  b: [x,x,x,y,y]
+    return Relation.from_rows(
+        ["a", "b"],
+        [(1, "x"), (1, "x"), (2, "x"), (2, "y"), (3, "y")],
+    )
+
+
+class TestBasics:
+    def test_singletons_stripped(self, rel):
+        pi_a = StrippedPartition.from_relation(rel, ["a"])
+        assert pi_a.num_classes == 2  # {0,1} and {2,3}; singleton {4} gone
+        assert pi_a.stripped_size == 4
+
+    def test_rank_counts_all_classes(self, rel):
+        pi_a = StrippedPartition.from_relation(rel, ["a"])
+        assert pi_a.rank == 3  # |dom(a)|
+        assert pi_a.rank == rel.distinct_count(["a"])
+
+    def test_error(self, rel):
+        pi_a = StrippedPartition.from_relation(rel, ["a"])
+        assert pi_a.error() == 2  # 4 stripped tuples - 2 classes
+
+    def test_empty_relation(self):
+        r = Relation.empty(["a"])
+        pi = StrippedPartition.from_relation(r, ["a"])
+        assert pi.rank == 0
+        assert pi.g3_error(pi) == 0.0
+
+
+class TestProduct:
+    def test_product_equals_direct(self, rel):
+        pi_a = StrippedPartition.from_relation(rel, ["a"])
+        pi_b = StrippedPartition.from_relation(rel, ["b"])
+        direct = StrippedPartition.from_relation(rel, ["a", "b"])
+        assert pi_a.product(pi_b) == direct
+
+    def test_product_is_commutative(self, rel):
+        pi_a = StrippedPartition.from_relation(rel, ["a"])
+        pi_b = StrippedPartition.from_relation(rel, ["b"])
+        assert pi_a.product(pi_b) == pi_b.product(pi_a)
+
+    def test_product_random_relations(self):
+        for seed in range(10):
+            r = random_relation(20, 3, domain_size=3, seed=seed)
+            pi_0 = StrippedPartition.from_relation(r, ["A0"])
+            pi_1 = StrippedPartition.from_relation(r, ["A1"])
+            direct = StrippedPartition.from_relation(r, ["A0", "A1"])
+            assert pi_0.product(pi_1) == direct
+
+    def test_product_size_mismatch(self, rel):
+        other = StrippedPartition(3, [[0, 1]])
+        with pytest.raises(ValueError):
+            StrippedPartition.from_relation(rel, ["a"]).product(other)
+
+
+class TestRefinesAndFD:
+    def test_fd_holds_iff_refines(self):
+        from repro.core import FD
+        from repro.datasets import random_relation
+
+        for seed in range(15):
+            r = random_relation(15, 3, domain_size=3, seed=seed)
+            pi_a = StrippedPartition.from_relation(r, ["A0"])
+            pi_b = StrippedPartition.from_relation(r, ["A1"])
+            assert pi_a.refines(pi_b) == FD("A0", "A1").holds(r)
+
+    def test_rank_equality_criterion(self):
+        from repro.core import FD
+
+        for seed in range(15):
+            r = random_relation(15, 3, domain_size=3, seed=seed)
+            pi_x = StrippedPartition.from_relation(r, ["A0"])
+            pi_xy = StrippedPartition.from_relation(r, ["A0", "A1"])
+            assert (pi_x.rank == pi_xy.rank) == FD("A0", "A1").holds(r)
+
+
+class TestG3:
+    def test_g3_matches_afd_measure(self):
+        from repro.core import AFD
+
+        for seed in range(15):
+            r = random_relation(20, 3, domain_size=3, seed=seed)
+            pi_x = StrippedPartition.from_relation(r, ["A0"])
+            pi_xy = StrippedPartition.from_relation(r, ["A0", "A1"])
+            afd = AFD("A0", "A1", 0.5)
+            assert pi_x.g3_error(pi_xy) == pytest.approx(afd.measure(r))
+
+    def test_violating_classes(self, rel):
+        pi_a = StrippedPartition.from_relation(rel, ["a"])
+        pi_ab = StrippedPartition.from_relation(rel, ["a", "b"])
+        bad = pi_a.violating_classes(pi_ab)
+        assert bad == [(2, 3)]

@@ -1,0 +1,108 @@
+"""Tests for CFD view propagation and dataspace query evaluation."""
+
+import pytest
+
+from repro.core import CFD, SimilarityFunction, CD
+from repro.datasets import dataspace_person, random_relation
+from repro.quality import (
+    cd_accelerated_search,
+    check_propagation,
+    comparable_search,
+    propagate_cfds,
+    propagate_to_projection,
+    propagate_to_selection,
+    select_view,
+)
+from repro.relation import Relation
+
+
+class TestProjectionPropagation:
+    def test_cfd_survives_when_attrs_kept(self):
+        dep = CFD(["a", "b"], "c", {"a": 1})
+        assert propagate_to_projection([dep], ["a", "b", "c"]) == [dep]
+
+    def test_cfd_dropped_when_attr_projected_out(self):
+        dep = CFD(["a", "b"], "c", {"a": 1})
+        assert propagate_to_projection([dep], ["a", "c"]) == []
+
+
+class TestSelectionPropagation:
+    def test_wildcard_specialized_to_constant(self):
+        dep = CFD(["cc", "zip"], "city")
+        (out,) = propagate_to_selection([dep], {"cc": "44"})
+        assert out.pattern.entry("cc").constant == "44"
+
+    def test_conflicting_constant_is_vacuous(self):
+        dep = CFD(["cc", "zip"], "city", {"cc": "01"})
+        assert propagate_to_selection([dep], {"cc": "44"}) == []
+
+    def test_matching_constant_unchanged(self):
+        dep = CFD(["cc", "zip"], "city", {"cc": "44"})
+        (out,) = propagate_to_selection([dep], {"cc": "44"})
+        assert out == dep
+
+    def test_condition_on_other_attribute_ignored(self):
+        dep = CFD(["zip"], "city")
+        (out,) = propagate_to_selection([dep], {"country": "UK"})
+        assert out == dep
+
+
+class TestSemanticOracle:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_propagated_cfds_hold_on_views(self, seed):
+        r = random_relation(15, 4, domain_size=3, seed=seed)
+        dep = CFD(["A0", "A1"], "A2", {"A0": 1})
+        assert check_propagation(
+            r, [dep], view_attributes=["A0", "A1", "A2"], condition={"A3": 0}
+        )
+
+    def test_selection_view_materialization(self):
+        r = Relation.from_rows(
+            ["cc", "zip", "city"],
+            [("44", "z1", "L"), ("44", "z1", "L"), ("01", "z1", "P")],
+        )
+        view = select_view(r, {"cc": "44"})
+        assert len(view) == 2
+        dep = CFD(["cc", "zip"], "city")
+        assert dep.holds(r)
+        for out in propagate_cfds([dep], condition={"cc": "44"}):
+            assert out.holds(view)
+
+
+class TestDataspaceSearch:
+    @pytest.fixture
+    def ds(self):
+        return dataspace_person()
+
+    @pytest.fixture
+    def theta(self):
+        return SimilarityFunction("region", "city", 5, 5, 5)
+
+    def test_comparable_search_crosses_synonyms(self, ds, theta):
+        """Querying region='St Petersburg' finds the record storing it
+        under city, and the close-variant region records."""
+        result = comparable_search(
+            ds, {"region": "St Petersburg"}, [theta]
+        )
+        assert set(result.indices) == {0, 1, 2}
+        assert result.comparisons > 0
+
+    def test_equality_fallback_for_uncovered_attribute(self, ds, theta):
+        result = comparable_search(ds, {"name": "Alice"}, [theta])
+        assert set(result.indices) == {0, 1}
+
+    def test_cd_accelerated_skips_rhs(self, ds, theta):
+        theta2 = SimilarityFunction("addr", "post", 7, 9, 6)
+        cd = CD([theta], theta2)
+        assert cd.holds(ds)
+        full = comparable_search(
+            ds,
+            {"region": "St Petersburg", "addr": "#7 T Avenue"},
+            [theta, theta2],
+        )
+        fast = cd_accelerated_search(
+            ds, {"region": "St Petersburg", "addr": "#7 T Avenue"}, cd
+        )
+        # Same answers, fewer comparisons (RHS skipped).
+        assert set(fast.indices) == set(full.indices)
+        assert fast.comparisons < full.comparisons

@@ -1,0 +1,212 @@
+"""Property-based tests, batch 2: conditional/metric/order invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    CFD,
+    DC,
+    DD,
+    FD,
+    Interval,
+    MFD,
+    MVD,
+    NUD,
+    OD,
+    SD,
+    pred2,
+)
+from repro.relation import Relation
+
+small_values = st.integers(min_value=0, max_value=3)
+num_values = st.integers(min_value=0, max_value=6)
+
+
+@st.composite
+def relations(draw, n_cols=3, max_rows=8, numerical=False):
+    n_rows = draw(st.integers(min_value=0, max_value=max_rows))
+    value = num_values if numerical else small_values
+    rows = [
+        tuple(draw(value) for __ in range(n_cols)) for __ in range(n_rows)
+    ]
+    return Relation.from_rows([f"A{c}" for c in range(n_cols)], rows)
+
+
+@st.composite
+def intervals(draw):
+    low = draw(st.floats(min_value=-50, max_value=50))
+    width = draw(st.floats(min_value=0, max_value=50))
+    return Interval(
+        low,
+        low + width,
+        low_open=draw(st.booleans()) and width > 0,
+        high_open=draw(st.booleans()) and width > 0,
+    )
+
+
+# -- interval algebra ----------------------------------------------------
+
+
+@given(intervals(), st.floats(min_value=-100, max_value=100))
+def test_interval_subsume_implies_contains(iv, x):
+    wide = Interval(iv.low - 1, iv.high + 1)
+    assert wide.subsumes(iv)
+    if iv.contains(x):
+        assert wide.contains(x)
+
+
+@given(intervals(), intervals(), st.floats(min_value=-100, max_value=100))
+def test_interval_subsumption_transfers_membership(a, b, x):
+    if a.subsumes(b) and b.contains(x):
+        assert a.contains(x)
+
+
+# -- conditional rules -----------------------------------------------------
+
+
+@given(relations())
+@settings(max_examples=40)
+def test_cfd_holds_on_subset_when_fd_holds(r):
+    """A CFD can only be *easier* to satisfy than its embedded FD."""
+    fd = FD(("A0",), ("A1",))
+    cfd = CFD(("A0",), ("A1",), {"A0": 1})
+    if fd.holds(r):
+        assert cfd.holds(r)
+
+
+@given(relations())
+@settings(max_examples=40)
+def test_cfd_violations_subset_of_fd_violations(r):
+    fd = FD(("A0",), ("A1",))
+    cfd = CFD(("A0",), ("A1",), {"A0": 2})
+    cfd_pairs = {
+        v.tuples for v in cfd.violations(r) if len(v.tuples) == 2
+    }
+    fd_pairs = {v.tuples for v in fd.violations(r)}
+    assert cfd_pairs <= fd_pairs
+
+
+@given(relations())
+@settings(max_examples=40)
+def test_nud_weight_monotone(r):
+    """If a NUD holds at weight k it holds at any k' >= k."""
+    k = NUD("A0", "A1").max_fanout(r)
+    if k >= 1:
+        assert NUD("A0", "A1", k + 1).holds(r)
+        assert NUD("A0", "A1", k + 3).holds(r)
+
+
+# -- metric rules -----------------------------------------------------------
+
+
+@given(relations(numerical=True), st.floats(min_value=0, max_value=10))
+@settings(max_examples=40)
+def test_mfd_delta_monotone(r, delta):
+    """If an MFD holds at delta it holds at any larger delta."""
+    tight = MFD(("A0",), ("A1",), delta)
+    loose = MFD(("A0",), ("A1",), delta + 1.0)
+    if tight.holds(r):
+        assert loose.holds(r)
+
+
+@given(relations(numerical=True))
+@settings(max_examples=40)
+def test_dd_looser_rhs_weaker(r):
+    tight = DD({"A0": 2}, {"A1": 1})
+    loose = DD({"A0": 2}, {"A1": 3})
+    if tight.holds(r):
+        assert loose.holds(r)
+
+
+@given(relations(numerical=True))
+@settings(max_examples=40)
+def test_dd_tighter_lhs_weaker(r):
+    wide = DD({"A0": 3}, {"A1": 2})
+    narrow = DD({"A0": 1}, {"A1": 2})
+    if wide.holds(r):
+        assert narrow.holds(r)
+
+
+@given(relations(numerical=True))
+@settings(max_examples=40)
+def test_mfd_approximate_agrees_with_exact(r):
+    mfd = MFD(("A0",), ("A1",), 2.0)
+    assert mfd.holds_approximate(r) == mfd.holds(r)
+
+
+# -- order rules ------------------------------------------------------------
+
+
+@given(relations(numerical=True))
+@settings(max_examples=40)
+def test_od_strict_weaker_than_nonstrict(r):
+    """<= marks fire on more pairs than <, so the <= OD is stronger."""
+    nonstrict = OD([("A0", "<=")], [("A1", "<=")])
+    strict = OD([("A0", "<")], [("A1", "<=")])
+    if nonstrict.holds(r):
+        assert strict.holds(r)
+
+
+@given(relations(numerical=True))
+@settings(max_examples=40)
+def test_dc_symmetric_pair_semantics(r):
+    """dc over (subtotal-style) pair is orientation-complete: adding
+    the mirrored DC changes nothing."""
+    dc = DC([pred2("A0", "<"), pred2("A1", ">")])
+    mirrored = DC([pred2("A0", ">"), pred2("A1", "<")])
+    assert dc.holds(r) == mirrored.holds(r)
+
+
+@given(relations(numerical=True))
+@settings(max_examples=40)
+def test_sd_gap_widening_monotone(r):
+    tight = SD("A0", "A1", (0, 2))
+    loose = SD("A0", "A1", (-1, 3))
+    if tight.holds(r):
+        assert loose.holds(r)
+
+
+@given(relations(numerical=True))
+@settings(max_examples=40)
+def test_sd_confidence_bounds_and_exactness(r):
+    sd = SD("A0", "A1", (0, 3))
+    c = sd.confidence(r)
+    assert 0.0 <= c <= 1.0
+    if sd.holds(r) and len(sd.sorted_indices(r)) == len(r):
+        assert c == 1.0
+
+
+# -- tuple-generating rules --------------------------------------------------
+
+
+@given(relations())
+@settings(max_examples=30)
+def test_mvd_complementation(r):
+    """X ->> Y iff X ->> Z (the complementation rule), Z = R - X - Y."""
+    mvd_y = MVD(("A0",), ("A1",))
+    mvd_z = MVD(("A0",), ("A2",))
+    assert mvd_y.holds(r) == mvd_z.holds(r)
+
+
+@given(relations())
+@settings(max_examples=30)
+def test_mvd_spurious_zero_iff_holds(r):
+    mvd = MVD(("A0",), ("A1",))
+    assert (mvd.spurious_fraction(r) == 0.0) == mvd.holds(r)
+
+
+# -- repair/dedup postconditions ----------------------------------------------
+
+
+@given(relations())
+@settings(max_examples=25, deadline=None)
+def test_dedup_identify_postcondition(r):
+    from repro.core import MD
+    from repro.quality import Deduplicator
+
+    dedup = Deduplicator([MD({"A0": 0.0}, "A1")])
+    identified = dedup.identify(r)
+    # Identification enforces the MD it was built from.
+    assert MD({"A0": 0.0}, "A1").holds(identified)
+    assert len(identified) == len(r)

@@ -1,0 +1,130 @@
+"""Edge-case hardening for the quality engines."""
+
+import pytest
+
+from repro.core import FD, MD, NUD, OD, SFD
+from repro.quality import (
+    CorrelationMap,
+    Deduplicator,
+    SelectivityEstimator,
+    consistent_answers,
+    fd_repairs,
+    is_exhaustive,
+    possible_answers,
+    repair_fds,
+    select_query,
+    verify_repair,
+)
+from repro.relation import Relation
+
+
+class TestCQAEdges:
+    def test_consistent_relation_single_repair(self):
+        r = Relation.from_rows(["k", "v"], [(1, "a"), (2, "b")])
+        reps = fd_repairs(r, [FD("k", "v")])
+        assert reps == [r]
+
+    def test_cap_flag_false_on_explosive_instances(self):
+        # 10 groups, each with a binary choice: 2^10 repairs > cap 64.
+        rows = []
+        for k in range(10):
+            rows.append((k, "a"))
+            rows.append((k, "b"))
+        r = Relation.from_rows(["k", "v"], rows)
+        assert not is_exhaustive(r, [FD("k", "v")], max_repairs=64)
+        reps = fd_repairs(r, [FD("k", "v")], max_repairs=64)
+        assert 0 < len(reps) <= 64
+        for rep in reps:
+            assert FD("k", "v").holds(rep)
+
+    def test_empty_relation_cqa(self):
+        r = Relation.empty(["k", "v"])
+        q = select_query(["v"])
+        assert consistent_answers(r, [FD("k", "v")], q) == set()
+        assert possible_answers(r, [FD("k", "v")], q) == set()
+
+    def test_repairs_are_maximal(self):
+        r = Relation.from_rows(
+            ["k", "v"], [(1, "a"), (1, "a"), (1, "b")]
+        )
+        reps = fd_repairs(r, [FD("k", "v")])
+        sizes = sorted(len(rep) for rep in reps)
+        assert sizes == [1, 2]  # keep {a,a} or keep {b} — both maximal
+
+
+class TestRepairEdges:
+    def test_empty_relation(self):
+        r = Relation.empty(["k", "v"])
+        repaired, log = repair_fds(r, [FD("k", "v")])
+        assert repaired == r and log.cost() == 0
+
+    def test_tie_breaking_is_deterministic(self):
+        r = Relation.from_rows(
+            ["k", "v"], [(1, "a"), (1, "b")]
+        )
+        out1, __ = repair_fds(r, [FD("k", "v")])
+        out2, __ = repair_fds(r, [FD("k", "v")])
+        assert out1 == out2
+
+    def test_verify_repair_with_ignored(self):
+        r = Relation.from_rows(["k", "v"], [(1, "a"), (1, "b")])
+        assert not verify_repair(r, [FD("k", "v")])
+        assert verify_repair(r, [FD("k", "v")], ignore_tuples=[1])
+
+
+class TestOptimizerEdges:
+    def test_estimator_on_empty_relation(self):
+        r = Relation.empty(["a", "b"])
+        est = SelectivityEstimator(r)
+        assert est.true_selectivity({"a": 1}) == 0.0
+        assert est.single_selectivity("a") == 1.0  # distinct floor
+
+    def test_correlation_map_single_bucket(self):
+        r = Relation.from_rows(["s", "t"], [(1, "x"), (2, "x")])
+        cmap = CorrelationMap(r, "s", "t", buckets=4)
+        assert cmap.target_buckets(1) == cmap.target_buckets(2)
+
+    def test_correlation_map_missing_values(self):
+        r = Relation.from_rows(
+            ["s", "t"], [(1, "x"), (None, "y"), (2, None)]
+        )
+        cmap = CorrelationMap(r, "s", "t")
+        assert cmap.target_buckets(2) == set()
+        assert cmap.size() >= 1
+
+
+class TestDedupEdges:
+    def test_empty_relation(self):
+        r = Relation.empty(["a", "b"])
+        dedup = Deduplicator([MD({"a": 1}, "b")])
+        assert dedup.duplicates(r) == []
+        assert dedup.identify(r) == r
+
+    def test_identify_with_all_missing_target(self):
+        r = Relation.from_rows(["a", "b"], [("x", None), ("x", None)])
+        dedup = Deduplicator([MD({"a": 0}, "b")])
+        out = dedup.identify(r)
+        assert out.column("b") == (None, None)
+
+    def test_single_tuple_no_pairs(self):
+        r = Relation.from_rows(["a", "b"], [("x", 1)])
+        dedup = Deduplicator([MD({"a": 0}, "b")])
+        assert dedup.matching_pairs(r) == set()
+
+
+class TestMeasuredRuleEdges:
+    def test_sfd_on_single_tuple(self):
+        r = Relation.from_rows(["a", "b"], [(1, 2)])
+        assert SFD("a", "b").measure(r) == 1.0
+
+    def test_nud_with_missing_values(self):
+        r = Relation.from_rows(
+            ["a", "b"], [(1, None), (1, "x"), (1, None)]
+        )
+        # None counts as a distinct value (a representation variant).
+        assert NUD("a", "b", 2).holds(r)
+        assert not NUD("a", "b", 1).holds(r)
+
+    def test_od_on_empty(self):
+        r = Relation.empty(["x", "y"])
+        assert OD([("x", "<=")], [("y", "<=")]).holds(r)

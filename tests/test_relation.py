@@ -1,0 +1,147 @@
+"""Unit tests for repro.relation.relation."""
+
+import pytest
+
+from repro.relation import Attribute, AttributeType, Relation, Schema
+
+
+@pytest.fixture
+def rel():
+    return Relation.from_rows(
+        ["a", "b", "c"],
+        [(1, "x", 10), (1, "y", 20), (2, "x", 10), (2, "x", 30)],
+    )
+
+
+class TestConstruction:
+    def test_from_rows_width_check(self):
+        with pytest.raises(ValueError):
+            Relation.from_rows(["a", "b"], [(1,)])
+
+    def test_from_dicts_fills_missing_with_none(self):
+        r = Relation.from_dicts(["a", "b"], [{"a": 1}])
+        assert r.tuple_at(0) == (1, None)
+
+    def test_from_columns_mapping(self):
+        r = Relation.from_columns(["a", "b"], {"b": [2, 4], "a": [1, 3]})
+        assert r.rows() == [(1, 2), (3, 4)]
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Relation.from_columns(["a", "b"], [[1, 2], [3]])
+
+    def test_empty(self):
+        r = Relation.empty(["a"])
+        assert len(r) == 0
+        assert r.rows() == []
+
+    def test_bool_is_always_true(self):
+        assert Relation.empty(["a"])
+
+
+class TestAccess:
+    def test_column(self, rel):
+        assert rel.column("b") == ("x", "y", "x", "x")
+
+    def test_tuple_at_bounds(self, rel):
+        with pytest.raises(IndexError):
+            rel.tuple_at(4)
+        with pytest.raises(IndexError):
+            rel.tuple_at(-1)
+
+    def test_record_at(self, rel):
+        assert rel.record_at(1) == {"a": 1, "b": "y", "c": 20}
+
+    def test_values_at(self, rel):
+        assert rel.values_at(3, ["c", "a"]) == (30, 2)
+
+    def test_iter_yields_rows(self, rel):
+        assert list(rel) == rel.rows()
+
+
+class TestAlgebra:
+    def test_project_dedupes(self, rel):
+        p = rel.project(["b"])
+        assert sorted(p.rows()) == [("x",), ("y",)]
+
+    def test_project_bag_keeps_duplicates(self, rel):
+        p = rel.project_bag(["b"])
+        assert len(p) == 4
+
+    def test_select(self, rel):
+        s = rel.select(lambda t: t["a"] == 2)
+        assert len(s) == 2
+
+    def test_take_and_drop(self, rel):
+        assert rel.take([0, 3]).rows() == [(1, "x", 10), (2, "x", 30)]
+        assert len(rel.drop([0])) == 3
+
+    def test_extend(self, rel):
+        r2 = rel.extend([(9, "z", 99)])
+        assert len(r2) == 5
+        assert len(rel) == 4  # original untouched
+
+    def test_with_value_is_functional(self, rel):
+        r2 = rel.with_value(0, "b", "Q")
+        assert r2.value_at(0, "b") == "Q"
+        assert rel.value_at(0, "b") == "x"
+
+    def test_with_value_bounds(self, rel):
+        with pytest.raises(IndexError):
+            rel.with_value(10, "b", "Q")
+
+    def test_natural_join(self):
+        left = Relation.from_rows(["k", "x"], [(1, "a"), (2, "b")])
+        right = Relation.from_rows(["k", "y"], [(1, "A"), (1, "B")])
+        j = left.natural_join(right)
+        assert sorted(j.rows()) == [(1, "a", "A"), (1, "a", "B")]
+        assert j.schema.names() == ("k", "x", "y")
+
+    def test_join_no_shared_attributes_is_cross_product(self):
+        left = Relation.from_rows(["x"], [(1,), (2,)])
+        right = Relation.from_rows(["y"], [("a",)])
+        assert len(left.natural_join(right)) == 2
+
+    def test_distinct(self):
+        r = Relation.from_rows(["a"], [(1,), (1,), (2,)])
+        assert len(r.distinct()) == 2
+
+
+class TestGrouping:
+    def test_group_by(self, rel):
+        groups = rel.group_by(["a"])
+        assert groups[(1,)] == [0, 1]
+        assert groups[(2,)] == [2, 3]
+
+    def test_distinct_count(self, rel):
+        assert rel.distinct_count(["a"]) == 2
+        assert rel.distinct_count(["a", "b"]) == 3
+
+    def test_value_counts(self, rel):
+        assert rel.value_counts("b") == {"x": 3, "y": 1}
+
+    def test_tuple_pairs_count(self, rel):
+        assert len(list(rel.tuple_pairs())) == 6
+
+    def test_sample_deterministic(self, rel):
+        assert rel.sample(2, seed=7).rows() == rel.sample(2, seed=7).rows()
+        assert len(rel.sample(2)) == 2
+        assert rel.sample(100) is rel
+
+
+class TestMisc:
+    def test_equality(self, rel):
+        same = Relation.from_rows(["a", "b", "c"], rel.rows())
+        assert rel == same
+
+    def test_to_text_header(self, rel):
+        text = rel.to_text()
+        assert text.splitlines()[0].split() == ["a", "b", "c"]
+
+    def test_to_text_truncation(self):
+        r = Relation.from_rows(["a"], [(i,) for i in range(30)])
+        assert "more tuples" in r.to_text(max_rows=5)
+
+    def test_none_values_roundtrip(self):
+        r = Relation.from_rows(["a"], [(None,)])
+        assert r.value_at(0, "a") is None

@@ -1,0 +1,124 @@
+"""Tests for the repair engines (FD, CFD, DC)."""
+
+import pytest
+
+from repro.core import CFD, DC, FD, pred2, predc
+from repro.datasets import fd_workload, hotel_r7
+from repro.quality import (
+    CellEdit,
+    repair_cfds,
+    repair_dcs,
+    repair_fds,
+    verify_repair,
+)
+from repro.relation import Relation
+
+
+class TestFDRepair:
+    def test_majority_wins(self):
+        r = Relation.from_rows(
+            ["k", "v"],
+            [(1, "a"), (1, "a"), (1, "b"), (2, "c")],
+        )
+        repaired, log = repair_fds(r, [FD("k", "v")])
+        assert repaired.column("v") == ("a", "a", "a", "c")
+        assert log.cost() == 1
+        assert log.edits[0] == CellEdit(2, "v", "b", "a")
+
+    def test_workload_repair_restores_consistency(self):
+        w = fd_workload(150, 15, error_rate=0.08, seed=3)
+        repaired, log = repair_fds(w.relation, w.true_fds)
+        assert verify_repair(repaired, w.true_fds)
+        assert log.cost() > 0
+
+    def test_repair_accuracy_against_clean(self):
+        w = fd_workload(150, 15, error_rate=0.05, seed=4)
+        repaired, __ = repair_fds(w.relation, w.true_fds)
+        fixed = sum(
+            1
+            for i in w.error_tuples
+            if repaired.tuple_at(i) == w.clean.tuple_at(i)
+        )
+        assert fixed / len(w.error_tuples) > 0.8
+
+    def test_noop_on_clean_data(self):
+        w = fd_workload(60, 6, error_rate=0.0, seed=5)
+        __, log = repair_fds(w.relation, w.true_fds)
+        assert log.cost() == 0
+
+    def test_interacting_fds_reach_fixpoint(self):
+        r = Relation.from_rows(
+            ["a", "b", "c"],
+            [(1, "x", "p"), (1, "x", "p"), (1, "y", "q")],
+        )
+        fds = [FD("a", "b"), FD("b", "c")]
+        repaired, __ = repair_fds(r, fds)
+        assert verify_repair(repaired, fds)
+
+
+class TestCFDRepair:
+    def test_constant_enforcement(self):
+        r = Relation.from_rows(
+            ["cc", "code"],
+            [("44", "131"), ("44", "999"), ("01", "111")],
+        )
+        dep = CFD("cc", "code", {"cc": "44", "code": "131"})
+        repaired, log = repair_cfds(r, [dep])
+        assert repaired.column("code") == ("131", "131", "111")
+        assert log.cost() == 1
+
+    def test_variable_part_majority(self):
+        r = Relation.from_rows(
+            ["region", "zip", "street"],
+            [
+                ("uk", "z1", "high"),
+                ("uk", "z1", "high"),
+                ("uk", "z1", "low"),
+                ("us", "z1", "main"),
+            ],
+        )
+        dep = CFD(["region", "zip"], "street", {"region": "uk"})
+        repaired, log = repair_cfds(r, [dep])
+        assert dep.holds(repaired)
+        assert repaired.value_at(3, "street") == "main"  # untouched
+
+    def test_summary_readable(self):
+        r = Relation.from_rows(["cc", "code"], [("44", "999")])
+        dep = CFD("cc", "code", {"cc": "44", "code": "131"})
+        __, log = repair_cfds(r, [dep])
+        assert "cell edits" in log.summary()
+
+
+class TestDCRepair:
+    def test_order_violation_fixed(self, r7):
+        broken = r7.with_value(0, "taxes", 999)
+        dc1 = DC([pred2("subtotal", "<"), pred2("taxes", ">")])
+        assert not dc1.holds(broken)
+        repaired, log = repair_dcs(broken, [dc1])
+        assert verify_repair(
+            repaired, [dc1], ignore_tuples=log.quarantined
+        )
+
+    def test_constant_dc_repair(self):
+        r = Relation.from_rows(
+            ["region", "price"],
+            [("Chicago", 150), ("Chicago", 300), ("Boston", 100)],
+        )
+        dc = DC([predc("region", "=", "Chicago"), predc("price", "<", 200)])
+        repaired, log = repair_dcs(r, [dc])
+        assert verify_repair(repaired, [dc], ignore_tuples=log.quarantined)
+
+    def test_clean_data_untouched(self, r7):
+        dc1 = DC([pred2("subtotal", "<"), pred2("taxes", ">")])
+        repaired, log = repair_dcs(r7, [dc1])
+        assert repaired == r7
+        assert log.cost() == 0
+
+    def test_quarantine_when_unfixable(self):
+        # A DC that every value assignment violates for the pair:
+        # two tuples may never share x — with only two tuples and a
+        # single shared-domain column, flips cannot help.
+        r = Relation.from_rows(["x"], [(1,), (1,)])
+        dc = DC([pred2("x", "=")])
+        repaired, log = repair_dcs(r, [dc])
+        assert verify_repair(repaired, [dc], ignore_tuples=log.quarantined)

@@ -1,0 +1,150 @@
+"""Failure injection and robustness: hostile inputs must not wedge.
+
+Conflicting rule sets, missing values everywhere, unsatisfiable
+constraints, and degenerate relations — engines must terminate and
+report honestly rather than loop or crash.
+"""
+
+import pytest
+
+from repro.core import (
+    CFD,
+    DC,
+    DD,
+    FD,
+    MD,
+    MFD,
+    NED,
+    OD,
+    SD,
+    predc,
+)
+from repro.discovery import discover_dcs, discover_dds, fastfd, tane
+from repro.quality import (
+    Detector,
+    interactive_clean,
+    repair_cfds,
+    repair_dcs,
+    repair_fds,
+)
+from repro.relation import Relation
+
+
+class TestConflictingRules:
+    def test_conflicting_constant_cfds_terminate(self):
+        """Two CFDs forcing different constants on the same cells: the
+        repair cannot satisfy both but must terminate and report."""
+        r = Relation.from_rows(["cc", "code"], [("44", "x")])
+        a = CFD("cc", "code", {"cc": "44", "code": "A"})
+        b = CFD("cc", "code", {"cc": "44", "code": "B"})
+        repaired, log = repair_cfds(r, [a, b])
+        assert log.cost() > 0  # it tried
+        # At most one of the two can hold; neither crashes the engine.
+        assert a.holds(repaired) != b.holds(repaired) or not (
+            a.holds(repaired) and b.holds(repaired)
+        )
+
+    def test_unsatisfiable_dc_quarantines(self):
+        """A DC denying every tuple forces quarantine, not a loop."""
+        r = Relation.from_rows(["x"], [(1,), (2,)])
+        dc = DC([predc("x", ">=", 0)])  # every tuple violates
+        repaired, log = repair_dcs(r, [dc])
+        assert set(log.quarantined) == {0, 1}
+
+    def test_contradictory_fds_reach_fixpoint(self):
+        """a->b and b->a with crossed values: repair terminates."""
+        r = Relation.from_rows(
+            ["a", "b"],
+            [(1, "x"), (1, "y"), (2, "x"), (2, "y")],
+        )
+        repaired, log = repair_fds(r, [FD("a", "b"), FD("b", "a")])
+        # Termination and no size change are the contract.
+        assert len(repaired) == len(r)
+
+    def test_interactive_clean_round_cap(self):
+        """Oscillating MD/CFD pairs cannot loop past max_rounds."""
+        r = Relation.from_rows(
+            ["k", "v"], [("a", 1), ("ab", 2), ("abc", 3)]
+        )
+        mds = [MD({"k": 2}, "v")]
+        cfds = [CFD("v", "k")]
+        __, trace = interactive_clean(r, cfds, mds, max_rounds=3)
+        assert len(trace.rounds) <= 3
+
+
+class TestMissingDataEverywhere:
+    @pytest.fixture
+    def holey(self):
+        return Relation.from_rows(
+            ["a", "b", "c"],
+            [
+                (None, None, None),
+                (1, None, "x"),
+                (None, 2, None),
+                (1, 2, "x"),
+            ],
+        )
+
+    def test_equality_rules_treat_none_as_value(self, holey):
+        # Must not crash; semantics documented in README.
+        FD("a", "b").holds(holey)
+        FD(["a", "b"], "c").violations(holey)
+
+    def test_metric_rules_never_pair_none_with_value(self, holey):
+        ned = NED({"a": 1}, {"b": 1})
+        # None-vs-value distance is inf: never LHS-similar, no crash.
+        assert ned.holds(holey) or not ned.holds(holey)
+        dd = DD({"a": 0}, {"b": 0})
+        dd.violations(holey)
+
+    def test_order_rules_skip_none(self, holey):
+        assert OD([("a", "<=")], [("b", "<=")]).violations(holey) is not None
+        sd = SD("a", "b", (0, None))
+        # Only tuples with both values participate.
+        assert len(sd.sorted_indices(holey)) == 1
+
+    def test_discovery_survives_none(self, holey):
+        assert tane(holey) is not None
+        assert fastfd(holey) is not None
+        discover_dds(holey, ["a"], ["b"], max_lhs_attrs=1)
+
+    def test_detection_on_all_none_column(self):
+        r = Relation.from_rows(["a", "b"], [(None, 1), (None, 2)])
+        report = Detector([FD("a", "b")]).detect(r)
+        # The two None keys group together and disagree on b.
+        assert len(report.violations) == 1
+
+
+class TestDegenerateShapes:
+    def test_single_column_relation(self):
+        r = Relation.from_rows(["a"], [(1,), (2,)])
+        assert tane(r).dependencies == []
+        assert fastfd(r).dependencies == []
+        assert discover_dcs(r, max_predicates=1) is not None
+
+    def test_all_identical_tuples(self):
+        r = Relation.from_rows(["a", "b"], [(1, 2)] * 5)
+        assert FD("a", "b").holds(r)
+        assert MFD("a", "b", 0).holds(r)
+        found = {str(d) for d in tane(r)}
+        assert found == {"a -> b", "b -> a"}
+
+    def test_huge_domain_no_pairs_agree(self):
+        r = Relation.from_rows(
+            ["a", "b"], [(i, i * 2) for i in range(50)]
+        )
+        # Everything is a key; all rules hold; discovery stays fast.
+        assert FD("a", "b").holds(r)
+        assert len(tane(r).dependencies) >= 2
+
+    def test_zero_width_pattern_relations(self):
+        r = Relation.from_rows(["a", "b"], [])
+        for dep in (
+            FD("a", "b"),
+            CFD("a", "b", {"a": 1}),
+            MFD("a", "b", 1.0),
+            NED({"a": 1}, {"b": 1}),
+            OD([("a", "<=")], [("b", "<=")]),
+            SD("a", "b", (0, 1)),
+        ):
+            assert dep.holds(r)

@@ -1,0 +1,96 @@
+"""Unit tests for repro.relation.schema."""
+
+import pytest
+
+from repro.relation import Attribute, AttributeType, Schema, SchemaError
+from repro.relation.schema import as_attribute_names
+
+
+class TestAttribute:
+    def test_defaults_to_categorical(self):
+        a = Attribute("city")
+        assert a.dtype is AttributeType.CATEGORICAL
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Attribute("")
+
+    def test_equality_is_value_based(self):
+        assert Attribute("x") == Attribute("x")
+        assert Attribute("x") != Attribute("x", AttributeType.NUMERICAL)
+
+    def test_str_is_name(self):
+        assert str(Attribute("price", AttributeType.NUMERICAL)) == "price"
+
+    def test_ordered_types(self):
+        assert AttributeType.NUMERICAL.is_ordered
+        assert not AttributeType.CATEGORICAL.is_ordered
+        assert not AttributeType.TEXT.is_ordered
+
+
+class TestSchema:
+    def test_accepts_strings(self):
+        s = Schema(["a", "b"])
+        assert s.names() == ("a", "b")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "a"])
+
+    def test_lookup_by_name_and_index(self):
+        s = Schema(["a", "b", "c"])
+        assert s["b"].name == "b"
+        assert s[2].name == "c"
+        assert s.index_of("c") == 2
+
+    def test_missing_attribute_raises(self):
+        s = Schema(["a"])
+        with pytest.raises(SchemaError):
+            s["zzz"]
+        with pytest.raises(SchemaError):
+            s.index_of("zzz")
+
+    def test_contains_names_and_attributes(self):
+        s = Schema([Attribute("a", AttributeType.NUMERICAL)])
+        assert "a" in s
+        assert Attribute("a", AttributeType.NUMERICAL) in s
+        assert Attribute("a") not in s  # different dtype
+        assert 42 not in s
+
+    def test_project_preserves_order_given(self):
+        s = Schema(["a", "b", "c"])
+        assert s.project(["c", "a"]).names() == ("c", "a")
+
+    def test_complement(self):
+        s = Schema(["a", "b", "c"])
+        assert [a.name for a in s.complement(["b"])] == ["a", "c"]
+
+    def test_complement_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).complement(["nope"])
+
+    def test_resolve_mixed(self):
+        s = Schema(["a", "b"])
+        resolved = s.resolve(["b", Attribute("a")])
+        assert [a.name for a in resolved] == ["b", "a"]
+
+    def test_typed_accessors(self):
+        s = Schema(
+            [
+                Attribute("n", AttributeType.NUMERICAL),
+                Attribute("c", AttributeType.CATEGORICAL),
+                Attribute("t", AttributeType.TEXT),
+            ]
+        )
+        assert [a.name for a in s.numerical_attributes()] == ["n"]
+        assert [a.name for a in s.categorical_attributes()] == ["c"]
+        assert [a.name for a in s.text_attributes()] == ["t"]
+
+    def test_equality_and_hash(self):
+        assert Schema(["a", "b"]) == Schema(["a", "b"])
+        assert Schema(["a", "b"]) != Schema(["b", "a"])
+        assert hash(Schema(["a"])) == hash(Schema(["a"]))
+
+
+def test_as_attribute_names():
+    assert as_attribute_names(["x", Attribute("y")]) == ("x", "y")

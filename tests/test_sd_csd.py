@@ -1,0 +1,111 @@
+"""Unit tests for SDs and CSDs."""
+
+import math
+
+import pytest
+
+from repro.core import CSD, OD, SD, DependencyError, Interval
+from repro.relation import Relation
+
+
+class TestSD:
+    def test_paper_sd1_on_r7(self, r7):
+        """Section 4.4.1: nights ->_[100,200] subtotal; gaps 180/170/160."""
+        sd1 = SD("nights", "subtotal", (100, 200))
+        assert sd1.holds(r7)
+        gaps = [g for __, __, g in sd1.consecutive_gaps(r7)]
+        assert gaps == [180.0, 170.0, 160.0]
+
+    def test_paper_sd2_on_r7(self, r7):
+        """Section 4.4.2: nights ->_(-inf,0] avg/night (od1 as an SD)."""
+        sd2 = SD("nights", "avg/night", (None, 0))
+        assert sd2.holds(r7)
+
+    def test_violation_reports_consecutive_pair(self, r7):
+        broken = r7.with_value(2, "subtotal", 380)  # gap 10 below 100
+        sd1 = SD("nights", "subtotal", (100, 200))
+        vs = sd1.violations(broken)
+        assert len(vs) == 2  # both neighbouring gaps now off
+        assert all(len(v.tuples) == 2 for v in vs)
+
+    def test_missing_values_excluded(self, r7):
+        holed = r7.with_value(1, "subtotal", None)
+        sd = SD("nights", "subtotal", (100, 400))
+        # consecutive gaps skip t2: 540-190=350, 700-540=160
+        gaps = [g for __, __, g in sd.consecutive_gaps(holed)]
+        assert gaps == [350.0, 160.0]
+
+    def test_confidence_full_when_holds(self, r7):
+        assert SD("nights", "subtotal", (100, 200)).confidence(r7) == 1.0
+
+    def test_confidence_counts_longest_valid_run(self, r7):
+        # Breaking t2 also breaks the 190 -> 540 bridge, so the longest
+        # valid run is (540, 700): confidence 2/4.
+        broken = r7.with_value(1, "subtotal", 5000)
+        sd = SD("nights", "subtotal", (100, 200))
+        assert sd.confidence(broken) == pytest.approx(2 / 4)
+
+    def test_network_polling_example(self):
+        """Section 4.4.4: pollnum ->_[9,11] time audits the collector."""
+        rows = [(k, 10 * k) for k in range(10)]
+        rows[5] = (5, 75)  # a late poll
+        r = Relation.from_rows(["pollnum", "time"], rows)
+        sd = SD("pollnum", "time", (9, 11))
+        assert not sd.holds(r)
+        flagged = sd.violations(r).tuple_indices()
+        assert 5 in flagged
+
+    def test_from_od_implication(self, r7):
+        od = OD([("nights", "<=")], [("avg/night", ">=")])
+        sd = SD.from_od(od)
+        assert od.holds(r7)
+        assert sd.holds(r7)
+
+    def test_from_od_rejects_descending_lhs(self):
+        with pytest.raises(DependencyError):
+            SD.from_od(OD([("a", ">=")], [("b", "<=")]))
+
+    def test_multi_rhs_rejected(self):
+        with pytest.raises(DependencyError):
+            SD("a", ["b", "c"], (0, 1))
+
+    def test_empty_relation(self):
+        r = Relation.empty(["a", "b"])
+        assert SD("a", "b", (0, 1)).holds(r)
+        assert SD("a", "b", (0, 1)).confidence(r) == 1.0
+
+
+class TestCSD:
+    def test_full_range_equals_sd(self, r7):
+        sd = SD("nights", "subtotal", (100, 200))
+        csd = CSD.from_sd(sd)
+        assert csd.holds(r7) == sd.holds(r7)
+
+    def test_conditional_scope(self):
+        """An SD holding only on sub-intervals: the CSD setting."""
+        rows = [(k, 10 * k) for k in range(5)]
+        rows += [(k, 1000 + 50 * (k - 5)) for k in range(5, 10)]
+        r = Relation.from_rows(["t", "v"], rows)
+        sd_gap = (5, 60)
+        assert not SD("t", "v", sd_gap).holds(r)  # jump at the boundary
+        csd = CSD("t", "v", sd_gap, [(0, 4), (5, 9)])
+        assert csd.holds(r)
+
+    def test_violations_reindexed(self):
+        rows = [(0, 0), (1, 10), (2, 500), (3, 510)]
+        r = Relation.from_rows(["t", "v"], rows)
+        csd = CSD("t", "v", (5, 20), [(0, 3)])
+        vs = csd.violations(r)
+        assert {v.tuples for v in vs} == {(1, 2)}
+
+    def test_confidence_weighted(self, r7):
+        csd = CSD("nights", "subtotal", (100, 200), [(1, 4)])
+        assert csd.confidence(r7) == 1.0
+
+    def test_empty_tableau_rejected(self):
+        with pytest.raises(DependencyError):
+            CSD("a", "b", (0, 1), [])
+
+    def test_multi_lhs_rejected(self):
+        with pytest.raises(DependencyError):
+            CSD(["a", "b"], "c", (0, 1), [(0, 1)])

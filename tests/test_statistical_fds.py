@@ -1,0 +1,155 @@
+"""Unit tests for the statistical FD extensions: SFD, PFD, AFD, NUD."""
+
+import pytest
+
+from repro.core import AFD, FD, NUD, PFD, SFD, DependencyError, g3_error
+from repro.relation import Relation
+
+
+class TestSFD:
+    def test_paper_strengths_on_r5(self, r5):
+        """Section 2.1.1: S(address->region)=2/3, S(name->address)=1/2."""
+        assert SFD("address", "region").measure(r5) == pytest.approx(2 / 3)
+        assert SFD("name", "address").measure(r5) == pytest.approx(1 / 2)
+
+    def test_holds_compares_threshold(self, r5):
+        assert SFD("address", "region", 0.6).holds(r5)
+        assert not SFD("address", "region", 0.7).holds(r5)
+
+    def test_strength_one_iff_fd(self, r5):
+        assert SFD("address", "name", 1.0).holds(r5) == FD(
+            "address", "name"
+        ).holds(r5)
+
+    def test_threshold_validation(self):
+        with pytest.raises(DependencyError):
+            SFD("a", "b", 0.0)
+        with pytest.raises(DependencyError):
+            SFD("a", "b", 1.5)
+
+    def test_empty_relation_strength_one(self):
+        assert SFD("a", "b").measure(Relation.empty(["a", "b"])) == 1.0
+
+    def test_strength_bounds(self, r1, r5, r6):
+        for rel in (r1, r5, r6):
+            for lhs in rel.schema.names():
+                for rhs in rel.schema.names():
+                    if lhs != rhs:
+                        s = SFD(lhs, rhs).measure(rel)
+                        assert 0.0 < s <= 1.0
+
+    def test_violation_evidence_is_embedded_fd(self, r5):
+        sfd = SFD("address", "region", 0.6)
+        assert sfd.holds(r5)
+        assert len(sfd.violations(r5)) > 0  # evidence despite holding
+
+    def test_from_fd_is_strength_one(self):
+        sfd = SFD.from_fd(FD("a", "b"))
+        assert sfd.strength == 1.0
+
+
+class TestPFD:
+    def test_paper_probabilities_on_r5(self, r5):
+        """Section 2.2.1: P(address->region)=3/4, P(name->address)=1/2."""
+        assert PFD("address", "region").measure(r5) == pytest.approx(3 / 4)
+        assert PFD("name", "address").measure(r5) == pytest.approx(1 / 2)
+
+    def test_per_value_probabilities(self, r5):
+        per = PFD("address", "region").per_value_probability(r5)
+        assert per[("175 North Jackson Street",)] == pytest.approx(1.0)
+        assert per[("6030 Gateway Boulevard E",)] == pytest.approx(1 / 2)
+
+    def test_holds(self, r5):
+        assert PFD("address", "region", 0.75).holds(r5)
+        assert not PFD("address", "region", 0.8).holds(r5)
+
+    def test_violations_flag_non_modal_tuples(self, r5):
+        vs = PFD("address", "region").violations(r5)
+        flagged = vs.tuple_indices()
+        # One of t3/t4 (0-based 2/3) deviates from the group's mode.
+        assert flagged <= {2, 3} and len(flagged) == 1
+
+    def test_probability_one_iff_fd(self, r5, r1):
+        for rel in (r5, r1):
+            for lhs in rel.schema.names():
+                for rhs in rel.schema.names():
+                    if lhs == rhs:
+                        continue
+                    p = PFD(lhs, rhs).measure(rel)
+                    assert (p == 1.0) == FD(lhs, rhs).holds(rel)
+
+    def test_threshold_validation(self):
+        with pytest.raises(DependencyError):
+            PFD("a", "b", 0.0)
+
+
+class TestAFD:
+    def test_paper_g3_on_r5(self, r5):
+        """Section 2.3.1: g3(address->region)=1/4, g3(name->address)=1/2."""
+        assert AFD("address", "region").measure(r5) == pytest.approx(1 / 4)
+        assert AFD("name", "address").measure(r5) == pytest.approx(1 / 2)
+
+    def test_holds(self, r5):
+        assert AFD("address", "region", 0.25).holds(r5)
+        assert not AFD("address", "region", 0.2).holds(r5)
+
+    def test_removal_set_realizes_g3(self, r5):
+        afd = AFD("name", "address", 0.5)
+        removed = afd.removal_set(r5)
+        assert len(removed) / len(r5) == pytest.approx(afd.measure(r5))
+        assert afd.embedded.holds(r5.drop(removed))
+
+    def test_g3_zero_iff_fd(self, r1, r5):
+        for rel in (r1, r5):
+            for lhs in rel.schema.names():
+                for rhs in rel.schema.names():
+                    if lhs == rhs:
+                        continue
+                    err = g3_error(FD(lhs, rhs), rel)
+                    assert (err == 0.0) == FD(lhs, rhs).holds(rel)
+
+    def test_empty_relation(self):
+        assert AFD("a", "b").measure(Relation.empty(["a", "b"])) == 0.0
+
+    def test_threshold_validation(self):
+        with pytest.raises(DependencyError):
+            AFD("a", "b", 1.0)
+        with pytest.raises(DependencyError):
+            AFD("a", "b", -0.1)
+
+
+class TestNUD:
+    def test_paper_nud1_on_r5(self, r5):
+        """Section 2.4.1: address ->_2 region holds (El Paso variants)."""
+        assert NUD("address", "region", 2).holds(r5)
+        assert NUD("address", "region", 1).holds(r5) is False
+
+    def test_max_fanout(self, r5):
+        assert NUD("address", "region", 1).max_fanout(r5) == 2
+        assert NUD("address", "name", 1).max_fanout(r5) == 1
+
+    def test_weight_one_iff_fd(self, r5):
+        for lhs in r5.schema.names():
+            for rhs in r5.schema.names():
+                if lhs != rhs:
+                    assert NUD(lhs, rhs, 1).holds(r5) == FD(lhs, rhs).holds(
+                        r5
+                    )
+
+    def test_violations_cite_whole_group(self, r5):
+        vs = NUD("address", "region", 1).violations(r5)
+        assert len(vs) == 1
+        assert vs[0].tuples == (2, 3)
+
+    def test_projection_size_bound(self, r5):
+        nud = NUD("address", "region", 2)
+        bound = nud.projection_size_bound(r5)
+        actual = r5.distinct_count(["address", "region"])
+        assert actual <= bound == 4
+
+    def test_weight_validation(self):
+        with pytest.raises(DependencyError):
+            NUD("a", "b", 0)
+
+    def test_empty_relation_holds(self):
+        assert NUD("a", "b", 1).holds(Relation.empty(["a", "b"]))

@@ -1,0 +1,127 @@
+"""Tests for the survey registry, figures, and tables."""
+
+import pytest
+
+from repro.survey import (
+    APPLICATIONS,
+    COMPLEXITY,
+    NOTATIONS,
+    applications_of,
+    consistency_problems,
+    fig1b_publications,
+    fig2_timeline,
+    fig3_complexity,
+    notations_by_branch,
+    render_fig1b,
+    render_fig2,
+    render_fig3,
+    render_table2,
+    render_table3,
+    render_table4,
+    timeline_milestones,
+    tractable_problems,
+)
+
+
+class TestRegistry:
+    def test_23_table2_rows(self):
+        # Table 2 lists 23 extensions; FD itself is the root, not a row.
+        assert len(NOTATIONS) == 23
+
+    def test_branch_sizes(self):
+        by_branch = notations_by_branch()
+        assert len(by_branch["categorical"]) == 9  # Table 2 rows (no FD)
+        assert len(by_branch["heterogeneous"]) == 9
+        assert len(by_branch["numerical"]) == 5
+
+    def test_years_match_paper(self):
+        assert NOTATIONS["MVD"].year == 1977
+        assert NOTATIONS["NUD"].year == 1981
+        assert NOTATIONS["AFD"].year == 1995
+        assert NOTATIONS["SFD"].year == 2004
+        assert NOTATIONS["CFD"].year == 2007
+        assert NOTATIONS["AMVD"].year == 2020
+
+    def test_publication_counts(self):
+        assert NOTATIONS["FFD"].publications == 496
+        assert NOTATIONS["CFD"].publications == 471
+        assert NOTATIONS["AMVD"].publications is None
+
+    def test_registry_consistent_with_family_tree(self):
+        assert consistency_problems() == []
+
+    def test_applications_of(self):
+        apps = applications_of("DD")
+        assert "data repairing" in apps
+        assert "data deduplication" in apps
+        assert "schema normalization" not in apps
+
+    def test_every_table3_notation_known(self):
+        for branches in APPLICATIONS.values():
+            for names in branches.values():
+                for n in names:
+                    assert n in NOTATIONS or n in ("FD", "OFD")
+
+
+class TestFigures:
+    def test_fig1b_descending(self):
+        series = fig1b_publications()
+        counts = [c for __, c in series]
+        assert counts == sorted(counts, reverse=True)
+        assert series[0][0] == "FFD"  # 496 is the max
+
+    def test_fig1b_narrative_cfds_lead_categorical(self):
+        """Fig 1B discussion: CFDs attract the most attention among the
+        categorical extensions (NUD's large count is inherited from a
+        1981 notion; CFD leads among the *extensions* discussed)."""
+        categorical = {
+            n: NOTATIONS[n].publications
+            for n in ("SFD", "PFD", "AFD", "CFD", "eCFD")
+        }
+        assert max(categorical, key=categorical.get) == "CFD"
+
+    def test_fig2_timeline_sorted_and_complete(self):
+        timeline = fig2_timeline()
+        years = [y for y, __ in timeline]
+        assert years == sorted(years)
+        assert years[0] == 1977 and years[-1] == 2020
+        named = {n for __, names in timeline for n in names}
+        assert named == set(NOTATIONS)
+
+    def test_milestones(self):
+        m = timeline_milestones()
+        assert m["AFDs (first approximate extensions)"] == 1995
+        assert m["CFDs (conditional line starts)"] == 2007
+
+    def test_fig3_tractable_frontier(self):
+        tract = tractable_problems()
+        assert "CSD tableau discovery" in tract
+        assert "MFD verification" in tract
+        assert "CFD optimal tableau generation" not in tract
+
+    def test_fig3_np_complete_problems(self):
+        complexity = fig3_complexity()
+        assert complexity["CFD optimal tableau generation"] == "NP-complete"
+        assert complexity["CFD implication"] == "coNP-complete"
+        assert complexity["DD implication"] == "coNP-complete"
+
+    def test_renderings_nonempty(self):
+        assert "496" in render_fig1b()
+        assert "1977" in render_fig2()
+        assert "PTIME" in render_fig3()
+
+
+class TestTables:
+    def test_table2_lists_all(self):
+        text = render_table2()
+        for abbrev in NOTATIONS:
+            assert abbrev in text
+
+    def test_table3_rows(self):
+        text = render_table3()
+        assert "violation detection" in text
+        assert "model fairness" in text
+
+    def test_table4(self):
+        text = render_table4()
+        assert "pattern tuple" in text
