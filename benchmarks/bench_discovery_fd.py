@@ -87,3 +87,54 @@ def test_row_column_tradeoff_shape(benchmark):
     )
     # The published qualitative claim: FastFD is the more row-sensitive.
     assert fastfd_row_growth > tane_row_growth
+
+
+def test_naive_vs_encoded_substrate():
+    """Discovery-level effect of the dictionary-encoded substrate.
+
+    One-shot timings of TANE and FastFD under both substrate modes on
+    the 1k-row generator workload; FastFD — whose difference-set phase
+    is pair-quadratic in the naive path — must clear the same ≥3× floor
+    the primitive benchmarks enforce.  TANE's end-to-end win is smaller
+    (lattice bookkeeping is mode-independent) and is only reported.
+    """
+    from repro.datasets import fd_workload
+    from repro.relation import substrate_mode
+
+    def timed(fn):
+        start = time.perf_counter()
+        out = fn()
+        return time.perf_counter() - start, out
+
+    r = fd_workload(1000, 50, seed=11).relation
+    with substrate_mode("naive"):
+        t_tane_naive, fds_naive = timed(lambda: tane(r, max_lhs_size=2))
+        t_fastfd_naive, ffd_naive = timed(lambda: fastfd(r))
+    # Fresh relation: the naive pass must not pre-warm encoded caches.
+    r = fd_workload(1000, 50, seed=11).relation
+    with substrate_mode("encoded"):
+        t_tane_enc, fds_enc = timed(lambda: tane(r, max_lhs_size=2))
+        t_fastfd_enc, ffd_enc = timed(lambda: fastfd(r))
+
+    assert sorted(map(str, fds_naive)) == sorted(map(str, fds_enc))
+    assert sorted(map(str, ffd_naive)) == sorted(map(str, ffd_enc))
+
+    tane_speedup = t_tane_naive / max(t_tane_enc, 1e-9)
+    fastfd_speedup = t_fastfd_naive / max(t_fastfd_enc, 1e-9)
+    rows = [
+        ["TANE", f"{t_tane_naive * 1e3:.1f}ms", f"{t_tane_enc * 1e3:.1f}ms",
+         f"{tane_speedup:.1f}x"],
+        ["FastFD", f"{t_fastfd_naive * 1e3:.1f}ms",
+         f"{t_fastfd_enc * 1e3:.1f}ms", f"{fastfd_speedup:.1f}x"],
+    ]
+    write_artifact(
+        "perf1_substrate_modes",
+        "Perf-1b — naive vs dictionary-encoded substrate "
+        "(fd_workload, 1000 rows)\n\n"
+        + format_rows(["algorithm", "naive", "encoded", "speedup"], rows)
+        + "\n\nTANE cold-start pays the one-time codebook build; its "
+        "partitions compose via the shared cache either way, so the "
+        "encoded win shows at larger row counts and on any reuse of "
+        "the relation (profiler, detection, repair).",
+    )
+    assert fastfd_speedup >= 3.0

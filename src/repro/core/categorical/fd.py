@@ -83,19 +83,28 @@ class FD(PairwiseDependency):
             f"{format_attrs(self.rhs)}: {yi!r} vs {yj!r}"
         )
 
+    def _rhs_columns(self, relation: Relation) -> list[tuple]:
+        """The RHS columns, resolved once per scan (not once per cell)."""
+        return [relation.column(a) for a in self.rhs]
+
     def iter_violations(self, relation: Relation) -> Iterator[Violation]:
         """Group-based violation scan — O(n + violations), not O(n²).
 
         Within each equal-``X`` group, tuples split by their ``Y``-value;
         every cross pair between different ``Y``-subgroups violates.
+        The ``X``-groups come from the relation's shared cache, so a
+        detector running many rules over one relation groups each LHS
+        only once.
         """
         label = self.label()
-        for x_value, indices in relation.group_by(self.lhs).items():
+        rhs_cols = self._rhs_columns(relation)
+        for x_value, indices in relation.cached_group_by(self.lhs).items():
             if len(indices) < 2:
                 continue
             by_y: dict[tuple, list[int]] = {}
             for t in indices:
-                by_y.setdefault(relation.values_at(t, self.rhs), []).append(t)
+                key = tuple(col[t] for col in rhs_cols)
+                by_y.setdefault(key, []).append(t)
             if len(by_y) < 2:
                 continue
             subgroups = list(by_y.items())
@@ -113,12 +122,13 @@ class FD(PairwiseDependency):
 
     def holds(self, relation: Relation) -> bool:
         """Linear-time check: every X-group has a single Y-value."""
-        for indices in relation.group_by(self.lhs).values():
+        rhs_cols = self._rhs_columns(relation)
+        for indices in relation.cached_group_by(self.lhs).values():
             if len(indices) < 2:
                 continue
-            first = relation.values_at(indices[0], self.rhs)
+            first = tuple(col[indices[0]] for col in rhs_cols)
             for t in indices[1:]:
-                if relation.values_at(t, self.rhs) != first:
+                if tuple(col[t] for col in rhs_cols) != first:
                     return False
         return True
 
@@ -129,8 +139,11 @@ class FD(PairwiseDependency):
     ) -> dict[tuple, list[int]]:
         """Equal-``X`` groups containing more than one ``Y``-value."""
         out: dict[tuple, list[int]] = {}
-        for x_value, indices in relation.group_by(self.lhs).items():
-            y_values = {relation.values_at(t, self.rhs) for t in indices}
+        rhs_cols = self._rhs_columns(relation)
+        for x_value, indices in relation.cached_group_by(self.lhs).items():
+            y_values = {
+                tuple(col[t] for col in rhs_cols) for t in indices
+            }
             if len(y_values) > 1:
                 out[x_value] = list(indices)
         return out
@@ -142,10 +155,12 @@ class FD(PairwiseDependency):
         realizes the ``max |s|`` of the AFD g3 definition.
         """
         kept: list[int] = []
-        for indices in relation.group_by(self.lhs).values():
+        rhs_cols = self._rhs_columns(relation)
+        for indices in relation.cached_group_by(self.lhs).values():
             by_y: dict[tuple, list[int]] = {}
             for t in indices:
-                by_y.setdefault(relation.values_at(t, self.rhs), []).append(t)
+                key = tuple(col[t] for col in rhs_cols)
+                by_y.setdefault(key, []).append(t)
             kept.extend(max(by_y.values(), key=len))
         return sorted(kept)
 

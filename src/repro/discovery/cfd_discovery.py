@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from itertools import combinations
 from ..core.categorical import CFD, CFDTableau, FD, Pattern
+from ..relation.partition_cache import cache_for
 from ..relation.relation import Relation
 from .common import DiscoveryResult, DiscoveryStats
 
@@ -37,6 +38,11 @@ def discover_constant_cfds(
     stats = DiscoveryStats()
     names = sorted(relation.schema.names())
     found: list[CFD] = []
+    # Groups come from the shared relation-level cache: a profiler run
+    # that already did TANE + CFD mining on this relation reuses them.
+    cache = cache_for(relation)
+    hits_before = cache.stats.hits
+    columns = {a: relation.column(a) for a in names}
     # RHS attr -> list of minimal LHS (attr, value) sets already found.
     minimal: dict[str, list[frozenset[tuple[str, object]]]] = {
         a: [] for a in names
@@ -44,7 +50,7 @@ def discover_constant_cfds(
     for size in range(1, max_lhs_size + 1):
         stats.levels = size
         for lhs in combinations(names, size):
-            groups = relation.group_by(list(lhs))
+            groups = cache.groups(lhs)
             for x_value, indices in groups.items():
                 if len(indices) < min_support:
                     continue
@@ -56,13 +62,15 @@ def discover_constant_cfds(
                         stats.candidates_pruned += 1
                         continue
                     stats.candidates_checked += 1
-                    values = {relation.value_at(t, a) for t in indices}
+                    column = columns[a]
+                    values = {column[t] for t in indices}
                     if len(values) == 1:
                         rhs_value = next(iter(values))
                         pattern = dict(items)
                         pattern[a] = rhs_value
                         found.append(CFD(lhs, (a,), pattern))
                         minimal[a].append(items)
+    stats.partition_cache_hits += cache.stats.hits - hits_before
     return DiscoveryResult(
         dependencies=found, stats=stats, algorithm="CFDMiner"
     )

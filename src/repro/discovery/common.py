@@ -25,12 +25,16 @@ class DiscoveryStats:
     candidates_pruned: int = 0
     levels: int = 0
     partitions_built: int = 0
+    #: Partitions/groupings served from the shared relation-level cache
+    #: instead of being rebuilt (see ``repro.relation.partition_cache``).
+    partition_cache_hits: int = 0
 
     def merge(self, other: "DiscoveryStats") -> None:
         self.candidates_checked += other.candidates_checked
         self.candidates_pruned += other.candidates_pruned
         self.levels = max(self.levels, other.levels)
         self.partitions_built += other.partitions_built
+        self.partition_cache_hits += other.partition_cache_hits
 
 
 @dataclass

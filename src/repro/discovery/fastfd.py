@@ -16,6 +16,7 @@ from __future__ import annotations
 from itertools import combinations
 
 from ..core.categorical import FD
+from ..relation import encoding
 from ..relation.relation import Relation
 from .common import DiscoveryResult, DiscoveryStats
 
@@ -26,7 +27,30 @@ def difference_sets(relation: Relation) -> set[frozenset[str]]:
     The agree-set complement formulation of FastFD: O(n²) pairs, but
     deduplicated into the (usually far smaller) set of distinct
     difference sets that drives the cover search.
+
+    With the dictionary-encoded substrate the O(n²·k) pair sweep runs
+    over integer code vectors (one ``!=`` broadcast + bitmask reduction
+    per anchor tuple) instead of Python value tuples; the naive path
+    remains both as the ``REPRO_NAIVE_SUBSTRATE`` fallback and for
+    relations the kernel cannot encode faithfully (NaN-like values,
+    > 62 attributes).
     """
+    names = relation.schema.names()
+    if encoding.encoded_enabled() and len(relation) >= 2 and names:
+        idxs = tuple(range(len(names)))
+        masks = relation.encoding().difference_masks(idxs)
+        if masks is not None:
+            return {
+                frozenset(
+                    names[c] for c in range(len(names)) if (m >> c) & 1
+                )
+                for m in masks
+            }
+    return _difference_sets_naive(relation)
+
+
+def _difference_sets_naive(relation: Relation) -> set[frozenset[str]]:
+    """Reference value-tuple implementation (parity oracle)."""
     names = relation.schema.names()
     out: set[frozenset[str]] = set()
     rows = relation.rows()

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from ..core.categorical import AFD, FD
 from ..relation.partition import StrippedPartition
+from ..relation.partition_cache import cache_for
 from ..relation.relation import Relation
 from .common import DiscoveryResult, DiscoveryStats, generate_next_level
 
@@ -47,20 +48,18 @@ def tane(
     if max_lhs_size is None:
         max_lhs_size = max(len(names) - 1, 1)
 
-    partitions: dict[tuple[str, ...], StrippedPartition] = {}
+    # Partitions come from the relation-level shared cache, so a second
+    # TANE pass (e.g. the profiler's exact-then-approximate runs), CFD
+    # discovery, or the repair engines reuse everything built here.
+    cache = cache_for(relation)
+    misses_before = cache.stats.misses
+    hits_before = cache.stats.hits
     for a in names:
-        partitions[(a,)] = StrippedPartition.single(relation, a)
-        stats.partitions_built += 1
+        cache.partition((a,))
 
     def partition_for(combo: tuple[str, ...]) -> StrippedPartition:
-        """π_combo, built incrementally from cached sub-partitions."""
-        if combo in partitions:
-            return partitions[combo]
-        sub = combo[:-1]
-        pi = partition_for(sub).product(partitions[(combo[-1],)])
-        partitions[combo] = pi
-        stats.partitions_built += 1
-        return pi
+        """π_combo via the shared relation-level partition cache."""
+        return cache.partition(combo)
 
     n = len(relation)
     found: list = []
@@ -137,6 +136,8 @@ def tane(
         level = generate_next_level(survivors)
         level_num += 1
 
+    stats.partitions_built += cache.stats.misses - misses_before
+    stats.partition_cache_hits += cache.stats.hits - hits_before
     return DiscoveryResult(
         dependencies=found,
         stats=stats,

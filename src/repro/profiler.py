@@ -28,6 +28,7 @@ from .discovery import (
     discover_sds,
     tane,
 )
+from .relation.partition_cache import cache_for
 from .relation.relation import Relation
 
 
@@ -146,5 +147,14 @@ def profile_relation(
             f"skipped OD discovery (> {max_rows_for_pairwise} rows)"
         )
     add("sequential dependencies (fitted gaps)", discover_sds(relation))
+
+    # Both TANE passes, CFDMiner, and the per-rule violation counts all
+    # share the relation-level partition cache; surface its effect.
+    cache = cache_for(relation)
+    if cache.stats.hits:
+        report.notes.append(
+            f"partition cache: {cache.stats.hits} hits / "
+            f"{cache.stats.misses} builds across discovery passes"
+        )
 
     return report

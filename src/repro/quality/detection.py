@@ -78,7 +78,13 @@ class Detector:
         self.rules = list(rules)
 
     def detect(self, relation: Relation) -> DetectionReport:
-        """All violations of every rule, aggregated and per-rule."""
+        """All violations of every rule, aggregated and per-rule.
+
+        Rules sharing an LHS (or a relation that discovery already
+        profiled) reuse the relation-level partition/group cache — the
+        grouping work behind FD-style rules is paid once per attribute
+        list, not once per rule.
+        """
         total = ViolationSet()
         per_rule: dict[str, ViolationSet] = {}
         for rule in self.rules:
@@ -91,9 +97,16 @@ class Detector:
         self,
         relation: Relation,
         true_error_tuples: Iterable[int],
+        report: DetectionReport | None = None,
     ) -> DetectionQuality:
-        """Score flagged tuples against the known injected errors."""
-        flagged = self.detect(relation).flagged_tuples()
+        """Score flagged tuples against the known injected errors.
+
+        Pass a ``report`` from a previous :meth:`detect` call to avoid
+        re-running every rule.
+        """
+        if report is None:
+            report = self.detect(relation)
+        flagged = report.flagged_tuples()
         truth = set(true_error_tuples)
         tp = len(flagged & truth)
         fp = len(flagged - truth)

@@ -74,6 +74,11 @@ def repair_fds(
     Iterates to a fixpoint (a repair for one FD can surface violations
     of another); each pass repairs every currently violating group of
     every FD by rewriting minority RHS values to the group majority.
+
+    All edits for one tuple are applied as a single
+    :meth:`~repro.relation.relation.Relation.with_values` batch — one
+    column copy per touched attribute instead of one whole-relation
+    copy per cell.
     """
     log = RepairLog()
     current = relation
@@ -88,12 +93,19 @@ def repair_fds(
                 for t in indices:
                     if current.values_at(t, dep.rhs) == majority:
                         continue
-                    for a, new_v in zip(dep.rhs, majority):
-                        old_v = current.value_at(t, a)
-                        if old_v != new_v:
-                            current = current.with_value(t, a, new_v)
-                            log.edits.append(CellEdit(t, a, old_v, new_v))
-                            changed = True
+                    edits = {
+                        a: new_v
+                        for a, new_v in zip(dep.rhs, majority)
+                        if current.value_at(t, a) != new_v
+                    }
+                    if not edits:
+                        continue
+                    for a, new_v in edits.items():
+                        log.edits.append(
+                            CellEdit(t, a, current.value_at(t, a), new_v)
+                        )
+                    current = current.with_values(t, edits)
+                    changed = True
         if not changed:
             break
     return current, log
@@ -136,12 +148,19 @@ def repair_cfds(
                 for t in indices:
                     if current.values_at(t, dep.rhs) == majority:
                         continue
-                    for a, new_v in zip(dep.rhs, majority):
-                        old_v = current.value_at(t, a)
-                        if old_v != new_v:
-                            current = current.with_value(t, a, new_v)
-                            log.edits.append(CellEdit(t, a, old_v, new_v))
-                            changed = True
+                    edits = {
+                        a: new_v
+                        for a, new_v in zip(dep.rhs, majority)
+                        if current.value_at(t, a) != new_v
+                    }
+                    if not edits:
+                        continue
+                    for a, new_v in edits.items():
+                        log.edits.append(
+                            CellEdit(t, a, current.value_at(t, a), new_v)
+                        )
+                    current = current.with_values(t, edits)
+                    changed = True
         if not changed:
             break
     return current, log

@@ -9,7 +9,15 @@ sorted/inverted indexes, projection/join for MVD semantics).
 
 from .schema import Attribute, AttributeType, Schema, SchemaError, as_attribute_names
 from .relation import Relation
+from .encoding import (
+    HAS_NUMPY,
+    RelationEncoding,
+    encoded_enabled,
+    set_mode,
+    substrate_mode,
+)
 from .partition import StrippedPartition
+from .partition_cache import CacheStats, PartitionCache, cache_for
 from .index import InvertedIndex, SortedIndex, build_indexes
 from .io import read_csv, read_csv_text, to_csv_text, write_csv
 
@@ -20,6 +28,14 @@ __all__ = [
     "SchemaError",
     "as_attribute_names",
     "Relation",
+    "HAS_NUMPY",
+    "RelationEncoding",
+    "encoded_enabled",
+    "set_mode",
+    "substrate_mode",
+    "CacheStats",
+    "PartitionCache",
+    "cache_for",
     "StrippedPartition",
     "InvertedIndex",
     "SortedIndex",

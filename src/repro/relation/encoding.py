@@ -1,0 +1,428 @@
+"""Dictionary encoding: the columnar integer fast path of the substrate.
+
+Every discovery algorithm in the family tree ultimately reduces to a
+handful of primitives over the :class:`~repro.relation.relation.Relation`
+column-store — grouping equal ``X``-values, counting distinct values,
+intersecting partitions, diffing tuple pairs.  The naive implementations
+run those primitives over Python *value tuples*, paying interpreter
+overhead (attribute resolution, tuple allocation, generic ``__eq__``)
+per cell.
+
+This module adds a lazily built, cached **per-column codebook** that
+maps each column to a compact integer vector:
+
+* equal values (under Python ``dict`` equality semantics, exactly the
+  semantics the naive ``group_by`` already uses) share one code;
+* codes are dense ``0..card-1`` integers assigned in first-occurrence
+  order, so single-column code order *is* first-occurrence order;
+* attribute sets get a **combined-key encoding** — a radix (mixed-base)
+  combination of the per-column codes, re-densified on overflow — so a
+  multi-attribute group key is one machine integer instead of a tuple.
+
+With numpy present (a declared dependency), grouping becomes
+``np.unique`` + a stable argsort over the combined codes; without it, a
+pure-Python fallback groups the integer codes through a dict, which is
+still cheaper than hashing value tuples.  The encoded path is the
+default; set ``REPRO_NAIVE_SUBSTRATE=1`` (or call :func:`set_mode`)
+to force the naive value-tuple path everywhere.
+
+Parity contract (enforced by ``tests/test_encoding_parity.py``): for
+every primitive the encoded and naive paths return *equal* results —
+group keys are decoded from the first-occurrence row, so even the key
+tuples match the naive dict's insertion behaviour.
+
+Thread-safety: encodings are built lazily and cached on the (immutable)
+relation; concurrent builds are idempotent, so races waste work but
+cannot corrupt results.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Iterator, Sequence
+
+try:  # numpy is a declared dependency, but keep the substrate importable
+    import numpy as _np
+
+    HAS_NUMPY = True
+except ImportError:  # pragma: no cover - exercised on minimal installs
+    _np = None  # type: ignore[assignment]
+    HAS_NUMPY = False
+
+Value = Any
+
+#: Largest magnitude an intermediate radix code may reach before the
+#: combined vector is re-densified (int64 headroom).
+_MAX_RADIX = 1 << 62
+
+#: Integers beyond 2**53 lose precision as floats; columns containing
+#: them are not safe for the float-matrix comparison fast paths.
+_FLOAT_SAFE_INT = 1 << 53
+
+_ENV_FLAG = "REPRO_NAIVE_SUBSTRATE"
+
+#: Programmatic override: ``True`` forces encoded, ``False`` forces
+#: naive, ``None`` defers to the environment flag.
+_mode_override: bool | None = None
+
+
+def set_mode(mode: str | None) -> None:
+    """Force the substrate path: ``"encoded"``, ``"naive"``, or ``None``.
+
+    ``None`` restores the default: encoded unless the
+    ``REPRO_NAIVE_SUBSTRATE`` environment variable is set.
+    """
+    global _mode_override
+    if mode is None:
+        _mode_override = None
+    elif mode == "encoded":
+        _mode_override = True
+    elif mode == "naive":
+        _mode_override = False
+    else:
+        raise ValueError(f"unknown substrate mode {mode!r}")
+
+
+@contextmanager
+def substrate_mode(mode: str | None) -> Iterator[None]:
+    """Temporarily force the substrate path (for tests and benchmarks)."""
+    global _mode_override
+    previous = _mode_override
+    set_mode(mode)
+    try:
+        yield
+    finally:
+        _mode_override = previous
+
+
+def encoded_enabled() -> bool:
+    """Whether the dictionary-encoded fast path is active."""
+    if _mode_override is not None:
+        return _mode_override
+    return os.environ.get(_ENV_FLAG, "") in ("", "0")
+
+
+class ColumnCodes:
+    """Dictionary encoding of one column.
+
+    ``codes[i]`` is the dense integer code of row ``i``'s value;
+    ``values[c]`` is the first-seen representative of code ``c``.
+    """
+
+    __slots__ = (
+        "codes", "values", "groups", "n_distinct", "self_unequal",
+        "numeric_safe", "none_code", "_array", "_floats", "_valid",
+    )
+
+    def __init__(self, column: Sequence[Value]) -> None:
+        codebook: dict[Value, int] = {}
+        codes: list[int] = []
+        #: member rows per code, collected during the same pass — the
+        #: single-attribute group table comes for free.
+        groups: list[list[int]] = []
+        none_code = -1
+        for i, v in enumerate(column):
+            code = codebook.setdefault(v, len(codebook))
+            codes.append(code)
+            if code == len(groups):
+                groups.append([i])
+            else:
+                groups[code].append(i)
+            if v is None:
+                none_code = code
+        self.codes = codes
+        self.groups = groups
+        self.values: list[Value] = list(codebook)
+        self.n_distinct = len(self.values)
+        self.none_code = none_code
+        self.self_unequal = False
+        self.numeric_safe = True
+        for v in self.values:
+            try:
+                if v != v:
+                    self.self_unequal = True
+            except Exception:
+                self.self_unequal = True
+            if v is None:
+                continue
+            if not isinstance(v, (bool, int, float)):
+                self.numeric_safe = False
+            elif isinstance(v, int) and not isinstance(v, bool) and (
+                abs(v) > _FLOAT_SAFE_INT
+            ):
+                self.numeric_safe = False
+        self._array = None
+        self._floats = None
+        self._valid = None
+
+    def array(self):
+        """The codes as an ``int64`` numpy vector (numpy builds only)."""
+        if self._array is None:
+            self._array = _np.asarray(self.codes, dtype=_np.int64)
+        return self._array
+
+    def valid_array(self):
+        """Boolean vector: ``True`` where the value is not ``None``."""
+        if self._valid is None:
+            if self.none_code < 0:
+                self._valid = _np.ones(len(self.codes), dtype=bool)
+            else:
+                self._valid = self.array() != self.none_code
+        return self._valid
+
+    def float_array(self, column: Sequence[Value]):
+        """The raw values as floats, ``NaN`` for ``None``.
+
+        Only meaningful when :attr:`numeric_safe`; ``NaN`` comparisons
+        are ``False``, matching the naive ``None``-never-compares rule.
+        """
+        if self._floats is None:
+            self._floats = _np.asarray(
+                [float("nan") if v is None else float(v) for v in column],
+                dtype=_np.float64,
+            )
+        return self._floats
+
+
+class RelationEncoding:
+    """Lazily built dictionary encoding of a whole relation.
+
+    Owned by a :class:`~repro.relation.relation.Relation` (which is
+    immutable, so no invalidation is ever needed — derived relations
+    simply start with a fresh, empty encoding).
+    """
+
+    __slots__ = (
+        "_columns", "_n", "_per_column", "_combined", "_distinct",
+        "_groups", "_keyed", "_stripped",
+    )
+
+    def __init__(self, columns: Sequence[Sequence[Value]], n: int) -> None:
+        self._columns = columns
+        self._n = n
+        self._per_column: list[ColumnCodes | None] = [None] * len(columns)
+        #: column-index tuple -> combined int codes (ndarray or list).
+        self._combined: dict[tuple[int, ...], Any] = {}
+        self._distinct: dict[tuple[int, ...], int] = {}
+        #: memoized group tables / normalized stripped classes — the
+        #: relation is immutable, so these never need invalidation.
+        self._groups: dict[tuple[int, ...], list] = {}
+        self._keyed: dict[tuple[int, ...], list] = {}
+        self._stripped: dict[tuple, tuple] = {}
+
+    # -- codebooks -----------------------------------------------------
+
+    def column_codes(self, j: int) -> ColumnCodes:
+        cc = self._per_column[j]
+        if cc is None:
+            cc = ColumnCodes(self._columns[j])
+            self._per_column[j] = cc
+        return cc
+
+    def codes_array(self, j: int):
+        return self.column_codes(j).array()
+
+    def valid_array(self, j: int):
+        return self.column_codes(j).valid_array()
+
+    def float_array(self, j: int):
+        return self.column_codes(j).float_array(self._columns[j])
+
+    # -- combined keys -------------------------------------------------
+
+    def combined_codes(self, idxs: tuple[int, ...]):
+        """One integer per row encoding the value combination ``t[X]``.
+
+        Codes are injective for the attribute set (equal combined code
+        iff pairwise-equal values) but *not* dense nor order-preserving
+        for multi-attribute sets; use the grouping helpers below.
+        """
+        cached = self._combined.get(idxs)
+        if cached is not None:
+            return cached
+        first = self.column_codes(idxs[0])
+        if len(idxs) == 1:
+            combined = first.array() if HAS_NUMPY else first.codes
+            self._combined[idxs] = combined
+            return combined
+        if HAS_NUMPY:
+            acc = first.array().copy()
+            card = max(first.n_distinct, 1)
+            for j in idxs[1:]:
+                cc = self.column_codes(j)
+                radix = max(cc.n_distinct, 1)
+                if card * radix > _MAX_RADIX:
+                    __, acc = _np.unique(acc, return_inverse=True)
+                    acc = acc.astype(_np.int64, copy=False)
+                    card = int(acc.max()) + 1 if acc.size else 1
+                    if card * radix > _MAX_RADIX:  # pragma: no cover
+                        raise OverflowError("combined key space too large")
+                acc = acc * radix + cc.array()
+                card *= radix
+        else:
+            acc = list(first.codes)
+            for j in idxs[1:]:
+                cc = self.column_codes(j)
+                radix = max(cc.n_distinct, 1)
+                codes = cc.codes
+                for i in range(self._n):  # Python ints cannot overflow
+                    acc[i] = acc[i] * radix + codes[i]
+        self._combined[idxs] = acc
+        return acc
+
+    # -- grouping primitives -------------------------------------------
+
+    def group_table(
+        self, idxs: tuple[int, ...]
+    ) -> list[tuple[int, list[int]]]:
+        """``(first_row, member_rows)`` per group, first-occurrence order.
+
+        Member rows are ascending, matching the append order of the
+        naive dict-based ``group_by``.  Memoized per attribute set —
+        callers must treat the table and its lists as read-only.
+        """
+        cached = self._groups.get(idxs)
+        if cached is not None:
+            return cached
+        if len(idxs) == 1:
+            # The codebook pass already collected the member lists,
+            # in code (= first-occurrence) order.
+            table = [(m[0], m) for m in self.column_codes(idxs[0]).groups]
+            self._groups[idxs] = table
+            return table
+        codes = self.combined_codes(idxs)
+        if self._n == 0:
+            table: list[tuple[int, list[int]]] = []
+        elif HAS_NUMPY and isinstance(codes, _np.ndarray):
+            # One stable argsort over the combined codes; equal codes
+            # stay in row order, so each slice is already ascending and
+            # its head is the group's first-occurrence row.
+            order = _np.argsort(codes, kind="stable")
+            ordered = codes[order]
+            bounds = (_np.flatnonzero(ordered[1:] != ordered[:-1]) + 1).tolist()
+            starts = [0, *bounds]
+            ends = [*bounds, self._n]
+            rows = order.tolist()
+            table = [(rows[s], rows[s:e]) for s, e in zip(starts, ends)]
+            table.sort(key=lambda group: group[0])
+        else:
+            groups: dict[int, list[int]] = {}
+            for i, c in enumerate(codes):
+                groups.setdefault(c, []).append(i)
+            table = [(members[0], members) for members in groups.values()]
+        self._groups[idxs] = table
+        return table
+
+    def keyed_table(
+        self, idxs: tuple[int, ...]
+    ) -> list[tuple[tuple, list[int]]]:
+        """``(key_tuple, member_rows)`` per group, first-occurrence order.
+
+        Keys are decoded from the raw column values at each group's
+        first row — exactly the tuples the naive ``group_by`` inserts —
+        and the decode is memoized alongside the group table.  Callers
+        must copy the member lists before mutating.
+        """
+        cached = self._keyed.get(idxs)
+        if cached is not None:
+            return cached
+        cols = [self._columns[j] for j in idxs]
+        keyed = [
+            (tuple(col[first] for col in cols), members)
+            for first, members in self.group_table(idxs)
+        ]
+        self._keyed[idxs] = keyed
+        return keyed
+
+    def stripped_classes(
+        self, idxs: tuple[int, ...], min_size: int = 2
+    ) -> tuple[tuple[int, ...], ...]:
+        """Groups of size >= ``min_size``, keys skipped entirely.
+
+        This is the partition-construction kernel: no key decoding, no
+        singleton materialization.  Classes come back normalized —
+        ascending member tuples, first-occurrence order — and memoized,
+        so repeated partition builds are dictionary hits.
+        """
+        key = (idxs, min_size)
+        cached = self._stripped.get(key)
+        if cached is not None:
+            return cached
+        classes = tuple(
+            tuple(members)
+            for __, members in self.group_table(idxs)
+            if len(members) >= min_size
+        )
+        self._stripped[key] = classes
+        return classes
+
+    def distinct_count(self, idxs: tuple[int, ...]) -> int:
+        """Number of distinct value combinations over the attribute set."""
+        cached = self._distinct.get(idxs)
+        if cached is not None:
+            return cached
+        if len(idxs) == 1:
+            count = self.column_codes(idxs[0]).n_distinct
+        else:
+            codes = self.combined_codes(idxs)
+            if HAS_NUMPY and isinstance(codes, _np.ndarray):
+                count = int(_np.unique(codes).size)
+            else:
+                count = len(set(codes))
+        self._distinct[idxs] = count
+        return count
+
+    def distinct_first_rows(self, idxs: tuple[int, ...]) -> list[int]:
+        """First-occurrence row of each distinct combination, ascending.
+
+        Ascending first-occurrence rows reproduce the naive duplicate
+        elimination order of ``Relation.project``.
+        """
+        codes = self.combined_codes(idxs)
+        if HAS_NUMPY and isinstance(codes, _np.ndarray):
+            __, first = _np.unique(codes, return_index=True)
+            first.sort()
+            return first.tolist()
+        seen: set[int] = set()
+        out: list[int] = []
+        for i, c in enumerate(codes):
+            if c not in seen:
+                seen.add(c)
+                out.append(i)
+        return out
+
+    # -- pairwise primitives -------------------------------------------
+
+    def difference_masks(self, idxs: tuple[int, ...]) -> set[int] | None:
+        """Distinct per-pair disagreement bitmasks over all tuple pairs.
+
+        Bit ``b`` of a mask is set iff the pair disagrees on the
+        ``b``-th attribute of ``idxs`` (FastFD's difference sets, as
+        integers).  Returns ``None`` when the vectorized kernel cannot
+        guarantee parity with raw ``!=`` comparisons — no numpy, more
+        than 62 attributes, or a column holding NaN-like values that
+        are unequal to themselves (raw ``!=`` sees a difference where
+        equal dictionary codes would not).
+        """
+        k = len(idxs)
+        if not HAS_NUMPY or not 1 <= k <= 62 or self._n < 2:
+            return None
+        cols = []
+        for j in idxs:
+            cc = self.column_codes(j)
+            if cc.self_unequal:
+                return None
+            cols.append(cc.array())
+        matrix = _np.stack(cols, axis=1)
+        weights = _np.left_shift(
+            _np.int64(1), _np.arange(k, dtype=_np.int64)
+        )
+        seen: set[int] = set()
+        for i in range(self._n - 1):
+            neq = matrix[i + 1:] != matrix[i]
+            seen.update(
+                _np.unique(neq.astype(_np.int64) @ weights).tolist()
+            )
+        seen.discard(0)
+        return seen

@@ -16,11 +16,48 @@ the equivalence-class repair engine.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Iterable, Sequence
 
 from .relation import Relation
 from .schema import Attribute
+
+
+class _Scratch:
+    """A reusable stamped lookup table (tuple index -> small int).
+
+    The classic per-call ``[-1] * n`` probe table of TANE's partition
+    product is replaced by one shared table that grows monotonically;
+    a stamp per slot says whether the entry belongs to the current
+    operation, so no O(n) reset is ever paid.  Single-threaded by
+    design, like the rest of the substrate.
+    """
+
+    __slots__ = ("value", "stamp", "counter")
+
+    def __init__(self) -> None:
+        self.value: list[int] = []
+        self.stamp: list[int] = []
+        self.counter = 0
+
+    def acquire(self, n: int) -> tuple[list[int], list[int], int]:
+        """Grow to ``n`` slots and hand out a fresh stamp."""
+        grow = n - len(self.value)
+        if grow > 0:
+            self.value.extend([0] * grow)
+            self.stamp.extend([0] * grow)
+        self.counter += 1
+        return self.value, self.stamp, self.counter
+
+    def tick(self) -> int:
+        """A fresh stamp over the already-acquired slots."""
+        self.counter += 1
+        return self.counter
+
+
+#: Probe table keyed by tuple index (size: number of tuples).
+_PROBE = _Scratch()
+#: Bucket table keyed by class id (size: number of classes).
+_BUCKETS = _Scratch()
 
 
 class StrippedPartition:
@@ -44,9 +81,23 @@ class StrippedPartition:
     def from_relation(
         cls, relation: Relation, attributes: Sequence[Attribute | str]
     ) -> "StrippedPartition":
-        """π_X for attribute list X, directly from the relation."""
-        groups = relation.group_by(attributes)
-        return cls(len(relation), groups.values())
+        """π_X for attribute list X, directly from the relation.
+
+        Uses the dictionary-encoded grouping kernel when enabled — the
+        group keys are never materialized, only the index classes.
+        ``_grouped_indices`` guarantees ascending members and the
+        ``min_size=2`` filter on both paths, so the normalizing
+        constructor work is skipped.
+        """
+        grouped = relation._grouped_indices(attributes, min_size=2)
+        out = cls.__new__(cls)
+        out.n = len(relation)
+        out.classes = (
+            grouped
+            if type(grouped) is tuple
+            else tuple(tuple(c) for c in grouped)
+        )
+        return out
 
     @classmethod
     def single(cls, relation: Relation, attribute: Attribute | str) -> "StrippedPartition":
@@ -91,18 +142,27 @@ class StrippedPartition:
         """
         if self.n != other.n:
             raise ValueError("partitions over different relations")
-        lookup = [-1] * self.n
+        cid_of, cid_stamp, stamp = _PROBE.acquire(self.n)
         for cid, cls_ in enumerate(other.classes):
             for t in cls_:
-                lookup[t] = cid
+                cid_of[t] = cid
+                cid_stamp[t] = stamp
+        slot_of, slot_stamp, __ = _BUCKETS.acquire(len(other.classes))
         new_classes: list[list[int]] = []
         for cls_ in self.classes:
-            buckets: dict[int, list[int]] = defaultdict(list)
+            tick = _BUCKETS.tick()
+            buckets: list[list[int]] = []
             for t in cls_:
-                cid = lookup[t]
-                if cid >= 0:
-                    buckets[cid].append(t)
-            for bucket in buckets.values():
+                if cid_stamp[t] != stamp:
+                    continue  # singleton in `other`
+                cid = cid_of[t]
+                if slot_stamp[cid] != tick:
+                    slot_stamp[cid] = tick
+                    slot_of[cid] = len(buckets)
+                    buckets.append([t])
+                else:
+                    buckets[slot_of[cid]].append(t)
+            for bucket in buckets:
                 if len(bucket) >= 2:
                     new_classes.append(bucket)
         return StrippedPartition(self.n, new_classes)
@@ -115,19 +175,21 @@ class StrippedPartition:
         """
         if self.n != other.n:
             raise ValueError("partitions over different relations")
-        lookup: dict[int, int] = {}
+        cid_of, cid_stamp, stamp = _PROBE.acquire(self.n)
         for cid, cls_ in enumerate(other.classes):
             for t in cls_:
-                lookup[t] = cid
+                cid_of[t] = cid
+                cid_stamp[t] = stamp
         for cls_ in self.classes:
             # All members must map to the same class of `other`; a tuple
             # missing from `other`'s stripped classes is a singleton there
             # and can't absorb a class of size >= 2.
-            first = lookup.get(cls_[0], -1)
-            if first == -1:
+            if cid_stamp[cls_[0]] != stamp:
                 return False
-            if any(lookup.get(t, -1) != first for t in cls_[1:]):
-                return False
+            first = cid_of[cls_[0]]
+            for t in cls_[1:]:
+                if cid_stamp[t] != stamp or cid_of[t] != first:
+                    return False
         return True
 
     def g3_error(self, joint: "StrippedPartition") -> float:
@@ -140,16 +202,21 @@ class StrippedPartition:
         if self.n == 0:
             return 0.0
         # Map each tuple to the size of its XY-class (singletons -> 1).
-        size_of: dict[int, int] = {}
+        size_of, size_stamp, stamp = _PROBE.acquire(self.n)
         for cls_ in joint.classes:
+            size = len(cls_)
             for t in cls_:
-                size_of[t] = len(cls_)
+                size_of[t] = size
+                size_stamp[t] = stamp
         removed = 0
         for cls_ in self.classes:
             # Largest XY-subclass within this X-class: since XY refines X,
             # each XY-class is entirely inside one X-class, so the max of
             # per-tuple class sizes is the max subclass size.
-            best = max(size_of.get(t, 1) for t in cls_)
+            best = 1
+            for t in cls_:
+                if size_stamp[t] == stamp and size_of[t] > best:
+                    best = size_of[t]
             removed += len(cls_) - best
         return removed / self.n
 
@@ -173,6 +240,14 @@ class StrippedPartition:
         if not isinstance(other, StrippedPartition):
             return NotImplemented
         return self.n == other.n and sorted(self.classes) == sorted(other.classes)
+
+    def __hash__(self) -> int:
+        # Structural, order-insensitive (classes are disjoint, so the
+        # frozenset view agrees with the sorted-list comparison of
+        # ``__eq__``).  Defining ``__eq__`` alone had silently removed
+        # the inherited hash, making partitions unusable in sets and as
+        # cache values deduplicated by identity sets.
+        return hash((self.n, frozenset(self.classes)))
 
     def __repr__(self) -> str:
         return (

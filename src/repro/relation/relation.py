@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Any, Callable, Hashable, Iterable, Iterator, Mapping, Sequence
 
+from . import encoding as _encoding
 from .schema import Attribute, Schema
 
 Value = Any
@@ -37,7 +38,7 @@ class Relation:
     :meth:`from_columns`.  All mutating operations return new relations.
     """
 
-    __slots__ = ("_schema", "_columns", "_size")
+    __slots__ = ("_schema", "_columns", "_size", "_enc", "_cache")
 
     def __init__(self, schema: Schema, columns: Sequence[Sequence[Value]]) -> None:
         if len(columns) != len(schema):
@@ -52,6 +53,26 @@ class Relation:
             tuple(c) for c in columns
         )
         self._size = len(self._columns[0]) if self._columns else 0
+        self._enc: _encoding.RelationEncoding | None = None
+        self._cache = None  # lazily created PartitionCache
+
+    @classmethod
+    def _from_trusted(
+        cls, schema: Schema, columns: tuple[tuple[Value, ...], ...]
+    ) -> "Relation":
+        """Internal constructor for already-validated column tuples.
+
+        Skips the per-column re-tupling of ``__init__`` so derived
+        relations (``with_value`` and friends) can share unchanged
+        column tuples with their parent.
+        """
+        out = cls.__new__(cls)
+        out._schema = schema
+        out._columns = columns
+        out._size = len(columns[0]) if columns else 0
+        out._enc = None
+        out._cache = None
+        return out
 
     # -- constructors --------------------------------------------------
 
@@ -144,6 +165,32 @@ class Relation:
 
     # -- access ----------------------------------------------------------
 
+    def _column_indices(
+        self, attributes: Sequence[Attribute | str]
+    ) -> tuple[int, ...]:
+        """Resolve an attribute list to column positions, once per call.
+
+        Every bulk operation goes through this so attribute-name lookup
+        happens per *call*, never per cell.
+        """
+        index_of = self._schema.index_of
+        return tuple(index_of(a) for a in attributes)
+
+    def encoding(self) -> _encoding.RelationEncoding:
+        """The relation's dictionary encoding (built lazily, cached).
+
+        Relations are immutable, so the encoding never invalidates;
+        derived relations start with a fresh one.
+        """
+        enc = self._enc
+        if enc is None:
+            enc = _encoding.RelationEncoding(self._columns, self._size)
+            self._enc = enc
+        return enc
+
+    def _use_encoded(self, idxs: tuple[int, ...]) -> bool:
+        return bool(idxs) and self._size > 0 and _encoding.encoded_enabled()
+
     def column(self, attribute: Attribute | str) -> tuple[Value, ...]:
         """The full column of ``attribute``."""
         idx = self._schema.index_of(attribute)
@@ -167,7 +214,10 @@ class Relation:
         self, i: int, attributes: Sequence[Attribute | str]
     ) -> Row:
         """Sub-tuple ``t_i[X]`` over the attribute list ``X``."""
-        return tuple(self.column(a)[i] for a in attributes)
+        columns = self._columns
+        return tuple(
+            columns[j][i] for j in self._column_indices(attributes)
+        )
 
     def rows(self) -> list[Row]:
         """All tuples, materialized."""
@@ -182,10 +232,15 @@ class Relation:
         which requires set semantics on the projections.
         """
         sub = self._schema.project(attributes)
+        idxs = self._column_indices(attributes)
+        cols = [self._columns[j] for j in idxs]
+        if self._use_encoded(idxs):
+            firsts = self.encoding().distinct_first_rows(idxs)
+            rows = [tuple(col[i] for col in cols) for i in firsts]
+            return Relation.from_rows(sub, rows)
         seen: set[Row] = set()
-        rows: list[Row] = []
-        for i in range(self._size):
-            row = self.values_at(i, attributes)
+        rows = []
+        for row in zip(*cols) if cols else ((),) * self._size:
             if row not in seen:
                 seen.add(row)
                 rows.append(row)
@@ -194,9 +249,10 @@ class Relation:
     def project_bag(self, attributes: Sequence[Attribute | str]) -> "Relation":
         """Projection keeping duplicates (bag semantics)."""
         sub = self._schema.project(attributes)
-        return Relation.from_rows(
-            sub, (self.values_at(i, attributes) for i in range(self._size))
-        )
+        cols = [self._columns[j] for j in self._column_indices(attributes)]
+        if not cols:
+            return Relation.from_rows(sub, [()] * self._size)
+        return Relation.from_rows(sub, zip(*cols))
 
     def select(self, predicate: Callable[[dict[str, Value]], bool]) -> "Relation":
         """Selection by a predicate over tuple dicts."""
@@ -227,13 +283,31 @@ class Relation:
     def with_value(
         self, i: int, attribute: Attribute | str, value: Value
     ) -> "Relation":
-        """New relation with cell ``t_i[A]`` replaced — the repair primitive."""
-        idx = self._schema.index_of(attribute)
-        columns = [list(c) for c in self._columns]
+        """New relation with cell ``t_i[A]`` replaced — the repair primitive.
+
+        Only the touched column is copied; the other column tuples are
+        shared with this relation (they are immutable).
+        """
+        return self.with_values(i, {attribute: value})
+
+    def with_values(
+        self, i: int, assignment: Mapping[Attribute | str, Value]
+    ) -> "Relation":
+        """New relation with several cells of tuple ``i`` replaced at once.
+
+        The batch form of :meth:`with_value`: one column copy per
+        touched attribute instead of one whole-relation copy per cell,
+        which is what the repair engines hammer on.
+        """
         if not 0 <= i < self._size:
             raise IndexError(f"tuple index {i} out of range [0, {self._size})")
-        columns[idx][i] = value
-        return Relation(self._schema, columns)
+        columns = list(self._columns)
+        for attribute, value in assignment.items():
+            idx = self._schema.index_of(attribute)
+            col = list(columns[idx])
+            col[i] = value
+            columns[idx] = tuple(col)
+        return Relation._from_trusted(self._schema, tuple(columns))
 
     def natural_join(self, other: "Relation") -> "Relation":
         """Natural join on shared attribute names (hash join).
@@ -247,16 +321,26 @@ class Relation:
             a for a in other._schema if a.name not in self._schema
         ]
         out_schema = Schema(list(self._schema) + list(other_only))
+        shared_left = [
+            self._columns[j] for j in self._column_indices(shared)
+        ]
+        shared_right = [
+            other._columns[j] for j in other._column_indices(shared)
+        ]
+        right_only = [
+            other._columns[j]
+            for j in other._column_indices([a.name for a in other_only])
+        ]
         index: dict[Row, list[int]] = defaultdict(list)
         for j in range(len(other)):
-            index[other.values_at(j, shared)].append(j)
+            index[tuple(col[j] for col in shared_right)].append(j)
         rows: list[Row] = []
-        other_only_names = [a.name for a in other_only]
         for i in range(self._size):
-            key = self.values_at(i, shared)
+            key = tuple(col[i] for col in shared_left)
             for j in index.get(key, ()):
                 rows.append(
-                    self.tuple_at(i) + other.values_at(j, other_only_names)
+                    self.tuple_at(i)
+                    + tuple(col[j] for col in right_only)
                 )
         return Relation.from_rows(out_schema, rows)
 
@@ -275,14 +359,65 @@ class Relation:
         ``X -> Y`` quantifies over each group of equal ``X`` values.
         Groups preserve first-occurrence order of keys via dict ordering.
         """
+        idxs = self._column_indices(attributes)
+        if self._use_encoded(idxs):
+            return {
+                key: list(members)
+                for key, members in self.encoding().keyed_table(idxs)
+            }
+        return self._group_by_naive(idxs)
+
+    def _group_by_naive(self, idxs: tuple[int, ...]) -> dict[Row, list[int]]:
+        """Value-tuple grouping (the reference path for the encoded one)."""
+        if not idxs:
+            return {(): list(range(self._size))} if self._size else {}
+        cols = [self._columns[j] for j in idxs]
         groups: dict[Row, list[int]] = defaultdict(list)
-        for i in range(self._size):
-            groups[self.values_at(i, attributes)].append(i)
+        for i, row in enumerate(zip(*cols)):
+            groups[row].append(i)
         return dict(groups)
+
+    def _grouped_indices(
+        self, attributes: Sequence[Attribute | str], min_size: int = 1
+    ) -> Sequence[Sequence[int]]:
+        """Equal-``X`` index groups without materializing key tuples.
+
+        The partition-construction kernel: with the encoding enabled the
+        group keys are never decoded at all, the classes come back as
+        normalized (ascending, memoized) tuples, and repeated calls are
+        dictionary hits.  Every class is ascending on both paths.
+        """
+        idxs = self._column_indices(attributes)
+        if self._use_encoded(idxs):
+            return self.encoding().stripped_classes(idxs, min_size=min_size)
+        return [
+            g
+            for g in self._group_by_naive(idxs).values()
+            if len(g) >= min_size
+        ]
+
+    def cached_group_by(
+        self, attributes: Sequence[Attribute | str]
+    ) -> dict[Row, list[int]]:
+        """Memoized :meth:`group_by` via the relation's partition cache.
+
+        Callers must treat the returned dict (and its lists) as
+        read-only; it is shared across every caller of the same
+        attribute list.
+        """
+        from .partition_cache import cache_for
+
+        return cache_for(self).groups(attributes)
 
     def distinct_count(self, attributes: Sequence[Attribute | str]) -> int:
         """``|dom(X)|_r`` — number of distinct ``X``-values (SFD strength)."""
-        return len({self.values_at(i, attributes) for i in range(self._size)})
+        idxs = self._column_indices(attributes)
+        if self._use_encoded(idxs):
+            return self.encoding().distinct_count(idxs)
+        if not idxs:
+            return 1 if self._size else 0
+        cols = [self._columns[j] for j in idxs]
+        return len(set(zip(*cols)))
 
     def value_counts(
         self, attribute: Attribute | str

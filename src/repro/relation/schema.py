@@ -70,7 +70,7 @@ class Schema:
     set-style queries used throughout dependency definitions.
     """
 
-    __slots__ = ("_attributes", "_by_name")
+    __slots__ = ("_attributes", "_by_name", "_index_by_name")
 
     def __init__(self, attributes: Iterable[Attribute | str]) -> None:
         attrs: list[Attribute] = []
@@ -85,6 +85,9 @@ class Schema:
             by_name[a.name] = a
         self._attributes: tuple[Attribute, ...] = tuple(attrs)
         self._by_name = by_name
+        self._index_by_name: dict[str, int] = {
+            a.name: i for i, a in enumerate(attrs)
+        }
 
     # -- basic container protocol ------------------------------------
 
@@ -129,12 +132,14 @@ class Schema:
         return tuple(a.name for a in self._attributes)
 
     def index_of(self, attribute: Attribute | str) -> int:
-        """Position of ``attribute`` within the schema."""
+        """Position of ``attribute`` within the schema (O(1))."""
         name = attribute.name if isinstance(attribute, Attribute) else attribute
-        for i, a in enumerate(self._attributes):
-            if a.name == name:
-                return i
-        raise SchemaError(f"no attribute {name!r} in schema {self.names()}")
+        try:
+            return self._index_by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"no attribute {name!r} in schema {self.names()}"
+            ) from None
 
     def attribute(self, name: str) -> Attribute:
         """Lookup an attribute by name (alias of ``schema[name]``)."""

@@ -100,3 +100,31 @@ class TestG3:
         pi_ab = StrippedPartition.from_relation(rel, ["a", "b"])
         bad = pi_a.violating_classes(pi_ab)
         assert bad == [(2, 3)]
+
+
+class TestHashing:
+    def test_equal_partitions_hash_equal(self):
+        # Regression: __eq__ without __hash__ made partitions unhashable
+        # as dataclass-style value objects; hashing must be structural.
+        for seed in range(10):
+            r = random_relation(20, 3, domain_size=3, seed=seed)
+            a = StrippedPartition.from_relation(r, ["A0", "A1"])
+            b = StrippedPartition.from_relation(r, ["A1", "A0"])
+            assert a == b
+            assert hash(a) == hash(b)
+
+    def test_usable_in_sets_and_dicts(self):
+        r = random_relation(20, 3, domain_size=3, seed=0)
+        a = StrippedPartition.from_relation(r, ["A0"])
+        b = StrippedPartition.from_relation(r, ["A0"])
+        c = StrippedPartition.from_relation(r, ["A0", "A1"])
+        pool = {a, b, c}
+        assert len(pool) <= 2
+        index = {a: "x"}
+        assert index[b] == "x"
+
+    def test_class_order_does_not_change_hash(self):
+        a = StrippedPartition(4, [[0, 1], [2, 3]])
+        b = StrippedPartition(4, [[2, 3], [0, 1]])
+        assert a == b
+        assert hash(a) == hash(b)
