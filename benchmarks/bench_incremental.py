@@ -1,0 +1,209 @@
+"""Incremental validation benchmark: delta maintenance vs recompute.
+
+The ISSUE-7 acceptance workload: a 5k-row FD/AFD/CFD relation mutated
+by 50 batches.  The incremental path advances an
+:class:`~repro.incremental.IncrementalDetector` per batch; the baseline
+rebuilds the relation from scratch (fresh caches) and runs the batch
+:class:`~repro.quality.detection.Detector` cold.  The contract is a
+≥5× end-to-end speedup, and the measurements land in
+``BENCH_incremental.json`` at the repo root.
+
+A second, smaller workload covers the pairwise re-probe strategies
+(OD + DD over a numerical series) — reported in the JSON but held to
+the same floor only on the group-keyed workload, since pair-quadratic
+baselines make the incremental win there far larger and noisier.
+"""
+
+import json
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.categorical.afd import AFD
+from repro.core.categorical.cfd import CFD
+from repro.core.categorical.fd import FD
+from repro.core.heterogeneous.dd import DD
+from repro.core.numerical.od import OD
+from repro.datasets import fd_workload, ordered_workload
+from repro.incremental import Delta, IncrementalDetector
+from repro.quality.detection import Detector
+from repro.relation import Relation
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_incremental.json"
+
+#: Acceptance floor: incremental must beat per-batch recompute by ≥5×
+#: on the 5k-row / 50-batch workload.
+MIN_SPEEDUP = 5.0
+
+N_ROWS = 5000
+N_BATCHES = 50
+
+
+def _mutation_batches(relation, n_batches, seed):
+    """A reproducible mostly-insert/update stream with occasional deletes."""
+    rng = random.Random(seed)
+    schema = relation.schema
+    names = schema.names()
+    cities = sorted({relation.value_at(i, "city") for i in range(200)})
+    size = len(relation)
+    batches = []
+    for b in range(n_batches):
+        inserts = []
+        updates = []
+        deletes = []
+        for __ in range(rng.randint(2, 6)):
+            src = rng.randrange(size)
+            row = list(relation.record_at(src % len(relation)).values())
+            if rng.random() < 0.1:
+                row[names.index("city")] = rng.choice(cities)
+            inserts.append(tuple(row))
+        for __ in range(rng.randint(1, 4)):
+            updates.append(
+                {
+                    "row": rng.randrange(size),
+                    "set": {"city": rng.choice(cities)},
+                }
+            )
+        if b % 10 == 7:
+            deletes = sorted(rng.sample(range(size), 3))
+        size += len(inserts) - len(deletes)
+        batches.append(
+            Delta.from_json(
+                {"insert": inserts, "update": updates, "delete": deletes},
+                schema,
+            )
+        )
+    return batches
+
+
+def _run_incremental(rules, relation, batches):
+    detector = IncrementalDetector(rules, relation)
+    start = time.perf_counter()
+    for delta in batches:
+        detector.apply(delta)
+    elapsed = time.perf_counter() - start
+    return elapsed, detector
+
+
+def _run_recompute(rules, relation, batches):
+    """Per-batch cold recompute: rebuild the relation, rerun detection."""
+    detector = Detector(rules)
+    current = relation
+    start = time.perf_counter()
+    report = None
+    for delta in batches:
+        mutated = current.apply_delta(delta)
+        # Fresh relation = fresh caches/codebooks, as a cold consumer
+        # re-reading the table would see.
+        current = Relation.from_rows(mutated.schema, mutated.rows())
+        report = detector.detect(current)
+    elapsed = time.perf_counter() - start
+    return elapsed, current, report
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    results = {}
+
+    # -- group-keyed workload (FD/AFD/CFD over partitions) -------------
+    relation = fd_workload(N_ROWS, 200, error_rate=0.02, seed=11).relation
+    rules = [
+        FD("code", "city"),
+        FD("code", "state"),
+        AFD("code", "city", 0.05),
+        CFD(["code"], ["city"], {}),
+    ]
+    batches = _mutation_batches(relation, N_BATCHES, seed=13)
+
+    t_inc, detector = _run_incremental(rules, relation, batches)
+    t_full, final, report = _run_recompute(rules, relation, batches)
+
+    # Parity sanity: the incremental state equals the last cold report.
+    assert {(v.dependency, v.tuples) for v in detector.violations()} == {
+        (v.dependency, v.tuples) for v in report.violations
+    }
+    assert len(detector.relation) == len(final)
+
+    results["group_keyed"] = {
+        "rules": [r.label() for r in rules],
+        "rows": N_ROWS,
+        "batches": N_BATCHES,
+        "incremental_s": round(t_inc, 4),
+        "recompute_s": round(t_full, 4),
+        "speedup": round(t_full / t_inc, 1),
+    }
+
+    # -- pairwise workload (OD + DD re-probe) --------------------------
+    series = ordered_workload(300, glitch_rate=0.03, seed=17).relation
+    pair_rules = [
+        OD(["t"], ["value"]),
+        DD({"t": (0.0, 1.0)}, {"value": (0.0, 50.0)}),
+    ]
+    pair_batches = []
+    rng = random.Random(19)
+    size = len(series)
+    for __ in range(8):
+        pair_batches.append(
+            Delta.from_json(
+                {
+                    "insert": [
+                        {"t": size + k, "value": float(15 * (size + k))}
+                        for k in range(3)
+                    ],
+                    "update": [
+                        {
+                            "row": rng.randrange(size),
+                            "set": {"value": float(rng.randrange(5000))},
+                        }
+                    ],
+                },
+                series.schema,
+            )
+        )
+        size += 3
+
+    t_inc_p, det_p = _run_incremental(pair_rules, series, pair_batches)
+    t_full_p, __, report_p = _run_recompute(pair_rules, series, pair_batches)
+    assert {(v.dependency, v.tuples) for v in det_p.violations()} == {
+        (v.dependency, v.tuples) for v in report_p.violations
+    }
+    results["pairwise"] = {
+        "rules": [r.label() for r in pair_rules],
+        "rows": 300,
+        "batches": 8,
+        "incremental_s": round(t_inc_p, 4),
+        "recompute_s": round(t_full_p, 4),
+        "speedup": round(t_full_p / t_inc_p, 1),
+    }
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "workload": f"fd_workload({N_ROWS}, 200) × {N_BATCHES} "
+                "batches; ordered_workload(300) × 8 batches",
+                "min_speedup": MIN_SPEEDUP,
+                "results": results,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    return results
+
+
+class TestIncrementalSpeedup:
+    """The ≥5× contract of the incremental validation engine."""
+
+    def test_group_keyed_speedup(self, measurements):
+        assert measurements["group_keyed"]["speedup"] >= MIN_SPEEDUP
+
+    def test_pairwise_faster_than_recompute(self, measurements):
+        assert measurements["pairwise"]["speedup"] >= 1.0
+
+    def test_trajectory_file_written(self, measurements):
+        payload = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+        assert payload["min_speedup"] == MIN_SPEEDUP
+        assert set(payload["results"]) >= {"group_keyed", "pairwise"}

@@ -91,6 +91,13 @@ from .core import (
     predc,
     verify_edge,
 )
+from .incremental import (
+    BatchChange,
+    Delta,
+    DeltaError,
+    IncrementalDetector,
+    parse_mutation_log,
+)
 from .datasets import (
     dataspace_person,
     fd_workload,
@@ -125,6 +132,9 @@ __all__ = [
     "ALPHA", "BETA",
     # family tree
     "FamilyTree", "ExtensionEdge", "verify_edge", "DEFAULT_TREE",
+    # incremental validation
+    "BatchChange", "Delta", "DeltaError", "IncrementalDetector",
+    "parse_mutation_log",
     # datasets
     "hotel_r1", "hotel_r5", "hotel_r6", "hotel_r7", "dataspace_person",
     "fd_workload", "heterogeneous_workload", "ordered_workload",

@@ -4,8 +4,13 @@ Commands:
 
 * ``profile <csv>`` — discover dependencies in a CSV and report them
   (see :mod:`repro.profiler`);
-* ``check <csv> --fd X->Y [--fd ...]`` — validate declared FDs and
-  print their violations;
+* ``check <csv> --fd X->Y [--fd ...] [--rules rules.json]`` — validate
+  declared dependencies (FDs inline, any Table-2 notation via a JSON
+  rule file; see :mod:`repro.rules_io`) and print their violations;
+* ``watch <csv> --rules rules.json [--log batches.jsonl]`` — replay a
+  mutation log (JSONL, one batch per line; ``-`` or no ``--log`` reads
+  stdin) through the incremental validation engine and print the
+  violation changefeed per batch;
 * ``tree`` — print the family tree of extensions (Fig. 1A);
 * ``survey`` — print the regenerated Tables 2/3 and Figs 1B/2/3.
 
@@ -85,10 +90,30 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _gather_rules(args: argparse.Namespace) -> list:
+    """Inline ``--fd`` specs plus any ``--rules`` file, in that order."""
+    rules = list(args.fd)
+    if getattr(args, "rules", None):
+        from .rules_io import load_rules
+
+        rules.extend(load_rules(args.rules))
+    return rules
+
+
 def cmd_check(args: argparse.Namespace) -> int:
+    from .rules_io import RuleFileError
+
+    try:
+        rules = _gather_rules(args)
+    except RuleFileError as exc:
+        print(f"[error] {exc}")
+        return 2
+    if not rules:
+        print("[error] nothing to check: give --fd and/or --rules")
+        return 2
     relation = load_relation(args.csv, args.numerical, args.text)
     exit_code = 0
-    for dep in args.fd:
+    for dep in rules:
         try:
             dep.validate_schema(relation.schema)
         except KeyError as exc:
@@ -103,6 +128,54 @@ def cmd_check(args: argparse.Namespace) -> int:
         else:
             print(f"[ok]   {dep}")
     return exit_code
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    from .incremental import DeltaError, IncrementalDetector, parse_mutation_log
+    from .rules_io import RuleFileError, load_rules
+
+    try:
+        rules = load_rules(args.rules)
+    except RuleFileError as exc:
+        print(f"[error] {exc}")
+        return 2
+    relation = load_relation(args.csv, args.numerical, args.text)
+    for dep in rules:
+        try:
+            dep.validate_schema(relation.schema)
+        except KeyError as exc:
+            print(f"[error] {dep}: {exc}")
+            return 2
+
+    detector = IncrementalDetector(rules, relation)
+    print(
+        f"watching {args.csv}: {len(relation)} rows, {len(rules)} rules, "
+        f"{len(detector.violations())} initial violations"
+    )
+
+    if args.log in (None, "-"):
+        lines = sys.stdin
+        close = None
+    else:
+        close = open(args.log, "r", encoding="utf-8")
+        lines = close
+    try:
+        deltas = parse_mutation_log(lines, relation.schema)
+        for change in detector.replay(deltas):
+            print(change.render(limit=args.limit))
+    except DeltaError as exc:
+        print(f"[error] bad mutation batch: {exc}")
+        return 2
+    finally:
+        if close is not None:
+            close.close()
+
+    remaining = len(detector.violations())
+    print(
+        f"done: {len(detector.history)} batches, "
+        f"{len(detector.relation)} rows, {remaining} violations remaining"
+    )
+    return 0 if remaining == 0 else 1
 
 
 def cmd_tree(args: argparse.Namespace) -> int:
@@ -159,17 +232,40 @@ def build_parser() -> argparse.ArgumentParser:
                            help="force a column textual")
     p_profile.set_defaults(func=cmd_profile)
 
-    p_check = sub.add_parser("check", help="validate declared FDs")
+    p_check = sub.add_parser("check", help="validate declared dependencies")
     p_check.add_argument("csv")
     p_check.add_argument(
-        "--fd", action="append", required=True, type=_parse_fd,
+        "--fd", action="append", default=[], type=_parse_fd,
         help="an FD like 'zip->city' (repeatable)",
+    )
+    p_check.add_argument(
+        "--rules", default=None,
+        help="JSON rule file with mixed Table-2 notations "
+        "(see docs/api.md)",
     )
     p_check.add_argument("--limit", type=int, default=5,
                          help="violations to print per rule")
     p_check.add_argument("--numerical", action="append", default=[])
     p_check.add_argument("--text", action="append", default=[])
     p_check.set_defaults(func=cmd_check)
+
+    p_watch = sub.add_parser(
+        "watch", help="replay a mutation log through incremental checking"
+    )
+    p_watch.add_argument("csv", help="initial relation state")
+    p_watch.add_argument(
+        "--rules", required=True,
+        help="JSON rule file with mixed Table-2 notations",
+    )
+    p_watch.add_argument(
+        "--log", default=None,
+        help="JSONL mutation log; '-' or omitted reads stdin",
+    )
+    p_watch.add_argument("--limit", type=int, default=10,
+                         help="changefeed lines to print per batch")
+    p_watch.add_argument("--numerical", action="append", default=[])
+    p_watch.add_argument("--text", action="append", default=[])
+    p_watch.set_defaults(func=cmd_watch)
 
     p_tree = sub.add_parser("tree", help="print the family tree")
     p_tree.set_defaults(func=cmd_tree)

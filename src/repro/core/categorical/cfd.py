@@ -114,51 +114,82 @@ class CFD(Dependency):
 
     # -- semantics ------------------------------------------------------------
 
+    def matches_lhs(self, relation: Relation, i: int) -> bool:
+        """Does tuple ``i`` match ``t_p`` on the LHS (is it conditioned)?"""
+        return self.pattern.matches(relation.record_at(i), self.lhs)
+
+    def single_violations(
+        self, relation: Relation, i: int, label: str | None = None
+    ) -> list[Violation]:
+        """RHS-constant violations of one LHS-matching tuple.
+
+        The incremental checker re-derives only changed tuples through
+        this hook; reasons match the full :meth:`violations` scan.
+        """
+        if label is None:
+            label = self.label()
+        out: list[Violation] = []
+        record = relation.record_at(i)
+        for a in self.rhs:
+            entry = self.pattern.entry(a)
+            if entry.is_wildcard:
+                continue
+            if not entry.matches(record.get(a)):
+                out.append(
+                    Violation(
+                        label,
+                        (i,),
+                        f"{a} = {record.get(a)!r} fails pattern {entry}",
+                    )
+                )
+        return out
+
+    def group_violations(
+        self,
+        relation: Relation,
+        x_value: tuple,
+        indices: Sequence[int],
+        label: str | None = None,
+    ) -> list[Violation]:
+        """Embedded-FD violations among one equal-``X`` matching group."""
+        if label is None:
+            label = self.label()
+        out: list[Violation] = []
+        if len(indices) < 2:
+            return out
+        by_y: dict[tuple, list[int]] = {}
+        for t in indices:
+            by_y.setdefault(relation.values_at(t, self.rhs), []).append(t)
+        if len(by_y) < 2:
+            return out
+        for (ya, ta), (yb, tb) in combinations(list(by_y.items()), 2):
+            for i in ta:
+                for j in tb:
+                    out.append(
+                        Violation(
+                            label,
+                            (i, j),
+                            f"X={x_value!r} (matching pattern): "
+                            f"{ya!r} vs {yb!r}",
+                        )
+                    )
+        return out
+
     def violations(self, relation: Relation) -> ViolationSet:
         vs = ViolationSet()
         label = self.label()
         matching = self.matching_indices(relation)
 
         # Single-tuple part: RHS constants must be met by each matching tuple.
-        rhs_conditioned = [
-            a for a in self.rhs if not self.pattern.entry(a).is_wildcard
-        ]
         for i in matching:
-            record = relation.record_at(i)
-            for a in rhs_conditioned:
-                if not self.pattern.entry(a).matches(record.get(a)):
-                    vs.add(
-                        Violation(
-                            label,
-                            (i,),
-                            f"{a} = {record.get(a)!r} fails pattern "
-                            f"{self.pattern.entry(a)}",
-                        )
-                    )
+            vs.extend(self.single_violations(relation, i, label))
 
         # Pairwise part: the embedded FD on the matching subset.
         groups: dict[tuple, list[int]] = {}
         for i in matching:
             groups.setdefault(relation.values_at(i, self.lhs), []).append(i)
         for x_value, indices in groups.items():
-            if len(indices) < 2:
-                continue
-            by_y: dict[tuple, list[int]] = {}
-            for t in indices:
-                by_y.setdefault(relation.values_at(t, self.rhs), []).append(t)
-            if len(by_y) < 2:
-                continue
-            for (ya, ta), (yb, tb) in combinations(list(by_y.items()), 2):
-                for i in ta:
-                    for j in tb:
-                        vs.add(
-                            Violation(
-                                label,
-                                (i, j),
-                                f"X={x_value!r} (matching pattern): "
-                                f"{ya!r} vs {yb!r}",
-                            )
-                        )
+            vs.extend(self.group_violations(relation, x_value, indices, label))
         return vs
 
     def holds(self, relation: Relation) -> bool:

@@ -87,6 +87,60 @@ class FD(PairwiseDependency):
         """The RHS columns, resolved once per scan (not once per cell)."""
         return [relation.column(a) for a in self.rhs]
 
+    def _split_by_y(
+        self, indices: Sequence[int], rhs_cols: list[tuple]
+    ) -> dict[tuple, list[int]]:
+        """Members of one equal-``X`` group split by their ``Y``-value."""
+        by_y: dict[tuple, list[int]] = {}
+        for t in indices:
+            key = tuple(col[t] for col in rhs_cols)
+            by_y.setdefault(key, []).append(t)
+        return by_y
+
+    def _group_violations(
+        self,
+        label: str,
+        x_value: tuple,
+        indices: Sequence[int],
+        rhs_cols: list[tuple],
+    ) -> Iterator[Violation]:
+        """Violations within one equal-``X`` group (the scan kernel)."""
+        if len(indices) < 2:
+            return
+        by_y = self._split_by_y(indices, rhs_cols)
+        if len(by_y) < 2:
+            return
+        subgroups = list(by_y.items())
+        for (ya, ta), (yb, tb) in combinations(subgroups, 2):
+            for i in ta:
+                for j in tb:
+                    yield Violation(
+                        label,
+                        (i, j),
+                        f"X={x_value!r}: {ya!r} vs {yb!r}",
+                    )
+
+    def group_violations(
+        self, relation: Relation, x_value: tuple, indices: Sequence[int]
+    ) -> list[Violation]:
+        """Violations within one equal-``X`` group — the incremental
+        checkers re-examine only touched groups through this hook, with
+        reasons identical to a full :meth:`iter_violations` scan."""
+        return list(
+            self._group_violations(
+                self.label(), x_value, indices, self._rhs_columns(relation)
+            )
+        )
+
+    def group_kept_count(
+        self, relation: Relation, indices: Sequence[int]
+    ) -> int:
+        """Size of the largest single-``Y`` subgroup (the g3 'keep')."""
+        if not indices:
+            return 0
+        by_y = self._split_by_y(indices, self._rhs_columns(relation))
+        return max(len(members) for members in by_y.values())
+
     def iter_violations(self, relation: Relation) -> Iterator[Violation]:
         """Group-based violation scan — O(n + violations), not O(n²).
 
@@ -99,23 +153,9 @@ class FD(PairwiseDependency):
         label = self.label()
         rhs_cols = self._rhs_columns(relation)
         for x_value, indices in relation.cached_group_by(self.lhs).items():
-            if len(indices) < 2:
-                continue
-            by_y: dict[tuple, list[int]] = {}
-            for t in indices:
-                key = tuple(col[t] for col in rhs_cols)
-                by_y.setdefault(key, []).append(t)
-            if len(by_y) < 2:
-                continue
-            subgroups = list(by_y.items())
-            for (ya, ta), (yb, tb) in combinations(subgroups, 2):
-                for i in ta:
-                    for j in tb:
-                        yield Violation(
-                            label,
-                            (i, j),
-                            f"X={x_value!r}: {ya!r} vs {yb!r}",
-                        )
+            yield from self._group_violations(
+                label, x_value, indices, rhs_cols
+            )
 
     def violations(self, relation: Relation) -> ViolationSet:
         return ViolationSet(self.iter_violations(relation))

@@ -1,0 +1,33 @@
+"""Incremental validation: delta-maintained dependency checking.
+
+The subsystem behind ``Relation.apply_delta`` and ``repro watch``:
+
+* :mod:`~repro.incremental.delta` — the mutation-batch model and its
+  cache-preserving application;
+* :mod:`~repro.incremental.checkers` — per-family incremental checking
+  strategies with a full-recompute fallback;
+* :mod:`~repro.incremental.detector` — the changefeed-emitting wrapper
+  around :mod:`repro.quality.detection`.
+"""
+
+from .checkers import (
+    CHECKER_REGISTRY,
+    FullRecomputeChecker,
+    IncrementalChecker,
+    checker_for,
+)
+from .delta import Delta, DeltaError, apply_delta, parse_mutation_log
+from .detector import BatchChange, IncrementalDetector
+
+__all__ = [
+    "BatchChange",
+    "CHECKER_REGISTRY",
+    "Delta",
+    "DeltaError",
+    "FullRecomputeChecker",
+    "IncrementalChecker",
+    "IncrementalDetector",
+    "apply_delta",
+    "checker_for",
+    "parse_mutation_log",
+]

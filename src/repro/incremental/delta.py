@@ -1,0 +1,412 @@
+"""Tuple-level mutation batches and their cache-preserving application.
+
+A :class:`Delta` describes one batch of mutations against a relation:
+cell updates, tuple deletions, and tuple insertions, applied in that
+order.  Surviving tuples keep their relative order, so the old-to-new
+index mapping (:meth:`Delta.remap`) is monotone — which is what lets
+the incremental checkers translate cached violation indices instead of
+recomputing them.
+
+:func:`apply_delta` is the engine behind ``Relation.apply_delta``.  It
+builds the mutated relation column-wise (copy-on-touch: column tuples
+untouched by the batch are shared with the parent) and then, instead of
+discarding the substrate PR 1 built, carries it forward:
+
+* every group table in the parent's :class:`~repro.relation.
+  partition_cache.PartitionCache` is *patched* — only groups containing
+  changed tuples are rewritten, the rest share their member lists;
+* cached stripped partitions are rebuilt from the patched group tables
+  (never from scratch);
+* for insert-only batches the dictionary encoding is *extended* in
+  place — existing codes are reused and new values append to the
+  codebooks in first-occurrence order.
+
+Updates or deletes force a fresh (lazy) encoding: patching codes would
+break the first-occurrence code order that the encoded/naive parity
+contract depends on.  Group-table patching has no such constraint (dict
+equality ignores key order), so it applies to every batch shape.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping
+
+from ..relation.relation import Relation, Row
+
+Value = Any
+
+#: One update: (pre-batch row index, ((attribute, new value), ...)).
+Update = tuple[int, tuple[tuple[str, Value], ...]]
+
+
+class DeltaError(ValueError):
+    """Raised for malformed mutation batches."""
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One batch of mutations: updates, then deletes, then inserts.
+
+    ``deletes`` and update row indices address the *pre-batch* relation;
+    an update to a row the same batch deletes is applied and then
+    discarded.  Constructor inputs are normalized: deletes are sorted
+    and deduplicated, updates accept either a ``{row: {attr: value}}``
+    mapping or ``(row, {attr: value})`` pairs (later assignments to the
+    same cell win).
+    """
+
+    inserts: tuple[Row, ...] = ()
+    deletes: tuple[int, ...] = ()
+    updates: tuple[Update, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "inserts", tuple(tuple(r) for r in self.inserts)
+        )
+        for i in self.deletes:
+            if not isinstance(i, int) or isinstance(i, bool):
+                raise DeltaError(f"delete index {i!r} is not an integer")
+        object.__setattr__(self, "deletes", tuple(sorted(set(self.deletes))))
+        merged: dict[int, dict[str, Value]] = {}
+        raw = self.updates
+        items = raw.items() if isinstance(raw, Mapping) else raw
+        for row, assignment in items:
+            if not isinstance(row, int) or isinstance(row, bool):
+                raise DeltaError(f"update row {row!r} is not an integer")
+            cells = (
+                assignment.items()
+                if isinstance(assignment, Mapping)
+                else assignment
+            )
+            target = merged.setdefault(row, {})
+            for attr, value in cells:
+                target[str(attr)] = value
+        object.__setattr__(
+            self,
+            "updates",
+            tuple(
+                (row, tuple(assignment.items()))
+                for row, assignment in sorted(merged.items())
+            ),
+        )
+
+    # -- introspection -------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return not (self.inserts or self.deletes or self.updates)
+
+    def is_insert_only(self) -> bool:
+        return bool(self.inserts) and not self.deletes and not self.updates
+
+    def touched_attributes(self) -> frozenset[str]:
+        """Attribute names assigned by any cell update in the batch."""
+        return frozenset(
+            a for __, assignment in self.updates for a, __v in assignment
+        )
+
+    def new_size(self, n: int) -> int:
+        return n - len(self.deletes) + len(self.inserts)
+
+    def remap(self, n: int) -> list[int | None]:
+        """Old index -> new index (``None`` for deleted rows).
+
+        Monotone on survivors, so any index-order property (sortedness,
+        ties broken by index) survives translation.
+        """
+        deleted = set(self.deletes)
+        out: list[int | None] = []
+        shift = 0
+        for i in range(n):
+            if i in deleted:
+                out.append(None)
+                shift += 1
+            else:
+                out.append(i - shift)
+        return out
+
+    def validate(self, relation: Relation) -> None:
+        """Raise :class:`DeltaError` unless the batch fits ``relation``."""
+        n = len(relation)
+        schema = relation.schema
+        width = len(schema)
+        for row in self.inserts:
+            if len(row) != width:
+                raise DeltaError(
+                    f"insert of width {len(row)} does not fit schema of "
+                    f"width {width}: {row!r}"
+                )
+        for i in self.deletes:
+            if not 0 <= i < n:
+                raise DeltaError(f"delete index {i} out of range [0, {n})")
+        for row, assignment in self.updates:
+            if not 0 <= row < n:
+                raise DeltaError(f"update row {row} out of range [0, {n})")
+            for attr, __ in assignment:
+                if attr not in schema:
+                    raise DeltaError(
+                        f"update assigns unknown attribute {attr!r}"
+                    )
+
+    def __str__(self) -> str:
+        parts = []
+        if self.updates:
+            parts.append(f"~{len(self.updates)}")
+        if self.deletes:
+            parts.append(f"-{len(self.deletes)}")
+        if self.inserts:
+            parts.append(f"+{len(self.inserts)}")
+        return f"Delta({' '.join(parts) or 'empty'})"
+
+    # -- mutation-log parsing ------------------------------------------
+
+    @classmethod
+    def from_json(
+        cls, payload: Mapping[str, Any], schema: "object" = None
+    ) -> "Delta":
+        """Parse one mutation-log entry.
+
+        The wire format (one JSON object per batch)::
+
+            {"insert": [{"A": 1, "B": "x"}, [2, "y"]],
+             "delete": [3, 5],
+             "update": [{"row": 0, "set": {"B": "z"}}]}
+
+        Inserted rows may be positional lists or ``{name: value}``
+        objects (missing names become ``None``; the latter requires
+        ``schema``).
+        """
+        unknown = set(payload) - {"insert", "delete", "update"}
+        if unknown:
+            raise DeltaError(
+                f"unknown mutation-log keys {sorted(unknown)}; expected "
+                "'insert', 'delete', 'update'"
+            )
+        inserts: list[Row] = []
+        for row in payload.get("insert", ()):
+            if isinstance(row, Mapping):
+                if schema is None:
+                    raise DeltaError(
+                        "object-form inserts need the relation schema"
+                    )
+                names = schema.names()
+                stray = set(row) - set(names)
+                if stray:
+                    raise DeltaError(
+                        f"insert mentions unknown attributes {sorted(stray)}"
+                    )
+                inserts.append(tuple(row.get(n) for n in names))
+            else:
+                inserts.append(tuple(row))
+        updates: list[tuple[int, Mapping[str, Value]]] = []
+        for entry in payload.get("update", ()):
+            if not isinstance(entry, Mapping) or "row" not in entry:
+                raise DeltaError(
+                    f"update entry {entry!r} must be "
+                    '{"row": i, "set": {...}}'
+                )
+            assignment = entry.get("set")
+            if not isinstance(assignment, Mapping) or not assignment:
+                raise DeltaError(
+                    f"update entry for row {entry['row']!r} needs a "
+                    'non-empty "set" object'
+                )
+            updates.append((entry["row"], assignment))
+        return cls(
+            inserts=tuple(inserts),
+            deletes=tuple(payload.get("delete", ())),
+            updates=tuple(updates),
+        )
+
+
+def parse_mutation_log(
+    lines: Iterable[str], schema: "object" = None
+) -> Iterator[Delta]:
+    """Parse a JSONL mutation log (blank lines and ``#`` comments skipped)."""
+    import json
+
+    for lineno, line in enumerate(lines, start=1):
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise DeltaError(f"line {lineno}: invalid JSON: {exc}") from exc
+        if not isinstance(payload, Mapping):
+            raise DeltaError(f"line {lineno}: batch must be a JSON object")
+        yield Delta.from_json(payload, schema)
+
+
+# -- application -------------------------------------------------------
+
+
+def apply_delta(relation: Relation, delta: Delta | Mapping[str, Any]) -> Relation:
+    """Apply a mutation batch, carrying caches and codebooks forward."""
+    if not isinstance(delta, Delta):
+        delta = Delta.from_json(delta, relation.schema)
+    delta.validate(relation)
+    if delta.is_empty():
+        return relation
+
+    schema = relation.schema
+    index_of = schema.index_of
+    updates_by_col: dict[int, list[tuple[int, Value]]] = {}
+    for row, assignment in delta.updates:
+        for attr, value in assignment:
+            updates_by_col.setdefault(index_of(attr), []).append((row, value))
+    deleted = set(delta.deletes)
+    n = len(relation)
+    keep = [i for i in range(n) if i not in deleted] if deleted else None
+    tails = (
+        [tuple(row[j] for row in delta.inserts) for j in range(len(schema))]
+        if delta.inserts
+        else None
+    )
+    new_columns: list[tuple[Value, ...]] = []
+    for j, col in enumerate(relation._columns):
+        cell_updates = updates_by_col.get(j)
+        if cell_updates is None and keep is None:
+            # Untouched column: share the parent's tuple outright.
+            new_columns.append(col + tails[j] if tails else col)
+            continue
+        buf = list(col)
+        if cell_updates:
+            for row, value in cell_updates:
+                buf[row] = value
+        if keep is not None:
+            buf = [buf[i] for i in keep]
+        if tails:
+            buf.extend(tails[j])
+        new_columns.append(tuple(buf))
+    child = Relation._from_trusted(schema, tuple(new_columns))
+
+    enc = relation._enc
+    if (
+        enc is not None
+        and delta.is_insert_only()
+        and any(cc is not None for cc in enc._per_column)
+    ):
+        child._enc = enc.extended(child._columns, len(child))
+
+    cache = relation._cache
+    if cache is not None and (cache._groups or cache._partitions):
+        _patch_cache(relation, child, delta, deleted)
+    return child
+
+
+def _patch_cache(
+    parent: Relation,
+    child: Relation,
+    delta: Delta,
+    deleted: set[int],
+) -> None:
+    """Seed the child's partition cache by patching the parent's.
+
+    Every cached group table is patched in O(touched groups) plus an
+    O(n) index remap when the batch deletes; cached stripped partitions
+    are rebuilt from the patched tables (a partition cached without a
+    matching group table gets one materialized on the parent first, so
+    it too becomes patchable).  Untouched member lists are shared — the
+    cache contract is read-only, so sharing is safe.
+    """
+    from ..relation.partition import StrippedPartition
+    from ..relation.partition_cache import PartitionCache, cache_for
+
+    cache = parent._cache
+    n_old = len(parent)
+    remap = delta.remap(n_old) if deleted else None
+    n_survivors = n_old - len(deleted)
+    child_cache = PartitionCache(child)
+    for key, table in cache._groups.items():
+        child_cache._groups[key] = _patch_group_table(
+            parent, child, key, table, delta, deleted, remap, n_survivors
+        )
+    if cache._partitions:
+        by_sorted = {tuple(sorted(k)): k for k in child_cache._groups}
+        for pkey in cache._partitions:
+            gkey = by_sorted.get(pkey)
+            if gkey is None:
+                table = cache_for(parent).groups(pkey)
+                patched = _patch_group_table(
+                    parent, child, pkey, table, delta, deleted, remap,
+                    n_survivors,
+                )
+                child_cache._groups[pkey] = patched
+                by_sorted[pkey] = pkey
+            else:
+                patched = child_cache._groups[gkey]
+            child_cache._partitions[pkey] = StrippedPartition(
+                len(child), [m for m in patched.values() if len(m) >= 2]
+            )
+    child._cache = child_cache
+
+
+def _patch_group_table(
+    parent: Relation,
+    child: Relation,
+    key: tuple[str, ...],
+    table: dict[Row, list[int]],
+    delta: Delta,
+    deleted: set[int],
+    remap: list[int | None] | None,
+    n_survivors: int,
+) -> dict[Row, list[int]]:
+    """Patch one cached ``group_by(key)`` table for the batch.
+
+    Only groups containing a deleted, moved, or inserted row are
+    rewritten; when the batch has no deletes, every other member list is
+    shared with the parent's table (copy-on-append if an insert lands in
+    it later).  Key *order* is not preserved for moved/new groups —
+    callers compare group tables by dict equality, which ignores order.
+    """
+    attrs = list(key)
+    key_set = set(key)
+    removal_by_key: dict[Row, set[int]] = {}
+    placements: list[tuple[int, Row]] = []
+    for row, assignment in delta.updates:
+        if row in deleted or not any(a in key_set for a, __ in assignment):
+            continue
+        old_key = parent.values_at(row, attrs)
+        new_row = remap[row] if remap is not None else row
+        new_key = child.values_at(new_row, attrs)
+        if new_key != old_key:
+            removal_by_key.setdefault(old_key, set()).add(row)
+            placements.append((new_row, new_key))
+    for row in deleted:
+        old_key = parent.values_at(row, attrs)
+        removal_by_key.setdefault(old_key, set()).add(row)
+
+    new_table: dict[Row, list[int]] = {}
+    shared: set[Row] = set()
+    for gkey, members in table.items():
+        gone = removal_by_key.get(gkey)
+        if gone is None:
+            if remap is None:
+                new_table[gkey] = members
+                shared.add(gkey)
+            else:
+                new_table[gkey] = [remap[t] for t in members]
+        else:
+            kept = [
+                remap[t] if remap is not None else t
+                for t in members
+                if t not in gone
+            ]
+            if kept:
+                new_table[gkey] = kept
+    for k in range(len(delta.inserts)):
+        new_row = n_survivors + k
+        placements.append((new_row, child.values_at(new_row, attrs)))
+    for new_row, gkey in sorted(placements, key=lambda p: p[0]):
+        members = new_table.get(gkey)
+        if members is None:
+            new_table[gkey] = [new_row]
+            continue
+        if gkey in shared:
+            members = list(members)
+            new_table[gkey] = members
+            shared.discard(gkey)
+        insort(members, new_row)
+    return new_table

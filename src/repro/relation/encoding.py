@@ -111,8 +111,9 @@ class ColumnCodes:
     """
 
     __slots__ = (
-        "codes", "values", "groups", "n_distinct", "self_unequal",
-        "numeric_safe", "none_code", "_array", "_floats", "_valid",
+        "codes", "values", "codebook", "groups", "n_distinct",
+        "self_unequal", "numeric_safe", "none_code", "_array", "_floats",
+        "_valid",
     )
 
     def __init__(self, column: Sequence[Value]) -> None:
@@ -133,6 +134,9 @@ class ColumnCodes:
                 none_code = code
         self.codes = codes
         self.groups = groups
+        #: value -> code, retained so append-only deltas can extend the
+        #: encoding in place instead of rebuilding it.
+        self.codebook = codebook
         self.values: list[Value] = list(codebook)
         self.n_distinct = len(self.values)
         self.none_code = none_code
@@ -155,6 +159,67 @@ class ColumnCodes:
         self._array = None
         self._floats = None
         self._valid = None
+
+    def extended(self, column: Sequence[Value], start: int) -> "ColumnCodes":
+        """A codebook for ``column`` reusing this one for rows < ``start``.
+
+        ``column`` must agree with the encoded column on every row below
+        ``start`` (the append-only delta contract).  Existing codes are
+        memcpy-shared, new values extend the codebook in first-occurrence
+        order — preserving the parity-critical invariant that code order
+        equals first-occurrence order — and the per-code member lists are
+        copy-on-append, so untouched groups stay shared with the parent.
+        """
+        out = ColumnCodes.__new__(ColumnCodes)
+        codebook = dict(self.codebook)
+        codes = list(self.codes)
+        groups = list(self.groups)
+        grown: set[int] = set()
+        none_code = self.none_code
+        self_unequal = self.self_unequal
+        numeric_safe = self.numeric_safe
+        for i in range(start, len(column)):
+            v = column[i]
+            code = codebook.setdefault(v, len(codebook))
+            codes.append(code)
+            if code == len(groups):
+                groups.append([i])
+                grown.add(code)
+                if v is None:
+                    none_code = code
+                try:
+                    if v != v:
+                        self_unequal = True
+                except Exception:
+                    self_unequal = True
+                if v is not None:
+                    if not isinstance(v, (bool, int, float)):
+                        numeric_safe = False
+                    elif isinstance(v, int) and not isinstance(v, bool) and (
+                        abs(v) > _FLOAT_SAFE_INT
+                    ):
+                        numeric_safe = False
+            elif code in grown:
+                groups[code].append(i)
+            else:
+                groups[code] = groups[code] + [i]
+                grown.add(code)
+        out.codes = codes
+        out.groups = groups
+        out.codebook = codebook
+        out.values = list(codebook)
+        out.n_distinct = len(codebook)
+        out.none_code = none_code
+        out.self_unequal = self_unequal
+        out.numeric_safe = numeric_safe
+        out._array = None
+        if self._array is not None and HAS_NUMPY:
+            out._array = _np.concatenate(
+                [self._array, _np.asarray(codes[start:], dtype=_np.int64)]
+            )
+        out._floats = None
+        out._valid = None
+        return out
 
     def array(self):
         """The codes as an ``int64`` numpy vector (numpy builds only)."""
@@ -210,6 +275,23 @@ class RelationEncoding:
         self._groups: dict[tuple[int, ...], list] = {}
         self._keyed: dict[tuple[int, ...], list] = {}
         self._stripped: dict[tuple, tuple] = {}
+
+    def extended(
+        self, columns: Sequence[Sequence[Value]], n: int
+    ) -> "RelationEncoding":
+        """An encoding for an append-only extension of this relation.
+
+        ``columns`` must equal this encoding's columns on the first
+        ``self._n`` rows.  Already-built per-column codebooks carry over
+        via :meth:`ColumnCodes.extended`; unbuilt columns stay lazy, and
+        the combined/group memos start empty (they are cheap to rebuild
+        and their keys would all be stale anyway).
+        """
+        out = RelationEncoding(columns, n)
+        for j, cc in enumerate(self._per_column):
+            if cc is not None:
+                out._per_column[j] = cc.extended(columns[j], self._n)
+        return out
 
     # -- codebooks -----------------------------------------------------
 

@@ -275,10 +275,40 @@ class Relation:
         return self.take(keep)
 
     def extend(self, rows: Iterable[Sequence[Value]]) -> "Relation":
-        """New relation with ``rows`` appended."""
-        return Relation.from_rows(self._schema, list(self.rows()) + [
-            tuple(r) for r in rows
-        ])
+        """New relation with ``rows`` appended.
+
+        Appends column-wise — one concat per column, sharing nothing but
+        the existing column tuples — so the cost is O(rows added), not
+        O(n·m) as the old ``from_rows`` round-trip was.
+        """
+        added = [tuple(r) for r in rows]
+        width = len(self._schema)
+        for row in added:
+            if len(row) != width:
+                raise ValueError(
+                    f"row of width {len(row)} does not fit schema of width "
+                    f"{width}: {row!r}"
+                )
+        if not added:
+            return self
+        columns = tuple(
+            col + tuple(row[j] for row in added)
+            for j, col in enumerate(self._columns)
+        )
+        return Relation._from_trusted(self._schema, columns)
+
+    def apply_delta(self, delta: "object") -> "Relation":
+        """New relation with a mutation batch applied — see
+        :mod:`repro.incremental`.
+
+        Unlike :meth:`extend`/:meth:`take`/:meth:`with_values`, the
+        derived relation inherits *patched* partition-cache entries (and,
+        for insert-only batches, an extended dictionary encoding) from
+        this one, which is what makes incremental re-checking cheap.
+        """
+        from ..incremental.delta import apply_delta
+
+        return apply_delta(self, delta)
 
     def with_value(
         self, i: int, attribute: Attribute | str, value: Value

@@ -1,0 +1,240 @@
+"""Mixed-notation rule files for the CLI (``repro check`` / ``watch``).
+
+A rule file is a JSON document::
+
+    {"rules": [
+        {"kind": "FD",  "lhs": ["zip"], "rhs": ["city"]},
+        {"kind": "AFD", "lhs": "zip", "rhs": "city", "max_error": 0.05},
+        {"kind": "CFD", "lhs": ["region"], "rhs": ["code"],
+         "pattern": {"region": "Jackson"}},
+        {"kind": "MFD", "lhs": ["name"], "rhs": ["price"], "delta": 500},
+        {"kind": "DD",  "lhs": {"street": [0, 5]}, "rhs": {"zip": 0}},
+        {"kind": "MD",  "lhs": {"street": 5}, "rhs": ["zip"]},
+        {"kind": "OD",  "lhs": ["nights"], "rhs": [["price", ">="]]},
+        {"kind": "SD",  "lhs": ["nights"], "rhs": "subtotal",
+         "gap": [100, 200]},
+        {"kind": "DC",  "predicates": [
+            {"attr1": "subtotal", "op": "<", "attr2": "subtotal"},
+            {"attr1": "taxes",    "op": ">", "attr2": "taxes"}]}
+    ]}
+
+``kind`` names come from the survey's Table 2 vocabulary (see
+:mod:`repro.survey.registry`); a known notation without a rule-file
+constructor yet is reported as such, distinctly from a typo.  The full
+per-kind field reference lives in ``docs/api.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from .core.base import Dependency
+from .core.categorical.afd import AFD
+from .core.categorical.cfd import CFD
+from .core.categorical.fd import FD
+from .core.heterogeneous.dd import DD
+from .core.heterogeneous.md import MD
+from .core.heterogeneous.mfd import MFD
+from .core.numerical.dc import DC, Predicate
+from .core.numerical.od import OD
+from .core.numerical.sd import SD
+from .survey.registry import NOTATIONS
+
+
+class RuleFileError(ValueError):
+    """Raised for malformed or unsupported rule files."""
+
+
+def _require(rule: Mapping[str, Any], *fields: str) -> list[Any]:
+    missing = [f for f in fields if f not in rule]
+    if missing:
+        raise RuleFileError(
+            f"{rule.get('kind', '?')} rule is missing field(s) "
+            f"{', '.join(missing)}: {rule!r}"
+        )
+    return [rule[f] for f in fields]
+
+
+def _names(spec: Any) -> Any:
+    """Pass through strings/lists; JSON has no tuples so nothing to do."""
+    return spec
+
+
+def _interval(spec: Any) -> Any:
+    """JSON ``[lo, hi]`` lists become the (lo, hi) tuples parsers expect;
+    ``null`` endpoints mean unbounded."""
+    if isinstance(spec, list):
+        return tuple(spec)
+    return spec
+
+
+def _ranges(spec: Any, kind: str) -> dict[str, Any]:
+    if not isinstance(spec, Mapping) or not spec:
+        raise RuleFileError(
+            f"{kind} side must be a non-empty {{attribute: constraint}} "
+            f"object, got {spec!r}"
+        )
+    return {attr: _interval(v) for attr, v in spec.items()}
+
+
+def _marked(spec: Any) -> list:
+    """OD sides: ``"attr"`` or ``["attr", "mark"]`` entries."""
+    if isinstance(spec, str):
+        return [spec]
+    out = []
+    for item in spec:
+        out.append(tuple(item) if isinstance(item, list) else item)
+    return out
+
+
+def _dc_predicate(spec: Mapping[str, Any]) -> Predicate:
+    """One DC atom.
+
+    Short forms: ``{"attr1", "op", "attr2"}`` is the two-tuple atom
+    ``tα.attr1 op tβ.attr2`` and ``{"attr", "op", "const"}`` the
+    constant atom ``tα.attr op const``.  The explicit form spells out
+    ``lhs_var``/``lhs_attr``/``rhs_var``/``rhs_attr``/``const``.
+    """
+    if not isinstance(spec, Mapping):
+        raise RuleFileError(f"DC predicate must be an object, got {spec!r}")
+    if "attr1" in spec:
+        op, attr1 = _require(spec, "op", "attr1")
+        return Predicate("a", attr1, op, "b", spec.get("attr2", attr1))
+    if "attr" in spec:
+        op, attr = _require(spec, "op", "attr")
+        if "const" not in spec:
+            raise RuleFileError(
+                f"constant DC predicate needs 'const': {spec!r}"
+            )
+        return Predicate(
+            spec.get("var", "a"), attr, op, None, None, spec["const"]
+        )
+    lhs_var = spec.get("lhs_var", "a")
+    op, lhs_attr = _require(spec, "op", "lhs_attr")
+    if "rhs_attr" in spec:
+        return Predicate(
+            lhs_var, lhs_attr, op, spec.get("rhs_var", "b"), spec["rhs_attr"]
+        )
+    return Predicate(lhs_var, lhs_attr, op, None, None, spec.get("const"))
+
+
+def _build_fd(rule: Mapping[str, Any]) -> Dependency:
+    lhs, rhs = _require(rule, "lhs", "rhs")
+    return FD(_names(lhs), _names(rhs))
+
+
+def _build_afd(rule: Mapping[str, Any]) -> Dependency:
+    lhs, rhs = _require(rule, "lhs", "rhs")
+    return AFD(_names(lhs), _names(rhs), rule.get("max_error", 0.0))
+
+
+def _build_cfd(rule: Mapping[str, Any]) -> Dependency:
+    lhs, rhs = _require(rule, "lhs", "rhs")
+    pattern = rule.get("pattern") or {}
+    pattern = {a: v for a, v in pattern.items() if v != "_"}
+    return CFD(_names(lhs), _names(rhs), pattern)
+
+
+def _build_mfd(rule: Mapping[str, Any]) -> Dependency:
+    lhs, rhs, delta = _require(rule, "lhs", "rhs", "delta")
+    return MFD(_names(lhs), _names(rhs), delta)
+
+
+def _build_dd(rule: Mapping[str, Any]) -> Dependency:
+    lhs, rhs = _require(rule, "lhs", "rhs")
+    return DD(_ranges(lhs, "DD"), _ranges(rhs, "DD"))
+
+
+def _build_md(rule: Mapping[str, Any]) -> Dependency:
+    lhs, rhs = _require(rule, "lhs", "rhs")
+    if not isinstance(lhs, Mapping) or not lhs:
+        raise RuleFileError(
+            f"MD lhs must be a non-empty {{attribute: threshold}} object, "
+            f"got {lhs!r}"
+        )
+    return MD(dict(lhs), _names(rhs))
+
+
+def _build_od(rule: Mapping[str, Any]) -> Dependency:
+    lhs, rhs = _require(rule, "lhs", "rhs")
+    return OD(_marked(lhs), _marked(rhs))
+
+
+def _build_sd(rule: Mapping[str, Any]) -> Dependency:
+    lhs, rhs = _require(rule, "lhs", "rhs")
+    gap = _interval(rule.get("gap", (0.0, None)))
+    return SD(_names(lhs), rhs, gap)
+
+
+def _build_dc(rule: Mapping[str, Any]) -> Dependency:
+    (predicates,) = _require(rule, "predicates")
+    if not isinstance(predicates, list) or not predicates:
+        raise RuleFileError(
+            f"DC needs a non-empty 'predicates' list, got {predicates!r}"
+        )
+    return DC([_dc_predicate(p) for p in predicates])
+
+
+BUILDERS: dict[str, Callable[[Mapping[str, Any]], Dependency]] = {
+    "FD": _build_fd,
+    "AFD": _build_afd,
+    "CFD": _build_cfd,
+    "MFD": _build_mfd,
+    "DD": _build_dd,
+    "MD": _build_md,
+    "OD": _build_od,
+    "SD": _build_sd,
+    "DC": _build_dc,
+}
+
+
+def parse_rule(rule: Mapping[str, Any]) -> Dependency:
+    """Build one dependency from its JSON object."""
+    if not isinstance(rule, Mapping):
+        raise RuleFileError(f"each rule must be a JSON object, got {rule!r}")
+    kind = rule.get("kind")
+    if kind is None:
+        raise RuleFileError(f"rule has no 'kind': {rule!r}")
+    builder = BUILDERS.get(kind)
+    if builder is None:
+        info = NOTATIONS.get(kind)
+        if info is not None:
+            raise RuleFileError(
+                f"notation {kind} ({info.full_name}) has no rule-file "
+                f"constructor yet; supported kinds: "
+                f"{', '.join(sorted(BUILDERS))}"
+            )
+        raise RuleFileError(
+            f"unknown notation {kind!r}; Table 2 notations are: "
+            f"{', '.join(NOTATIONS)}"
+        )
+    try:
+        return builder(rule)
+    except RuleFileError:
+        raise
+    except Exception as exc:
+        raise RuleFileError(f"bad {kind} rule {rule!r}: {exc}") from exc
+
+
+def parse_rules(payload: Any) -> list[Dependency]:
+    """Parse a rule-file document (``{"rules": [...]}`` or a bare list)."""
+    if isinstance(payload, Mapping):
+        rules = payload.get("rules")
+        if rules is None:
+            raise RuleFileError("rule file must have a top-level 'rules' list")
+    else:
+        rules = payload
+    if not isinstance(rules, list) or not rules:
+        raise RuleFileError(f"'rules' must be a non-empty list, got {rules!r}")
+    return [parse_rule(r) for r in rules]
+
+
+def load_rules(path: str | Path) -> list[Dependency]:
+    """Load and parse a JSON rule file."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise RuleFileError(f"{path}: invalid JSON: {exc}") from exc
+    return parse_rules(payload)

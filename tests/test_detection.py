@@ -50,6 +50,35 @@ class TestScoring:
             0, 0, 0
         ).f1 == 1.0
 
+    def test_all_false_positives(self):
+        """Nothing real flagged: precision 0, vacuous recall 1, f1 0."""
+        q = DetectionQuality(0, 7, 0)
+        assert q.precision == 0.0
+        assert q.recall == 1.0
+        assert q.f1 == 0.0
+
+    def test_all_false_negatives(self):
+        """Nothing flagged at all: vacuous precision 1, recall 0, f1 0."""
+        q = DetectionQuality(0, 0, 7)
+        assert q.precision == 1.0
+        assert q.recall == 0.0
+        assert q.f1 == 0.0
+
+    def test_zero_precision_and_recall_f1_defined(self):
+        """p + r == 0 must not divide by zero."""
+        q = DetectionQuality(0, 3, 4)
+        assert q.precision == 0.0
+        assert q.recall == 0.0
+        assert q.f1 == 0.0
+
+    def test_f1_harmonic_mean(self):
+        q = DetectionQuality(2, 2, 2)
+        assert q.precision == 0.5 and q.recall == 0.5
+        assert q.f1 == pytest.approx(0.5)
+
+    def test_str_finite_on_degenerate_counts(self):
+        assert "f1=0.000" in str(DetectionQuality(0, 3, 4))
+
     def test_fd_recall_perfect_on_injected_errors(self):
         w = fd_workload(200, 20, error_rate=0.05, seed=2)
         q = Detector(w.true_fds).score(w.relation, w.error_tuples)
