@@ -2,8 +2,8 @@
 
 Commands:
 
-* ``profile <csv>`` — discover dependencies in a CSV and report them
-  (see :mod:`repro.profiler`);
+* ``profile <csv>`` (alias: ``discover``) — discover dependencies in a
+  CSV and report them (see :mod:`repro.profiler`);
 * ``check <csv> --fd X->Y [--fd ...] [--rules rules.json]`` — validate
   declared dependencies (FDs inline, any Table-2 notation via a JSON
   rule file; see :mod:`repro.rules_io`) and print their violations;
@@ -17,6 +17,12 @@ Commands:
 Column types: numerical columns are auto-detected (every non-empty cell
 parses as a number) unless ``--text`` / ``--numerical`` overrides are
 given.
+
+``profile``/``check``/``watch`` all take ``--timeout SECONDS`` and
+``--max-candidates N``: a resource :class:`~repro.runtime.budget.Budget`
+governing the whole run.  On exhaustion the command reports what it
+finished (marked partial) and exits 3 where partiality matters, instead
+of dying mid-way with nothing.
 """
 
 from __future__ import annotations
@@ -29,6 +35,8 @@ from .core.categorical import FD
 from .profiler import profile_relation
 from .relation import Attribute, AttributeType, Relation, Schema
 from .relation.io import read_csv
+from .runtime.budget import Budget, checkpoint, governed
+from .runtime.errors import BudgetExhausted, ReproError
 
 
 def _detect_schema(path: str, numerical: set[str], text: set[str]) -> Schema:
@@ -79,12 +87,28 @@ def _parse_fd(spec: str) -> FD:
     )
 
 
+def _budget_from_args(args: argparse.Namespace) -> Budget | None:
+    """A :class:`Budget` from ``--timeout``/``--max-candidates``, if any."""
+    timeout = getattr(args, "timeout", None)
+    max_candidates = getattr(args, "max_candidates", None)
+    if timeout is None and max_candidates is None:
+        return None
+    if timeout is not None and timeout <= 0:
+        raise ReproError(f"--timeout must be positive, got {timeout}")
+    if max_candidates is not None and max_candidates <= 0:
+        raise ReproError(
+            f"--max-candidates must be positive, got {max_candidates}"
+        )
+    return Budget(deadline_s=timeout, max_candidates=max_candidates)
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     relation = load_relation(args.csv, args.numerical, args.text)
     report = profile_relation(
         relation,
         epsilon=args.epsilon,
         max_lhs_size=args.max_lhs,
+        budget=_budget_from_args(args),
     )
     print(report.render())
     return 0
@@ -113,20 +137,32 @@ def cmd_check(args: argparse.Namespace) -> int:
         return 2
     relation = load_relation(args.csv, args.numerical, args.text)
     exit_code = 0
-    for dep in rules:
+    budget = _budget_from_args(args)
+    checked = 0
+    with governed(budget):
         try:
-            dep.validate_schema(relation.schema)
-        except KeyError as exc:
-            print(f"[error] {dep}: {exc}")
-            return 2
-        violations = dep.violations(relation)
-        if violations:
-            exit_code = 1
-            print(f"[FAIL] {dep}: {len(violations)} violations")
-            print("  " + violations.summary(limit=args.limit)
-                  .replace("\n", "\n  "))
-        else:
-            print(f"[ok]   {dep}")
+            for dep in rules:
+                checkpoint(candidates=1)
+                try:
+                    dep.validate_schema(relation.schema)
+                except KeyError as exc:
+                    print(f"[error] {dep}: {exc}")
+                    return 2
+                violations = dep.violations(relation)
+                checked += 1
+                if violations:
+                    exit_code = 1
+                    print(f"[FAIL] {dep}: {len(violations)} violations")
+                    print("  " + violations.summary(limit=args.limit)
+                          .replace("\n", "\n  "))
+                else:
+                    print(f"[ok]   {dep}")
+        except BudgetExhausted as exc:
+            print(
+                f"[partial] budget exhausted ({exc.reason}): "
+                f"{len(rules) - checked} of {len(rules)} rules unchecked"
+            )
+            return 3
     return exit_code
 
 
@@ -159,10 +195,24 @@ def cmd_watch(args: argparse.Namespace) -> int:
     else:
         close = open(args.log, "r", encoding="utf-8")
         lines = close
+    budget = _budget_from_args(args)
+    partial = False
     try:
         deltas = parse_mutation_log(lines, relation.schema)
-        for change in detector.replay(deltas):
-            print(change.render(limit=args.limit))
+        with governed(budget):
+            try:
+                for change in detector.replay(deltas):
+                    print(change.render(limit=args.limit))
+                    # Between batches: stop replaying when the budget is
+                    # gone (mid-batch exhaustion is already handled by
+                    # the detector itself, which flags the change).
+                    checkpoint(candidates=1)
+            except BudgetExhausted as exc:
+                partial = True
+                print(
+                    f"[partial] budget exhausted ({exc.reason}): "
+                    "replay stopped"
+                )
     except DeltaError as exc:
         print(f"[error] bad mutation batch: {exc}")
         return 2
@@ -175,6 +225,8 @@ def cmd_watch(args: argparse.Namespace) -> int:
         f"done: {len(detector.history)} batches, "
         f"{len(detector.relation)} rows, {remaining} violations remaining"
     )
+    if partial:
+        return 3
     return 0 if remaining == 0 else 1
 
 
@@ -214,8 +266,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_budget_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--timeout", type=float, default=None,
+            help="wall-clock budget in seconds; on expiry the command "
+            "returns partial results instead of failing",
+        )
+        p.add_argument(
+            "--max-candidates", type=int, default=None,
+            dest="max_candidates",
+            help="cap on candidate checks across the run",
+        )
+
     p_profile = sub.add_parser(
-        "profile", help="discover dependencies in a CSV"
+        "profile", aliases=["discover"],
+        help="discover dependencies in a CSV",
     )
     p_profile.add_argument("csv")
     p_profile.add_argument(
@@ -230,6 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="force a column numerical")
     p_profile.add_argument("--text", action="append", default=[],
                            help="force a column textual")
+    add_budget_args(p_profile)
     p_profile.set_defaults(func=cmd_profile)
 
     p_check = sub.add_parser("check", help="validate declared dependencies")
@@ -247,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="violations to print per rule")
     p_check.add_argument("--numerical", action="append", default=[])
     p_check.add_argument("--text", action="append", default=[])
+    add_budget_args(p_check)
     p_check.set_defaults(func=cmd_check)
 
     p_watch = sub.add_parser(
@@ -265,6 +332,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="changefeed lines to print per batch")
     p_watch.add_argument("--numerical", action="append", default=[])
     p_watch.add_argument("--text", action="append", default=[])
+    add_budget_args(p_watch)
     p_watch.set_defaults(func=cmd_watch)
 
     p_tree = sub.add_parser("tree", help="print the family tree")
@@ -282,6 +350,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except ReproError as exc:
+        # Typed library errors (bad input, engine faults) are user
+        # messages, not tracebacks.
+        print(f"[error] {exc}")
+        return 2
     except BrokenPipeError:
         # Output piped into a pager/head that closed early; standard
         # CLI etiquette is a quiet exit.

@@ -20,13 +20,32 @@ from itertools import combinations
 from ..core.categorical import CFD, CFDTableau, FD, Pattern
 from ..relation.partition_cache import cache_for
 from ..relation.relation import Relation
+from ..runtime.budget import Budget, checkpoint, governed, resolve_budget
+from ..runtime.errors import BudgetExhausted, EngineFault, ReproError
 from .common import DiscoveryResult, DiscoveryStats
+
+
+def _guarded_groups(cache, lhs):
+    """``cache.groups`` with fault conversion at the substrate boundary.
+
+    A raising grouping kernel (genuine or injected) becomes a typed
+    :class:`EngineFault` instead of an anonymous crash mid-mine.
+    """
+    try:
+        return cache.groups(lhs)
+    except ReproError:
+        raise
+    except Exception as exc:
+        raise EngineFault(
+            f"group-by kernel failed on {lhs!r}: {exc}", site="groups"
+        ) from exc
 
 
 def discover_constant_cfds(
     relation: Relation,
     min_support: int = 2,
     max_lhs_size: int = 2,
+    budget: Budget | None = None,
 ) -> DiscoveryResult:
     """Mine minimal constant CFDs ``(X = x -> A = a)``.
 
@@ -34,6 +53,10 @@ def discover_constant_cfds(
     the LHS constants and *all* of them share one RHS value.  Minimality:
     a pattern is pruned when a sub-pattern (fewer conditioned
     attributes) already fixes the same RHS attribute.
+
+    On ``budget`` exhaustion the constant CFDs mined so far are
+    returned with ``stats.complete = False`` — every emitted CFD was
+    fully verified before the cutoff.
     """
     stats = DiscoveryStats()
     names = sorted(relation.schema.names())
@@ -47,29 +70,36 @@ def discover_constant_cfds(
     minimal: dict[str, list[frozenset[tuple[str, object]]]] = {
         a: [] for a in names
     }
-    for size in range(1, max_lhs_size + 1):
-        stats.levels = size
-        for lhs in combinations(names, size):
-            groups = cache.groups(lhs)
-            for x_value, indices in groups.items():
-                if len(indices) < min_support:
-                    continue
-                items = frozenset(zip(lhs, x_value))
-                for a in names:
-                    if a in lhs:
-                        continue
-                    if any(m <= items for m in minimal[a]):
-                        stats.candidates_pruned += 1
-                        continue
-                    stats.candidates_checked += 1
-                    column = columns[a]
-                    values = {column[t] for t in indices}
-                    if len(values) == 1:
-                        rhs_value = next(iter(values))
-                        pattern = dict(items)
-                        pattern[a] = rhs_value
-                        found.append(CFD(lhs, (a,), pattern))
-                        minimal[a].append(items)
+    budget = resolve_budget(budget)
+    with governed(budget):
+        try:
+            for size in range(1, max_lhs_size + 1):
+                stats.levels = size
+                for lhs in combinations(names, size):
+                    checkpoint()
+                    groups = _guarded_groups(cache, lhs)
+                    for x_value, indices in groups.items():
+                        if len(indices) < min_support:
+                            continue
+                        items = frozenset(zip(lhs, x_value))
+                        for a in names:
+                            if a in lhs:
+                                continue
+                            if any(m <= items for m in minimal[a]):
+                                stats.candidates_pruned += 1
+                                continue
+                            stats.candidates_checked += 1
+                            checkpoint(candidates=1)
+                            column = columns[a]
+                            values = {column[t] for t in indices}
+                            if len(values) == 1:
+                                rhs_value = next(iter(values))
+                                pattern = dict(items)
+                                pattern[a] = rhs_value
+                                found.append(CFD(lhs, (a,), pattern))
+                                minimal[a].append(items)
+        except BudgetExhausted as exc:
+            stats.mark_exhausted(exc.reason)
     stats.partition_cache_hits += cache.stats.hits - hits_before
     return DiscoveryResult(
         dependencies=found, stats=stats, algorithm="CFDMiner"
@@ -80,6 +110,7 @@ def discover_general_cfds(
     relation: Relation,
     min_support: int = 2,
     max_lhs_size: int = 2,
+    budget: Budget | None = None,
 ) -> DiscoveryResult:
     """Mine general (variable) CFDs level-wise, CTANE-style.
 
@@ -87,39 +118,53 @@ def discover_general_cfds(
     mixing constants (drawn from values with enough support) and
     wildcards, wildcard RHS.  Emitted when the CFD holds exactly and
     covers >= ``min_support`` tuples; pure-wildcard patterns reduce to
-    plain FDs and are reported too.
+    plain FDs and are reported too.  Partial on ``budget`` exhaustion.
     """
     stats = DiscoveryStats()
     names = sorted(relation.schema.names())
     found: list[CFD] = []
     emitted_fd_lhs: dict[str, list[tuple[str, ...]]] = {a: [] for a in names}
-    for size in range(1, max_lhs_size + 1):
-        stats.levels = size
-        for lhs in combinations(names, size):
-            for a in names:
-                if a in lhs:
-                    continue
-                if any(set(q) <= set(lhs) for q in emitted_fd_lhs[a]):
-                    stats.candidates_pruned += 1
-                    continue
-                # Pure-wildcard candidate first (the plain FD).
-                stats.candidates_checked += 1
-                plain = CFD(lhs, (a,), None)
-                if plain.holds(relation) and len(relation) >= min_support:
-                    found.append(plain)
-                    emitted_fd_lhs[a].append(lhs)
-                    continue
-                # One-constant patterns: condition a single LHS attribute
-                # on each sufficiently frequent value.
-                for cond_attr in lhs:
-                    counts = relation.value_counts(cond_attr)
-                    for value, freq in counts.items():
-                        if freq < min_support or value is None:
+    budget = resolve_budget(budget)
+    with governed(budget):
+        try:
+            for size in range(1, max_lhs_size + 1):
+                stats.levels = size
+                for lhs in combinations(names, size):
+                    for a in names:
+                        if a in lhs:
                             continue
+                        if any(
+                            set(q) <= set(lhs) for q in emitted_fd_lhs[a]
+                        ):
+                            stats.candidates_pruned += 1
+                            continue
+                        # Pure-wildcard candidate first (the plain FD).
                         stats.candidates_checked += 1
-                        cand = CFD(lhs, (a,), {cond_attr: value})
-                        if cand.holds(relation):
-                            found.append(cand)
+                        checkpoint(candidates=1)
+                        plain = CFD(lhs, (a,), None)
+                        if (
+                            plain.holds(relation)
+                            and len(relation) >= min_support
+                        ):
+                            found.append(plain)
+                            emitted_fd_lhs[a].append(lhs)
+                            continue
+                        # One-constant patterns: condition a single LHS
+                        # attribute on each sufficiently frequent value.
+                        for cond_attr in lhs:
+                            counts = relation.value_counts(cond_attr)
+                            for value, freq in counts.items():
+                                if freq < min_support or value is None:
+                                    continue
+                                stats.candidates_checked += 1
+                                checkpoint(candidates=1)
+                                cand = CFD(
+                                    lhs, (a,), {cond_attr: value}
+                                )
+                                if cand.holds(relation):
+                                    found.append(cand)
+        except BudgetExhausted as exc:
+            stats.mark_exhausted(exc.reason)
     return DiscoveryResult(
         dependencies=found, stats=stats, algorithm="CTANE-lite"
     )
@@ -129,6 +174,7 @@ def discover_ecfds(
     relation: Relation,
     min_support: int = 2,
     max_lhs_size: int = 2,
+    budget: Budget | None = None,
 ) -> DiscoveryResult:
     """Mine eCFDs with inequality conditions on numerical attributes.
 
@@ -150,44 +196,53 @@ def discover_ecfds(
         if a.dtype is AttributeType.NUMERICAL
     }
     found: list[ECFD] = []
-    for size in range(1, max_lhs_size + 1):
-        stats.levels = size
-        for lhs in combinations(names, size):
-            cond_candidates = [a for a in lhs if a in numeric]
-            for a in names:
-                if a in lhs:
-                    continue
-                # Skip when the plain FD already holds (the eCFD would
-                # be redundant).
-                plain = CFD(lhs, (a,), None)
-                stats.candidates_checked += 1
-                if plain.holds(relation):
-                    continue
-                for cond_attr in cond_candidates:
-                    values = sorted(
-                        v
-                        for v in relation.column(cond_attr)
-                        if v is not None
-                    )
-                    if not values:
-                        continue
-                    thresholds = {
-                        values[len(values) // 4],
-                        values[len(values) // 2],
-                        values[(3 * len(values)) // 4],
-                    }
-                    for c in thresholds:
-                        for op in ("<=", ">", ">=", "<"):
-                            stats.candidates_checked += 1
-                            cand = ECFD(
-                                lhs, (a,), {cond_attr: (op, c)}
+    budget = resolve_budget(budget)
+    with governed(budget):
+        try:
+            for size in range(1, max_lhs_size + 1):
+                stats.levels = size
+                for lhs in combinations(names, size):
+                    cond_candidates = [a for a in lhs if a in numeric]
+                    for a in names:
+                        if a in lhs:
+                            continue
+                        # Skip when the plain FD already holds (the
+                        # eCFD would be redundant).
+                        plain = CFD(lhs, (a,), None)
+                        stats.candidates_checked += 1
+                        checkpoint(candidates=1)
+                        if plain.holds(relation):
+                            continue
+                        for cond_attr in cond_candidates:
+                            values = sorted(
+                                v
+                                for v in relation.column(cond_attr)
+                                if v is not None
                             )
-                            matching = cand.matching_indices(relation)
-                            if len(matching) < min_support:
-                                stats.candidates_pruned += 1
+                            if not values:
                                 continue
-                            if cand.holds(relation):
-                                found.append(cand)
+                            thresholds = {
+                                values[len(values) // 4],
+                                values[len(values) // 2],
+                                values[(3 * len(values)) // 4],
+                            }
+                            for c in thresholds:
+                                for op in ("<=", ">", ">=", "<"):
+                                    stats.candidates_checked += 1
+                                    checkpoint(candidates=1)
+                                    cand = ECFD(
+                                        lhs, (a,), {cond_attr: (op, c)}
+                                    )
+                                    matching = cand.matching_indices(
+                                        relation
+                                    )
+                                    if len(matching) < min_support:
+                                        stats.candidates_pruned += 1
+                                        continue
+                                    if cand.holds(relation):
+                                        found.append(cand)
+        except BudgetExhausted as exc:
+            stats.mark_exhausted(exc.reason)
     # Keep only the widest-coverage eCFD per (lhs, rhs) pair.
     best: dict[tuple, ECFD] = {}
     coverage: dict[tuple, int] = {}

@@ -28,6 +28,17 @@ class DiscoveryStats:
     #: Partitions/groupings served from the shared relation-level cache
     #: instead of being rebuilt (see ``repro.relation.partition_cache``).
     partition_cache_hits: int = 0
+    #: ``False`` when the run stopped on a resource budget: the result
+    #: is an honest partial answer, not the full minimal set.
+    complete: bool = True
+    #: ``""`` while complete; the :class:`~repro.runtime.errors.
+    #: BudgetExhausted` reason (``"deadline"``, ``"candidates"``, ...)
+    #: otherwise.
+    exhausted: str = ""
+    #: Dependencies admitted via sampled verification after budget
+    #: exhaustion (degraded FASTDC/Hydra-style fallback) — these were
+    #: checked on a row sample only, never on the full relation.
+    sampled_verified: int = 0
 
     def merge(self, other: "DiscoveryStats") -> None:
         self.candidates_checked += other.candidates_checked
@@ -35,6 +46,14 @@ class DiscoveryStats:
         self.levels = max(self.levels, other.levels)
         self.partitions_built += other.partitions_built
         self.partition_cache_hits += other.partition_cache_hits
+        self.complete = self.complete and other.complete
+        self.exhausted = self.exhausted or other.exhausted
+        self.sampled_verified += other.sampled_verified
+
+    def mark_exhausted(self, reason: str) -> None:
+        """Flag this run as budget-limited (partial result)."""
+        self.complete = False
+        self.exhausted = reason
 
 
 @dataclass
@@ -54,12 +73,20 @@ class DiscoveryResult:
     def __contains__(self, dep) -> bool:
         return dep in self.dependencies
 
+    @property
+    def complete(self) -> bool:
+        """Whether the search ran to completion (no budget exhaustion)."""
+        return self.stats.complete
+
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.algorithm}: {len(self.dependencies)} dependencies, "
             f"{self.stats.candidates_checked} candidates checked, "
             f"{self.stats.candidates_pruned} pruned"
         )
+        if not self.stats.complete:
+            text += f" [partial: budget exhausted ({self.stats.exhausted})]"
+        return text
 
 
 def subsets_of_size(

@@ -24,6 +24,8 @@ from ..core.numerical import ALPHA, BETA, DC, Predicate
 from ..relation import encoding as _encoding
 from ..relation.relation import Relation
 from ..relation.schema import AttributeType
+from ..runtime.budget import Budget, checkpoint, governed, resolve_budget
+from ..runtime.errors import BudgetExhausted, EngineFault, ReproError
 from .common import DiscoveryResult, DiscoveryStats
 
 if _encoding.HAS_NUMPY:
@@ -80,7 +82,19 @@ def evidence_sets(
     if _encoding.encoded_enabled() and len(relation) >= 2:
         plan = _vectorizable_plan(relation, space)
         if plan is not None:
-            return _evidence_sets_encoded(relation, space, plan)
+            # One checkpoint for the whole vectorized sweep — the
+            # numpy kernel is uninterruptible, so the budget charge is
+            # taken up front.
+            checkpoint(pairs=len(relation) * (len(relation) - 1))
+            try:
+                return _evidence_sets_encoded(relation, space, plan)
+            except ReproError:
+                raise
+            except Exception as exc:
+                raise EngineFault(
+                    f"encoded evidence-set kernel failed: {exc}",
+                    site="encoding",
+                ) from exc
     return _evidence_sets_naive(relation, space)
 
 
@@ -91,6 +105,7 @@ def _evidence_sets_naive(
     out: Counter = Counter()
     n = len(relation)
     for i in range(n):
+        checkpoint(pairs=n - 1)
         for j in range(n):
             if i == j:
                 continue
@@ -220,6 +235,7 @@ def _minimal_covers(
 ) -> None:
     """DFS for minimal hitting sets of the complement sets."""
     stats.candidates_checked += 1
+    checkpoint(candidates=1)
     uncovered = [c for c in complements if not (c & set(prefix))]
     if not uncovered:
         for drop in range(len(prefix)):
@@ -246,24 +262,104 @@ def discover_dcs(
     relation: Relation,
     max_predicates: int = 3,
     cross_columns: bool = False,
+    budget: Budget | None = None,
 ) -> DiscoveryResult:
-    """Minimal valid DCs with at most ``max_predicates`` atoms."""
+    """Minimal valid DCs with at most ``max_predicates`` atoms.
+
+    Budget-governed: exhaustion mid-sweep returns the covers found so
+    far — each already a verified hitting set, hence a valid DC — with
+    ``stats.complete = False``.  Exhaustion during the evidence sweep
+    falls back to evidence sets over a row sample (the A-FASTDC-style
+    degradation), whose DCs are flagged via ``stats.sampled_verified``.
+    """
+    from ..runtime.budget import sample_relation
+
     stats = DiscoveryStats()
     space = build_predicate_space(relation, cross_columns)
-    evidence = evidence_sets(relation, space)
-    all_ids = set(range(len(space)))
-    complements = sorted(
-        {frozenset(all_ids - e) for e in evidence}, key=len
-    )
     covers: list[tuple[int, ...]] = []
-    _minimal_covers(
-        complements, list(range(len(space))), (), covers, stats,
-        max_predicates,
-    )
+    sampled = False
+    budget = resolve_budget(budget)
+    with governed(budget):
+        try:
+            evidence = evidence_sets(relation, space)
+        except BudgetExhausted as exc:
+            # Sampled evidence fallback: bounded (<= 32 rows => <= 992
+            # ordered pairs) and checkpoint-free, so the overrun past
+            # the blown budget stays small.
+            stats.mark_exhausted(exc.reason)
+            sampled = True
+            sample = sample_relation(relation, max_rows=32)
+            evidence = _evidence_sets_naive_unguarded(sample, space)
+        all_ids = set(range(len(space)))
+        complements = sorted(
+            {frozenset(all_ids - e) for e in evidence}, key=len
+        )
+        try:
+            if sampled:
+                _minimal_covers_unguarded(
+                    complements, list(range(len(space))), (), covers,
+                    stats, max_predicates,
+                )
+            else:
+                _minimal_covers(
+                    complements, list(range(len(space))), (), covers,
+                    stats, max_predicates,
+                )
+        except BudgetExhausted as exc:
+            stats.mark_exhausted(exc.reason)
     dcs = [DC([space[k] for k in cover]) for cover in covers]
+    if sampled:
+        stats.sampled_verified += len(dcs)
     return DiscoveryResult(
         dependencies=dcs, stats=stats, algorithm="FASTDC"
     )
+
+
+def _evidence_sets_naive_unguarded(
+    relation: Relation, space: list[Predicate]
+) -> Counter:
+    """Naive evidence sets with no checkpoints (post-exhaustion use)."""
+    out: Counter = Counter()
+    n = len(relation)
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            assignment = {ALPHA: i, BETA: j}
+            ev = frozenset(
+                k
+                for k, p in enumerate(space)
+                if p.evaluate(relation, assignment)
+            )
+            out[ev] += 1
+    return out
+
+
+def _minimal_covers_unguarded(
+    complements, pool, prefix, out, stats, max_size, node_cap: int = 20000
+) -> None:
+    """Checkpoint-free cover DFS with a hard node cap (salvage path)."""
+    if stats.candidates_checked >= node_cap:
+        return
+    stats.candidates_checked += 1
+    uncovered = [c for c in complements if not (c & set(prefix))]
+    if not uncovered:
+        for drop in range(len(prefix)):
+            reduced = set(prefix[:drop] + prefix[drop + 1:])
+            if all(c & reduced for c in complements):
+                stats.candidates_pruned += 1
+                return
+        out.append(prefix)
+        return
+    if len(prefix) >= max_size:
+        return
+    target = min(uncovered, key=len)
+    for k, pidx in enumerate(pool):
+        if pidx in target:
+            _minimal_covers_unguarded(
+                complements, pool[k + 1:], prefix + (pidx,), out, stats,
+                max_size, node_cap,
+            )
 
 
 def discover_dcs_approximate(
@@ -271,6 +367,7 @@ def discover_dcs_approximate(
     epsilon: float = 0.01,
     max_predicates: int = 3,
     cross_columns: bool = False,
+    budget: Budget | None = None,
 ) -> DiscoveryResult:
     """A-FASTDC: DCs violated by at most ``epsilon`` of ordered pairs.
 
@@ -283,27 +380,33 @@ def discover_dcs_approximate(
     """
     stats = DiscoveryStats()
     space = build_predicate_space(relation, cross_columns)
-    evidence = evidence_sets(relation, space)
-    n = len(relation)
-    budget = epsilon * n * (n - 1)
     found: list[tuple[frozenset[int], DC]] = []
+    n = len(relation)
+    violation_budget = epsilon * n * (n - 1)
+    budget = resolve_budget(budget)
+    with governed(budget):
+        try:
+            evidence = evidence_sets(relation, space)
 
-    def violating_pairs(q: frozenset[int]) -> int:
-        return sum(
-            count for e, count in evidence.items() if q <= e
-        )
+            def violating_pairs(q: frozenset[int]) -> int:
+                return sum(
+                    count for e, count in evidence.items() if q <= e
+                )
 
-    ids = list(range(len(space)))
-    for size in range(1, max_predicates + 1):
-        stats.levels = size
-        for q in combinations(ids, size):
-            qs = frozenset(q)
-            if any(prev <= qs for prev, __ in found):
-                stats.candidates_pruned += 1
-                continue
-            stats.candidates_checked += 1
-            if violating_pairs(qs) <= budget:
-                found.append((qs, DC([space[k] for k in q])))
+            ids = list(range(len(space)))
+            for size in range(1, max_predicates + 1):
+                stats.levels = size
+                for q in combinations(ids, size):
+                    qs = frozenset(q)
+                    if any(prev <= qs for prev, __ in found):
+                        stats.candidates_pruned += 1
+                        continue
+                    stats.candidates_checked += 1
+                    checkpoint(candidates=1)
+                    if violating_pairs(qs) <= violation_budget:
+                        found.append((qs, DC([space[k] for k in q])))
+        except BudgetExhausted as exc:
+            stats.mark_exhausted(exc.reason)
     return DiscoveryResult(
         dependencies=[dc for __, dc in found],
         stats=stats,
@@ -315,6 +418,7 @@ def discover_constant_dcs(
     relation: Relation,
     min_frequency: int = 2,
     max_predicates: int = 2,
+    budget: Budget | None = None,
 ) -> DiscoveryResult:
     """C-FASTDC: single-tuple DCs over frequent constant atoms.
 
@@ -325,6 +429,29 @@ def discover_constant_dcs(
     200" style) of Section 4.3.
     """
     stats = DiscoveryStats()
+    found: list[tuple[frozenset[int], DC]] = []
+    budget = resolve_budget(budget)
+    with governed(budget):
+        try:
+            _discover_constant_dcs(
+                relation, min_frequency, max_predicates, stats, found
+            )
+        except BudgetExhausted as exc:
+            stats.mark_exhausted(exc.reason)
+    return DiscoveryResult(
+        dependencies=[dc for __, dc in found],
+        stats=stats,
+        algorithm="C-FASTDC",
+    )
+
+
+def _discover_constant_dcs(
+    relation: Relation,
+    min_frequency: int,
+    max_predicates: int,
+    stats: DiscoveryStats,
+    found: list[tuple[frozenset[int], DC]],
+) -> None:
     space: list[Predicate] = []
     for attr in relation.schema:
         counts = relation.value_counts(attr.name)
@@ -351,6 +478,7 @@ def discover_constant_dcs(
     # Evidence per single tuple.
     evidences: list[frozenset[int]] = []
     for i in range(len(relation)):
+        checkpoint()
         assignment = {ALPHA: i}
         evidences.append(
             frozenset(
@@ -359,7 +487,6 @@ def discover_constant_dcs(
                 if p.evaluate(relation, assignment)
             )
         )
-    found: list[tuple[frozenset[int], DC]] = []
     ids = list(range(len(space)))
     for size in range(1, max_predicates + 1):
         stats.levels = size
@@ -371,10 +498,6 @@ def discover_constant_dcs(
                 stats.candidates_pruned += 1
                 continue
             stats.candidates_checked += 1
+            checkpoint(candidates=1)
             if not any(qs <= e for e in evidences):
                 found.append((qs, DC([space[k] for k in q])))
-    return DiscoveryResult(
-        dependencies=[dc for __, dc in found],
-        stats=stats,
-        algorithm="C-FASTDC",
-    )

@@ -18,6 +18,14 @@ from itertools import combinations
 from ..core.categorical import FD
 from ..relation import encoding
 from ..relation.relation import Relation
+from ..runtime.budget import (
+    Budget,
+    checkpoint,
+    governed,
+    resolve_budget,
+    verify_on_sample,
+)
+from ..runtime.errors import BudgetExhausted, EngineFault, ReproError
 from .common import DiscoveryResult, DiscoveryStats
 
 
@@ -37,8 +45,19 @@ def difference_sets(relation: Relation) -> set[frozenset[str]]:
     """
     names = relation.schema.names()
     if encoding.encoded_enabled() and len(relation) >= 2 and names:
+        # One checkpoint for the whole vectorized sweep: the kernel is
+        # a single C-speed pass we cannot interrupt mid-flight.
+        checkpoint(pairs=len(relation) * (len(relation) - 1) // 2)
         idxs = tuple(range(len(names)))
-        masks = relation.encoding().difference_masks(idxs)
+        try:
+            masks = relation.encoding().difference_masks(idxs)
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise EngineFault(
+                f"encoded difference-mask kernel failed: {exc}",
+                site="encoding",
+            ) from exc
         if masks is not None:
             return {
                 frozenset(
@@ -54,12 +73,17 @@ def _difference_sets_naive(relation: Relation) -> set[frozenset[str]]:
     names = relation.schema.names()
     out: set[frozenset[str]] = set()
     rows = relation.rows()
-    for i, j in combinations(range(len(rows)), 2):
-        diff = frozenset(
-            names[c] for c, (a, b) in enumerate(zip(rows[i], rows[j])) if a != b
-        )
-        if diff:
-            out.add(diff)
+    n = len(rows)
+    for i in range(n):
+        checkpoint(pairs=n - 1 - i)
+        for j in range(i + 1, n):
+            diff = frozenset(
+                names[c]
+                for c, (a, b) in enumerate(zip(rows[i], rows[j]))
+                if a != b
+            )
+            if diff:
+                out.add(diff)
     return out
 
 
@@ -76,6 +100,7 @@ def _minimal_covers(
     ordering fixes a canonical search tree so each cover is found once.
     """
     stats.candidates_checked += 1
+    checkpoint(candidates=1)
     uncovered = [s for s in sets_to_cover if not (s & set(prefix))]
     if not uncovered:
         # prefix is a cover; minimal iff removing any element uncovers.
@@ -94,27 +119,73 @@ def _minimal_covers(
             )
 
 
-def fastfd(relation: Relation) -> DiscoveryResult:
-    """Discover all minimal non-trivial single-RHS FDs."""
+def fastfd(
+    relation: Relation, budget: Budget | None = None
+) -> DiscoveryResult:
+    """Discover all minimal non-trivial single-RHS FDs.
+
+    Budget-governed: on exhaustion the FDs of the RHS attributes
+    already processed are returned (``stats.complete = False``), and
+    the unprocessed RHS attributes get a sampled single-determinant
+    fallback so no attribute is dropped without any answer.
+    """
     stats = DiscoveryStats()
     names = sorted(relation.schema.names())
-    diffs = difference_sets(relation)
     found: list[FD] = []
-    for a in names:
-        relevant = [s - {a} for s in diffs if a in s]
-        if any(not s for s in relevant):
-            # Some pair differs *only* on A: no FD X -> A can hold
-            # (any X agrees on that pair while A differs).
-            continue
-        if not relevant:
-            # No pair ever differs on A: every attribute determines A;
-            # minimal FDs are B -> A for each single attribute.
-            found.extend(FD((b,), (a,)) for b in names if b != a)
-            continue
-        pool = [b for b in names if b != a]
-        covers: list[tuple[str, ...]] = []
-        _minimal_covers(sorted(relevant, key=len), pool, (), stats, covers)
-        found.extend(FD(c, (a,)) for c in covers)
+    budget = resolve_budget(budget)
+    with governed(budget):
+        try:
+            diffs = difference_sets(relation)
+        except BudgetExhausted as exc:
+            stats.mark_exhausted(exc.reason)
+            _salvage_rhs(relation, names, names, found, stats)
+            return DiscoveryResult(
+                dependencies=found, stats=stats, algorithm="FastFD"
+            )
+        for pos, a in enumerate(names):
+            try:
+                checkpoint()
+                relevant = [s - {a} for s in diffs if a in s]
+                if any(not s for s in relevant):
+                    # Some pair differs *only* on A: no FD X -> A can
+                    # hold (any X agrees on that pair while A differs).
+                    continue
+                if not relevant:
+                    # No pair ever differs on A: every attribute
+                    # determines A; minimal FDs are B -> A for each
+                    # single attribute.
+                    found.extend(FD((b,), (a,)) for b in names if b != a)
+                    continue
+                pool = [b for b in names if b != a]
+                covers: list[tuple[str, ...]] = []
+                _minimal_covers(
+                    sorted(relevant, key=len), pool, (), stats, covers
+                )
+                found.extend(FD(c, (a,)) for c in covers)
+            except BudgetExhausted as exc:
+                stats.mark_exhausted(exc.reason)
+                _salvage_rhs(relation, names[pos:], names, found, stats)
+                break
     return DiscoveryResult(
         dependencies=found, stats=stats, algorithm="FastFD"
     )
+
+
+def _salvage_rhs(
+    relation: Relation,
+    pending_rhs: list[str],
+    names: list[str],
+    found: list[FD],
+    stats: DiscoveryStats,
+) -> None:
+    """Sampled single-determinant FDs for unprocessed RHS attributes."""
+    already = {str(d) for d in found}
+    pending = [
+        FD((b,), (a,))
+        for a in pending_rhs
+        for b in names
+        if b != a and str(FD((b,), (a,))) not in already
+    ]
+    admitted = verify_on_sample(relation, pending)
+    found.extend(admitted)
+    stats.sampled_verified += len(admitted)

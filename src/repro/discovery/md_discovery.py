@@ -19,6 +19,8 @@ from typing import Sequence
 from ..core.heterogeneous import MD, SimilarityPredicate
 from ..metrics.registry import DEFAULT_REGISTRY, MetricRegistry
 from ..relation.relation import Relation
+from ..runtime.budget import Budget, checkpoint, governed, resolve_budget
+from ..runtime.errors import BudgetExhausted
 from .common import DiscoveryResult, DiscoveryStats
 from .dd_discovery import candidate_thresholds, pairwise_distances
 
@@ -31,6 +33,8 @@ def discover_mds(
     min_confidence: float = 0.8,
     max_lhs_attrs: int = 2,
     registry: MetricRegistry = DEFAULT_REGISTRY,
+    seed: int = 0,
+    budget: Budget | None = None,
 ) -> DiscoveryResult:
     """Exact MD discovery for a fixed identification target ``rhs``.
 
@@ -39,17 +43,50 @@ def discover_mds(
     attribute set meeting both support and confidence — tighter LHS
     thresholds fire on fewer, more-similar pairs, so they are the
     conservative matching rules of record-matching practice.
+
+    ``seed`` feeds the pairwise-distance sampling; on ``budget``
+    exhaustion the MDs found so far come back with
+    ``stats.complete = False``.
     """
     stats = DiscoveryStats()
     names = sorted(relation.schema.names())
     pool = sorted(lhs_attributes) if lhs_attributes else [
         a for a in names if a != rhs
     ]
-    grids = {
-        a: candidate_thresholds(pairwise_distances(relation, a, registry))
-        for a in pool
-    }
     found: list[MD] = []
+    budget = resolve_budget(budget)
+    with governed(budget):
+        try:
+            grids = {
+                a: candidate_thresholds(
+                    pairwise_distances(relation, a, registry, seed=seed)
+                )
+                for a in pool
+            }
+            _md_threshold_sweep(
+                relation, rhs, pool, grids, min_support, min_confidence,
+                max_lhs_attrs, registry, found, stats,
+            )
+        except BudgetExhausted as exc:
+            stats.mark_exhausted(exc.reason)
+    return DiscoveryResult(
+        dependencies=found, stats=stats, algorithm="MD-exact"
+    )
+
+
+def _md_threshold_sweep(
+    relation: Relation,
+    rhs: str,
+    pool: list[str],
+    grids: dict[str, list[float]],
+    min_support: float,
+    min_confidence: float,
+    max_lhs_attrs: int,
+    registry: MetricRegistry,
+    found: list[MD],
+    stats: DiscoveryStats,
+) -> None:
+    n_pairs = len(relation) * (len(relation) - 1) // 2
     for size in range(1, max_lhs_attrs + 1):
         stats.levels = size
         for attrs in combinations(pool, size):
@@ -60,6 +97,7 @@ def discover_mds(
                 nonlocal best
                 if idx == len(attrs):
                     stats.candidates_checked += 1
+                    checkpoint(candidates=1, pairs=n_pairs)
                     cand = MD(
                         [
                             SimilarityPredicate(a, t)
@@ -87,9 +125,6 @@ def discover_mds(
                 found.append(best)
             else:
                 stats.candidates_pruned += 1
-    return DiscoveryResult(
-        dependencies=found, stats=stats, algorithm="MD-exact"
-    )
 
 
 def discover_mds_approximate(

@@ -17,6 +17,14 @@ from itertools import combinations
 
 from ..core.categorical import MVD
 from ..relation.relation import Relation
+from ..runtime.budget import (
+    Budget,
+    checkpoint,
+    governed,
+    resolve_budget,
+    verify_on_sample,
+)
+from ..runtime.errors import BudgetExhausted
 from .common import DiscoveryResult, DiscoveryStats
 
 
@@ -38,7 +46,9 @@ def _candidate_rhs(names: list[str], lhs: tuple[str, ...]) -> list[tuple[str, ..
 
 
 def discover_mvds_topdown(
-    relation: Relation, max_lhs_size: int | None = None
+    relation: Relation,
+    max_lhs_size: int | None = None,
+    budget: Budget | None = None,
 ) -> DiscoveryResult:
     """Top-down search for the positive border of valid MVDs.
 
@@ -46,6 +56,10 @@ def discover_mvds_topdown(
     specializes hypotheses that failed; a valid MVD stops its branch
     (any superset-LHS version is implied by augmentation and thus not
     minimal).
+
+    On ``budget`` exhaustion the in-flight level's unchecked
+    hypotheses are admitted via sampled verification
+    (``stats.sampled_verified``) and the result is flagged partial.
     """
     stats = DiscoveryStats()
     names = sorted(relation.schema.names())
@@ -53,26 +67,48 @@ def discover_mvds_topdown(
         max_lhs_size = max(len(names) - 2, 1)
     found: list[MVD] = []
     valid_lhs_per_rhs: dict[tuple[str, ...], list[tuple[str, ...]]] = {}
-    for size in range(1, max_lhs_size + 1):
-        stats.levels = size
-        for lhs in combinations(names, size):
-            for rhs in _candidate_rhs(names, lhs):
-                done = valid_lhs_per_rhs.get(rhs, [])
-                if any(set(v) <= set(lhs) for v in done):
-                    stats.candidates_pruned += 1
-                    continue
-                stats.candidates_checked += 1
-                mvd = MVD(lhs, rhs)
-                if mvd.holds(relation):
-                    found.append(mvd)
-                    valid_lhs_per_rhs.setdefault(rhs, []).append(lhs)
+    budget = resolve_budget(budget)
+    with governed(budget):
+        try:
+            for size in range(1, max_lhs_size + 1):
+                stats.levels = size
+                level = list(combinations(names, size))
+                for pos, lhs in enumerate(level):
+                    try:
+                        for rhs in _candidate_rhs(names, lhs):
+                            done = valid_lhs_per_rhs.get(rhs, [])
+                            if any(set(v) <= set(lhs) for v in done):
+                                stats.candidates_pruned += 1
+                                continue
+                            stats.candidates_checked += 1
+                            checkpoint(candidates=1)
+                            mvd = MVD(lhs, rhs)
+                            if mvd.holds(relation):
+                                found.append(mvd)
+                                valid_lhs_per_rhs.setdefault(
+                                    rhs, []
+                                ).append(lhs)
+                    except BudgetExhausted:
+                        pending = [
+                            MVD(p_lhs, p_rhs)
+                            for p_lhs in level[pos:]
+                            for p_rhs in _candidate_rhs(names, p_lhs)
+                        ]
+                        admitted = verify_on_sample(relation, pending)
+                        found.extend(admitted)
+                        stats.sampled_verified += len(admitted)
+                        raise
+        except BudgetExhausted as exc:
+            stats.mark_exhausted(exc.reason)
     return DiscoveryResult(
         dependencies=found, stats=stats, algorithm="MVD-topdown"
     )
 
 
 def discover_mvds_bottomup(
-    relation: Relation, max_lhs_size: int | None = None
+    relation: Relation,
+    max_lhs_size: int | None = None,
+    budget: Budget | None = None,
 ) -> DiscoveryResult:
     """Bottom-up: elicit the negative border first, then emit minimal
     valid MVDs not subsumed by an invalid hypothesis's generalizations.
@@ -90,27 +126,47 @@ def discover_mvds_bottomup(
     invalid: set[tuple[tuple[str, ...], tuple[str, ...]]] = set()
     found: list[MVD] = []
     valid_lhs_per_rhs: dict[tuple[str, ...], list[tuple[str, ...]]] = {}
-    # Pass 1: negative border, most specific (largest LHS) first.
-    for size in range(max_lhs_size, 0, -1):
-        for lhs in combinations(names, size):
-            for rhs in _candidate_rhs(names, lhs):
-                stats.candidates_checked += 1
-                if not MVD(lhs, rhs).holds(relation):
-                    invalid.add((lhs, rhs))
-    # Pass 2: emit minimal valid hypotheses (not in the invalid set and
-    # with no valid subset-LHS for the same RHS already emitted).
-    for size in range(1, max_lhs_size + 1):
-        stats.levels = size
-        for lhs in combinations(names, size):
-            for rhs in _candidate_rhs(names, lhs):
-                if (lhs, rhs) in invalid:
-                    continue
-                done = valid_lhs_per_rhs.get(rhs, [])
-                if any(set(v) <= set(lhs) for v in done):
-                    stats.candidates_pruned += 1
-                    continue
-                found.append(MVD(lhs, rhs))
-                valid_lhs_per_rhs.setdefault(rhs, []).append(lhs)
+    budget = resolve_budget(budget)
+    with governed(budget):
+        try:
+            # Pass 1: negative border, most specific (largest LHS) first.
+            for size in range(max_lhs_size, 0, -1):
+                for lhs in combinations(names, size):
+                    for rhs in _candidate_rhs(names, lhs):
+                        stats.candidates_checked += 1
+                        checkpoint(candidates=1)
+                        if not MVD(lhs, rhs).holds(relation):
+                            invalid.add((lhs, rhs))
+            # Pass 2: emit minimal valid hypotheses (not in the invalid
+            # set and with no valid subset-LHS for the same RHS already
+            # emitted).
+            for size in range(1, max_lhs_size + 1):
+                stats.levels = size
+                for lhs in combinations(names, size):
+                    for rhs in _candidate_rhs(names, lhs):
+                        if (lhs, rhs) in invalid:
+                            continue
+                        done = valid_lhs_per_rhs.get(rhs, [])
+                        if any(set(v) <= set(lhs) for v in done):
+                            stats.candidates_pruned += 1
+                            continue
+                        found.append(MVD(lhs, rhs))
+                        valid_lhs_per_rhs.setdefault(rhs, []).append(lhs)
+        except BudgetExhausted as exc:
+            # Exhaustion in pass 1 leaves the negative border
+            # incomplete: pass 2 would emit unverified hypotheses, so
+            # degrade to sampled verification of the most general
+            # (size-1) hypotheses instead of guessing.
+            stats.mark_exhausted(exc.reason)
+            if not found:
+                pending = [
+                    MVD(lhs, rhs)
+                    for lhs in combinations(names, 1)
+                    for rhs in _candidate_rhs(names, lhs)
+                ]
+                admitted = verify_on_sample(relation, pending)
+                found.extend(admitted)
+                stats.sampled_verified += len(admitted)
     return DiscoveryResult(
         dependencies=found, stats=stats, algorithm="MVD-bottomup"
     )

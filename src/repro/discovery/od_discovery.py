@@ -14,6 +14,8 @@ from itertools import combinations, permutations
 
 from ..core.numerical import OD, MarkedAttribute
 from ..relation.relation import Relation
+from ..runtime.budget import Budget, checkpoint, governed, resolve_budget
+from ..runtime.errors import BudgetExhausted
 from .common import DiscoveryResult, DiscoveryStats
 
 _MARKS = ("<=", ">=")
@@ -32,7 +34,9 @@ def _numerical_names(relation: Relation) -> list[str]:
     return sorted(out)
 
 
-def discover_pairwise_ods(relation: Relation) -> DiscoveryResult:
+def discover_pairwise_ods(
+    relation: Relation, budget: Budget | None = None
+) -> DiscoveryResult:
     """All valid single-attribute ODs ``A^m1 -> B^m2`` (A != B).
 
     Descending-LHS variants are equivalent to flipped ascending-LHS
@@ -42,21 +46,30 @@ def discover_pairwise_ods(relation: Relation) -> DiscoveryResult:
     stats = DiscoveryStats()
     names = _numerical_names(relation)
     found: list[OD] = []
-    for a, b in permutations(names, 2):
-        for rhs_mark in _MARKS:
-            stats.candidates_checked += 1
-            od = OD(
-                [MarkedAttribute(a, "<=")], [MarkedAttribute(b, rhs_mark)]
-            )
-            if od.holds(relation):
-                found.append(od)
+    budget = resolve_budget(budget)
+    with governed(budget):
+        try:
+            for a, b in permutations(names, 2):
+                for rhs_mark in _MARKS:
+                    stats.candidates_checked += 1
+                    checkpoint(candidates=1)
+                    od = OD(
+                        [MarkedAttribute(a, "<=")],
+                        [MarkedAttribute(b, rhs_mark)],
+                    )
+                    if od.holds(relation):
+                        found.append(od)
+        except BudgetExhausted as exc:
+            stats.mark_exhausted(exc.reason)
     return DiscoveryResult(
         dependencies=found, stats=stats, algorithm="OD-pairwise"
     )
 
 
 def discover_ods(
-    relation: Relation, max_lhs_size: int = 2
+    relation: Relation,
+    max_lhs_size: int = 2,
+    budget: Budget | None = None,
 ) -> DiscoveryResult:
     """Level-wise OD discovery with LHS lists up to ``max_lhs_size``.
 
@@ -70,25 +83,38 @@ def discover_ods(
     found: list[OD] = []
     # RHS (attr, mark) -> LHS attribute sets already covered.
     done: dict[tuple[str, str], list[tuple[str, ...]]] = {}
-    for size in range(1, max_lhs_size + 1):
-        stats.levels = size
-        for lhs_attrs in combinations(names, size):
-            for b in names:
-                if b in lhs_attrs:
-                    continue
-                for rhs_mark in _MARKS:
-                    covered = done.get((b, rhs_mark), [])
-                    if any(set(c) <= set(lhs_attrs) for c in covered):
-                        stats.candidates_pruned += 1
-                        continue
-                    stats.candidates_checked += 1
-                    od = OD(
-                        [MarkedAttribute(a, "<=") for a in lhs_attrs],
-                        [MarkedAttribute(b, rhs_mark)],
-                    )
-                    if od.holds(relation):
-                        found.append(od)
-                        done.setdefault((b, rhs_mark), []).append(lhs_attrs)
+    budget = resolve_budget(budget)
+    with governed(budget):
+        try:
+            for size in range(1, max_lhs_size + 1):
+                stats.levels = size
+                for lhs_attrs in combinations(names, size):
+                    for b in names:
+                        if b in lhs_attrs:
+                            continue
+                        for rhs_mark in _MARKS:
+                            covered = done.get((b, rhs_mark), [])
+                            if any(
+                                set(c) <= set(lhs_attrs) for c in covered
+                            ):
+                                stats.candidates_pruned += 1
+                                continue
+                            stats.candidates_checked += 1
+                            checkpoint(candidates=1)
+                            od = OD(
+                                [
+                                    MarkedAttribute(a, "<=")
+                                    for a in lhs_attrs
+                                ],
+                                [MarkedAttribute(b, rhs_mark)],
+                            )
+                            if od.holds(relation):
+                                found.append(od)
+                                done.setdefault(
+                                    (b, rhs_mark), []
+                                ).append(lhs_attrs)
+        except BudgetExhausted as exc:
+            stats.mark_exhausted(exc.reason)
     return DiscoveryResult(
         dependencies=found, stats=stats, algorithm="OD-levelwise"
     )

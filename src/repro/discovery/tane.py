@@ -29,6 +29,14 @@ from ..core.categorical import AFD, FD
 from ..relation.partition import StrippedPartition
 from ..relation.partition_cache import cache_for
 from ..relation.relation import Relation
+from ..runtime.budget import (
+    Budget,
+    checkpoint,
+    governed,
+    resolve_budget,
+    verify_on_sample,
+)
+from ..runtime.errors import BudgetExhausted, EngineFault, ReproError
 from .common import DiscoveryResult, DiscoveryStats, generate_next_level
 
 
@@ -36,12 +44,19 @@ def tane(
     relation: Relation,
     max_lhs_size: int | None = None,
     epsilon: float = 0.0,
+    budget: Budget | None = None,
 ) -> DiscoveryResult:
     """Discover minimal FDs (``epsilon = 0``) or AFDs (``epsilon > 0``).
 
     ``max_lhs_size`` bounds the LHS attribute count (default: no bound
     below ``|R| - 1``).  Returns FD instances for exact discovery, AFD
     instances (threshold ``epsilon``) otherwise.
+
+    ``budget`` (or an ambient :func:`~repro.runtime.budget.governed`
+    budget) bounds the traversal: on exhaustion the FDs found so far
+    are returned with ``stats.complete = False``, and the candidates of
+    the in-flight level are admitted via sampled verification instead
+    of being dropped mid-lattice.
     """
     names = sorted(relation.schema.names())
     stats = DiscoveryStats()
@@ -54,15 +69,60 @@ def tane(
     cache = cache_for(relation)
     misses_before = cache.stats.misses
     hits_before = cache.stats.hits
-    for a in names:
-        cache.partition((a,))
 
     def partition_for(combo: tuple[str, ...]) -> StrippedPartition:
-        """π_combo via the shared relation-level partition cache."""
-        return cache.partition(combo)
+        """π_combo via the shared cache; substrate faults become typed."""
+        try:
+            return cache.partition(combo)
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise EngineFault(
+                f"partition substrate failed for {combo!r}: {exc}",
+                site="partition",
+            ) from exc
 
     n = len(relation)
     found: list = []
+    budget = resolve_budget(budget)
+    with governed(budget):
+        try:
+            for a in names:
+                checkpoint()
+                partition_for((a,))
+            _tane_traverse(
+                relation, names, max_lhs_size, epsilon, partition_for,
+                found, stats, n,
+            )
+        except BudgetExhausted as exc:
+            stats.mark_exhausted(exc.reason)
+
+    stats.partitions_built += cache.stats.misses - misses_before
+    stats.partition_cache_hits += cache.stats.hits - hits_before
+    return DiscoveryResult(
+        dependencies=found,
+        stats=stats,
+        algorithm=f"TANE(epsilon={epsilon})",
+    )
+
+
+def _tane_traverse(
+    relation: Relation,
+    names: list[str],
+    max_lhs_size: int,
+    epsilon: float,
+    partition_for,
+    found: list,
+    stats: DiscoveryStats,
+    n: int,
+) -> None:
+    """The level-wise traversal; mutates ``found``/``stats`` in place.
+
+    Raises :class:`BudgetExhausted` out of a checkpoint when the budget
+    runs dry — after first salvaging the current level's unchecked
+    candidates via sampled verification, so a deadline degrades to a
+    FASTDC-style sampled answer instead of discarding enumerated work.
+    """
     cplus: dict[tuple[str, ...], set[str]] = {(): set(names)}
     level: list[tuple[str, ...]] = [(a,) for a in names]
     level_num = 1
@@ -78,31 +138,40 @@ def tane(
                 candidates &= cplus.get(sub, set())
             cplus[combo] = candidates
 
-        for combo in level:
-            pi_x = partition_for(combo)
-            for a in sorted(cplus[combo] & set(combo)):
-                lhs = tuple(x for x in combo if x != a)
-                if not lhs:
-                    continue
-                stats.candidates_checked += 1
-                pi_lhs = partition_for(lhs)
-                if epsilon == 0.0:
-                    valid = pi_lhs.rank == pi_x.rank
-                else:
-                    valid = pi_lhs.g3_error(pi_x) <= epsilon
-                if valid:
+        for pos, combo in enumerate(level):
+            try:
+                checkpoint()
+                pi_x = partition_for(combo)
+                for a in sorted(cplus[combo] & set(combo)):
+                    lhs = tuple(x for x in combo if x != a)
+                    if not lhs:
+                        continue
+                    stats.candidates_checked += 1
+                    checkpoint(candidates=1)
+                    pi_lhs = partition_for(lhs)
                     if epsilon == 0.0:
-                        found.append(FD(lhs, (a,)))
+                        valid = pi_lhs.rank == pi_x.rank
                     else:
-                        found.append(AFD(lhs, (a,), max_error=epsilon))
-                    cplus[combo].discard(a)
-                    if epsilon == 0.0:
-                        for b in set(names) - set(combo):
-                            cplus[combo].discard(b)
+                        valid = pi_lhs.g3_error(pi_x) <= epsilon
+                    if valid:
+                        if epsilon == 0.0:
+                            found.append(FD(lhs, (a,)))
+                        else:
+                            found.append(AFD(lhs, (a,), max_error=epsilon))
+                        cplus[combo].discard(a)
+                        if epsilon == 0.0:
+                            for b in set(names) - set(combo):
+                                cplus[combo].discard(b)
+            except BudgetExhausted:
+                _salvage_level(
+                    relation, level[pos:], cplus, epsilon, found, stats
+                )
+                raise
 
         # -- PRUNE ------------------------------------------------------
         survivors: list[tuple[str, ...]] = []
         for combo in level:
+            checkpoint()
             if not cplus[combo]:
                 stats.candidates_pruned += 1
                 continue
@@ -119,6 +188,7 @@ def tane(
                         if not sub:
                             continue
                         stats.candidates_checked += 1
+                        checkpoint(candidates=1)
                         pi_sub = partition_for(sub)
                         pi_sub_a = partition_for(
                             tuple(sorted(set(sub) | {a}))
@@ -136,13 +206,38 @@ def tane(
         level = generate_next_level(survivors)
         level_num += 1
 
-    stats.partitions_built += cache.stats.misses - misses_before
-    stats.partition_cache_hits += cache.stats.hits - hits_before
-    return DiscoveryResult(
-        dependencies=found,
-        stats=stats,
-        algorithm=f"TANE(epsilon={epsilon})",
-    )
+
+def _salvage_level(
+    relation: Relation,
+    remaining: list[tuple[str, ...]],
+    cplus: dict[tuple[str, ...], set[str]],
+    epsilon: float,
+    found: list,
+    stats: DiscoveryStats,
+) -> None:
+    """Sampled verification of the level's unchecked candidates.
+
+    Bounded (candidate and row caps inside
+    :func:`~repro.runtime.budget.verify_on_sample`) so the overrun past
+    a blown deadline stays small; admitted dependencies are counted in
+    ``stats.sampled_verified`` and the result stays ``complete=False``.
+    """
+    already = {str(d) for d in found}
+    pending = []
+    for combo in remaining:
+        for a in sorted(cplus.get(combo, set()) & set(combo)):
+            lhs = tuple(x for x in combo if x != a)
+            if not lhs:
+                continue
+            dep = (
+                FD(lhs, (a,)) if epsilon == 0.0
+                else AFD(lhs, (a,), max_error=epsilon)
+            )
+            if str(dep) not in already:
+                pending.append(dep)
+    admitted = verify_on_sample(relation, pending)
+    found.extend(admitted)
+    stats.sampled_verified += len(admitted)
 
 
 def brute_force_fds(

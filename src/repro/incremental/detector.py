@@ -16,12 +16,14 @@ drop-in for batch detection while paying only for what changed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping
 
 from ..core.violation import ViolationSet
 from ..quality.detection import DetectionReport
 from ..relation.relation import Relation
+from ..runtime.budget import checkpoint
+from ..runtime.errors import BudgetExhausted
 from .checkers import IncrementalChecker, checker_for
 from .delta import Delta
 
@@ -35,12 +37,27 @@ class BatchChange:
     added: ViolationSet
     resolved: ViolationSet
     total: int
+    #: Rules whose checker raised on this batch (``"label: error"``).
+    #: Each was cold-rebuilt against the post-batch relation (or
+    #: deactivated when the rebuild itself failed) — never silently
+    #: dropped.  Their per-batch added/resolved feed is unavailable,
+    #: but the cumulative violation state stays exact.
+    quarantined: list[str] = field(default_factory=list)
+    #: False when a budget deadline cut the batch short; the remaining
+    #: checkers were cold-rebuilt so cumulative state is still exact.
+    complete: bool = True
+    exhausted: str = ""
 
     def summary(self) -> str:
-        return (
+        out = (
             f"batch {self.seq}: +{len(self.added)} -{len(self.resolved)} "
             f"| total {self.total}"
         )
+        if self.quarantined:
+            out += f" | quarantined {len(self.quarantined)}"
+        if not self.complete:
+            out += f" [partial: budget exhausted ({self.exhausted})]"
+        return out
 
     def render(self, limit: int = 10) -> str:
         """Multi-line changefeed rendering (the ``repro watch`` output)."""
@@ -59,6 +76,8 @@ class BatchChange:
         hidden = len(self.added) + len(self.resolved) - shown
         if hidden > 0:
             lines.append(f"  ... and {hidden} more changes")
+        for q in self.quarantined:
+            lines.append(f"  ! quarantined {q}")
         return "\n".join(lines)
 
     def __str__(self) -> str:
@@ -75,6 +94,10 @@ class IncrementalDetector:
             checker_for(rule, relation) for rule in self.rules
         ]
         self.history: list[BatchChange] = []
+        #: (seq, rule label, error) for every quarantined checker fault.
+        self.quarantine: list[tuple[int, str, str]] = []
+        #: Rule labels deactivated because their cold rebuild failed too.
+        self.dead_rules: list[str] = []
 
     @property
     def relation(self) -> Relation:
@@ -87,26 +110,87 @@ class IncrementalDetector:
             c.rule.label(): type(c).__name__ for c in self._checkers
         }
 
+    def _rebuild(
+        self,
+        checker: IncrementalChecker,
+        relation: Relation,
+        quarantined: list[str],
+    ) -> IncrementalChecker | None:
+        """Cold-rebuild a checker against ``relation``.
+
+        Returns the fresh checker, or ``None`` (and records the rule as
+        dead) when even the rebuild raises.
+        """
+        label = checker.rule.label()
+        try:
+            return checker_for(checker.rule, relation)
+        except Exception as exc:  # noqa: BLE001 - must never crash apply
+            quarantined.append(f"{label}: rebuild failed: {exc}")
+            self.dead_rules.append(label)
+            return None
+
     def apply(self, delta: Delta | Mapping[str, Any]) -> BatchChange:
-        """Apply one mutation batch; return what changed."""
+        """Apply one mutation batch; return what changed.
+
+        A checker that raises is *quarantined*: the fault is recorded
+        on the returned :class:`BatchChange` (and in
+        :attr:`quarantine`), the checker is cold-rebuilt against the
+        post-batch relation so cumulative state stays exact, and — when
+        the rebuild itself fails — the rule is deactivated and listed
+        in :attr:`dead_rules`.  Faulty rules are never silently
+        dropped from the report.
+        """
         if not isinstance(delta, Delta):
             delta = Delta.from_json(delta, self._relation.schema)
+        seq = len(self.history) + 1
         old = self._relation
         new = old.apply_delta(delta)
         remap = delta.remap(len(old)) if delta.deletes else None
         added = ViolationSet()
         resolved = ViolationSet()
-        for checker in self._checkers:
-            a, r = checker.apply(old, delta, new, remap)
+        quarantined: list[str] = []
+        exhausted = ""
+        surviving: list[IncrementalChecker | None] = []
+        pending = list(self._checkers)
+        while pending:
+            checker = pending.pop(0)
+            label = checker.rule.label()
+            try:
+                checkpoint()
+                a, r = checker.apply(old, delta, new, remap)
+            except BudgetExhausted as exc:
+                # Deadline mid-batch: this checker's internal state may
+                # be half-advanced, so cold-rebuild it and every
+                # not-yet-advanced checker against the post-batch
+                # relation.  Cumulative state stays exact; only the
+                # per-batch added/resolved feed for these rules is
+                # lost, and the change is flagged partial.
+                exhausted = exc.reason
+                for c in (checker, *pending):
+                    surviving.append(self._rebuild(c, new, quarantined))
+                break
+            except Exception as exc:  # noqa: BLE001 - quarantine faults
+                message = f"{type(exc).__name__}: {exc}"
+                quarantined.append(f"{label}: {message}")
+                self.quarantine.append((seq, label, message))
+                surviving.append(
+                    self._rebuild(checker, new, quarantined)
+                )
+                continue
+            surviving.append(checker)
             added.extend(a)
             resolved.extend(r)
+        self._checkers = [c for c in surviving if c is not None]
         self._relation = new
         change = BatchChange(
-            seq=len(self.history) + 1,
+            seq=seq,
             delta=delta,
             added=added,
             resolved=resolved,
             total=sum(c.violation_count() for c in self._checkers),
+            quarantined=quarantined,
+            complete=not exhausted,
+            exhausted=exhausted,
         )
         self.history.append(change)
         return change

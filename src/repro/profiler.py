@@ -30,6 +30,8 @@ from .discovery import (
 )
 from .relation.partition_cache import cache_for
 from .relation.relation import Relation
+from .runtime.budget import Budget, checkpoint, governed, resolve_budget
+from .runtime.errors import BudgetExhausted
 
 
 @dataclass
@@ -89,64 +91,95 @@ def profile_relation(
     sfd_strength: float = 0.9,
     cfd_min_support: int = 3,
     max_rows_for_pairwise: int = 2000,
+    budget: Budget | None = None,
 ) -> ProfileReport:
     """Profile a relation with the survey's discovery toolbox.
 
     ``epsilon`` controls the AFD pass; FDs come from the exact pass.
     Pairwise-quadratic passes are skipped (with a note) past
     ``max_rows_for_pairwise`` tuples.
+
+    ``budget`` governs the *whole* multi-pass run ambiently: each
+    discovery pass inherits it, returns whatever it found when it runs
+    out, and the report gains a note naming the partial passes —
+    profiling under a deadline degrades to fewer rules, not an error.
     """
     report = ProfileReport(relation)
     if len(relation) == 0:
         report.notes.append("empty relation: nothing to profile")
         return report
 
-    def add(category: str, deps) -> None:
+    def add(category: str, deps, result=None) -> None:
+        stats = getattr(result if result is not None else deps, "stats", None)
+        if stats is not None and not stats.complete:
+            report.notes.append(
+                f"{category}: partial — budget exhausted "
+                f"({stats.exhausted})"
+            )
         for dep in deps:
+            checkpoint()
             count = len(dep.violations(relation))
             report.rules.append(RuleReport(dep, category, count))
 
-    # Exact FDs.
-    exact = tane(relation, max_lhs_size=max_lhs_size)
-    add("exact FDs (TANE)", exact)
+    budget = resolve_budget(budget)
+    with governed(budget):
+        try:
+            # Exact FDs.
+            exact = tane(relation, max_lhs_size=max_lhs_size)
+            add("exact FDs (TANE)", exact)
 
-    # Approximate FDs, minus those already exact.
-    if epsilon > 0:
-        exact_strs = {str(d) for d in exact}
-        approx = [
-            d
-            for d in tane(relation, max_lhs_size=max_lhs_size,
-                          epsilon=epsilon)
-            if f"{', '.join(d.lhs)} -> {', '.join(d.rhs)}" not in exact_strs
-        ]
-        add(f"approximate FDs (g3 <= {epsilon:g})", approx)
+            # Approximate FDs, minus those already exact.
+            if epsilon > 0:
+                exact_strs = {str(d) for d in exact}
+                approx_result = tane(
+                    relation, max_lhs_size=max_lhs_size, epsilon=epsilon
+                )
+                approx = [
+                    d
+                    for d in approx_result
+                    if f"{', '.join(d.lhs)} -> {', '.join(d.rhs)}"
+                    not in exact_strs
+                ]
+                add(
+                    f"approximate FDs (g3 <= {epsilon:g})",
+                    approx,
+                    result=approx_result,
+                )
 
-    # Soft FDs / correlations from a sample.
-    soft = cords(relation, strength_threshold=sfd_strength)
-    exact_pairs = {
-        (d.lhs, d.rhs) for d in exact if len(d.lhs) == 1
-    }
-    add(
-        f"soft FDs (CORDS, strength >= {sfd_strength:g})",
-        [d for d in soft if (d.lhs, d.rhs) not in exact_pairs],
-    )
+            # Soft FDs / correlations from a sample.
+            soft = cords(relation, strength_threshold=sfd_strength)
+            exact_pairs = {
+                (d.lhs, d.rhs) for d in exact if len(d.lhs) == 1
+            }
+            add(
+                f"soft FDs (CORDS, strength >= {sfd_strength:g})",
+                [d for d in soft if (d.lhs, d.rhs) not in exact_pairs],
+            )
 
-    # Constant CFDs.
-    add(
-        f"constant CFDs (support >= {cfd_min_support})",
-        discover_constant_cfds(
-            relation, min_support=cfd_min_support, max_lhs_size=1
-        ),
-    )
+            # Constant CFDs.
+            add(
+                f"constant CFDs (support >= {cfd_min_support})",
+                discover_constant_cfds(
+                    relation, min_support=cfd_min_support, max_lhs_size=1
+                ),
+            )
 
-    # Order and sequential rules on numerical columns.
-    if len(relation) <= max_rows_for_pairwise:
-        add("order dependencies", discover_pairwise_ods(relation))
-    else:
-        report.notes.append(
-            f"skipped OD discovery (> {max_rows_for_pairwise} rows)"
-        )
-    add("sequential dependencies (fitted gaps)", discover_sds(relation))
+            # Order and sequential rules on numerical columns.
+            if len(relation) <= max_rows_for_pairwise:
+                add("order dependencies", discover_pairwise_ods(relation))
+            else:
+                report.notes.append(
+                    f"skipped OD discovery (> {max_rows_for_pairwise} rows)"
+                )
+            add(
+                "sequential dependencies (fitted gaps)",
+                discover_sds(relation),
+            )
+        except BudgetExhausted as exc:
+            report.notes.append(
+                f"budget exhausted ({exc.reason}): later discovery "
+                "passes skipped; the report is partial"
+            )
 
     # Both TANE passes, CFDMiner, and the per-rule violation counts all
     # share the relation-level partition cache; surface its effect.

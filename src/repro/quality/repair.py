@@ -26,6 +26,8 @@ from typing import Sequence
 from ..core.categorical import CFD, FD
 from ..core.numerical import DC
 from ..relation.relation import Relation
+from ..runtime.budget import Budget, checkpoint, governed, resolve_budget
+from ..runtime.errors import BudgetExhausted
 
 
 @dataclass(frozen=True)
@@ -51,6 +53,16 @@ class RepairLog:
     edits: list[CellEdit] = field(default_factory=list)
     #: Tuples quarantined because no consistent fix existed.
     quarantined: list[int] = field(default_factory=list)
+    #: False when the engine stopped early on budget exhaustion; the
+    #: edits applied so far are still valid (each one reduced
+    #: violations), but the relation may not have reached a fixpoint.
+    complete: bool = True
+    #: Which budget dimension ran out ("deadline", "candidates", ...).
+    exhausted: str = ""
+
+    def mark_exhausted(self, reason: str) -> None:
+        self.complete = False
+        self.exhausted = reason
 
     def cost(self) -> int:
         """Number of cell edits (the usual repair cost model)."""
@@ -58,6 +70,10 @@ class RepairLog:
 
     def summary(self) -> str:
         lines = [f"{len(self.edits)} cell edits"]
+        if not self.complete:
+            lines[0] += (
+                f" [partial: budget exhausted ({self.exhausted})]"
+            )
         lines.extend(f"  {e}" for e in self.edits[:10])
         if len(self.edits) > 10:
             lines.append(f"  ... and {len(self.edits) - 10} more")
@@ -67,7 +83,9 @@ class RepairLog:
 
 
 def repair_fds(
-    relation: Relation, fds: Sequence[FD]
+    relation: Relation,
+    fds: Sequence[FD],
+    budget: Budget | None = None,
 ) -> tuple[Relation, RepairLog]:
     """Equivalence-class repair: majority value per violating group.
 
@@ -79,90 +97,125 @@ def repair_fds(
     :meth:`~repro.relation.relation.Relation.with_values` batch — one
     column copy per touched attribute instead of one whole-relation
     copy per cell.
+
+    On ``budget`` exhaustion the partially repaired relation is
+    returned with ``log.complete = False``: every applied edit is a
+    real majority-repair, but the fixpoint may not have been reached.
     """
     log = RepairLog()
     current = relation
-    for __ in range(len(fds) * 2 + 2):  # fixpoint bound
-        changed = False
-        for dep in fds:
-            for x_value, indices in dep.violating_groups(current).items():
-                counts = Counter(
-                    current.values_at(t, dep.rhs) for t in indices
-                )
-                majority, __count = counts.most_common(1)[0]
-                for t in indices:
-                    if current.values_at(t, dep.rhs) == majority:
-                        continue
-                    edits = {
-                        a: new_v
-                        for a, new_v in zip(dep.rhs, majority)
-                        if current.value_at(t, a) != new_v
-                    }
-                    if not edits:
-                        continue
-                    for a, new_v in edits.items():
-                        log.edits.append(
-                            CellEdit(t, a, current.value_at(t, a), new_v)
+    budget = resolve_budget(budget)
+    with governed(budget):
+        try:
+            for __ in range(len(fds) * 2 + 2):  # fixpoint bound
+                changed = False
+                for dep in fds:
+                    groups = dep.violating_groups(current)
+                    for x_value, indices in groups.items():
+                        checkpoint(candidates=1)
+                        counts = Counter(
+                            current.values_at(t, dep.rhs)
+                            for t in indices
                         )
-                    current = current.with_values(t, edits)
-                    changed = True
-        if not changed:
-            break
+                        majority, __count = counts.most_common(1)[0]
+                        for t in indices:
+                            if current.values_at(t, dep.rhs) == majority:
+                                continue
+                            edits = {
+                                a: new_v
+                                for a, new_v in zip(dep.rhs, majority)
+                                if current.value_at(t, a) != new_v
+                            }
+                            if not edits:
+                                continue
+                            for a, new_v in edits.items():
+                                log.edits.append(
+                                    CellEdit(
+                                        t, a,
+                                        current.value_at(t, a),
+                                        new_v,
+                                    )
+                                )
+                            current = current.with_values(t, edits)
+                            changed = True
+                if not changed:
+                    break
+        except BudgetExhausted as exc:
+            log.mark_exhausted(exc.reason)
     return current, log
 
 
 def repair_cfds(
-    relation: Relation, cfds: Sequence[CFD]
+    relation: Relation,
+    cfds: Sequence[CFD],
+    budget: Budget | None = None,
 ) -> tuple[Relation, RepairLog]:
-    """CFD repair: constant enforcement + conditioned majority repair."""
+    """CFD repair: constant enforcement + conditioned majority repair.
+
+    Partial (``log.complete = False``) on ``budget`` exhaustion.
+    """
     log = RepairLog()
     current = relation
-    for __ in range(len(cfds) * 2 + 2):
-        changed = False
-        for dep in cfds:
-            matching = dep.matching_indices(current)
-            # Constant RHS cells: force the constants.
-            for a in dep.rhs:
-                entry = dep.pattern.entry(a)
-                if entry.is_wildcard or not entry.is_constant:
-                    continue
-                for t in matching:
-                    old_v = current.value_at(t, a)
-                    if old_v != entry.constant:
-                        current = current.with_value(t, a, entry.constant)
-                        log.edits.append(
-                            CellEdit(t, a, old_v, entry.constant)
+    budget = resolve_budget(budget)
+    with governed(budget):
+        try:
+            for __ in range(len(cfds) * 2 + 2):
+                changed = False
+                for dep in cfds:
+                    matching = dep.matching_indices(current)
+                    # Constant RHS cells: force the constants.
+                    for a in dep.rhs:
+                        entry = dep.pattern.entry(a)
+                        if entry.is_wildcard or not entry.is_constant:
+                            continue
+                        checkpoint(candidates=1)
+                        for t in matching:
+                            old_v = current.value_at(t, a)
+                            if old_v != entry.constant:
+                                current = current.with_value(
+                                    t, a, entry.constant
+                                )
+                                log.edits.append(
+                                    CellEdit(t, a, old_v, entry.constant)
+                                )
+                                changed = True
+                    # Variable part: majority repair in matched groups.
+                    groups: dict[tuple, list[int]] = defaultdict(list)
+                    for t in matching:
+                        groups[current.values_at(t, dep.lhs)].append(t)
+                    for indices in groups.values():
+                        checkpoint(candidates=1)
+                        values = Counter(
+                            current.values_at(t, dep.rhs)
+                            for t in indices
                         )
-                        changed = True
-            # Variable part: majority repair within matched groups.
-            groups: dict[tuple, list[int]] = defaultdict(list)
-            for t in matching:
-                groups[current.values_at(t, dep.lhs)].append(t)
-            for indices in groups.values():
-                values = Counter(
-                    current.values_at(t, dep.rhs) for t in indices
-                )
-                if len(values) < 2:
-                    continue
-                majority, __c = values.most_common(1)[0]
-                for t in indices:
-                    if current.values_at(t, dep.rhs) == majority:
-                        continue
-                    edits = {
-                        a: new_v
-                        for a, new_v in zip(dep.rhs, majority)
-                        if current.value_at(t, a) != new_v
-                    }
-                    if not edits:
-                        continue
-                    for a, new_v in edits.items():
-                        log.edits.append(
-                            CellEdit(t, a, current.value_at(t, a), new_v)
-                        )
-                    current = current.with_values(t, edits)
-                    changed = True
-        if not changed:
-            break
+                        if len(values) < 2:
+                            continue
+                        majority, __c = values.most_common(1)[0]
+                        for t in indices:
+                            if current.values_at(t, dep.rhs) == majority:
+                                continue
+                            edits = {
+                                a: new_v
+                                for a, new_v in zip(dep.rhs, majority)
+                                if current.value_at(t, a) != new_v
+                            }
+                            if not edits:
+                                continue
+                            for a, new_v in edits.items():
+                                log.edits.append(
+                                    CellEdit(
+                                        t, a,
+                                        current.value_at(t, a),
+                                        new_v,
+                                    )
+                                )
+                            current = current.with_values(t, edits)
+                            changed = True
+                if not changed:
+                    break
+        except BudgetExhausted as exc:
+            log.mark_exhausted(exc.reason)
     return current, log
 
 
@@ -170,6 +223,7 @@ def repair_dcs(
     relation: Relation,
     dcs: Sequence[DC],
     max_rounds: int = 50,
+    budget: Budget | None = None,
 ) -> tuple[Relation, RepairLog]:
     """Holistic greedy DC repair (violation hypergraph, max-degree cell).
 
@@ -178,6 +232,9 @@ def repair_dcs(
     cells (attributes mentioned by the violated DCs) to a value from
     another tuple's cell that removes its violations; quarantine the
     tuple when no single-cell rewrite works.
+
+    Partial (``log.complete = False``) on ``budget`` exhaustion: the
+    greedy rounds completed so far stand, later rounds are skipped.
     """
     log = RepairLog()
     current = relation
@@ -191,48 +248,60 @@ def repair_dcs(
                     out.append((dc, v.tuples))
         return out
 
-    for __ in range(max_rounds):
-        violations = active_violations()
-        if not violations:
-            break
-        degree: Counter = Counter()
-        for __dc, tuples in violations:
-            degree.update(tuples)
-        victim = degree.most_common(1)[0][0]
-        involved_dcs = [
-            dc for dc, tuples in violations if victim in tuples
-        ]
-        attrs = sorted(
-            {a for dc in involved_dcs for a in dc.attributes()}
-        )
-        before = sum(1 for __dc, ts in violations if victim in ts)
-        fixed = False
-        for a in attrs:
-            old_v = current.value_at(victim, a)
-            candidates = {
-                current.value_at(i, a)
-                for i in range(len(current))
-                if i != victim
-            } - {old_v, None}
-            for new_v in sorted(candidates, key=repr):
-                trial = current.with_value(victim, a, new_v)
-                after = 0
-                for dc in dcs:
-                    for v in dc.violations(trial):
-                        if victim in v.tuples and not (
-                            set(v.tuples) & quarantine
-                        ):
-                            after += 1
-                if after < before:
-                    current = trial
-                    log.edits.append(CellEdit(victim, a, old_v, new_v))
-                    fixed = True
+    budget = resolve_budget(budget)
+    with governed(budget):
+        try:
+            for __ in range(max_rounds):
+                checkpoint()
+                violations = active_violations()
+                if not violations:
                     break
-            if fixed:
-                break
-        if not fixed:
-            quarantine.add(victim)
-            log.quarantined.append(victim)
+                degree: Counter = Counter()
+                for __dc, tuples in violations:
+                    degree.update(tuples)
+                victim = degree.most_common(1)[0][0]
+                involved_dcs = [
+                    dc for dc, tuples in violations if victim in tuples
+                ]
+                attrs = sorted(
+                    {a for dc in involved_dcs for a in dc.attributes()}
+                )
+                before = sum(
+                    1 for __dc, ts in violations if victim in ts
+                )
+                fixed = False
+                for a in attrs:
+                    old_v = current.value_at(victim, a)
+                    candidates = {
+                        current.value_at(i, a)
+                        for i in range(len(current))
+                        if i != victim
+                    } - {old_v, None}
+                    for new_v in sorted(candidates, key=repr):
+                        stats_pairs = len(current) - 1
+                        checkpoint(candidates=1, pairs=stats_pairs)
+                        trial = current.with_value(victim, a, new_v)
+                        after = 0
+                        for dc in dcs:
+                            for v in dc.violations(trial):
+                                if victim in v.tuples and not (
+                                    set(v.tuples) & quarantine
+                                ):
+                                    after += 1
+                        if after < before:
+                            current = trial
+                            log.edits.append(
+                                CellEdit(victim, a, old_v, new_v)
+                            )
+                            fixed = True
+                            break
+                    if fixed:
+                        break
+                if not fixed:
+                    quarantine.add(victim)
+                    log.quarantined.append(victim)
+        except BudgetExhausted as exc:
+            log.mark_exhausted(exc.reason)
     return current, log
 
 

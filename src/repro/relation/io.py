@@ -4,29 +4,60 @@ Kept deliberately small: the library's data lives either in the paper's
 literal tables (:mod:`repro.datasets.paper`) or in generated workloads,
 but downstream users need CSV round-tripping to run the tooling on their
 own data.
+
+Malformed input raises :class:`~repro.runtime.errors.InputError` (a
+``ValueError`` subclass) carrying the offending 1-based line number and
+column name, so a bad cell in row 40k of a wide file is locatable
+without bisecting the input.  Non-finite numbers (``nan``, ``inf``)
+are rejected by default — silently admitting them would poison every
+distance-based metric and partition downstream — with an explicit
+``allow_nonfinite=True`` opt-out that maps them to nulls.
 """
 
 from __future__ import annotations
 
 import csv
 import io
+import math
 from pathlib import Path
 from typing import Sequence
 
+from ..runtime.errors import InputError
 from .relation import Relation, Value
 from .schema import Attribute, AttributeType, Schema
 
 
-def _coerce(text: str, dtype: AttributeType) -> Value:
+def _coerce(
+    text: str,
+    dtype: AttributeType,
+    *,
+    allow_nonfinite: bool = False,
+    row: int | None = None,
+    column: str | None = None,
+    source: str | None = None,
+) -> Value:
     if text == "":
         return None
     if dtype is AttributeType.NUMERICAL:
         try:
             f = float(text)
         except ValueError as exc:
-            raise ValueError(
-                f"non-numeric value {text!r} in numerical column"
+            raise InputError(
+                f"non-numeric value {text!r} in numerical column",
+                row=row,
+                column=column,
+                source=source,
             ) from exc
+        if not math.isfinite(f):
+            if allow_nonfinite:
+                return None
+            raise InputError(
+                f"non-finite value {text!r} in numerical column "
+                "(pass allow_nonfinite=True to map it to null)",
+                row=row,
+                column=column,
+                source=source,
+            )
         return int(f) if f.is_integer() else f
     return text
 
@@ -36,14 +67,18 @@ def read_csv(
     schema: Schema | Sequence[Attribute | str] | None = None,
     *,
     delimiter: str = ",",
+    allow_nonfinite: bool = False,
 ) -> Relation:
     """Load a relation from a CSV file with a header row.
 
     If ``schema`` is omitted, every column is treated as categorical; the
-    header order must match the schema order when one is given.
+    header order must match the schema order when one is given.  NaN and
+    infinite values in numerical columns are rejected with an
+    :class:`~repro.runtime.errors.InputError` unless
+    ``allow_nonfinite=True``, which maps them to nulls.
     """
     with open(path, newline="", encoding="utf-8") as f:
-        return _read(f, schema, delimiter)
+        return _read(f, schema, delimiter, allow_nonfinite, source=str(path))
 
 
 def read_csv_text(
@@ -51,38 +86,60 @@ def read_csv_text(
     schema: Schema | Sequence[Attribute | str] | None = None,
     *,
     delimiter: str = ",",
+    allow_nonfinite: bool = False,
 ) -> Relation:
     """Load a relation from CSV text (header row required)."""
-    return _read(io.StringIO(text), schema, delimiter)
+    return _read(io.StringIO(text), schema, delimiter, allow_nonfinite)
 
 
-def _read(f, schema, delimiter) -> Relation:
+def _read(
+    f, schema, delimiter, allow_nonfinite: bool = False, source: str | None = None
+) -> Relation:
     reader = csv.reader(f, delimiter=delimiter)
     try:
         header = next(reader)
     except StopIteration:
-        raise ValueError("CSV input has no header row") from None
+        raise InputError(
+            "CSV input has no header row", source=source
+        ) from None
     header = [h.strip() for h in header]
     if schema is None:
         schema = Schema(header)
     elif not isinstance(schema, Schema):
         schema = Schema(schema)
     if list(schema.names()) != header:
-        raise ValueError(
-            f"CSV header {header} does not match schema {list(schema.names())}"
+        raise InputError(
+            f"CSV header {header} does not match schema "
+            f"{list(schema.names())}",
+            row=1,
+            source=source,
         )
     dtypes = [a.dtype for a in schema]
+    names = list(schema.names())
     rows = []
     for raw in reader:
         if not raw:
             continue
+        line = reader.line_num  # 1-based; header is line 1
         if len(raw) != len(schema):
-            raise ValueError(
+            raise InputError(
                 f"CSV row of width {len(raw)} does not match schema "
-                f"of width {len(schema)}: {raw!r}"
+                f"of width {len(schema)}: {raw!r}",
+                row=line,
+                source=source,
             )
         rows.append(
-            tuple(_coerce(cell.strip(), dt) for cell, dt in zip(raw, dtypes))
+            tuple(
+                _coerce(
+                    cell.strip(),
+                    dt,
+                    allow_nonfinite=allow_nonfinite,
+                    row=line,
+                    column=name,
+                    source=source,
+                )
+                for cell, dt, name in zip(raw, dtypes, names)
+            )
         )
     return Relation.from_rows(schema, rows)
 

@@ -40,11 +40,17 @@ from .core.heterogeneous.mfd import MFD
 from .core.numerical.dc import DC, Predicate
 from .core.numerical.od import OD
 from .core.numerical.sd import SD
+from .runtime.errors import InputError
 from .survey.registry import NOTATIONS
 
 
-class RuleFileError(ValueError):
-    """Raised for malformed or unsupported rule files."""
+class RuleFileError(InputError):
+    """Raised for malformed or unsupported rule files.
+
+    Subclasses :class:`~repro.runtime.errors.InputError` (and thus
+    ``ValueError``): rule files are user input, so generic
+    ``except ReproError`` / ``except ValueError`` handlers both catch.
+    """
 
 
 def _require(rule: Mapping[str, Any], *fields: str) -> list[Any]:

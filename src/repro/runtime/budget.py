@@ -1,0 +1,237 @@
+"""Resource budgets and cooperative cancellation.
+
+The discovery side of the family tree is worst-case exponential
+(lattice traversal, predicate-space enumeration — Fig. 3's hard end),
+so every governed entry point accepts a :class:`Budget` and threads a
+cooperative :func:`checkpoint` through its inner loops.  The contract:
+
+* **No budget set** — :func:`checkpoint` is a single context-variable
+  read returning immediately; the governed path is bit-identical to an
+  ungoverned run (``bench_runtime_guard`` pins the <5% overhead bound).
+* **Budget set** — checkpoints count work (candidates, tuple pairs)
+  and watch the wall clock; when a cap is hit they raise
+  :class:`~repro.runtime.errors.BudgetExhausted` *internally*.  Entry
+  points catch it and return a partial result flagged with
+  ``stats.complete = False`` / ``stats.exhausted = <reason>`` —
+  exhaustion never propagates to the user as an exception from a
+  discovery or repair call.
+
+Budgets nest ambiently: ``with governed(budget):`` installs the budget
+for the dynamic extent, and any governed entry point called underneath
+with ``budget=None`` inherits it (the CLI and profiler govern whole
+multi-pass runs this way).  An explicitly passed budget wins over the
+ambient one.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from .errors import BudgetExhausted
+
+_MEMORY_CHECK_STRIDE = 64
+
+_current: ContextVar["Budget | None"] = ContextVar(
+    "repro_current_budget", default=None
+)
+
+
+@dataclass
+class Budget:
+    """Resource caps for one governed run.
+
+    All caps are optional; an all-``None`` budget counts work but never
+    exhausts.  A budget accumulates counters across the run it governs;
+    call :meth:`reset` to reuse one for a fresh run.
+    """
+
+    #: Wall-clock deadline in seconds from :meth:`start`.
+    deadline_s: float | None = None
+    #: Cap on candidate checks (lattice nodes, cover-search nodes, ...).
+    max_candidates: int | None = None
+    #: Cap on tuple-pair probes (evidence sets, pairwise distances, ...).
+    max_pairs: int | None = None
+    #: Peak-RSS ceiling in bytes (checked coarsely, every
+    #: ``_MEMORY_CHECK_STRIDE`` checkpoints, via ``resource``).
+    max_memory_bytes: int | None = None
+
+    #: Work counters, advanced by :meth:`checkpoint`.
+    candidates: int = field(default=0, init=False)
+    pairs: int = field(default=0, init=False)
+    #: ``""`` while within budget; the exhaustion reason afterwards.
+    exhausted: str = field(default="", init=False)
+
+    _deadline_at: float | None = field(default=None, init=False, repr=False)
+    _ticks: int = field(default=0, init=False, repr=False)
+
+    def start(self) -> "Budget":
+        """Arm the deadline (idempotent: the first call wins)."""
+        if self.deadline_s is not None and self._deadline_at is None:
+            self._deadline_at = time.monotonic() + self.deadline_s
+        return self
+
+    def reset(self) -> "Budget":
+        """Clear counters and re-arm for a fresh run."""
+        self.candidates = 0
+        self.pairs = 0
+        self.exhausted = ""
+        self._deadline_at = None
+        self._ticks = 0
+        return self
+
+    def remaining_s(self) -> float | None:
+        """Seconds until the deadline, or ``None`` with no deadline."""
+        if self._deadline_at is None:
+            return None
+        return max(0.0, self._deadline_at - time.monotonic())
+
+    def expired(self) -> bool:
+        """Whether any cap is already blown (without raising)."""
+        if self.exhausted:
+            return True
+        if (
+            self._deadline_at is not None
+            and time.monotonic() >= self._deadline_at
+        ):
+            return True
+        if (
+            self.max_candidates is not None
+            and self.candidates >= self.max_candidates
+        ):
+            return True
+        return self.max_pairs is not None and self.pairs >= self.max_pairs
+
+    def _exhaust(self, reason: str) -> None:
+        self.exhausted = reason
+        raise BudgetExhausted(reason, budget=self)
+
+    def checkpoint(self, candidates: int = 0, pairs: int = 0) -> None:
+        """Record work; raise :class:`BudgetExhausted` past any cap.
+
+        Once exhausted, every later checkpoint raises again — so a
+        multi-pass caller (the profiler) fails fast through its
+        remaining passes instead of grinding on a dead deadline.
+        """
+        self.candidates += candidates
+        self.pairs += pairs
+        if self.exhausted:
+            raise BudgetExhausted(self.exhausted, budget=self)
+        if (
+            self.max_candidates is not None
+            and self.candidates > self.max_candidates
+        ):
+            self._exhaust("candidates")
+        if self.max_pairs is not None and self.pairs > self.max_pairs:
+            self._exhaust("pairs")
+        if self._deadline_at is None and self.deadline_s is not None:
+            self.start()
+        if (
+            self._deadline_at is not None
+            and time.monotonic() >= self._deadline_at
+        ):
+            self._exhaust("deadline")
+        if self.max_memory_bytes is not None:
+            self._ticks += 1
+            if self._ticks % _MEMORY_CHECK_STRIDE == 0:
+                if _peak_rss_bytes() > self.max_memory_bytes:
+                    self._exhaust("memory")
+
+
+def _peak_rss_bytes() -> int:
+    """Peak RSS of this process in bytes (0 where unsupported)."""
+    try:
+        import resource
+        import sys
+
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KiB on Linux, bytes on macOS.
+        return rss if sys.platform == "darwin" else rss * 1024
+    except Exception:  # pragma: no cover - non-POSIX platforms
+        return 0
+
+
+def current_budget() -> Budget | None:
+    """The ambient budget installed by :func:`governed`, if any."""
+    return _current.get()
+
+
+def resolve_budget(budget: Budget | None) -> Budget | None:
+    """An explicitly passed budget, else the ambient one, else ``None``."""
+    return budget if budget is not None else _current.get()
+
+
+@contextmanager
+def governed(budget: Budget | None) -> Iterator[Budget | None]:
+    """Install ``budget`` as the ambient budget for this dynamic extent.
+
+    ``governed(None)`` is a transparent no-op (the surrounding ambient
+    budget, if any, stays in force), so entry points can uniformly wrap
+    their bodies without disturbing an outer governor.
+    """
+    if budget is None:
+        yield _current.get()
+        return
+    budget.start()
+    token = _current.set(budget)
+    try:
+        yield budget
+    finally:
+        _current.reset(token)
+
+
+def checkpoint(candidates: int = 0, pairs: int = 0) -> None:
+    """Cooperative cancellation point for engine inner loops.
+
+    A no-op (one context-variable read) when no budget is active.
+    """
+    b = _current.get()
+    if b is not None:
+        b.checkpoint(candidates=candidates, pairs=pairs)
+
+
+# -- graceful degradation helpers --------------------------------------
+
+def sample_relation(relation, max_rows: int = 64):
+    """An evenly strided row sample (deterministic, order-preserving)."""
+    n = len(relation)
+    if n <= max_rows:
+        return relation
+    stride = n / max_rows
+    indices = sorted({min(int(k * stride), n - 1) for k in range(max_rows)})
+    return relation.take(indices)
+
+
+def verify_on_sample(
+    relation,
+    candidates: Sequence,
+    *,
+    max_candidates: int = 50,
+    max_rows: int = 64,
+) -> list:
+    """Sampled verification of enumerated-but-unchecked candidates.
+
+    The FASTDC/Hydra-style degradation: when the exact search ran out
+    of budget, verify the pending candidates on a bounded row sample
+    instead of dropping them.  Survivors are *sampled-verified only* —
+    callers must report them under ``stats.sampled_verified`` and keep
+    ``stats.complete = False`` so the answer stays honest.
+
+    Deliberately budget-blind (it must run *after* exhaustion) but
+    hard-capped on both rows and candidates, so the post-deadline
+    overrun stays bounded.
+    """
+    if not candidates:
+        return []
+    sample = sample_relation(relation, max_rows=max_rows)
+    out = []
+    for dep in list(candidates)[:max_candidates]:
+        try:
+            if dep.holds(sample):
+                out.append(dep)
+        except Exception:
+            continue
+    return out

@@ -1,0 +1,80 @@
+"""Structured error taxonomy for the whole library.
+
+Three failure families, so callers can branch on *what went wrong*
+instead of string-matching bare ``ValueError`` messages:
+
+* :class:`InputError` — the caller handed us bad data: a malformed CSV
+  cell, an ill-typed rule file, an unknown attribute.  Subclasses
+  ``ValueError`` so existing ``except ValueError`` call sites keep
+  working; carries optional ``row``/``column``/``source`` context.
+* :class:`BudgetExhausted` — a resource :class:`~repro.runtime.budget.
+  Budget` ran out (deadline, candidate cap, pair cap, memory ceiling).
+  Raised *internally* by cooperative checkpoints; discovery and repair
+  entry points catch it and return honest partial results, so user
+  code only sees it from low-level primitives.
+* :class:`EngineFault` — the substrate or a metric misbehaved
+  (raised unexpectedly, returned a corrupted result).  Engines convert
+  unexpected exceptions at the substrate/metric boundary into this so
+  a fault is always typed, never a silent wrong answer.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all typed library errors."""
+
+
+class InputError(ReproError, ValueError):
+    """Malformed user input (CSV cells, rule files, CLI arguments).
+
+    ``row`` is the 1-based line number in the input as counted by the
+    CSV reader (the header is line 1), so it stays correct across
+    quoted multi-line fields.  The context is appended to the message —
+    ``str(exc)`` alone locates the bad cell — and also kept as
+    attributes for programmatic handling.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        row: int | None = None,
+        column: str | None = None,
+        source: str | None = None,
+    ) -> None:
+        context = []
+        if source is not None:
+            context.append(f"in {source}")
+        if row is not None:
+            context.append(f"line {row}")
+        if column is not None:
+            context.append(f"column {column!r}")
+        if context:
+            message = f"{message} ({', '.join(context)})"
+        super().__init__(message)
+        self.row = row
+        self.column = column
+        self.source = source
+
+
+class BudgetExhausted(ReproError):
+    """A resource budget ran out mid-computation.
+
+    ``reason`` is one of ``"deadline"``, ``"candidates"``, ``"pairs"``,
+    ``"memory"`` — the same string surfaced on
+    ``DiscoveryStats.exhausted`` / ``RepairLog.exhausted``.
+    """
+
+    def __init__(self, reason: str, budget=None) -> None:
+        super().__init__(f"budget exhausted: {reason}")
+        self.reason = reason
+        self.budget = budget
+
+
+class EngineFault(ReproError):
+    """An engine's substrate or metric failed or returned garbage."""
+
+    def __init__(self, message: str, *, site: str | None = None) -> None:
+        super().__init__(message)
+        self.site = site

@@ -1,0 +1,160 @@
+"""Fault injection at the substrate/metric boundary.
+
+Robustness work needs a way to *prove* that every engine either
+completes, returns an honest partial result, or raises a typed
+:class:`~repro.runtime.errors.EngineFault` — never hangs and never
+returns silently-wrong output.  :class:`FaultInjector` makes the two
+load-bearing boundaries misbehave on demand:
+
+* ``"metric"`` — :meth:`repro.metrics.base.Metric.distance`: injectable
+  latency, raised exceptions, and *corrupted* return values (negative
+  distances, NaN) that a correct engine must detect and reject;
+* ``"partition"`` / ``"groups"`` — the shared
+  :class:`~repro.relation.partition_cache.PartitionCache` access paths
+  every partition-based algorithm (TANE, CFDMiner, repair) sits on.
+
+Faults are installed by monkey-patching the class methods for the
+dynamic extent of a ``with FaultInjector(...):`` block and always
+restored on exit, so the harness composes with any engine without
+engines knowing about it.  Triggering is deterministic (call-count
+based: fire after ``after`` calls, then every ``every``-th), which
+keeps the fault suite reproducible.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any
+
+SITES = ("metric", "partition", "groups")
+
+#: Sentinel: "no fault fired, run the real implementation".
+_REAL = object()
+
+
+class FaultInjected(RuntimeError):
+    """The default exception raised by an ``exception`` fault."""
+
+
+@dataclass
+class FaultSpec:
+    """One injectable fault at one site.
+
+    ``kind``:
+
+    * ``"latency"`` — sleep ``latency_s`` then run the real call;
+    * ``"exception"`` — raise ``exception(message)``;
+    * ``"corrupt"`` — return ``corrupt_value`` instead of the real
+      result (only meaningful for ``"metric"``).
+
+    Fires on calls ``after + 1``, ``after + 1 + every``, ... to the
+    site (deterministic, per-injector call counting).
+    """
+
+    site: str
+    kind: str
+    every: int = 1
+    after: int = 0
+    latency_s: float = 0.0
+    exception: type[Exception] = FaultInjected
+    message: str = "injected fault"
+    corrupt_value: Any = None
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; known sites: {SITES}"
+            )
+        if self.kind not in ("latency", "exception", "corrupt"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.every < 1:
+            raise ValueError("'every' must be >= 1")
+
+
+class FaultInjector:
+    """Context manager installing :class:`FaultSpec` s for its extent."""
+
+    def __init__(self, *specs: FaultSpec) -> None:
+        self.specs = list(specs)
+        self.calls: Counter = Counter()
+        self.fired: Counter = Counter()
+        self._saved: list[tuple[type, str, Any]] = []
+
+    # -- trigger logic -------------------------------------------------
+
+    def _intercept(self, site: str) -> Any:
+        """Advance the site's call count; fire any due fault.
+
+        Returns :data:`_REAL` when the real implementation should run,
+        or the corrupt value to substitute; raises for exception
+        faults; sleeps (then returns :data:`_REAL`) for latency faults.
+        """
+        self.calls[site] += 1
+        n = self.calls[site]
+        for spec in self.specs:
+            if spec.site != site or n <= spec.after:
+                continue
+            if (n - spec.after - 1) % spec.every != 0:
+                continue
+            self.fired[site] += 1
+            if spec.kind == "latency":
+                time.sleep(spec.latency_s)
+                continue
+            if spec.kind == "exception":
+                raise spec.exception(spec.message)
+            return spec.corrupt_value
+        return _REAL
+
+    # -- installation --------------------------------------------------
+
+    def _patch(self, cls: type, name: str, wrapper: Any) -> None:
+        self._saved.append((cls, name, cls.__dict__[name]))
+        setattr(cls, name, wrapper)
+
+    def __enter__(self) -> "FaultInjector":
+        from ..metrics.base import Metric
+        from ..relation.partition_cache import PartitionCache
+
+        injector = self
+        real_distance = Metric.distance
+        real_partition = PartitionCache.partition
+        real_groups = PartitionCache.groups
+
+        def distance(self, a, b):
+            hit = injector._intercept("metric")
+            if hit is not _REAL:
+                return hit
+            return real_distance(self, a, b)
+
+        def partition(self, attributes):
+            hit = injector._intercept("partition")
+            if hit is not _REAL:  # pragma: no cover - corrupt unsupported
+                return hit
+            return real_partition(self, attributes)
+
+        def groups(self, attributes):
+            hit = injector._intercept("groups")
+            if hit is not _REAL:  # pragma: no cover - corrupt unsupported
+                return hit
+            return real_groups(self, attributes)
+
+        self._patch(Metric, "distance", distance)
+        self._patch(PartitionCache, "partition", partition)
+        self._patch(PartitionCache, "groups", groups)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        while self._saved:
+            cls, name, original = self._saved.pop()
+            setattr(cls, name, original)
+
+
+def inject(
+    site: str,
+    kind: str,
+    **kwargs: Any,
+) -> FaultInjector:
+    """Shorthand: ``with inject("metric", "exception"): ...``."""
+    return FaultInjector(FaultSpec(site=site, kind=kind, **kwargs))

@@ -1,0 +1,220 @@
+"""Fault injection: every engine completes, degrades honestly, or
+raises a typed :class:`EngineFault` — never hangs, never lies."""
+
+import time
+
+import pytest
+
+from repro.core import FD
+from repro.datasets import hotel_r5, random_relation
+from repro.discovery import (
+    discover_constant_cfds,
+    discover_dds,
+    discover_mds,
+    tane,
+)
+from repro.incremental import Delta, IncrementalDetector
+from repro.quality.detection import Detector
+from repro.runtime import (
+    Budget,
+    EngineFault,
+    FaultInjected,
+    FaultInjector,
+    FaultSpec,
+    inject,
+)
+
+
+class TestFaultSpec:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec(site="disk", kind="latency")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(site="metric", kind="bitflip")
+
+    def test_every_must_be_positive(self):
+        with pytest.raises(ValueError, match="'every'"):
+            FaultSpec(site="metric", kind="latency", every=0)
+
+
+class TestInjectorMechanics:
+    def test_deterministic_after_and_every(self):
+        from repro.metrics.base import Metric
+
+        m = Metric("unit", lambda a, b: 0.0)
+        spec = FaultSpec(
+            site="metric", kind="exception", after=2, every=3
+        )
+        with FaultInjector(spec) as fi:
+            results = []
+            for __ in range(8):
+                try:
+                    m.distance("x", "y")
+                    results.append("ok")
+                except FaultInjected:
+                    results.append("boom")
+        # Fires on calls 3, 6 (after 2, then every 3rd).
+        assert results == [
+            "ok", "ok", "boom", "ok", "ok", "boom", "ok", "ok",
+        ]
+        assert fi.calls["metric"] == 8
+        assert fi.fired["metric"] == 2
+
+    def test_patches_restored_on_exit(self):
+        from repro.metrics.base import Metric
+        from repro.relation.partition_cache import PartitionCache
+
+        real_distance = Metric.__dict__.get("distance")
+        real_partition = PartitionCache.__dict__["partition"]
+        with inject("metric", "exception"):
+            assert PartitionCache.__dict__["partition"] is not real_partition
+        assert Metric.__dict__.get("distance") is real_distance
+        assert PartitionCache.__dict__["partition"] is real_partition
+
+    def test_restored_even_when_body_raises(self):
+        from repro.relation.partition_cache import PartitionCache
+
+        real = PartitionCache.__dict__["partition"]
+        with pytest.raises(RuntimeError):
+            with inject("partition", "exception"):
+                raise RuntimeError("body error")
+        assert PartitionCache.__dict__["partition"] is real
+
+
+class TestEnginesUnderFaults:
+    """The robustness contract, engine by engine."""
+
+    def test_tane_partition_fault_is_typed(self):
+        r = hotel_r5()
+        with inject("partition", "exception", message="disk on fire"):
+            with pytest.raises(EngineFault) as exc:
+                tane(r)
+        assert exc.value.site == "partition"
+        assert "disk on fire" in str(exc.value)
+
+    def test_tane_clean_after_fault_context(self):
+        r = hotel_r5()
+        before = {str(d) for d in tane(r).dependencies}
+        with inject("partition", "exception"):
+            with pytest.raises(EngineFault):
+                tane(r)
+        after = {str(d) for d in tane(r).dependencies}
+        assert before == after
+
+    def test_cfdminer_groups_fault_is_typed(self):
+        r = hotel_r5()
+        with inject("groups", "exception"):
+            with pytest.raises(EngineFault) as exc:
+                discover_constant_cfds(r)
+        assert exc.value.site == "groups"
+
+    def test_dd_metric_exception_is_typed(self):
+        r = hotel_r5()
+        with inject("metric", "exception"):
+            with pytest.raises(EngineFault) as exc:
+                discover_dds(r, max_lhs_attrs=1)
+        assert exc.value.site == "metric"
+
+    @pytest.mark.parametrize(
+        "bad", [-1.0, float("nan"), None, "zero"], ids=repr
+    )
+    def test_dd_corrupted_metric_detected(self, bad):
+        r = hotel_r5()
+        with inject("metric", "corrupt", corrupt_value=bad):
+            with pytest.raises(EngineFault, match="corrupted"):
+                discover_dds(r, max_lhs_attrs=1)
+
+    def test_md_corrupted_metric_detected(self):
+        r = hotel_r5()
+        rhs = sorted(r.schema.names())[0]
+        with inject("metric", "corrupt", corrupt_value=-0.5):
+            with pytest.raises(EngineFault, match="corrupted"):
+                discover_mds(r, rhs)
+
+    def test_intermittent_latency_still_completes(self):
+        r = hotel_r5()
+        clean = {str(d) for d in discover_dds(r, max_lhs_attrs=1).dependencies}
+        with inject("metric", "latency", latency_s=0.0005, every=100):
+            slow = discover_dds(r, max_lhs_attrs=1)
+        assert {str(d) for d in slow.dependencies} == clean
+        assert slow.stats.complete is True
+
+    def test_latency_plus_deadline_returns_partial_not_hangs(self):
+        r = random_relation(30, 5, domain_size=4, seed=9)
+        t0 = time.monotonic()
+        with inject("metric", "latency", latency_s=0.002):
+            result = discover_dds(
+                r, max_lhs_attrs=1, budget=Budget(deadline_s=0.05)
+            )
+        elapsed = time.monotonic() - t0
+        assert result.stats.complete is False
+        assert result.stats.exhausted == "deadline"
+        # Bounded overrun: nowhere near an unguarded full sweep.
+        assert elapsed < 5.0
+
+
+class TestDetectorQuarantine:
+    def _detector(self):
+        r = random_relation(12, 3, domain_size=3, seed=2)
+        names = sorted(r.schema.names())
+        rules = [FD([names[0]], [names[1]]), FD([names[1]], [names[2]])]
+        return r, rules, IncrementalDetector(rules, r)
+
+    def test_faulty_checker_is_quarantined_and_rebuilt(self):
+        r, rules, det = self._detector()
+
+        def boom(old, delta, new, remap):
+            raise RuntimeError("checker corrupted")
+
+        det._checkers[0].apply = boom
+        change = det.apply(Delta(updates=[(0, {sorted(r.schema.names())[1]: "zz"})]))
+        assert len(change.quarantined) == 1
+        assert "checker corrupted" in change.quarantined[0]
+        assert "quarantined" in change.render()
+        assert det.quarantine and det.quarantine[0][0] == change.seq
+        # The rule is rebuilt, not dropped: still present in the report
+        # and exact w.r.t. cold recomputation.
+        assert len(det._checkers) == len(rules)
+        cold = Detector(rules).detect(det.relation)
+        assert len(det.violations()) == len(cold.violations)
+
+    def test_quarantined_batch_keeps_later_checkers(self):
+        r, rules, det = self._detector()
+
+        def boom(old, delta, new, remap):
+            raise RuntimeError("boom")
+
+        det._checkers[0].apply = boom
+        change = det.apply(Delta(inserts=[("p", "q", "r")]))
+        # Second checker still produced its feed.
+        assert change.quarantined == [
+            f"{rules[0].label()}: RuntimeError: boom"
+        ]
+        assert rules[1].label() in det.checker_strategy()
+
+    def test_clean_batches_have_no_quarantine(self):
+        r, rules, det = self._detector()
+        change = det.apply(Delta(inserts=[("x", "y", "z")]))
+        assert change.quarantined == []
+        assert change.complete is True
+        assert det.quarantine == []
+
+    def test_dead_rule_when_rebuild_also_fails(self, monkeypatch):
+        r, rules, det = self._detector()
+
+        def boom(old, delta, new, remap):
+            raise RuntimeError("boom")
+
+        det._checkers[0].apply = boom
+        import repro.incremental.detector as detector_mod
+
+        def failing_rebuild(rule, relation):
+            raise RuntimeError("rebuild failed too")
+
+        monkeypatch.setattr(detector_mod, "checker_for", failing_rebuild)
+        change = det.apply(Delta(inserts=[("p", "q", "r")]))
+        assert det.dead_rules == [rules[0].label()]
+        assert any("rebuild failed" in q for q in change.quarantined)
+        assert len(det._checkers) == len(rules) - 1

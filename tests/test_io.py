@@ -12,6 +12,7 @@ from repro.relation import (
     to_csv_text,
     write_csv,
 )
+from repro.runtime import InputError
 
 CSV = "name,price\nalpha,10\nbeta,20.5\ngamma,\n"
 
@@ -51,6 +52,74 @@ class TestRead:
     def test_bad_number_raises(self):
         with pytest.raises(ValueError):
             read_csv_text("price\nabc\n", numeric_schema().project(["price"]))
+
+
+class TestInputErrorContext:
+    """Malformed CSVs raise typed InputErrors locating the bad cell."""
+
+    def test_bad_number_carries_row_and_column(self):
+        text = "name,price\nalpha,10\nbeta,oops\n"
+        with pytest.raises(InputError) as exc:
+            read_csv_text(text, numeric_schema())
+        assert exc.value.row == 3  # header is line 1
+        assert exc.value.column == "price"
+        assert "non-numeric value" in str(exc.value)
+        assert "line 3" in str(exc.value) and "price" in str(exc.value)
+
+    def test_ragged_row_carries_row_number(self):
+        with pytest.raises(InputError) as exc:
+            read_csv_text("a,b\n1,2\n3\n")
+        assert exc.value.row == 3
+
+    def test_file_errors_carry_source(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("price\nnope\n", encoding="utf-8")
+        with pytest.raises(InputError) as exc:
+            read_csv(p, numeric_schema().project(["price"]))
+        assert exc.value.source == str(p)
+        assert str(p) in str(exc.value)
+
+    def test_no_header_is_input_error(self):
+        with pytest.raises(InputError):
+            read_csv_text("")
+
+    def test_header_mismatch_is_input_error(self):
+        with pytest.raises(InputError):
+            read_csv_text(CSV, ["x", "y"])
+
+
+class TestNonFinite:
+    """NaN/inf are rejected by default, mapped to null on opt-in."""
+
+    @pytest.mark.parametrize("bad", ["nan", "NaN", "inf", "-inf", "Infinity"])
+    def test_nonfinite_rejected_by_default(self, bad):
+        text = f"name,price\nalpha,{bad}\n"
+        with pytest.raises(InputError) as exc:
+            read_csv_text(text, numeric_schema())
+        assert exc.value.row == 2
+        assert exc.value.column == "price"
+        assert "non-finite" in str(exc.value)
+        assert "allow_nonfinite" in str(exc.value)  # actionable message
+
+    def test_opt_out_maps_to_none(self):
+        text = "name,price\nalpha,nan\nbeta,inf\ngamma,3\n"
+        r = read_csv_text(text, numeric_schema(), allow_nonfinite=True)
+        assert r.column("price") == (None, None, 3)
+
+    def test_opt_out_on_file_reader(self, tmp_path):
+        p = tmp_path / "nf.csv"
+        p.write_text("price\ninf\n", encoding="utf-8")
+        with pytest.raises(InputError):
+            read_csv(p, numeric_schema().project(["price"]))
+        r = read_csv(
+            p, numeric_schema().project(["price"]), allow_nonfinite=True
+        )
+        assert r.column("price") == (None,)
+
+    def test_nonfinite_in_text_column_is_fine(self):
+        # Only numerical columns police finiteness.
+        r = read_csv_text("name,price\nnan,1\n", numeric_schema())
+        assert r.value_at(0, "name") == "nan"
 
 
 class TestRoundTrip:

@@ -1,0 +1,132 @@
+"""Error paths of the rule-file loader: every malformed input is a
+typed, actionable :class:`RuleFileError` (an ``InputError``)."""
+
+import json
+
+import pytest
+
+from repro.rules_io import RuleFileError, load_rules, parse_rule, parse_rules
+from repro.runtime import InputError, ReproError
+
+
+class TestUnknownNotation:
+    def test_typo_lists_table2_vocabulary(self):
+        with pytest.raises(RuleFileError, match="Table 2"):
+            parse_rule({"kind": "FDD", "lhs": ["a"], "rhs": ["b"]})
+
+    def test_known_notation_without_constructor(self):
+        # MVD is a Table-2 notation but has no rule-file builder yet;
+        # the message must say so, distinctly from a typo.
+        with pytest.raises(RuleFileError, match="no rule-file constructor"):
+            parse_rule({"kind": "MVD", "lhs": ["a"], "rhs": ["b"]})
+
+    def test_missing_kind(self):
+        with pytest.raises(RuleFileError, match="no 'kind'"):
+            parse_rule({"lhs": ["a"], "rhs": ["b"]})
+
+    def test_non_object_rule(self):
+        with pytest.raises(RuleFileError, match="JSON object"):
+            parse_rule(["FD", "a", "b"])
+
+
+class TestMissingFields:
+    @pytest.mark.parametrize(
+        "rule, missing",
+        [
+            ({"kind": "FD", "lhs": ["a"]}, "rhs"),
+            ({"kind": "FD", "rhs": ["b"]}, "lhs"),
+            ({"kind": "AFD", "lhs": "a"}, "rhs"),
+            ({"kind": "MFD", "lhs": ["a"], "rhs": ["b"]}, "delta"),
+            ({"kind": "DD", "lhs": {"a": 1}}, "rhs"),
+            ({"kind": "MD", "rhs": ["b"]}, "lhs"),
+            ({"kind": "OD", "lhs": ["a"]}, "rhs"),
+            ({"kind": "SD", "rhs": "b"}, "lhs"),
+            ({"kind": "DC"}, "predicates"),
+        ],
+    )
+    def test_missing_field_named_in_message(self, rule, missing):
+        with pytest.raises(RuleFileError, match=missing):
+            parse_rule(rule)
+
+
+class TestWrongTypes:
+    def test_dd_side_must_be_mapping(self):
+        with pytest.raises(RuleFileError, match="non-empty"):
+            parse_rule({"kind": "DD", "lhs": ["a"], "rhs": {"b": 0}})
+
+    def test_md_lhs_must_be_mapping(self):
+        with pytest.raises(RuleFileError, match="threshold"):
+            parse_rule({"kind": "MD", "lhs": ["street"], "rhs": ["zip"]})
+
+    def test_dc_predicates_must_be_nonempty_list(self):
+        with pytest.raises(RuleFileError, match="non-empty"):
+            parse_rule({"kind": "DC", "predicates": []})
+
+    def test_dc_predicate_must_be_object(self):
+        with pytest.raises(RuleFileError, match="predicate"):
+            parse_rule({"kind": "DC", "predicates": ["a < b"]})
+
+    def test_dc_constant_atom_needs_const(self):
+        with pytest.raises(RuleFileError, match="const"):
+            parse_rule(
+                {"kind": "DC", "predicates": [{"attr": "x", "op": "<"}]}
+            )
+
+    def test_builder_crash_is_wrapped(self):
+        # Structurally present fields with garbage inside must surface
+        # as a RuleFileError naming the kind, not a raw TypeError.
+        with pytest.raises(RuleFileError, match="bad FD rule"):
+            parse_rule({"kind": "FD", "lhs": 42, "rhs": ["b"]})
+
+
+class TestDocumentShape:
+    def test_missing_rules_key(self):
+        with pytest.raises(RuleFileError, match="'rules'"):
+            parse_rules({"rule": []})
+
+    def test_rules_not_a_list(self):
+        with pytest.raises(RuleFileError, match="non-empty list"):
+            parse_rules({"rules": "FD"})
+
+    def test_empty_rules_list(self):
+        with pytest.raises(RuleFileError, match="non-empty list"):
+            parse_rules({"rules": []})
+
+    def test_invalid_json_file(self, tmp_path):
+        p = tmp_path / "rules.json"
+        p.write_text("{not json", encoding="utf-8")
+        with pytest.raises(RuleFileError, match="invalid JSON"):
+            load_rules(p)
+
+    def test_valid_file_roundtrip(self, tmp_path):
+        p = tmp_path / "rules.json"
+        p.write_text(
+            json.dumps({"rules": [{"kind": "FD", "lhs": ["a"],
+                                   "rhs": ["b"]}]}),
+            encoding="utf-8",
+        )
+        (rule,) = load_rules(p)
+        assert str(rule) == "a -> b"
+
+
+class TestTaxonomyIntegration:
+    def test_rule_file_error_is_typed(self):
+        try:
+            parse_rule({"kind": "nope"})
+        except RuleFileError as exc:
+            assert isinstance(exc, InputError)
+            assert isinstance(exc, ReproError)
+            assert isinstance(exc, ValueError)
+        else:  # pragma: no cover
+            pytest.fail("expected RuleFileError")
+
+    def test_cli_reports_rule_file_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        csv = tmp_path / "d.csv"
+        csv.write_text("a,b\n1,2\n", encoding="utf-8")
+        rules = tmp_path / "rules.json"
+        rules.write_text('{"rules": [{"kind": "XX"}]}', encoding="utf-8")
+        code = main(["check", str(csv), "--rules", str(rules)])
+        assert code == 2
+        assert "[error]" in capsys.readouterr().out

@@ -1,0 +1,235 @@
+"""Resource budgets: caps, deadlines, partial results, ambient nesting."""
+
+import pytest
+
+from repro.core import FD
+from repro.core.numerical import DC, Predicate
+from repro.datasets import hotel_r5, random_relation
+from repro.discovery import (
+    discover_constant_cfds,
+    discover_dcs,
+    discover_dds,
+    discover_ecfds,
+    discover_general_cfds,
+    discover_mds,
+    discover_mvds_bottomup,
+    discover_mvds_topdown,
+    discover_ods,
+    discover_pairwise_ods,
+    fastfd,
+    tane,
+)
+from repro.profiler import profile_relation
+from repro.quality.repair import repair_dcs, repair_fds
+from repro.runtime import (
+    Budget,
+    BudgetExhausted,
+    EngineFault,
+    InputError,
+    ReproError,
+    checkpoint,
+    current_budget,
+    governed,
+)
+
+
+def hard_relation():
+    return random_relation(40, 6, domain_size=4, seed=11)
+
+
+DISCOVERY_ENTRY_POINTS = [
+    pytest.param(lambda r, b: tane(r, budget=b), id="tane"),
+    pytest.param(lambda r, b: fastfd(r, budget=b), id="fastfd"),
+    pytest.param(lambda r, b: discover_dcs(r, budget=b), id="dc"),
+    pytest.param(lambda r, b: discover_dds(r, budget=b), id="dd"),
+    pytest.param(
+        lambda r, b: discover_mds(r, sorted(r.schema.names())[0], budget=b),
+        id="md",
+    ),
+    pytest.param(
+        lambda r, b: discover_constant_cfds(r, budget=b), id="cfd-constant"
+    ),
+    pytest.param(
+        lambda r, b: discover_general_cfds(r, budget=b), id="cfd-general"
+    ),
+    pytest.param(lambda r, b: discover_ecfds(r, budget=b), id="ecfd"),
+    pytest.param(
+        lambda r, b: discover_pairwise_ods(r, budget=b), id="od-pairwise"
+    ),
+    pytest.param(lambda r, b: discover_ods(r, budget=b), id="od"),
+    pytest.param(
+        lambda r, b: discover_mvds_topdown(r, budget=b), id="mvd-topdown"
+    ),
+    pytest.param(
+        lambda r, b: discover_mvds_bottomup(r, budget=b), id="mvd-bottomup"
+    ),
+]
+
+
+class TestBudgetPrimitive:
+    def test_candidate_cap_raises_internally(self):
+        b = Budget(max_candidates=3)
+        b.checkpoint(candidates=3)
+        with pytest.raises(BudgetExhausted) as exc:
+            b.checkpoint(candidates=1)
+        assert exc.value.reason == "candidates"
+        assert b.exhausted == "candidates"
+
+    def test_pair_cap(self):
+        b = Budget(max_pairs=10)
+        with pytest.raises(BudgetExhausted) as exc:
+            b.checkpoint(pairs=11)
+        assert exc.value.reason == "pairs"
+
+    def test_exhausted_budget_keeps_raising(self):
+        b = Budget(max_candidates=1)
+        with pytest.raises(BudgetExhausted):
+            b.checkpoint(candidates=2)
+        with pytest.raises(BudgetExhausted):
+            b.checkpoint()
+
+    def test_deadline(self):
+        b = Budget(deadline_s=0.0).start()
+        with pytest.raises(BudgetExhausted) as exc:
+            b.checkpoint()
+        assert exc.value.reason == "deadline"
+
+    def test_reset(self):
+        b = Budget(max_candidates=1)
+        with pytest.raises(BudgetExhausted):
+            b.checkpoint(candidates=2)
+        b.reset()
+        b.checkpoint(candidates=1)
+        assert b.candidates == 1
+        assert b.exhausted == ""
+
+    def test_unlimited_budget_never_exhausts(self):
+        b = Budget()
+        for _ in range(100):
+            b.checkpoint(candidates=10, pairs=10)
+        assert not b.expired()
+
+    def test_checkpoint_is_noop_without_budget(self):
+        assert current_budget() is None
+        checkpoint(candidates=10**9)  # must not raise
+
+    def test_governed_installs_and_restores(self):
+        b = Budget(max_candidates=5)
+        with governed(b):
+            assert current_budget() is b
+            with governed(None):
+                # Transparent: the outer budget stays ambient.
+                assert current_budget() is b
+        assert current_budget() is None
+
+    def test_inner_explicit_budget_wins(self):
+        outer, inner = Budget(), Budget()
+        with governed(outer):
+            with governed(inner):
+                assert current_budget() is inner
+            assert current_budget() is outer
+
+
+class TestErrorTaxonomy:
+    def test_hierarchy(self):
+        assert issubclass(BudgetExhausted, ReproError)
+        assert issubclass(EngineFault, ReproError)
+        assert issubclass(InputError, ReproError)
+        assert issubclass(InputError, ValueError)
+
+    def test_rule_file_error_is_input_error(self):
+        from repro.rules_io import RuleFileError
+
+        assert issubclass(RuleFileError, InputError)
+
+    def test_input_error_context_in_message(self):
+        exc = InputError("bad cell", row=42, column="price", source="x.csv")
+        assert exc.row == 42
+        assert exc.column == "price"
+        assert "42" in str(exc) and "price" in str(exc)
+
+
+class TestPartialResults:
+    @pytest.mark.parametrize("run", DISCOVERY_ENTRY_POINTS)
+    def test_tiny_candidate_cap_returns_partial(self, run):
+        r = hard_relation()
+        full = run(r, None)
+        result = run(r, Budget(max_candidates=1, max_pairs=10**9))
+        assert result.stats.complete is False
+        assert result.stats.exhausted == "candidates"
+        assert "partial" in result.summary()
+        # Partial output never exceeds the complete output's size plus
+        # sampled-verified salvage.
+        assert len(result.dependencies) <= (
+            len(full.dependencies) + result.stats.sampled_verified + 50
+        )
+
+    @pytest.mark.parametrize("run", DISCOVERY_ENTRY_POINTS)
+    def test_expired_deadline_returns_partial_not_raise(self, run):
+        r = hard_relation()
+        result = run(r, Budget(deadline_s=0.0))
+        assert result.stats.complete is False
+        assert result.stats.exhausted == "deadline"
+
+    @pytest.mark.parametrize("run", DISCOVERY_ENTRY_POINTS)
+    def test_no_budget_and_huge_budget_identical(self, run):
+        r = hotel_r5()
+        bare = run(r, None)
+        governed_run = run(
+            r, Budget(deadline_s=3600, max_candidates=10**9, max_pairs=10**12)
+        )
+        assert list(map(str, bare.dependencies)) == list(
+            map(str, governed_run.dependencies)
+        )
+        assert governed_run.stats.complete is True
+
+    def test_partial_dependencies_are_valid(self):
+        r = hard_relation()
+        result = tane(r, budget=Budget(max_candidates=8))
+        sampled = result.stats.sampled_verified
+        exact = result.dependencies[: len(result.dependencies) - sampled]
+        for dep in exact:
+            assert dep.holds(r)
+
+    def test_ambient_budget_governs_nested_calls(self):
+        r = hard_relation()
+        b = Budget(max_candidates=1)
+        with governed(b):
+            result = tane(r)  # budget=None inherits the ambient one
+        assert result.stats.complete is False
+
+
+class TestRepairBudgets:
+    def test_repair_fds_partial(self):
+        r = random_relation(30, 4, domain_size=2, seed=3)
+        fds = [FD([a], [b]) for a in r.schema.names()
+               for b in r.schema.names() if a != b]
+        repaired, log = repair_fds(r, fds, budget=Budget(max_candidates=1))
+        assert log.complete is False
+        assert "partial" in log.summary()
+        # The untouched path still reports complete.
+        __, full_log = repair_fds(r, fds[:1])
+        assert full_log.complete is True
+
+    def test_repair_dcs_partial(self):
+        r = random_relation(20, 3, domain_size=2, seed=5)
+        a, b = sorted(r.schema.names())[:2]
+        dc = DC([
+            Predicate("a", a, "==", "b", a),
+            Predicate("a", b, "!=", "b", b),
+        ])
+        __, log = repair_dcs(r, [dc], budget=Budget(deadline_s=0.0))
+        assert log.complete is False
+        assert log.exhausted == "deadline"
+
+
+class TestProfilerBudget:
+    def test_profile_partial_notes(self):
+        r = hotel_r5()
+        report = profile_relation(r, budget=Budget(max_candidates=1))
+        assert any("partial" in n or "exhausted" in n for n in report.notes)
+
+    def test_profile_without_budget_has_no_partial_note(self):
+        r = hotel_r5()
+        report = profile_relation(r)
+        assert not any("exhausted" in n for n in report.notes)
