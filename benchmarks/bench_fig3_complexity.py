@@ -12,7 +12,6 @@ practical consequence on real runs:
 
 import time
 
-import pytest
 
 from repro import FD, MFD, SD
 from repro.datasets import ordered_workload, random_relation

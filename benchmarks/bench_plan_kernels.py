@@ -1,0 +1,154 @@
+"""Plan-kernel speedup contract: pruned evaluation vs the legacy scan.
+
+The compiled plan kernels (``repro.plan``) prune the quadratic pair
+space per notation — metric blocking for DD/MD, a sorted sweep for OD.
+This benchmark times ``violations()`` under ``plan_mode("plan")``
+against the reference scan under ``plan_mode("naive")`` on the same
+relations at n ∈ {500, 2000}, asserts bit-identical violation lists,
+enforces the **≥3× floor at n=2000**, and writes the measurements to
+``BENCH_plan.json`` at the repo root (uploaded as a CI artifact).
+
+Workloads are correlated (RHS mostly follows LHS) so the timing
+reflects candidate-space pruning rather than violation construction,
+which both paths share.
+"""
+
+import json
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.heterogeneous.dd import DD
+from repro.core.heterogeneous.md import MD
+from repro.core.numerical.od import OD
+from repro.plan import plan_mode
+from repro.relation import Attribute, AttributeType, Relation, Schema
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_plan.json"
+
+#: Acceptance floor at n=2000: pruned kernels must beat the scan by this.
+MIN_SPEEDUP = 3.0
+
+SIZES = (500, 2000)
+
+
+def metric_workload(n: int, seed: int = 3) -> Relation:
+    """200-value quantized A0 with A1 ≈ 2·A0 and A2 = A0 // 4.
+
+    Quantization keeps the metric-blocking bucket count small against
+    n; the correlations keep DD/MD violations sparse.
+    """
+    rng = random.Random(seed)
+    schema = Schema(
+        [Attribute(f"A{c}", AttributeType.NUMERICAL) for c in range(3)]
+    )
+    rows = []
+    for __ in range(n):
+        a = rng.randrange(200)
+        rows.append((a, 2 * a + rng.randrange(4), a // 4))
+    return Relation.from_rows(schema, rows)
+
+
+def order_workload(n: int) -> Relation:
+    """Mostly sorted A0/A1 with sparse inversions every 401 rows."""
+    schema = Schema(
+        [Attribute(f"A{c}", AttributeType.NUMERICAL) for c in range(2)]
+    )
+    rows = [(i, i if i % 401 else i - 300) for i in range(n)]
+    return Relation.from_rows(schema, rows)
+
+
+CASES = {
+    "DD": (
+        lambda: DD({"A0": ("<=", 1.0)}, {"A1": ("<=", 6.0)}),
+        metric_workload,
+        "metric-blocking",
+    ),
+    "MD": (
+        lambda: MD({"A0": 1.0}, ["A2"]),
+        metric_workload,
+        "metric-blocking",
+    ),
+    "OD": (
+        lambda: OD([("A0", "<=")], [("A1", "<=")]),
+        order_workload,
+        "sorted-sweep",
+    ),
+}
+
+
+def _snapshot(dep, relation):
+    return [(v.tuples, v.reason) for v in dep.violations(relation)]
+
+
+def _time_once(fn):
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+@pytest.fixture(scope="module")
+def speedups():
+    """Time every case once, check parity, persist the trajectory."""
+    results = {}
+    for kind, (make, workload, strategy) in CASES.items():
+        for n in SIZES:
+            relation = workload(n)
+            dep = make()
+            with plan_mode("plan"):
+                t_plan, got = _time_once(lambda: _snapshot(dep, relation))
+            with plan_mode("naive"):
+                t_naive, expected = _time_once(
+                    lambda: _snapshot(dep, relation)
+                )
+            assert got == expected, f"plan/naive divergence for {kind}"
+            results[f"{kind}@{n}"] = {
+                "kind": kind,
+                "n": n,
+                "strategy": strategy,
+                "naive_ms": round(t_naive * 1e3, 2),
+                "plan_ms": round(t_plan * 1e3, 2),
+                "speedup": round(t_naive / t_plan, 1),
+                "violations": len(got),
+            }
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "workload": "correlated metric / mostly-sorted order",
+                "sizes": list(SIZES),
+                "min_speedup_at_2000": MIN_SPEEDUP,
+                "results": results,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    return results
+
+
+class TestPlanKernelSpeedup:
+    """The ≥3× contract of the pruned kernels at n=2000."""
+
+    def test_dd_metric_blocking_speedup(self, speedups):
+        assert speedups["DD@2000"]["speedup"] >= MIN_SPEEDUP
+
+    def test_md_metric_blocking_speedup(self, speedups):
+        assert speedups["MD@2000"]["speedup"] >= MIN_SPEEDUP
+
+    def test_od_sorted_sweep_speedup(self, speedups):
+        assert speedups["OD@2000"]["speedup"] >= MIN_SPEEDUP
+
+    def test_small_n_no_regression(self, speedups):
+        """At n=500 the kernels must at least not lose to the scan."""
+        for key in ("DD@500", "MD@500", "OD@500"):
+            assert speedups[key]["speedup"] >= 1.0, key
+
+    def test_trajectory_file_written(self, speedups):
+        payload = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+        assert payload["min_speedup_at_2000"] == MIN_SPEEDUP
+        assert set(payload["results"]) == {
+            f"{kind}@{n}" for kind in CASES for n in SIZES
+        }

@@ -6,7 +6,6 @@ repair resolves order violations; the matching+repairing interaction
 (Section 3.7.4) beats either engine alone on heterogeneous data.
 """
 
-import pytest
 
 from repro import CFD, DC, FD, MD, pred2
 from repro.datasets import fd_workload, ordered_workload

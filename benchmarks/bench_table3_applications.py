@@ -7,9 +7,7 @@ every cell of Table 3 is backed by code.  Benchmarks the detection
 engine (the most-cited row).
 """
 
-import pytest
-
-from repro import DD, FD, MD, MVD, OD, SFD
+from repro import DD, FD, MD, MVD, SFD
 from repro.datasets import fd_workload, heterogeneous_workload, hotel_r5
 from repro.quality import (
     Deduplicator,

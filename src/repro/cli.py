@@ -258,6 +258,30 @@ def cmd_survey(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_plan(args: argparse.Namespace) -> int:
+    from .plan import PlanCompileError, compile_dependency
+    from .rules_io import RuleFileError, load_rules
+
+    try:
+        rules = load_rules(args.rules)
+    except RuleFileError as exc:
+        print(f"[error] {exc}")
+        return 2
+    exit_code = 0
+    for dep in rules:
+        try:
+            plan = compile_dependency(dep)
+        except PlanCompileError as exc:
+            # Non-pairwise notations (MVDs, CFD pattern parts, SDs)
+            # evaluate through their own engines, not pair plans.
+            print(dep.label())
+            print(f"  no pair plan: {exc}")
+            exit_code = 1
+            continue
+        print(plan.describe())
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -334,6 +358,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_watch.add_argument("--text", action="append", default=[])
     add_budget_args(p_watch)
     p_watch.set_defaults(func=cmd_watch)
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="print the compiled evaluation plan of each rule",
+    )
+    p_plan.add_argument(
+        "rules",
+        help="JSON rule file with mixed Table-2 notations "
+        "(see docs/api.md)",
+    )
+    p_plan.set_defaults(func=cmd_plan)
 
     p_tree = sub.add_parser("tree", help="print the family tree")
     p_tree.set_defaults(func=cmd_tree)

@@ -44,6 +44,11 @@ class Dependency(abc.ABC):
     #: Short notation name as used in the survey's Table 2 ("FD", "SFD", ...).
     kind: str = "dependency"
 
+    #: True when evaluation inherently reads every column (MVD-style
+    #: complements over the rest of the schema), so column routing by
+    #: :meth:`attributes` is not applicable to this notation.
+    reads_whole_relation: bool = False
+
     @abc.abstractmethod
     def violations(self, relation: Relation) -> ViolationSet:
         """All violation evidence for this dependency on ``relation``."""
@@ -83,7 +88,13 @@ class PairwiseDependency(Dependency):
         """
 
     def iter_violations(self, relation: Relation) -> Iterator[Violation]:
-        """Lazily yield violations pair by pair."""
+        """Lazily yield violations pair by pair (the naive scan).
+
+        This is the reference O(n²) path; :meth:`violations` and
+        :meth:`holds` normally route through the compiled plan kernels
+        instead (same results, pruned candidate pairs — see
+        :mod:`repro.plan`).
+        """
         label = self.label()
         for i, j in relation.tuple_pairs():
             reason = self.pair_violation(relation, i, j)
@@ -91,10 +102,18 @@ class PairwiseDependency(Dependency):
                 yield Violation(label, (i, j), reason)
 
     def violations(self, relation: Relation) -> ViolationSet:
+        from ..plan import pairwise_violations, plan_enabled
+
+        if plan_enabled():
+            return ViolationSet(pairwise_violations(self, relation))
         return ViolationSet(self.iter_violations(relation))
 
     def holds(self, relation: Relation) -> bool:
         # Short-circuit on first violation rather than materializing all.
+        from ..plan import pairwise_violations, plan_enabled
+
+        if plan_enabled():
+            return not pairwise_violations(self, relation, first_only=True)
         return next(iter(self.iter_violations(relation)), None) is None
 
     def violating_pairs(self, relation: Relation) -> set[tuple[int, int]]:

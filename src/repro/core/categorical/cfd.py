@@ -101,9 +101,7 @@ class CFD(Dependency):
     def matching_indices(self, relation: Relation) -> list[int]:
         """Tuples matching ``t_p`` on the LHS — the conditioned subset."""
         return [
-            i
-            for i in range(len(relation))
-            if self.pattern.matches(relation.record_at(i), self.lhs)
+            i for i in range(len(relation)) if self.matches_lhs(relation, i)
         ]
 
     def support(self, relation: Relation) -> float:
@@ -116,7 +114,10 @@ class CFD(Dependency):
 
     def matches_lhs(self, relation: Relation, i: int) -> bool:
         """Does tuple ``i`` match ``t_p`` on the LHS (is it conditioned)?"""
-        return self.pattern.matches(relation.record_at(i), self.lhs)
+        # Targeted reads: only the LHS columns, so column routing by
+        # attributes() stays faithful.
+        record = {a: relation.value_at(i, a) for a in self.lhs}
+        return self.pattern.matches(record, self.lhs)
 
     def single_violations(
         self, relation: Relation, i: int, label: str | None = None
@@ -129,17 +130,17 @@ class CFD(Dependency):
         if label is None:
             label = self.label()
         out: list[Violation] = []
-        record = relation.record_at(i)
         for a in self.rhs:
             entry = self.pattern.entry(a)
             if entry.is_wildcard:
                 continue
-            if not entry.matches(record.get(a)):
+            value = relation.value_at(i, a)
+            if not entry.matches(value):
                 out.append(
                     Violation(
                         label,
                         (i,),
-                        f"{a} = {record.get(a)!r} fails pattern {entry}",
+                        f"{a} = {value!r} fails pattern {entry}",
                     )
                 )
         return out
@@ -199,9 +200,10 @@ class CFD(Dependency):
         ]
         groups: dict[tuple, tuple] = {}
         for i in matching:
-            record = relation.record_at(i)
             for a in rhs_conditioned:
-                if not self.pattern.entry(a).matches(record.get(a)):
+                if not self.pattern.entry(a).matches(
+                    relation.value_at(i, a)
+                ):
                     return False
             x = relation.values_at(i, self.lhs)
             y = relation.values_at(i, self.rhs)

@@ -20,7 +20,7 @@ from typing import Mapping, Sequence
 from ...relation.schema import Attribute
 from .cfd import CFD
 from .fd import FD
-from .pattern import Pattern, pred
+from .pattern import Pattern
 
 
 class ECFD(CFD):

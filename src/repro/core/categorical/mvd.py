@@ -40,6 +40,8 @@ class MVD(Dependency):
     """
 
     kind = "MVD"
+    #: Z is the complement of X ∪ Y, so evaluation reads every column.
+    reads_whole_relation = True
 
     def __init__(
         self,
@@ -182,6 +184,8 @@ class FHD(Dependency):
     """
 
     kind = "FHD"
+    #: The residual branch covers R minus X and the Yi: every column.
+    reads_whole_relation = True
 
     def __init__(
         self,
@@ -283,6 +287,8 @@ class AMVD(MeasuredDependency):
     """
 
     kind = "AMVD"
+    #: Same join semantics as the exact MVD: reads every column.
+    reads_whole_relation = True
     measure_direction = "<="
 
     def __init__(

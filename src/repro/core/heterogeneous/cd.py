@@ -179,14 +179,27 @@ class CD(PairwiseDependency):
             }
         return len(removed) / len(relation)
 
+    def _lhs_agrees(self, relation: Relation, i: int, j: int) -> bool:
+        return all(
+            f.similar(relation, i, j, self.registry) for f in self.lhs
+        )
+
     def confidence(self, relation: Relation) -> float:
         """Fraction of LHS-agreeing pairs that also satisfy the RHS."""
+        from ...plan import guard_pairs, plan_enabled
+
+        if plan_enabled():
+            agreeing = guard_pairs(self, relation, self._lhs_agrees)
+            good = sum(
+                1
+                for i, j in agreeing
+                if self.rhs.similar(relation, i, j, self.registry)
+            )
+            return good / len(agreeing) if agreeing else 1.0
         agree = 0
         good = 0
         for i, j in relation.tuple_pairs():
-            if all(
-                f.similar(relation, i, j, self.registry) for f in self.lhs
-            ):
+            if self._lhs_agrees(relation, i, j):
                 agree += 1
                 if self.rhs.similar(relation, i, j, self.registry):
                     good += 1

@@ -168,8 +168,11 @@ class CDD(DD):
         )
 
     def matches_condition(self, relation: Relation, i: int) -> bool:
-        record = relation.record_at(i)
-        return self.condition.matches(record, self.condition.entries())
+        # Targeted reads: only the condition's own columns, so column
+        # routing by attributes() stays faithful.
+        attrs = tuple(self.condition.entries())
+        record = {a: relation.value_at(i, a) for a in attrs}
+        return self.condition.matches(record, attrs)
 
     def pair_violation(self, relation: Relation, i: int, j: int) -> str | None:
         if not (

@@ -86,6 +86,10 @@ class MD(PairwiseDependency):
 
     def matches(self, relation: Relation) -> list[tuple[int, int]]:
         """All pairs the MD asserts should be identified (LHS-similar)."""
+        from ...plan import guard_pairs, plan_enabled
+
+        if plan_enabled():
+            return guard_pairs(self, relation, self.similar_on_lhs)
         return [
             (i, j)
             for i, j in relation.tuple_pairs()
@@ -168,9 +172,11 @@ class CMD(MD):
         )
 
     def matches_condition(self, relation: Relation, i: int) -> bool:
-        return self.condition.matches(
-            relation.record_at(i), self.condition.entries()
-        )
+        # Targeted reads: only the condition's own columns, so column
+        # routing by attributes() stays faithful.
+        attrs = tuple(self.condition.entries())
+        record = {a: relation.value_at(i, a) for a in attrs}
+        return self.condition.matches(record, attrs)
 
     def pair_violation(self, relation: Relation, i: int, j: int) -> str | None:
         if not (

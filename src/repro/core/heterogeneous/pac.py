@@ -84,6 +84,16 @@ class PAC(MeasuredDependency):
 
     def pair_counts(self, relation: Relation) -> tuple[int, int]:
         """(#pairs within Δ on X, #of those also within ε on Y)."""
+        from ...plan import guard_pairs, plan_enabled
+
+        if plan_enabled():
+            close_pairs = guard_pairs(self, relation, self._lhs_close)
+            good = sum(
+                1
+                for i, j in close_pairs
+                if self._rhs_close(relation, i, j)
+            )
+            return len(close_pairs), good
         close = 0
         good = 0
         for i, j in relation.tuple_pairs():
@@ -100,19 +110,27 @@ class PAC(MeasuredDependency):
 
     def violations(self, relation: Relation) -> ViolationSet:
         """The X-close pairs exceeding the Y tolerance."""
-        vs = ViolationSet()
+        from ...plan import execute_pairs, plan_enabled, plan_for
+
         label = self.label()
-        for i, j in relation.tuple_pairs():
-            if self._lhs_close(relation, i, j) and not self._rhs_close(
-                relation, i, j
-            ):
-                vs.add(
-                    Violation(
-                        label,
-                        (i, j),
-                        "within Δ on X but beyond ε on Y",
-                    )
+
+        def _verify(rel: Relation, i: int, j: int):
+            if self._lhs_close(rel, i, j) and not self._rhs_close(rel, i, j):
+                return (
+                    (i, j),
+                    Violation(label, (i, j), "within Δ on X but beyond ε on Y"),
                 )
+            return None
+
+        if plan_enabled():
+            return ViolationSet(
+                execute_pairs(plan_for(self), relation, _verify)
+            )
+        vs = ViolationSet()
+        for i, j in relation.tuple_pairs():
+            hit = _verify(relation, i, j)
+            if hit is not None:
+                vs.add(hit[1])
         return vs
 
     # -- family tree --------------------------------------------------------

@@ -196,6 +196,14 @@ class DC(Dependency):
         return all(p.evaluate(relation, assignment) for p in self.predicates)
 
     def violations(self, relation: Relation) -> ViolationSet:
+        from ...plan import denial_violations, plan_enabled
+
+        if plan_enabled():
+            return ViolationSet(denial_violations(self, relation))
+        return self._naive_violations(relation)
+
+    def _naive_violations(self, relation: Relation) -> ViolationSet:
+        """Reference ordered scan (the plan kernels must match this)."""
         vs = ViolationSet()
         label = self.label()
         n = len(relation)
@@ -223,6 +231,10 @@ class DC(Dependency):
         return vs
 
     def holds(self, relation: Relation) -> bool:
+        from ...plan import denial_violations, plan_enabled
+
+        if plan_enabled():
+            return not denial_violations(self, relation, first_only=True)
         n = len(relation)
         if self.is_single_tuple:
             var = self._variables[0]

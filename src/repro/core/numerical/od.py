@@ -17,7 +17,6 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from ...relation.relation import Relation
-from ...relation.schema import Attribute
 from ..base import DependencyError, PairwiseDependency
 from .ofd import OFD
 

@@ -21,6 +21,7 @@ from typing import Sequence
 
 from ..core.heterogeneous import DD, DifferentialFunction, Interval
 from ..metrics.registry import DEFAULT_REGISTRY, MetricRegistry
+from ..plan import plan_enabled
 from ..relation.relation import Relation
 from ..runtime.budget import Budget, checkpoint, governed, resolve_budget
 from ..runtime.errors import BudgetExhausted, EngineFault, ReproError
@@ -203,10 +204,17 @@ def _dd_grid_search(
                     )
                     for rhs_t in grids[rhs]:
                         stats.candidates_checked += 1
-                        checkpoint(
-                            candidates=1,
-                            pairs=len(relation) * (len(relation) - 1) // 2,
-                        )
+                        if plan_enabled():
+                            # The plan kernels charge the pairs they
+                            # actually examine inside ``holds``.
+                            checkpoint(candidates=1)
+                        else:
+                            checkpoint(
+                                candidates=1,
+                                pairs=len(relation)
+                                * (len(relation) - 1)
+                                // 2,
+                            )
                         cand = DD(
                             lhs_fn,
                             DifferentialFunction(

@@ -13,7 +13,6 @@ benchmark demonstrates.
 
 from __future__ import annotations
 
-from itertools import combinations
 
 from ..core.categorical import FD
 from ..relation import encoding

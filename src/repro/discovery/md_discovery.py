@@ -18,10 +18,11 @@ from typing import Sequence
 
 from ..core.heterogeneous import MD, SimilarityPredicate
 from ..metrics.registry import DEFAULT_REGISTRY, MetricRegistry
+from ..plan import plan_enabled
 from ..relation.relation import Relation
 from ..runtime.budget import Budget, checkpoint, governed, resolve_budget
 from ..runtime.errors import BudgetExhausted
-from .common import DiscoveryResult, DiscoveryStats
+from .common import DiscoveryResult, DiscoveryStats, match_evidence
 from .dd_discovery import candidate_thresholds, pairwise_distances
 
 
@@ -97,7 +98,12 @@ def _md_threshold_sweep(
                 nonlocal best
                 if idx == len(attrs):
                     stats.candidates_checked += 1
-                    checkpoint(candidates=1, pairs=n_pairs)
+                    if plan_enabled():
+                        # Kernels charge examined pairs inside
+                        # support/confidence themselves.
+                        checkpoint(candidates=1)
+                    else:
+                        checkpoint(candidates=1, pairs=n_pairs)
                     cand = MD(
                         [
                             SimilarityPredicate(a, t)
@@ -160,14 +166,24 @@ def concise_matching_keys(
     uncovered = set(target_pairs)
     chosen: list[MD] = []
     remaining = list(candidates)
+    # Each candidate's match set is collected once through its guard
+    # plan; greedy rounds then intersect sets instead of re-running the
+    # similarity metric per (candidate, pair).
+    match_sets = {
+        id(md): match_evidence(md, relation) for md in remaining
+    }
     while uncovered and remaining and (
         max_keys is None or len(chosen) < max_keys
     ):
         best = None
         best_cover: set[tuple[int, int]] = set()
         for md in remaining:
+            # Match sets hold i < j pairs; accept either orientation in
+            # the caller-supplied targets (similarity is symmetric).
             cover = {
-                p for p in uncovered if md.similar_on_lhs(relation, *p)
+                p
+                for p in uncovered
+                if (min(p), max(p)) in match_sets[id(md)]
             }
             if len(cover) > len(best_cover):
                 best, best_cover = md, cover

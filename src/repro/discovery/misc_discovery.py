@@ -19,7 +19,6 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Mapping, Sequence
 
-from ..core.categorical import MVD
 from ..core.heterogeneous import CD, PAC, SimilarityFunction
 from ..core.heterogeneous.ffd import FFD
 from ..metrics.fuzzy import Resemblance

@@ -420,6 +420,17 @@ class PairProbeChecker(IncrementalChecker):
                 self._store_probe(new, nk[0], nk[1])
         changed = self._changed_new_rows(delta, new, touched, deleted, remap)
         changed_set = set(changed)
+        if not changed_set:
+            return
+        from ..plan import plan_enabled
+
+        if plan_enabled():
+            # The plan kernels prune the changed × all probe space the
+            # same way they prune the cold scan, restricted to pairs
+            # touching a changed row.
+            for v in self._plan_probe(new, changed_set):
+                self._viols[v.tuples] = v
+            return
         n = len(new)
         for t in changed:
             for u in range(n):
@@ -427,6 +438,11 @@ class PairProbeChecker(IncrementalChecker):
                     continue  # each changed-changed pair probed once
                 i, j = (t, u) if t < u else (u, t)
                 self._store_probe(new, i, j)
+
+    def _plan_probe(self, relation: Relation, restrict: set[int]):
+        from ..plan import pairwise_violations
+
+        return pairwise_violations(self.rule, relation, restrict=restrict)
 
 
 class DCChecker(PairProbeChecker):
@@ -444,6 +460,11 @@ class DCChecker(PairProbeChecker):
         if rule._assignment_denied(relation, {ALPHA: j, BETA: i}):
             return f"(tα=t{j}, tβ=t{i}) satisfies all atoms"
         return None
+
+    def _plan_probe(self, relation, restrict):
+        from ..plan import denial_violations
+
+        return denial_violations(self.rule, relation, restrict=restrict)
 
     def _apply(self, old, delta, new, remap) -> None:
         if not self.rule.is_single_tuple:

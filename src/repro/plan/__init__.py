@@ -1,0 +1,77 @@
+"""The shared predicate-plan IR and its pruned evaluation kernels.
+
+This package is the executable form of the paper's subsumption thesis:
+every pairwise/measured notation lowers (:func:`compile_dependency`)
+into one deny-form plan over :class:`PredicateAtom` conjunctions, and
+one kernel layer (:mod:`repro.plan.kernels`) evaluates all of them with
+candidate-pair pruning — partition groups for equality atoms, sorted
+sweeps for order atoms, value blocking for metric atoms — instead of
+each notation running its own blind O(n²) loop.
+
+Layering: relation substrate → plan IR → kernels → engines
+(detection / discovery / incremental / profiling).  See
+``docs/architecture.md``.
+"""
+
+from .compile import compile_dependency, compile_guards
+from .ir import (
+    ALPHA,
+    BETA,
+    Clause,
+    CmpAtom,
+    ConstAtom,
+    FnAtom,
+    MetricAtom,
+    NotNullAtom,
+    PatternAtom,
+    Plan,
+    PlanCompileError,
+    PredicateAtom,
+    ResemblanceAtom,
+    ThetaAtom,
+    plan_enabled,
+    plan_mode,
+    set_mode,
+)
+from .kernels import (
+    COUNTERS,
+    KernelCounters,
+    denial_violations,
+    execute_pairs,
+    execute_rows,
+    guard_pairs,
+    pairwise_violations,
+    plan_for,
+    strategy_hint,
+)
+
+__all__ = [
+    "ALPHA",
+    "BETA",
+    "Clause",
+    "CmpAtom",
+    "ConstAtom",
+    "FnAtom",
+    "MetricAtom",
+    "NotNullAtom",
+    "PatternAtom",
+    "Plan",
+    "PlanCompileError",
+    "PredicateAtom",
+    "ResemblanceAtom",
+    "ThetaAtom",
+    "plan_enabled",
+    "plan_mode",
+    "set_mode",
+    "compile_dependency",
+    "compile_guards",
+    "COUNTERS",
+    "KernelCounters",
+    "denial_violations",
+    "execute_pairs",
+    "execute_rows",
+    "guard_pairs",
+    "pairwise_violations",
+    "plan_for",
+    "strategy_hint",
+]

@@ -1,0 +1,355 @@
+"""Lowering every pairwise/measured notation into the plan IR.
+
+:func:`compile_dependency` makes the family tree's subsumption edges
+executable: each notation's violation condition is rewritten as a
+deny-form plan (guards ∧ ¬consequent per clause), the same shape the
+paper uses to embed FDs/ODs/eCFDs into DCs (Section 4.3).  Guard atoms
+are constructed **once** and shared by identity across clauses, which is
+how the kernels recognize them (see :meth:`Plan.shared_atoms`).
+
+Notations with genuinely non-pairwise semantics (MVDs, FHDs, CFDs with
+their single-tuple pattern part, SDs over sorted sequences,
+conjunctions) raise :class:`PlanCompileError`; unknown *pairwise*
+subclasses never fail — they get a generic one-atom fallback plan that
+wraps their own ``pair_violation``, so the plan layer can always take
+over the scan loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.base import MeasuredDependency, PairwiseDependency
+from ..core.heterogeneous.constraints import Interval
+from .ir import (
+    ALPHA,
+    BETA,
+    Clause,
+    CmpAtom,
+    ConstAtom,
+    FnAtom,
+    MetricAtom,
+    NotNullAtom,
+    PatternAtom,
+    Plan,
+    PlanCompileError,
+    PredicateAtom,
+    ResemblanceAtom,
+    ThetaAtom,
+)
+
+_LOWERINGS: dict[type, Callable] = {}
+
+
+def lowering(cls: type) -> Callable:
+    """Register the lowering for one notation class (exact type match)."""
+
+    def register(fn: Callable) -> Callable:
+        _LOWERINGS[cls] = fn
+        return fn
+
+    return register
+
+
+def compile_dependency(dep) -> Plan:
+    """Lower a dependency into an evaluation plan.
+
+    Measured notations wrapping an embedded base notation (AFD, SFD,
+    PFD) compile to the embedded plan with a note recording the
+    threshold comparison — their *evidence* is the embedded violations;
+    whether the measured constraint holds stays a threshold test.
+    """
+    for cls in type(dep).__mro__:
+        fn = _LOWERINGS.get(cls)
+        if fn is not None:
+            return fn(dep)
+    embedded = getattr(dep, "embedded", None)
+    if isinstance(dep, MeasuredDependency) and embedded is not None:
+        plan = compile_dependency(embedded)
+        return Plan(
+            dep.label(),
+            plan.clauses,
+            arity=plan.arity,
+            style=plan.style,
+            source=dep,
+            note=(
+                f"measured: holds iff measure {dep.measure_direction} "
+                f"{dep.threshold:g}"
+            ),
+        )
+    if isinstance(dep, PairwiseDependency):
+        return _generic_pairwise(dep)
+    raise PlanCompileError(
+        f"{type(dep).__name__} has no pair-plan lowering "
+        f"({dep.kind}: not universally quantified over tuple pairs)"
+    )
+
+
+def _generic_pairwise(dep, note: str = "") -> Plan:
+    """Fallback: one opaque atom wrapping the notation's own predicate.
+
+    ``pair_violation`` receives the unordered pair and checks both
+    orientations itself (the scanner contract), so the atom is
+    symmetric by construction.
+    """
+    atom = FnAtom(
+        lambda relation, i, j, dep=dep: dep.pair_violation(
+            relation, min(i, j), max(i, j)
+        )
+        is not None,
+        dep.attributes(),
+        symmetric=True,
+        text=f"pair_violation[{dep.kind}]",
+    )
+    return Plan(
+        dep.label(),
+        [Clause([atom])],
+        source=dep,
+        note=note or "generic fallback: no structural lowering registered",
+    )
+
+
+def _py_eq(attr: str, negated: bool = False) -> CmpAtom:
+    return CmpAtom(ALPHA, attr, "=", BETA, attr, "py", negated=negated)
+
+
+def _guarded(guards, consequents) -> list[Clause]:
+    """One clause per consequent: guards ∧ ¬consequent_k (deny form)."""
+    return [Clause(list(guards) + [c]) for c in consequents]
+
+
+def _condition_atoms(condition) -> list[PredicateAtom]:
+    """Pattern-condition atoms on *both* tuple variables (CDD/CMD)."""
+    atoms: list[PredicateAtom] = []
+    for attr, entry in condition.entries().items():
+        if entry.is_wildcard:
+            continue
+        atoms.append(PatternAtom(ALPHA, attr, entry))
+        atoms.append(PatternAtom(BETA, attr, entry))
+    return atoms
+
+
+def _similarity_atom(p, registry, negated: bool = False) -> MetricAtom:
+    """A SimilarityPredicate as a within-threshold metric atom."""
+    return MetricAtom(
+        p.attribute,
+        Interval.at_most(p.threshold),
+        "within",
+        negated=negated,
+        metric=p.metric,
+        registry=registry,
+    )
+
+
+def compile_guards(dep) -> Plan:
+    """The plan matching the pairs a notation's LHS selects.
+
+    Match/support/confidence measures (MD.matches, NED support, CD
+    confidence, PAC pair counts) quantify over LHS-selected pairs, not
+    violations; this is the pruning plan for that query.  Note the CMD
+    guard deliberately omits the condition — ``MD.matches`` counts
+    LHS-similar pairs regardless of it.
+    """
+    from ..core.heterogeneous.cd import CD
+    from ..core.heterogeneous.md import MD
+    from ..core.heterogeneous.ned import NED
+    from ..core.heterogeneous.pac import PAC
+
+    if isinstance(dep, (MD, NED, PAC)):
+        atoms = [_similarity_atom(p, dep.registry) for p in dep.lhs]
+    elif isinstance(dep, CD):
+        atoms = [ThetaAtom(f, dep.registry) for f in dep.lhs]
+    else:
+        raise PlanCompileError(
+            f"{type(dep).__name__} has no guard-pair plan"
+        )
+    return Plan(f"{dep.label()} [guards]", [Clause(atoms)], source=dep)
+
+
+def _register_all() -> None:
+    from ..core.categorical.fd import FD
+    from ..core.heterogeneous.cd import CD
+    from ..core.heterogeneous.dd import CDD, DD
+    from ..core.heterogeneous.ffd import FFD
+    from ..core.heterogeneous.md import CMD, MD
+    from ..core.heterogeneous.mfd import MFD
+    from ..core.heterogeneous.ned import NED
+    from ..core.heterogeneous.pac import PAC
+    from ..core.numerical.dc import DC
+    from ..core.numerical.od import OD
+    from ..core.numerical.ofd import OFD
+
+    @lowering(FD)
+    def _compile_fd(dep: FD) -> Plan:
+        guards = [_py_eq(a) for a in dep.lhs]
+        return Plan(
+            dep.label(),
+            _guarded(guards, [_py_eq(b, negated=True) for b in dep.rhs]),
+            source=dep,
+        )
+
+    @lowering(MFD)
+    def _compile_mfd(dep: MFD) -> Plan:
+        guards = [_py_eq(a) for a in dep.lhs]
+        consequents = [
+            # Interval semantics: a NaN distance never witnesses a
+            # violation, matching the legacy max-combine (max(0, nan)
+            # keeps 0).
+            MetricAtom(
+                b,
+                Interval.at_most(dep.delta),
+                "interval",
+                negated=True,
+                registry=dep.registry,
+            )
+            for b in dep.rhs
+        ]
+        return Plan(dep.label(), _guarded(guards, consequents), source=dep)
+
+    @lowering(NED)
+    def _compile_ned(dep: NED) -> Plan:
+        guards = [_similarity_atom(p, dep.registry) for p in dep.lhs]
+        consequents = [
+            _similarity_atom(p, dep.registry, negated=True) for p in dep.rhs
+        ]
+        return Plan(dep.label(), _guarded(guards, consequents), source=dep)
+
+    @lowering(PAC)
+    def _compile_pac(dep: PAC) -> Plan:
+        guards = [_similarity_atom(p, dep.registry) for p in dep.lhs]
+        consequents = [
+            _similarity_atom(p, dep.registry, negated=True) for p in dep.rhs
+        ]
+        return Plan(
+            dep.label(),
+            _guarded(guards, consequents),
+            source=dep,
+            note=(
+                f"measured: holds iff measure >= {dep.confidence:g} "
+                "(violations are the X-close, Y-far pairs)"
+            ),
+        )
+
+    def _dd_clauses(dep: DD, extra) -> list[Clause]:
+        guards = list(extra) + [
+            MetricAtom(a, interval, "interval", registry=dep.registry)
+            for a, interval in dep.lhs.ranges.items()
+        ]
+        consequents = [
+            MetricAtom(
+                a, interval, "interval", negated=True, registry=dep.registry
+            )
+            for a, interval in dep.rhs.ranges.items()
+        ]
+        return _guarded(guards, consequents)
+
+    @lowering(DD)
+    def _compile_dd(dep: DD) -> Plan:
+        return Plan(dep.label(), _dd_clauses(dep, []), source=dep)
+
+    @lowering(CDD)
+    def _compile_cdd(dep: CDD) -> Plan:
+        return Plan(
+            dep.label(),
+            _dd_clauses(dep, _condition_atoms(dep.condition)),
+            source=dep,
+        )
+
+    def _md_clauses(dep: MD, extra) -> list[Clause]:
+        guards = list(extra) + [
+            _similarity_atom(p, dep.registry) for p in dep.lhs
+        ]
+        consequents = [_py_eq(b, negated=True) for b in dep.rhs]
+        return _guarded(guards, consequents)
+
+    @lowering(MD)
+    def _compile_md(dep: MD) -> Plan:
+        return Plan(dep.label(), _md_clauses(dep, []), source=dep)
+
+    @lowering(CMD)
+    def _compile_cmd(dep: CMD) -> Plan:
+        return Plan(
+            dep.label(),
+            _md_clauses(dep, _condition_atoms(dep.condition)),
+            source=dep,
+        )
+
+    @lowering(CD)
+    def _compile_cd(dep: CD) -> Plan:
+        guards = [ThetaAtom(f, dep.registry) for f in dep.lhs]
+        consequents = [ThetaAtom(dep.rhs, dep.registry, negated=True)]
+        return Plan(dep.label(), _guarded(guards, consequents), source=dep)
+
+    @lowering(FFD)
+    def _compile_ffd(dep: FFD) -> Plan:
+        return Plan(
+            dep.label(), [Clause([ResemblanceAtom(dep)])], source=dep
+        )
+
+    @lowering(OFD)
+    def _compile_ofd(dep: OFD) -> Plan:
+        attrs = tuple(dict.fromkeys(dep.lhs + dep.rhs))
+        notnull = NotNullAtom(attrs)
+        if dep.ordering != "pointwise":
+            # Lexicographic ordering compares whole tuples; it does not
+            # decompose into per-attribute atoms.
+            atom = FnAtom(
+                lambda relation, i, j, dep=dep: dep._leq(
+                    relation.values_at(i, dep.lhs),
+                    relation.values_at(j, dep.lhs),
+                )
+                and not dep._leq(
+                    relation.values_at(i, dep.rhs),
+                    relation.values_at(j, dep.rhs),
+                ),
+                attrs,
+                text="lex: tα.X <= tβ.X ∧ ¬(tα.Y <= tβ.Y)",
+            )
+            return Plan(dep.label(), [Clause([notnull, atom])], source=dep)
+        guards = [notnull] + [
+            CmpAtom(ALPHA, a, "<=", BETA, a) for a in dep.lhs
+        ]
+        consequents = [
+            CmpAtom(ALPHA, b, "<=", BETA, b, negated=True) for b in dep.rhs
+        ]
+        return Plan(dep.label(), _guarded(guards, consequents), source=dep)
+
+    @lowering(OD)
+    def _compile_od(dep: OD) -> Plan:
+        guards = [
+            CmpAtom(ALPHA, m.attribute, m.mark, BETA, m.attribute)
+            for m in dep.lhs
+        ]
+        consequents = [
+            CmpAtom(ALPHA, m.attribute, m.mark, BETA, m.attribute,
+                    negated=True)
+            for m in dep.rhs
+        ]
+        return Plan(dep.label(), _guarded(guards, consequents), source=dep)
+
+    @lowering(DC)
+    def _compile_dc(dep: DC) -> Plan:
+        atoms: list[PredicateAtom] = []
+        for p in dep.predicates:
+            op = "=" if p.op == "==" else p.op
+            if p.is_constant:
+                atoms.append(
+                    ConstAtom(p.lhs_var, p.lhs_attribute, op, p.constant)
+                )
+            else:
+                atoms.append(
+                    CmpAtom(
+                        p.lhs_var, p.lhs_attribute, op,
+                        p.rhs_var, p.rhs_attribute,
+                    )
+                )
+        if dep.is_single_tuple:
+            return Plan(
+                dep.label(), [Clause(atoms)], arity=1, source=dep
+            )
+        return Plan(
+            dep.label(), [Clause(atoms)], style="ordered", source=dep
+        )
+
+
+_register_all()

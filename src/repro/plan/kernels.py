@@ -1,0 +1,674 @@
+"""Pruned evaluation kernels for compiled plans.
+
+One executor replaces every per-class scan loop.  The kernels exploit
+the atom structure of a plan to *generate candidate pairs* — a sound
+over-approximation of the violating pairs — and re-check every
+candidate with a ``verify`` callback supplied by the caller (the
+notation's own definitional predicate).  Pruning therefore never
+changes semantics: results are exactly the legacy results, obtained by
+examining far fewer pairs.
+
+Strategies, in priority order:
+
+* **group-partition** — shared equality atoms restrict candidates to
+  the equal-value partition groups of the relation's shared
+  :mod:`~repro.relation.partition_cache` (FDs, MFDs, MDs embedded from
+  FDs, equality DCs);
+* **sorted-sweep** — a shared order atom sorts the relation once; each
+  clause's order consequent becomes a bisect range query over the
+  already-seen prefix ("ABC of Order Dependencies"-style; ODs, OFDs,
+  order DCs);
+* **metric-blocking** — a shared metric atom buckets rows by value (the
+  encoded codebook's distinct values) and accepts only bucket pairs
+  whose representative distance lands in the atom's interval, with a
+  sorted + bisect fast path for ``abs_diff`` (NEDs, DDs, MDs, PACs);
+* **pair-scan** — the legacy all-pairs fallback (CDs, FFDs, opaque
+  atoms).
+
+All kernels charge examined pairs to the ambient
+:func:`repro.runtime.checkpoint` in batches, so ``max_pairs`` caps and
+deadlines apply *inside* the evaluation — a :class:`BudgetExhausted`
+escapes to the entry point, which reports honest partial results.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right, insort
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from ..runtime import checkpoint
+from .ir import ORDER_OPS, CmpAtom, MetricAtom, Plan
+
+#: Pairs charged to the budget per checkpoint call.
+_BATCH = 256
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+@dataclass
+class KernelCounters:
+    """Cheap global instrumentation (profiler + benchmarks)."""
+
+    executions: int = 0
+    pairs_examined: int = 0
+    pairs_total: int = 0
+    by_strategy: dict[str, int] = field(default_factory=dict)
+
+    def note(self, strategy: str) -> None:
+        self.by_strategy[strategy] = self.by_strategy.get(strategy, 0) + 1
+
+    def reset(self) -> None:
+        self.executions = 0
+        self.pairs_examined = 0
+        self.pairs_total = 0
+        self.by_strategy = {}
+
+    def pruned_fraction(self) -> float:
+        """Fraction of the blind O(n²) pair space the kernels skipped."""
+        if not self.pairs_total:
+            return 0.0
+        return 1.0 - min(1.0, self.pairs_examined / self.pairs_total)
+
+
+COUNTERS = KernelCounters()
+
+
+# -- strategy selection ------------------------------------------------------
+
+
+def _shared_equality_attrs(plan: Plan) -> tuple[str, ...]:
+    """Attributes pinned equal across the pair by every clause."""
+    out = []
+    for a in plan.shared_atoms():
+        if (
+            isinstance(a, CmpAtom)
+            and not a.negated
+            and a.cross_tuple
+            and a.op == "="
+            and a.lhs_attr == a.rhs_attr
+        ):
+            out.append(a.lhs_attr)
+    return tuple(dict.fromkeys(out))
+
+
+def _shared_metric_atom(plan: Plan) -> MetricAtom | None:
+    for a in plan.shared_atoms():
+        if isinstance(a, MetricAtom) and not a.negated:
+            return a
+    return None
+
+
+def _is_order_cmp(atom, *, allow_negated: bool) -> bool:
+    return (
+        isinstance(atom, CmpAtom)
+        and atom.semantics == "sql"
+        and atom.cross_tuple
+        and atom.op in ORDER_OPS
+        and (allow_negated or not atom.negated)
+    )
+
+
+def _sweep_struct(plan: Plan):
+    """Structural sweep eligibility: (guard, prior_is_alpha, consequents).
+
+    The guard is a shared, non-negated, same-attribute order atom; every
+    clause must additionally contain one order atom usable as a bisect
+    range query (residual atoms are left to ``verify``).
+    """
+    if plan.arity != 2:
+        return None
+    shared = plan.shared_atoms()
+    guard = next(
+        (
+            a
+            for a in shared
+            if _is_order_cmp(a, allow_negated=False)
+            and a.lhs_attr == a.rhs_attr
+        ),
+        None,
+    )
+    if guard is None:
+        return None
+    shared_ids = {id(a) for a in shared}
+    consequents = []
+    for clause in plan.clauses:
+        if len(plan.clauses) == 1:
+            residual = [a for a in clause.atoms if a is not guard]
+        else:
+            residual = [a for a in clause.atoms if id(a) not in shared_ids]
+        cons = next(
+            (a for a in residual if _is_order_cmp(a, allow_negated=True)),
+            None,
+        )
+        if cons is None:
+            # A clause without an order consequent would fire for every
+            # guard-true pair — no pruning; don't bother sweeping.
+            return None
+        consequents.append(cons)
+    return guard, guard.op in ("<", "<="), consequents
+
+
+def _column_kind(relation, attr: str) -> str | None:
+    """'num' / 'str' / 'empty' when a column is bisect-sortable, else None."""
+    kind: str | None = None
+    for v in relation.column(attr):
+        if v is None:
+            continue
+        if isinstance(v, bool) or isinstance(v, (int, float)):
+            if isinstance(v, float) and math.isnan(v):
+                continue
+            k = "num"
+        elif isinstance(v, str):
+            k = "str"
+        else:
+            return None
+        if kind is None:
+            kind = k
+        elif kind != k:
+            return None
+    return kind or "empty"
+
+
+def _value_ok(v, kind: str) -> bool:
+    """Whether a cell participates in sorted structures of ``kind``."""
+    if v is None:
+        return False
+    if kind == "num":
+        if isinstance(v, bool):
+            return True
+        if isinstance(v, (int, float)):
+            return not (isinstance(v, float) and math.isnan(v))
+        return False
+    if kind == "str":
+        return isinstance(v, str)
+    return False
+
+
+@dataclass
+class _SweepSpec:
+    sort_attr: str
+    sort_kind: str
+    strict: bool
+    prior_is_alpha: bool
+    #: per clause: (store_attr, query_attr, effective_op, negated, kind)
+    clauses: list[tuple[str, str, str, bool, str]]
+
+
+def _sweep_spec(struct, relation) -> _SweepSpec | None:
+    guard, prior_is_alpha, consequents = struct
+    sort_kind = _column_kind(relation, guard.lhs_attr)
+    if sort_kind is None:
+        return None
+    clause_specs: list[tuple[str, str, str, bool, str]] = []
+    for cons in consequents:
+        if prior_is_alpha:
+            # Guard α.A <= β.A: the already-seen rows play α — store
+            # their α-side value, query with the current row's β-side.
+            store_attr, query_attr = cons.lhs_attr, cons.rhs_attr
+            eff_op = cons.op
+        else:
+            store_attr, query_attr = cons.rhs_attr, cons.lhs_attr
+            eff_op = _FLIP[cons.op]
+        store_kind = _column_kind(relation, store_attr)
+        query_kind = _column_kind(relation, query_attr)
+        if store_kind is None or query_kind is None:
+            return None
+        if "empty" not in (store_kind, query_kind) and store_kind != query_kind:
+            # Cross-kind comparisons are SQL-false everywhere; scanning
+            # is simpler than modelling that.
+            return None
+        kind = store_kind if store_kind != "empty" else query_kind
+        clause_specs.append(
+            (store_attr, query_attr, eff_op, cons.negated, kind)
+        )
+    return _SweepSpec(
+        guard.lhs_attr,
+        sort_kind,
+        guard.op in ("<", ">"),
+        prior_is_alpha,
+        clause_specs,
+    )
+
+
+def strategy_hint(plan: Plan) -> str:
+    """The kernel a plan would select (static; used by ``repro plan``)."""
+    if plan.arity == 1:
+        return "row-scan"
+    if _shared_equality_attrs(plan):
+        return "group-partition"
+    if _sweep_struct(plan) is not None:
+        return "sorted-sweep"
+    if _shared_metric_atom(plan) is not None:
+        return "metric-blocking"
+    return "pair-scan"
+
+
+# -- candidate generators ----------------------------------------------------
+
+
+def _iter_scan_pairs(
+    n: int, restrict: set[int] | None
+) -> Iterator[tuple[int, int]]:
+    if restrict is None:
+        for i in range(n):
+            for j in range(i + 1, n):
+                yield i, j
+        return
+    for t in sorted(restrict):
+        for u in range(n):
+            if u == t or (u in restrict and u < t):
+                continue
+            yield (t, u) if t < u else (u, t)
+
+
+def _iter_group_pairs(
+    relation, attrs: tuple[str, ...], restrict: set[int] | None
+) -> Iterator[tuple[int, int]]:
+    try:
+        groups = relation.cached_group_by(attrs)
+    except TypeError:
+        # Unhashable values can't be partitioned; scan instead.
+        yield from _iter_scan_pairs(len(relation), restrict)
+        return
+    for indices in groups.values():
+        if len(indices) < 2:
+            continue
+        if restrict is not None and restrict.isdisjoint(indices):
+            continue
+        for a in range(len(indices)):
+            p = indices[a]
+            for b in range(a + 1, len(indices)):
+                q = indices[b]
+                if restrict is not None and p not in restrict and q not in restrict:
+                    continue
+                yield (p, q) if p < q else (q, p)
+
+
+def _iter_metric_pairs(
+    relation, atom: MetricAtom, restrict: set[int] | None
+) -> Iterator[tuple[int, int]]:
+    n = len(relation)
+    col = relation.column(atom.attribute)
+    # Bucket by (type, repr), not by the raw value: dict ``==`` collapse
+    # (True == 1 == 1.0) is not metric-safe — collapsed values can sit
+    # at different distances from a third value (str-based metrics see
+    # "True" vs "1.0").  repr-equal same-type values are
+    # indistinguishable to any deterministic metric, so each bucket has
+    # one well-defined representative; all NaNs share a bucket.
+    buckets: dict[Any, tuple[Any, list[int]]] = {}
+    for r in range(n):
+        v = col[r]
+        key = (type(v), repr(v))
+        entry = buckets.get(key)
+        if entry is None:
+            buckets[key] = (v, [r])
+        else:
+            entry[1].append(r)
+    metric = atom.resolve_metric(relation)
+    reps = list(buckets.values())
+    m = len(reps)
+
+    def expand(rows_u: list[int], rows_v: list[int]) -> Iterator[tuple[int, int]]:
+        for p in rows_u:
+            for q in rows_v:
+                if restrict is not None and p not in restrict and q not in restrict:
+                    continue
+                yield (p, q) if p < q else (q, p)
+
+    def expand_self(rows_u: list[int]) -> Iterator[tuple[int, int]]:
+        for a in range(len(rows_u)):
+            p = rows_u[a]
+            for b in range(a + 1, len(rows_u)):
+                q = rows_u[b]
+                if restrict is not None and p not in restrict and q not in restrict:
+                    continue
+                yield (p, q) if p < q else (q, p)
+
+    numeric = metric.name == "abs_diff" and all(
+        _value_ok(u, "num") for u, _ in reps
+    )
+    if numeric:
+        # Value-sorted blocking: partners of u lie in the window
+        # u + [low, high] (one side only — u <= v avoids double visits).
+        reps.sort(key=lambda item: item[0])
+        values = [u for u, _ in reps]
+        iv = atom.interval
+        low, high = iv.low, iv.high
+        if atom.semantics == "within":
+            low, high = 0.0, iv.high
+        for idx, (u, rows_u) in enumerate(reps):
+            if len(rows_u) > 1 and atom.accepts_distance(
+                metric.distance(u, u)
+            ):
+                yield from expand_self(rows_u)
+            lo_bound = u + low
+            start = (
+                bisect_right(values, lo_bound)
+                if iv.low_open and atom.semantics != "within"
+                else bisect_left(values, lo_bound)
+            )
+            if high == math.inf:
+                end = m
+            else:
+                hi_bound = u + high
+                end = (
+                    bisect_left(values, hi_bound)
+                    if iv.high_open
+                    else bisect_right(values, hi_bound)
+                )
+            for k in range(max(start, idx + 1), end):
+                yield from expand(rows_u, reps[k][1])
+        return
+
+    # Generic blocking: compare bucket representatives; only profitable
+    # when there are far fewer distinct values than rows.
+    if m * (m - 1) // 2 + m > n * (n - 1) // 2:
+        yield from _iter_scan_pairs(n, restrict)
+        return
+    for a in range(m):
+        u, rows_u = reps[a]
+        if len(rows_u) > 1 and atom.accepts_distance(metric.distance(u, u)):
+            yield from expand_self(rows_u)
+        for b in range(a + 1, m):
+            v, rows_v = reps[b]
+            if atom.accepts_distance(metric.distance(u, v)):
+                yield from expand(rows_u, rows_v)
+
+
+def _iter_sweep_pairs(relation, spec: _SweepSpec) -> Iterator[tuple[int, int]]:
+    n = len(relation)
+    sort_col = relation.column(spec.sort_attr)
+    rows = [r for r in range(n) if _value_ok(sort_col[r], spec.sort_kind)]
+    rows.sort(key=lambda r: sort_col[r])
+    store_cols = [relation.column(s[0]) for s in spec.clauses]
+    query_cols = [relation.column(s[1]) for s in spec.clauses]
+    # Per clause: sorted [(store_value, row)] plus the rows whose store
+    # value is undefined (None/NaN) — SQL-false operands, so they fire
+    # exactly the *negated* consequents.
+    sorted_vals: list[list[tuple[Any, int]]] = [[] for _ in spec.clauses]
+    bad_rows: list[list[int]] = [[] for _ in spec.clauses]
+    prior_rows: list[int] = []
+
+    i = 0
+    while i < len(rows):
+        v0 = sort_col[rows[i]]
+        j = i
+        while j < len(rows) and sort_col[rows[j]] == v0:
+            j += 1
+        block = rows[i:j]
+        if not spec.strict and len(block) > 1:
+            # Non-strict guard: equal sort values satisfy the guard in
+            # both orientations — brute-force the tie block.
+            for a in range(len(block)):
+                for b in range(a + 1, len(block)):
+                    p, q = block[a], block[b]
+                    yield (p, q) if p < q else (q, p)
+        if prior_rows:
+            for r in block:
+                fired: set[int] = set()
+                for c, (_, _, eff_op, negated, kind) in enumerate(
+                    spec.clauses
+                ):
+                    v = query_cols[c][r]
+                    vals = sorted_vals[c]
+                    if not _value_ok(v, kind):
+                        if negated:
+                            # Undefined comparison: ¬(x op v) is true
+                            # for every stored x.
+                            fired.update(prior_rows)
+                        continue
+                    lo = (v, -1)
+                    hi = (v, n)
+                    if not negated:
+                        if eff_op == "<":
+                            sl = vals[: bisect_left(vals, lo)]
+                        elif eff_op == "<=":
+                            sl = vals[: bisect_right(vals, hi)]
+                        elif eff_op == ">":
+                            sl = vals[bisect_right(vals, hi):]
+                        else:
+                            sl = vals[bisect_left(vals, lo):]
+                    else:
+                        if eff_op == "<":
+                            sl = vals[bisect_left(vals, lo):]
+                        elif eff_op == "<=":
+                            sl = vals[bisect_right(vals, hi):]
+                        elif eff_op == ">":
+                            sl = vals[: bisect_right(vals, hi)]
+                        else:
+                            sl = vals[: bisect_left(vals, lo)]
+                        fired.update(bad_rows[c])
+                    fired.update(row for _, row in sl)
+                    if len(fired) == len(prior_rows):
+                        break
+                for p in fired:
+                    yield (p, r) if p < r else (r, p)
+        for r in block:
+            prior_rows.append(r)
+            for c, (_, _, _, _, kind) in enumerate(spec.clauses):
+                x = store_cols[c][r]
+                if _value_ok(x, kind):
+                    insort(sorted_vals[c], (x, r))
+                else:
+                    bad_rows[c].append(r)
+        i = j
+
+
+# -- executors ---------------------------------------------------------------
+
+PairVerify = Callable[..., "tuple[Any, Any] | None"]
+
+
+def _candidates(
+    plan: Plan, relation, restrict: set[int] | None
+) -> tuple[str, Iterable[tuple[int, int]]]:
+    eq_attrs = _shared_equality_attrs(plan)
+    if eq_attrs:
+        return "group", _iter_group_pairs(relation, eq_attrs, restrict)
+    if restrict is None:
+        struct = _sweep_struct(plan)
+        if struct is not None:
+            spec = _sweep_spec(struct, relation)
+            if spec is not None:
+                return "sweep", _iter_sweep_pairs(relation, spec)
+    atom = _shared_metric_atom(plan)
+    if atom is not None:
+        return "metric", _iter_metric_pairs(relation, atom, restrict)
+    return "scan", _iter_scan_pairs(len(relation), restrict)
+
+
+def execute_pairs(
+    plan: Plan,
+    relation,
+    verify: PairVerify,
+    *,
+    restrict: set[int] | None = None,
+    first_only: bool = False,
+) -> list:
+    """Run a pair plan; return verified payloads in legacy scan order.
+
+    ``verify(relation, p, q)`` (p < q) re-checks a candidate with the
+    notation's own predicate and returns ``(sort_key, payload)`` or
+    ``None``.  ``restrict`` keeps only candidates touching the given
+    rows (the incremental re-probe).  ``first_only`` short-circuits on
+    the first verified hit (``holds``-style queries).
+    """
+    n = len(relation)
+    COUNTERS.executions += 1
+    COUNTERS.pairs_total += n * (n - 1) // 2
+    strategy, candidates = _candidates(plan, relation, restrict)
+    COUNTERS.note(strategy)
+    hits: list[tuple[Any, Any]] = []
+    pending = 0
+    for p, q in candidates:
+        pending += 1
+        if pending >= _BATCH:
+            COUNTERS.pairs_examined += pending
+            checkpoint(pairs=pending)
+            pending = 0
+        hit = verify(relation, p, q)
+        if hit is not None:
+            hits.append(hit)
+            if first_only:
+                break
+    COUNTERS.pairs_examined += pending
+    checkpoint(pairs=pending)
+    hits.sort(key=lambda item: item[0])
+    return [payload for _, payload in hits]
+
+
+def execute_rows(
+    plan: Plan,
+    relation,
+    verify: Callable,
+    *,
+    restrict: set[int] | None = None,
+    first_only: bool = False,
+) -> list:
+    """Run a single-tuple (arity-1) plan over rows."""
+    COUNTERS.executions += 1
+    COUNTERS.note("rows")
+    rows: Iterable[int] = (
+        sorted(restrict) if restrict is not None else range(len(relation))
+    )
+    hits: list[tuple[Any, Any]] = []
+    pending = 0
+    for r in rows:
+        pending += 1
+        if pending >= _BATCH:
+            checkpoint()
+            pending = 0
+        hit = verify(relation, r)
+        if hit is not None:
+            hits.append(hit)
+            if first_only:
+                break
+    checkpoint()
+    hits.sort(key=lambda item: item[0])
+    return [payload for _, payload in hits]
+
+
+# -- plan cache + notation-facing entry points -------------------------------
+
+
+def plan_for(dep) -> Plan:
+    """The compiled plan of a dependency, cached on the instance."""
+    plan = getattr(dep, "_repro_plan", None)
+    if plan is None or plan.source is not dep:
+        from .compile import compile_dependency
+
+        plan = compile_dependency(dep)
+        try:
+            dep._repro_plan = plan
+        except (AttributeError, TypeError):
+            pass
+    return plan
+
+
+def pairwise_violations(
+    dep,
+    relation,
+    *,
+    restrict: set[int] | None = None,
+    first_only: bool = False,
+) -> list:
+    """Violations of a pairwise notation via its compiled plan.
+
+    ``pair_violation`` stays the single source of truth for what a
+    violation *is* (and its reason text); the plan only decides which
+    pairs are worth asking about.
+    """
+    from ..core.violation import Violation
+
+    label = dep.label()
+
+    def verify(rel, p: int, q: int):
+        reason = dep.pair_violation(rel, p, q)
+        if reason is None:
+            return None
+        return ((p, q), Violation(label, (p, q), reason))
+
+    return execute_pairs(
+        plan_for(dep), relation, verify, restrict=restrict,
+        first_only=first_only,
+    )
+
+
+def denial_violations(
+    dep,
+    relation,
+    *,
+    restrict: set[int] | None = None,
+    first_only: bool = False,
+) -> list:
+    """Violations of a DC via its compiled plan (ordered semantics).
+
+    Matches the legacy ordered scan exactly: per unordered pair the
+    (α, β) orientation reported is the first denied one in row-major
+    order.
+    """
+    from ..core.numerical.dc import ALPHA, BETA
+    from ..core.violation import Violation
+
+    plan = plan_for(dep)
+    label = dep.label()
+    if plan.arity == 1:
+        var = dep._variables[0]
+
+        def verify_row(rel, r: int):
+            if dep._assignment_denied(rel, {var: r}):
+                return (r, Violation(label, (r,), "tuple satisfies all atoms"))
+            return None
+
+        return execute_rows(
+            plan, relation, verify_row, restrict=restrict,
+            first_only=first_only,
+        )
+
+    def verify(rel, p: int, q: int):
+        # The legacy ordered scan emits a pair at its first denied
+        # (α, β) assignment in row-major order — sort by that key.
+        for a, b in ((p, q), (q, p)):
+            if dep._assignment_denied(rel, {ALPHA: a, BETA: b}):
+                return (
+                    (a, b),
+                    Violation(
+                        label,
+                        (p, q),
+                        f"(tα=t{a}, tβ=t{b}) satisfies all atoms",
+                    ),
+                )
+        return None
+
+    return execute_pairs(
+        plan, relation, verify, restrict=restrict, first_only=first_only
+    )
+
+
+def guard_pairs(
+    dep, relation, verify_pair: Callable[..., bool]
+) -> list[tuple[int, int]]:
+    """All pairs selected by a notation's LHS (its guard atoms).
+
+    Used for match/support/confidence measures (MD.matches, NED
+    support, CD confidence, PAC pair counts): the guard plan prunes,
+    ``verify_pair`` is the definitional LHS test.
+    """
+    from .compile import compile_guards
+
+    plan = getattr(dep, "_repro_guard_plan", None)
+    if plan is None or plan.source is not dep:
+        plan = compile_guards(dep)
+        try:
+            dep._repro_guard_plan = plan
+        except (AttributeError, TypeError):
+            pass
+
+    def verify(rel, p: int, q: int):
+        if verify_pair(rel, p, q):
+            return ((p, q), (p, q))
+        return None
+
+    return execute_pairs(plan, relation, verify)

@@ -104,10 +104,14 @@ def profile_relation(
     out, and the report gains a note naming the partial passes —
     profiling under a deadline degrades to fewer rules, not an error.
     """
+    from .plan import COUNTERS
+
     report = ProfileReport(relation)
     if len(relation) == 0:
         report.notes.append("empty relation: nothing to profile")
         return report
+    kernel_examined = COUNTERS.pairs_examined
+    kernel_total = COUNTERS.pairs_total
 
     def add(category: str, deps, result=None) -> None:
         stats = getattr(result if result is not None else deps, "stats", None)
@@ -180,6 +184,17 @@ def profile_relation(
                 f"budget exhausted ({exc.reason}): later discovery "
                 "passes skipped; the report is partial"
             )
+
+    # Pairwise rule evaluation runs through the compiled plan kernels;
+    # surface how much of the O(n²) pair space they skipped.
+    examined = COUNTERS.pairs_examined - kernel_examined
+    total = COUNTERS.pairs_total - kernel_total
+    if total > 0:
+        pruned = 1.0 - min(1.0, examined / total)
+        report.notes.append(
+            f"plan kernels: examined {examined} of {total} candidate "
+            f"pairs ({pruned:.0%} pruned)"
+        )
 
     # Both TANE passes, CFDMiner, and the per-rule violation counts all
     # share the relation-level partition cache; surface its effect.

@@ -26,6 +26,17 @@ class DetectionReport:
 
     violations: ViolationSet
     per_rule: dict[str, ViolationSet] = field(default_factory=dict)
+    #: ``False`` when a resource budget stopped the run early: the
+    #: report is an honest partial answer (rules after the exhaustion
+    #: point were not evaluated).
+    complete: bool = True
+    #: ``""`` while complete; the budget-exhaustion reason otherwise.
+    exhausted: str = ""
+
+    def __post_init__(self) -> None:
+        # Deterministic iteration regardless of rule insertion order:
+        # per_rule is keyed by rule label, so sort by it.
+        self.per_rule = dict(sorted(self.per_rule.items()))
 
     def flagged_tuples(self) -> set[int]:
         """All tuple indices implicated by any rule."""
@@ -36,8 +47,10 @@ class DetectionReport:
 
     def summary(self) -> str:
         lines = [f"{len(self.violations)} violations from {self.rule_count()} rules"]
-        for rule, vs in self.per_rule.items():
-            lines.append(f"  {rule}: {len(vs)}")
+        for rule in sorted(self.per_rule):
+            lines.append(f"  {rule}: {len(self.per_rule[rule])}")
+        if not self.complete:
+            lines.append(f"  [partial: budget exhausted ({self.exhausted})]")
         return "\n".join(lines)
 
 
@@ -84,14 +97,31 @@ class Detector:
         profiled) reuse the relation-level partition/group cache — the
         grouping work behind FD-style rules is paid once per attribute
         list, not once per rule.
+
+        Pairwise rules evaluate through their compiled plans, so an
+        ambient :func:`repro.runtime.governed` budget caps the pairs
+        examined *inside* each rule; on exhaustion the report carries
+        the rules evaluated so far, flagged partial.
         """
+        from ..runtime import BudgetExhausted
+
         total = ViolationSet()
         per_rule: dict[str, ViolationSet] = {}
+        complete, exhausted = True, ""
         for rule in self.rules:
-            vs = rule.violations(relation)
+            try:
+                vs = rule.violations(relation)
+            except BudgetExhausted as exc:
+                complete, exhausted = False, exc.reason
+                break
             per_rule[rule.label()] = vs
             total.extend(vs)
-        return DetectionReport(violations=total, per_rule=per_rule)
+        return DetectionReport(
+            violations=total,
+            per_rule=per_rule,
+            complete=complete,
+            exhausted=exhausted,
+        )
 
     def score(
         self,

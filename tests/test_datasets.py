@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import FD
 from repro.datasets import (
     PAPER_RELATIONS,
     fd_workload,

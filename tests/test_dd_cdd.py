@@ -1,6 +1,5 @@
 """Unit tests for Intervals, DifferentialFunctions, DDs and CDDs."""
 
-import math
 
 import pytest
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import DD, FD, MFD, SD
+from repro.core import DD, FD, SD
 from repro.datasets import fd_workload, heterogeneous_workload
 from repro.quality import DetectionQuality, Detector, detect_violations
 

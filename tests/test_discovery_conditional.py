@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import CFD, FD, MVD
-from repro.datasets import hotel_r5, random_relation
+from repro.datasets import random_relation
 from repro.discovery import (
     candidate_patterns,
     discover_constant_cfds,

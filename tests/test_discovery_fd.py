@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import AFD, FD
-from repro.datasets import fd_workload, hotel_r5, random_relation
+from repro.datasets import fd_workload, random_relation
 from repro.discovery import brute_force_fds, difference_sets, fastfd, tane
 
 

@@ -1,9 +1,8 @@
 """Tests for metric-dependency discovery: MFD verify, DDs, MDs."""
 
-import pytest
 
-from repro.core import DD, MD, MFD
-from repro.datasets import heterogeneous_workload, hotel_r6
+from repro.core import MD, MFD
+from repro.datasets import heterogeneous_workload
 from repro.discovery import (
     candidate_thresholds,
     concise_matching_keys,

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.core import CD, MVD, SimilarityFunction
-from repro.datasets import dataspace_person, hotel_r5, hotel_r6
+from repro.core import CD, SimilarityFunction
+from repro.datasets import dataspace_person
 from repro.discovery import (
     discover_amvds,
     discover_cds,
@@ -11,8 +11,7 @@ from repro.discovery import (
     discover_mvds_topdown,
     fit_pac,
 )
-from repro.metrics import crisp_equal, reciprocal_equal
-from repro.relation import Relation
+from repro.metrics import reciprocal_equal
 
 
 class TestAMVDDiscovery:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import CSD, DC, OD, SD
-from repro.datasets import hotel_r7, ordered_workload, random_relation
+from repro.datasets import ordered_workload
 from repro.discovery import (
     build_predicate_space,
     discover_constant_dcs,

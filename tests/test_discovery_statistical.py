@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import NUD, PFD, SFD
-from repro.datasets import fd_workload, hotel_r5, random_relation
+from repro.datasets import fd_workload
 from repro.discovery import (
     chi_square_statistic,
     cords,

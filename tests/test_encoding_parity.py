@@ -9,9 +9,7 @@ values — through both paths and require bit-identical results.
 
 from __future__ import annotations
 
-import math
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.discovery.dc_discovery import (

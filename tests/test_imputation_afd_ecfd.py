@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.datasets import fd_workload, hotel_r5
+from repro.datasets import fd_workload
 from repro.discovery import discover_ecfds
 from repro.quality import afd_impute, afd_value_distribution
 from repro.relation import Relation

@@ -14,7 +14,7 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.core import DC, DD, FD, MD, MFD, MVD, OD, SD, AFD, CFD, pred2
+from repro.core import DC, DD, FD, MD, MFD, MVD, OD, SD, AFD, CFD
 from repro.incremental import (
     CHECKER_REGISTRY,
     Delta,

@@ -1,6 +1,5 @@
 """End-to-end integration: discovery -> detection -> repair pipelines."""
 
-import pytest
 
 from repro.core import DD, FD, MD, SD
 from repro.datasets import (

@@ -1,6 +1,5 @@
 """Tests for interleaved matching + repairing (Section 3.7.4)."""
 
-import pytest
 
 from repro.core import CFD, FD, MD
 from repro.quality import interactive_clean

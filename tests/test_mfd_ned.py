@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import FD, MFD, NED, DependencyError, SimilarityPredicate
-from repro.metrics import DISCRETE, MetricRegistry
+from repro.metrics import DISCRETE
 from repro.relation import Attribute, AttributeType, Relation, Schema
 
 

@@ -6,7 +6,6 @@ equivalences hold on *arbitrary* generated relations, not just the
 paper's examples.
 """
 
-import math
 
 from hypothesis import given, settings, strategies as st
 

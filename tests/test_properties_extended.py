@@ -1,6 +1,5 @@
 """Property-based tests, batch 2: conditional/metric/order invariants."""
 
-import math
 
 from hypothesis import given, settings, strategies as st
 

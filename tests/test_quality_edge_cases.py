@@ -1,6 +1,5 @@
 """Edge-case hardening for the quality engines."""
 
-import pytest
 
 from repro.core import FD, MD, NUD, OD, SFD
 from repro.quality import (

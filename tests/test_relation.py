@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.relation import Attribute, AttributeType, Relation, Schema
+from repro.relation import Relation
 
 
 @pytest.fixture

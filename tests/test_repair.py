@@ -1,9 +1,8 @@
 """Tests for the repair engines (FD, CFD, DC)."""
 
-import pytest
 
 from repro.core import CFD, DC, FD, pred2, predc
-from repro.datasets import fd_workload, hotel_r7
+from repro.datasets import fd_workload
 from repro.quality import (
     CellEdit,
     repair_cfds,

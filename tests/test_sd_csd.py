@@ -1,10 +1,9 @@
 """Unit tests for SDs and CSDs."""
 
-import math
 
 import pytest
 
-from repro.core import CSD, OD, SD, DependencyError, Interval
+from repro.core import CSD, OD, SD, DependencyError
 from repro.relation import Relation
 
 

@@ -1,6 +1,5 @@
 """Tests for the survey registry, figures, and tables."""
 
-import pytest
 
 from repro.survey import (
     APPLICATIONS,
