@@ -1,0 +1,47 @@
+"""Static rule analysis: lint, simplify, and cross-rule implication.
+
+The paper's family tree is a set of subsumption claims — "every P is a
+special Q" with explicit parameter instantiations — and this package
+turns those claims into a *static analyzer* that runs with zero data
+access, in the tableau-minimization spirit of CFD reasoning (Fan et
+al.) and FASTDC's predicate-space analysis (Chu et al.).  Three layers:
+
+* **per-rule diagnostics** — schema checks, unsatisfiable deny clauses
+  (contradiction closure + interval arithmetic), trivial rules, dead
+  atoms (:mod:`~repro.analysis.schema_check`,
+  :mod:`~repro.analysis.satisfy`);
+* **plan simplification** — equivalence-preserving rewrites of compiled
+  plans that the kernels then execute
+  (:mod:`~repro.analysis.simplify`);
+* **cross-rule analysis** — pairwise implication via family-tree
+  embeddings, duplicate detection, conflicts, and a minimal cover
+  (:mod:`~repro.analysis.cross_rule`).
+
+Every finding is a structured :class:`~repro.analysis.diagnostics.Diagnostic`
+with a stable ``DD0xx`` code; the CLI surface is ``repro lint``.
+"""
+
+from .cross_rule import analyze_rule_set, minimal_cover_entries
+from .diagnostics import CODES, Diagnostic, Severity
+from .linter import (
+    LintReport,
+    lint_entries,
+    lint_rules,
+    screen_rules,
+    skippable_rules,
+)
+from .simplify import simplify_plan
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "analyze_rule_set",
+    "lint_entries",
+    "lint_rules",
+    "minimal_cover_entries",
+    "screen_rules",
+    "simplify_plan",
+    "skippable_rules",
+]

@@ -1,0 +1,144 @@
+"""The structured diagnostic vocabulary of the static analyzer.
+
+Every finding carries a *stable* code so scripts and CI gates can match
+on it; the code space is documented in ``docs/api.md`` and must never
+be renumbered:
+
+===== ======================= ========
+code  name                    severity
+===== ======================= ========
+DD001 unknown-attribute       error
+DD002 type-mismatch           warning
+DD003 unsatisfiable-rule      error
+DD004 trivial-rule            warning
+DD005 dead-clause             warning
+DD006 dead-atom               info
+DD007 implied-rule            warning
+DD008 duplicate-rule          warning
+DD009 conflicting-rules       error
+===== ======================= ========
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; ordering supports ``max()`` aggregation."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class DiagnosticCode:
+    """One registered code: stable identifier, name, default severity."""
+
+    code: str
+    name: str
+    severity: Severity
+    summary: str
+
+
+UNKNOWN_ATTRIBUTE = DiagnosticCode(
+    "DD001", "unknown-attribute", Severity.ERROR,
+    "rule mentions an attribute absent from the relation schema",
+)
+TYPE_MISMATCH = DiagnosticCode(
+    "DD002", "type-mismatch", Severity.WARNING,
+    "atom is type-incompatible with the column it constrains",
+)
+UNSATISFIABLE_RULE = DiagnosticCode(
+    "DD003", "unsatisfiable-rule", Severity.ERROR,
+    "every deny clause is statically contradictory; the rule can never "
+    "fire",
+)
+TRIVIAL_RULE = DiagnosticCode(
+    "DD004", "trivial-rule", Severity.WARNING,
+    "rule is structurally tautological (e.g. FD with RHS ⊆ LHS)",
+)
+DEAD_CLAUSE = DiagnosticCode(
+    "DD005", "dead-clause", Severity.WARNING,
+    "some (not all) deny clauses are statically contradictory",
+)
+DEAD_ATOM = DiagnosticCode(
+    "DD006", "dead-atom", Severity.INFO,
+    "atom is redundant inside its clause and can be dropped",
+)
+IMPLIED_RULE = DiagnosticCode(
+    "DD007", "implied-rule", Severity.WARNING,
+    "rule is implied by another rule via a family-tree embedding",
+)
+DUPLICATE_RULE = DiagnosticCode(
+    "DD008", "duplicate-rule", Severity.WARNING,
+    "rule duplicates an earlier rule",
+)
+CONFLICTING_RULES = DiagnosticCode(
+    "DD009", "conflicting-rules", Severity.ERROR,
+    "two rules cannot be satisfied together on non-trivial data",
+)
+
+#: Stable code -> registration, in numbering order.
+CODES: dict[str, DiagnosticCode] = {
+    c.code: c
+    for c in (
+        UNKNOWN_ATTRIBUTE,
+        TYPE_MISMATCH,
+        UNSATISFIABLE_RULE,
+        TRIVIAL_RULE,
+        DEAD_CLAUSE,
+        DEAD_ATOM,
+        IMPLIED_RULE,
+        DUPLICATE_RULE,
+        CONFLICTING_RULES,
+    )
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer."""
+
+    code: str
+    severity: Severity
+    rule: str
+    message: str
+    location: str = ""
+    #: Names/locations of other rules involved (implication, conflicts).
+    related: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def name(self) -> str:
+        return CODES[self.code].name
+
+    def render(self) -> str:
+        where = f" ({self.location})" if self.location else ""
+        text = (
+            f"{self.code} [{self.severity}] {self.rule}{where}: "
+            f"{self.message}"
+        )
+        if self.related:
+            text += f" [see: {', '.join(self.related)}]"
+        return text
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def make(code: DiagnosticCode, rule: str, message: str,
+         location: str = "", related: tuple[str, ...] = ()) -> Diagnostic:
+    """Build a diagnostic with the code's registered severity."""
+    return Diagnostic(
+        code=code.code,
+        severity=code.severity,
+        rule=rule,
+        message=message,
+        location=location,
+        related=related,
+    )

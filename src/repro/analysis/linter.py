@@ -1,0 +1,284 @@
+"""The rule linter: every static diagnostic for a rule set, in one pass.
+
+:func:`lint_entries` runs the full pipeline over parsed
+:class:`~repro.rules_io.RuleEntry` objects (``lint_rules`` wraps bare
+dependencies):
+
+1. **schema checks** (optional, when a schema is supplied) — DD001
+   unknown attributes, DD002 type-incompatible atoms;
+2. **per-rule plan analysis** — structural triviality (DD004) first,
+   then clause satisfiability over the compiled plan: all clauses dead
+   is DD003 unsatisfiable, some dead is DD005, redundant atoms inside
+   live clauses are DD006.  The linter analyzes the *raw* compiled
+   plan (not the simplified one the kernels run) under assume-clean
+   semantics — these are diagnostics about intent, never about
+   evaluation;
+3. **cross-rule analysis** — DD007 implied, DD008 duplicate, DD009
+   conflicting (:mod:`repro.analysis.cross_rule`).
+
+The report keeps enough structure for every consumer: the CLI renders
+``diagnostics`` and exits non-zero on errors, ``repro lint --fix``
+writes :meth:`LintReport.minimized` back out, and the check/watch
+paths skip the rules in :attr:`LintReport.skippable`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.base import Dependency
+from ..core.categorical.afd import AFD
+from ..core.categorical.cfd import CFD
+from ..core.categorical.fd import FD
+from ..core.heterogeneous.dd import DD
+from ..core.numerical.od import OD
+from ..plan.compile import compile_dependency
+from ..plan.ir import PlanCompileError
+from ..relation.schema import Schema
+from ..rules_io import RuleEntry
+from .cross_rule import _mark_implies, analyze_rule_set, implied_indices
+from .diagnostics import (
+    DEAD_ATOM,
+    DEAD_CLAUSE,
+    TRIVIAL_RULE,
+    UNSATISFIABLE_RULE,
+    Diagnostic,
+    Severity,
+    make,
+)
+from .satisfy import analyze_plan
+from .schema_check import check_schema
+
+
+def _trivial_reason(dep: Dependency) -> str | None:
+    """A reason the rule holds on *every* relation, else None."""
+    if isinstance(dep, AFD) and dep.embedded.is_trivial():
+        # A trivial embedded FD has g3 error 0 <= any max_error.  (The
+        # same is NOT sound for MFDs: d(v, v) = 0 is a metric axiom an
+        # arbitrary user-supplied distance need not satisfy.)
+        return (
+            f"embedded FD is trivial (RHS {list(dep.rhs)} ⊆ LHS "
+            f"{list(dep.lhs)})"
+        )
+    if isinstance(dep, FD) and dep.is_trivial():
+        return f"RHS {list(dep.rhs)} ⊆ LHS {list(dep.lhs)}"
+    if isinstance(dep, CFD):
+        if set(dep.rhs) <= set(dep.lhs) and dep.is_variable_cfd():
+            return (
+                f"RHS {list(dep.rhs)} ⊆ LHS {list(dep.lhs)} with a "
+                "wildcard RHS pattern"
+            )
+        return None
+    if isinstance(dep, DD):
+        ranges = dep.rhs.ranges
+        if all(
+            a in dep.lhs.ranges and iv.subsumes(dep.lhs.ranges[a])
+            for a, iv in ranges.items()
+        ):
+            return "every RHS range contains its LHS range"
+        return None
+    if isinstance(dep, OD):
+        lhs_marks = {m.attribute: m.mark for m in dep.lhs}
+        if all(
+            m.attribute in lhs_marks
+            and _mark_implies(lhs_marks[m.attribute], m.mark)
+            for m in dep.rhs
+        ):
+            return "every RHS mark is implied by the same LHS mark"
+        return None
+    return None
+
+
+@dataclass
+class LintReport:
+    """Everything the static analyzer found about one rule set."""
+
+    entries: list[RuleEntry]
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Entry indices that evaluation may skip: unsatisfiable (can never
+    #: fire), trivial (never violated), duplicates, and implied rules.
+    skippable: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def max_severity(self) -> Severity | None:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def minimized(self) -> list[RuleEntry]:
+        """The rule set without skippable rules (``repro lint --fix``)."""
+        return [
+            e for i, e in enumerate(self.entries) if i not in self.skippable
+        ]
+
+    def minimized_payload(self) -> dict[str, list[Any]]:
+        """The minimized set as a rule-file JSON document."""
+        return {"rules": [dict(e.raw) for e in self.minimized()]}
+
+    def for_rule(self, index: int) -> list[Diagnostic]:
+        location = self.entries[index].location
+        return [d for d in self.diagnostics if d.location == location]
+
+
+def lint_entries(
+    entries: Sequence[RuleEntry],
+    schema: Schema | None = None,
+) -> LintReport:
+    """Run every static check over a parsed rule set."""
+    report = LintReport(entries=list(entries))
+
+    for index, entry in enumerate(entries):
+        dep = entry.dependency
+        if schema is not None:
+            report.diagnostics.extend(
+                check_schema(
+                    dep, schema, rule=entry.name, location=entry.location
+                )
+            )
+
+        trivial = _trivial_reason(dep)
+        if trivial is not None:
+            report.diagnostics.append(
+                make(
+                    TRIVIAL_RULE,
+                    entry.name,
+                    f"rule can never be violated: {trivial}",
+                    location=entry.location,
+                )
+            )
+            report.skippable.setdefault(index, "trivial")
+            continue
+
+        try:
+            plan = compile_dependency(dep)
+        except PlanCompileError:
+            continue
+        facts = analyze_plan(plan, assume_clean=True)
+        dead = [f for f in facts if f.dead]
+        if dead and len(dead) == len(facts):
+            report.diagnostics.append(
+                make(
+                    UNSATISFIABLE_RULE,
+                    entry.name,
+                    "every deny clause is statically contradictory "
+                    f"({dead[0].contradiction}); the rule can never "
+                    "report a violation",
+                    location=entry.location,
+                )
+            )
+            report.skippable.setdefault(index, "unsatisfiable")
+            continue
+        for clause_idx, f in enumerate(facts):
+            if f.dead:
+                report.diagnostics.append(
+                    make(
+                        DEAD_CLAUSE,
+                        entry.name,
+                        f"deny clause {clause_idx + 1} can never fire: "
+                        f"{f.contradiction}",
+                        location=entry.location,
+                    )
+                )
+            else:
+                for atom_idx, reason in f.redundant:
+                    atom = plan.clauses[clause_idx].atoms[atom_idx]
+                    report.diagnostics.append(
+                        make(
+                            DEAD_ATOM,
+                            entry.name,
+                            f"atom {atom} in clause {clause_idx + 1} "
+                            f"is redundant: {reason}",
+                            location=entry.location,
+                        )
+                    )
+
+    cross = analyze_rule_set(entries)
+    report.diagnostics.extend(cross)
+    by_location = {e.location: i for i, e in enumerate(entries)}
+    for diag in cross:
+        index = by_location.get(diag.location)
+        if index is None:
+            continue
+        if diag.code == "DD008":
+            report.skippable.setdefault(index, "duplicate")
+        elif diag.code == "DD007":
+            report.skippable.setdefault(index, "implied")
+    return report
+
+
+def lint_rules(
+    rules: Sequence[Dependency] | Sequence[RuleEntry],
+    schema: Schema | None = None,
+) -> LintReport:
+    """Lint dependencies that did not come from a rule file."""
+    entries: list[RuleEntry] = []
+    for index, rule in enumerate(rules):
+        if isinstance(rule, RuleEntry):
+            entries.append(rule)
+        else:
+            raw: Mapping[str, Any] = {"kind": rule.kind}
+            entries.append(RuleEntry(dependency=rule, raw=raw, index=index))
+    return lint_entries(entries, schema=schema)
+
+
+def skippable_rules(
+    rules: Sequence[Dependency],
+) -> dict[int, str]:
+    """Indices of rules evaluation may skip, with the reason.
+
+    The fast path for check/watch wiring (opt-in there): triviality
+    and implication facts only — no plan analysis, no schema.  A
+    *trivial* rule provably has no violations on any relation; an
+    *implied* rule cannot change the pass/fail verdict (whenever the
+    implying rules hold it holds too), though its own violation
+    listing is suppressed when the implying rule is violated — which
+    is why the callers expose this as an explicit option and report
+    the skip in their stats.
+    """
+    entries = [
+        RuleEntry(dependency=dep, raw={"kind": dep.kind}, index=i)
+        for i, dep in enumerate(rules)
+    ]
+    out: dict[int, str] = {}
+    for i, entry in enumerate(entries):
+        if _trivial_reason(entry.dependency) is not None:
+            out[i] = "trivial"
+    exclude = set(out)
+    for i in implied_indices(entries, exclude=exclude):
+        out[i] = "implied"
+    return out
+
+
+def screen_rules(rules: Sequence[Dependency]) -> dict[int, str]:
+    """The pre-evaluation gate for check/watch: fail fast or skip.
+
+    Raises :class:`~repro.runtime.errors.InputError` for any rule whose
+    compiled plan is *strictly* unsatisfiable (dead on every relation —
+    the rule can never report a violation, which is virtually always a
+    declaration mistake), then returns :func:`skippable_rules` for the
+    rest.  Run ``repro lint`` on the rule file for the full diagnosis.
+    """
+    from ..runtime.errors import InputError
+
+    skip = skippable_rules(rules)
+    for i, dep in enumerate(rules):
+        if i in skip:
+            continue
+        try:
+            plan = compile_dependency(dep)
+        except PlanCompileError:
+            continue
+        facts = analyze_plan(plan)
+        if facts and all(f.dead for f in facts):
+            raise InputError(
+                f"rule {dep.label()} is statically unsatisfiable "
+                f"({facts[0].contradiction}) and can never report a "
+                "violation; fix or remove it (see 'repro lint')"
+            )
+    return skip

@@ -1,0 +1,536 @@
+"""Static satisfiability facts about plan clauses — zero data access.
+
+A deny-form clause *fires* when every atom holds; a clause no
+assignment of values can make fire is **dead** (statically
+contradictory), and a rule all of whose clauses are dead can never
+report a violation.  This module derives those facts by:
+
+* **twin contradiction** — an atom and its structural negation in one
+  clause (sound for every atom type: ``negated`` flips the evaluated
+  result, so the conjunction is identically false);
+* **contradiction closure on comparison atoms** — a constraint graph
+  over the terms of non-negated SQL comparison atoms; a cycle through a
+  strict edge is unsatisfiable (all values on a firing chain are
+  defined and mutually comparable, hence totally ordered);
+* **interval arithmetic** — constant atoms on one term, and metric /
+  theta threshold atoms on one distance, intersected with careful
+  NaN bookkeeping (an ``"interval"``-semantics metric atom *accepts*
+  NaN; a ``"within"`` atom rejects it).
+
+Two modes:
+
+* **strict** (``assume_clean=False``) — only facts valid for arbitrary
+  data, including ``None`` cells, NaN distances, and incomparable
+  types.  The plan simplifier uses these, so rewrites are
+  equivalence-preserving on any relation (the parity suite pins this).
+* **assume-clean** (``assume_clean=True``) — additionally assumes
+  comparisons are defined (no ``None``) and metrics are total (no NaN),
+  which lets negated comparison atoms participate.  The linter uses
+  this for *diagnostics only*; it never changes evaluation.
+
+Constant reasoning is restricted to builtin scalar types (numbers,
+strings), whose orderings are total and transitive.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..plan.ir import (
+    Clause,
+    CmpAtom,
+    ConstAtom,
+    FnAtom,
+    MetricAtom,
+    NotNullAtom,
+    PatternAtom,
+    Plan,
+    PredicateAtom,
+    ResemblanceAtom,
+    ThetaAtom,
+)
+
+_COMPLEMENT = {
+    "=": "!=", "!=": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<",
+}
+
+#: Op implication on one term: a true strong op makes the weak one true.
+_WEAKENS = {"<": ("<=", "!="), ">": (">=", "!="), "=": ("<=", ">=")}
+
+
+def _obj_key(obj: Any) -> Any:
+    """A dict-key stand-in for arbitrary objects (identity fallback)."""
+    try:
+        hash(obj)
+    except TypeError:
+        return ("id@", id(obj))
+    return obj
+
+
+def atom_key(atom: PredicateAtom) -> tuple[Any, ...]:
+    """A structural identity key: equal keys ⇒ identical evaluation."""
+    if isinstance(atom, CmpAtom):
+        return ("cmp", atom.lhs_var, atom.lhs_attr, atom.op, atom.rhs_var,
+                atom.rhs_attr, atom.semantics, atom.negated)
+    if isinstance(atom, ConstAtom):
+        return ("const", atom.var, atom.attr, atom.op,
+                type(atom.constant).__name__, _obj_key(atom.constant),
+                atom.negated)
+    if isinstance(atom, PatternAtom):
+        return ("pat", atom.var, atom.attr, _obj_key(atom.entry))
+    if isinstance(atom, MetricAtom):
+        return ("metric", atom.attribute, atom.interval, atom.semantics,
+                atom.negated, _obj_key(atom.metric), id(atom.registry)
+                if atom.registry is not None else None)
+    if isinstance(atom, ThetaAtom):
+        return ("theta", _obj_key(atom.fn), id(atom.registry), atom.negated)
+    if isinstance(atom, ResemblanceAtom):
+        return ("res", id(atom.ffd))
+    if isinstance(atom, NotNullAtom):
+        return ("notnull", atom.attrs)
+    if isinstance(atom, FnAtom):
+        return ("fn", id(atom.fn), atom.attrs, atom.symmetric)
+    return ("opaque", id(atom))
+
+
+def negation_key(key: tuple[Any, ...]) -> tuple[Any, ...] | None:
+    """The key of the structural negation twin, when the type has one."""
+    if key[0] == "cmp" or key[0] == "const" or key[0] == "theta":
+        return key[:-1] + (not key[-1],)
+    if key[0] == "metric":
+        return key[:4] + (not key[4],) + key[5:]
+    return None
+
+
+# -- pseudo-intervals over the extended reals --------------------------------
+
+
+@dataclass
+class _Range:
+    """A (possibly empty) interval with individually open endpoints."""
+
+    lo: float = -math.inf
+    lo_open: bool = False
+    hi: float = math.inf
+    hi_open: bool = False
+
+    def empty(self) -> bool:
+        if self.lo > self.hi:
+            return True
+        return self.lo == self.hi and (self.lo_open or self.hi_open)
+
+    def clip_low(self, bound: float, open_: bool) -> None:
+        if bound > self.lo or (bound == self.lo and open_):
+            self.lo, self.lo_open = bound, open_
+
+    def clip_high(self, bound: float, open_: bool) -> None:
+        if bound < self.hi or (bound == self.hi and open_):
+            self.hi, self.hi_open = bound, open_
+
+    def contains(self, value: float) -> bool:
+        if value < self.lo or (value == self.lo and self.lo_open):
+            return False
+        if value > self.hi or (value == self.hi and self.hi_open):
+            return False
+        return True
+
+    def apply_op(self, op: str, c: float) -> None:
+        if op == "<":
+            self.clip_high(c, True)
+        elif op == "<=":
+            self.clip_high(c, False)
+        elif op == ">":
+            self.clip_low(c, True)
+        elif op == ">=":
+            self.clip_low(c, False)
+        elif op == "=":
+            self.clip_low(c, False)
+            self.clip_high(c, False)
+
+    def inside(self, interval: Any) -> bool:
+        """Whether this whole (nonempty) range lies inside an Interval."""
+        lo_ok = self.lo > interval.low or (
+            self.lo == interval.low
+            and (not interval.low_open or self.lo_open)
+        )
+        hi_ok = self.hi < interval.high or (
+            self.hi == interval.high
+            and (not interval.high_open or self.hi_open)
+        )
+        return lo_ok and hi_ok
+
+
+def _scalar_family(value: Any) -> str | None:
+    """'num' / 'str' for totally-ordered builtin scalars, else None."""
+    if isinstance(value, bool) or isinstance(value, (int, float)):
+        if isinstance(value, float) and math.isnan(value):
+            return None
+        return "num"
+    if isinstance(value, str):
+        return "str"
+    return None
+
+
+# -- the per-clause analysis --------------------------------------------------
+
+
+@dataclass
+class ClauseFacts:
+    """What static reasoning established about one clause."""
+
+    #: Human-readable reason the clause can never fire, else None.
+    contradiction: str | None = None
+    #: (atom index, reason) for atoms provably redundant in the clause.
+    redundant: list[tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def dead(self) -> bool:
+        return self.contradiction is not None
+
+
+def _effective_op(op: str, negated: bool) -> str:
+    return _COMPLEMENT[op] if negated else op
+
+
+def _strict_cycle(edges: list[tuple[Any, Any, bool]]) -> bool:
+    """Is there a cycle through a strict edge? (tiny-graph reachability)"""
+    adjacency: dict[Any, list[Any]] = {}
+    for u, v, _ in edges:
+        adjacency.setdefault(u, []).append(v)
+    for u, v, strict in edges:
+        if not strict:
+            continue
+        # Strict edge u -> v: contradiction iff v reaches u.
+        seen = {v}
+        frontier = [v]
+        while frontier:
+            node = frontier.pop()
+            if node == u:
+                return True
+            for nxt in adjacency.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+    return False
+
+
+def _cmp_facts(
+    atoms: list[tuple[int, CmpAtom]],
+    facts: ClauseFacts,
+    assume_clean: bool,
+) -> None:
+    """Comparison-atom reasoning: same-term folds, closure, subsumption."""
+    usable: list[tuple[int, str, tuple[Any, ...], tuple[Any, ...]]] = []
+    for idx, atom in atoms:
+        left = (atom.lhs_var, atom.lhs_attr)
+        right = (atom.rhs_var, atom.rhs_attr)
+        if atom.semantics == "py":
+            if left == right:
+                # Identity-shortcut equality of a cell with itself is a
+                # tautology for *any* value, including NaN and None.
+                if atom.negated:
+                    facts.contradiction = f"{atom} is identically false"
+                    return
+                facts.redundant.append((idx, f"{atom} is identically true"))
+            continue
+        if left == right:
+            if not atom.negated and atom.op in ("<", ">"):
+                # x < x is false for every defined value and SQL-false
+                # for None/NaN, so the atom never holds.
+                facts.contradiction = f"{atom} can never hold"
+                return
+            if assume_clean:
+                op = _effective_op(atom.op, atom.negated)
+                if op in ("<", ">", "!="):
+                    facts.contradiction = (
+                        f"{atom} can never hold on clean data"
+                    )
+                    return
+                facts.redundant.append(
+                    (idx, f"{atom} always holds on clean data")
+                )
+            continue
+        if not atom.negated:
+            usable.append((idx, atom.op, left, right))
+        elif assume_clean:
+            usable.append(
+                (idx, _effective_op(atom.op, True), left, right)
+            )
+
+    # Same-term-pair folds: = vs !=, and strong-op subsumption.
+    by_pair: dict[tuple[Any, Any], dict[str, int]] = {}
+    for idx, op, left, right in usable:
+        by_pair.setdefault((left, right), {}).setdefault(op, idx)
+    for ops in by_pair.values():
+        if "=" in ops and "!=" in ops:
+            facts.contradiction = "term compared both = and != to the same term"
+            return
+        for strong, weak_ops in _WEAKENS.items():
+            if strong not in ops:
+                continue
+            for weak in weak_ops:
+                if weak in ops:
+                    facts.redundant.append(
+                        (ops[weak], f"implied by the {strong} atom")
+                    )
+
+    # Contradiction closure: order-constraint graph over the terms.
+    edges: list[tuple[Any, Any, bool]] = []
+    for _, op, left, right in usable:
+        if op == "<":
+            edges.append((left, right, True))
+        elif op == "<=":
+            edges.append((left, right, False))
+        elif op == ">":
+            edges.append((right, left, True))
+        elif op == ">=":
+            edges.append((right, left, False))
+        elif op == "=":
+            edges.append((left, right, False))
+            edges.append((right, left, False))
+    if _strict_cycle(edges):
+        facts.contradiction = (
+            "comparison atoms form a strict cycle (e.g. x < y ∧ y < x)"
+        )
+
+
+def _const_facts(
+    atoms: list[tuple[int, ConstAtom]],
+    facts: ClauseFacts,
+    assume_clean: bool,
+) -> None:
+    """Interval arithmetic on constant atoms, per (tuple var, attribute)."""
+    by_term: dict[tuple[str, str, str], list[tuple[int, str, Any]]] = {}
+    for idx, atom in atoms:
+        if atom.constant is None:
+            # SQL: a comparison against NULL is false no matter the op.
+            if atom.negated:
+                facts.redundant.append(
+                    (idx, f"{atom} always holds (NULL comparison)")
+                )
+            else:
+                facts.contradiction = (
+                    f"{atom} compares against None and can never hold"
+                )
+                return
+            continue
+        family = _scalar_family(atom.constant)
+        if family is None:
+            continue
+        if atom.negated and not assume_clean:
+            continue
+        op = _effective_op(atom.op, atom.negated)
+        by_term.setdefault((atom.var, atom.attr, family), []).append(
+            (idx, op, atom.constant)
+        )
+
+    for (var, attr, family), items in by_term.items():
+        term = f"t{var}.{attr}"
+        if family == "num":
+            rng = _Range()
+            ne: list[Any] = []
+            eq: list[Any] = []
+            for _, op, c in items:
+                value = float(c)
+                if op == "!=":
+                    ne.append(value)
+                    continue
+                if op == "=":
+                    eq.append(value)
+                rng.apply_op(op, value)
+            if rng.empty():
+                facts.contradiction = (
+                    f"constant bounds on {term} have empty intersection"
+                )
+                return
+            if eq and any(v != eq[0] for v in eq):
+                facts.contradiction = (
+                    f"{term} pinned to two different constants"
+                )
+                return
+            if eq and any(v == eq[0] for v in ne):
+                facts.contradiction = (
+                    f"{term} required both = and != the same constant"
+                )
+                return
+        else:
+            eq_s: list[str] = [c for _, op, c in items if op == "="]
+            ne_s: list[str] = [c for _, op, c in items if op == "!="]
+            if eq_s and any(v != eq_s[0] for v in eq_s):
+                facts.contradiction = (
+                    f"{term} pinned to two different constants"
+                )
+                return
+            if eq_s and eq_s[0] in ne_s:
+                facts.contradiction = (
+                    f"{term} required both = and != the same constant"
+                )
+                return
+
+    if assume_clean:
+        # Mixed-family constants on one term: a single value cannot
+        # satisfy an order/equality test against both a number and a
+        # string (cross-type comparisons are SQL-false).
+        seen: dict[tuple[str, str], set[str]] = {}
+        for (var, attr, family), items in by_term.items():
+            if any(op != "!=" for _, op, _ in items):
+                seen.setdefault((var, attr), set()).add(family)
+        for (var, attr), families in seen.items():
+            if len(families) > 1:
+                facts.contradiction = (
+                    f"t{var}.{attr} constrained against constants of "
+                    "incompatible types"
+                )
+                return
+
+
+def _metric_facts(
+    atoms: list[tuple[int, MetricAtom]],
+    facts: ClauseFacts,
+    assume_clean: bool,
+) -> None:
+    """Threshold arithmetic on one distance, with NaN bookkeeping.
+
+    All atoms on one *measure* (attribute + metric binding) constrain
+    the same distance ``d``.  ``"interval"`` semantics accept NaN
+    (every ``Interval.contains`` comparison is false), ``"within"``
+    rejects it; negation flips both parts.
+    """
+    by_measure: dict[Any, list[tuple[int, MetricAtom]]] = {}
+    for idx, atom in atoms:
+        key = (atom.attribute, _obj_key(atom.metric),
+               id(atom.registry) if atom.registry is not None else None)
+        by_measure.setdefault(key, []).append((idx, atom))
+
+    for (attr, _, _), group in by_measure.items():
+        positive: list[tuple[int, MetricAtom]] = []
+        negative: list[tuple[int, MetricAtom]] = []
+        for idx, atom in group:
+            (negative if atom.negated else positive).append((idx, atom))
+
+        rng = _Range()
+        nan_ok = True  # does every positive atom accept a NaN distance?
+        for _, atom in positive:
+            if atom.semantics == "within":
+                rng.clip_high(atom.interval.high, False)
+                nan_ok = False
+            else:
+                iv = atom.interval
+                rng.clip_low(iv.low, iv.low_open)
+                if iv.high != math.inf or iv.high_open:
+                    rng.clip_high(iv.high, iv.high_open)
+        if positive and rng.empty() and (not nan_ok or assume_clean):
+            facts.contradiction = (
+                f"distance bounds on {attr} have empty intersection"
+            )
+            return
+
+        for idx, atom in negative:
+            if atom.semantics == "within":
+                # Fires iff d > high, or d is NaN — the NaN escape only
+                # helps when every positive atom accepts NaN.
+                if positive and not rng.empty() and not nan_ok:
+                    if rng.hi <= atom.interval.high:
+                        facts.contradiction = (
+                            f"distance on {attr} required both within "
+                            f"{rng.hi:g} and beyond {atom.interval.high:g}"
+                        )
+                        return
+            else:
+                # Fires iff d ∉ interval and d is not NaN (a NaN
+                # distance is *inside* every Interval, so the negation
+                # rejects it) — NaN can never rescue this combination.
+                if positive and not rng.empty() and rng.inside(atom.interval):
+                    facts.contradiction = (
+                        f"distance bounds on {attr} land entirely inside "
+                        f"the excluded range {atom.interval}"
+                    )
+                    return
+
+        # Redundancy among positive atoms of one semantics.
+        withins = [
+            (idx, a) for idx, a in positive if a.semantics == "within"
+        ]
+        if len(withins) > 1:
+            keep = min(withins, key=lambda item: item[1].interval.high)
+            for idx, a in withins:
+                if idx != keep[0] and a.interval.high >= keep[1].interval.high:
+                    facts.redundant.append(
+                        (idx, f"implied by the tighter ≤{keep[1].interval.high:g}"
+                              f" bound on {attr}")
+                    )
+        ranges = [
+            (idx, a) for idx, a in positive if a.semantics == "interval"
+        ]
+        for idx, a in ranges:
+            for other_idx, other in ranges:
+                if other_idx == idx:
+                    continue
+                if a.interval.subsumes(other.interval) and (
+                    a.interval != other.interval or other_idx < idx
+                ):
+                    facts.redundant.append(
+                        (idx, f"implied by the tighter {other.interval} "
+                              f"range on {attr}")
+                    )
+                    break
+
+
+def analyze_clause(
+    clause: Clause, *, assume_clean: bool = False
+) -> ClauseFacts:
+    """Derive contradiction/redundancy facts for one clause."""
+    facts = ClauseFacts()
+    keys = [atom_key(a) for a in clause.atoms]
+    seen: dict[tuple[Any, ...], int] = {}
+    key_set = set(keys)
+    for idx, key in enumerate(keys):
+        first = seen.get(key)
+        if first is None:
+            seen[key] = idx
+        else:
+            facts.redundant.append(
+                (idx, f"duplicate of atom {first + 1}")
+            )
+        twin = negation_key(key)
+        if twin is not None and twin in key_set:
+            facts.contradiction = (
+                f"clause contains both {clause.atoms[idx]} and its negation"
+            )
+            return facts
+
+    cmps = [
+        (i, a) for i, a in enumerate(clause.atoms) if isinstance(a, CmpAtom)
+    ]
+    consts = [
+        (i, a) for i, a in enumerate(clause.atoms) if isinstance(a, ConstAtom)
+    ]
+    metrics = [
+        (i, a) for i, a in enumerate(clause.atoms)
+        if isinstance(a, MetricAtom)
+    ]
+    for step in (
+        lambda: _cmp_facts(cmps, facts, assume_clean),
+        lambda: _const_facts(consts, facts, assume_clean),
+        lambda: _metric_facts(metrics, facts, assume_clean),
+    ):
+        step()
+        if facts.dead:
+            return facts
+    # Dedupe redundancy records (several rules can flag one atom).
+    unique: dict[int, str] = {}
+    for idx, reason in facts.redundant:
+        unique.setdefault(idx, reason)
+    facts.redundant = sorted(unique.items())
+    return facts
+
+
+def analyze_plan(
+    plan: Plan, *, assume_clean: bool = False
+) -> list[ClauseFacts]:
+    """Per-clause facts for a whole plan, in clause order."""
+    return [
+        analyze_clause(c, assume_clean=assume_clean) for c in plan.clauses
+    ]

@@ -1,0 +1,120 @@
+"""Per-rule schema diagnostics: unknown attributes and type mismatches.
+
+Given a relation :class:`~repro.relation.schema.Schema`, two checks run
+without touching any data:
+
+* **DD001 unknown-attribute** — the rule mentions an attribute the
+  schema does not declare (every such rule would raise at check time).
+* **DD002 type-mismatch** — an atom of the rule's compiled plan is
+  incompatible with the declared column type: an order comparison
+  (``<``, ``<=``, ``>``, ``>=``) on a CATEGORICAL column, or a
+  metric/distance constraint on a CATEGORICAL column.  These rules
+  *run*, but under SQL semantics an order atom on unordered data is
+  vacuously false (or, for Python values, compares incidental
+  representations), which almost always means the rule does not say
+  what its author intended.
+
+Notations without a pair-plan lowering (SDs, CFDs, conjunctions) get
+structural checks on the dependency object itself.
+"""
+
+from __future__ import annotations
+
+from ..core.base import Conjunction, Dependency
+from ..plan.compile import compile_dependency
+from ..plan.ir import (
+    CmpAtom,
+    ConstAtom,
+    MetricAtom,
+    PlanCompileError,
+)
+from ..relation.schema import AttributeType, Schema
+from .diagnostics import TYPE_MISMATCH, UNKNOWN_ATTRIBUTE, Diagnostic, make
+
+_ORDER_OPS = ("<", "<=", ">", ">=")
+
+
+def _known(schema: Schema, attr: str) -> bool:
+    return attr in schema
+
+
+def _order_atom_attrs(dep: Dependency) -> list[tuple[str, str]]:
+    """(attribute, description) pairs for order/metric atoms of the plan."""
+    try:
+        plan = compile_dependency(dep)
+    except PlanCompileError:
+        return _structural_atoms(dep)
+    out: list[tuple[str, str]] = []
+    for clause in plan.clauses:
+        for atom in clause.atoms:
+            if isinstance(atom, CmpAtom) and atom.op in _ORDER_OPS:
+                for attr in (atom.lhs_attr, atom.rhs_attr):
+                    out.append(
+                        (attr, f"order comparison {atom.op} in {atom}")
+                    )
+            elif isinstance(atom, ConstAtom) and atom.op in _ORDER_OPS:
+                out.append(
+                    (atom.attr, f"order comparison {atom.op} in {atom}")
+                )
+            elif isinstance(atom, MetricAtom):
+                out.append((atom.attribute, f"distance constraint {atom}"))
+    return out
+
+
+def _structural_atoms(dep: Dependency) -> list[tuple[str, str]]:
+    """Fallback for notations that do not lower to a pair plan."""
+    from ..core.numerical.sd import SD
+
+    if isinstance(dep, Conjunction):
+        out: list[tuple[str, str]] = []
+        for part in dep.parts:
+            out.extend(_order_atom_attrs(part))
+        return out
+    if isinstance(dep, SD):
+        # The gap constrains numeric differences of consecutive RHS
+        # values, so the RHS column must carry a meaningful order.
+        return [(dep.rhs, f"sequential gap {dep.gap} on {dep.rhs}")]
+    return []
+
+
+def check_schema(
+    dep: Dependency,
+    schema: Schema,
+    *,
+    rule: str,
+    location: str = "",
+) -> list[Diagnostic]:
+    """DD001/DD002 diagnostics for one dependency against ``schema``."""
+    diagnostics: list[Diagnostic] = []
+    unknown = [a for a in dep.attributes() if not _known(schema, a)]
+    for attr in unknown:
+        diagnostics.append(
+            make(
+                UNKNOWN_ATTRIBUTE,
+                rule,
+                f"attribute {attr!r} is not in the schema "
+                f"{list(schema.names())}",
+                location=location,
+            )
+        )
+    if unknown:
+        # Type checks need resolvable columns; DD001 already blocks.
+        return diagnostics
+
+    flagged: set[str] = set()
+    for attr, reason in _order_atom_attrs(dep):
+        if attr in flagged or not _known(schema, attr):
+            continue
+        dtype = schema[attr].dtype
+        if dtype is AttributeType.CATEGORICAL:
+            flagged.add(attr)
+            diagnostics.append(
+                make(
+                    TYPE_MISMATCH,
+                    rule,
+                    f"{reason}, but column {attr!r} is "
+                    f"{dtype.value} (no meaningful order/distance)",
+                    location=location,
+                )
+            )
+    return diagnostics

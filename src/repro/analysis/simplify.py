@@ -1,0 +1,181 @@
+"""Equivalence-preserving plan simplification.
+
+:func:`simplify_plan` rewrites a compiled deny-form plan into a smaller
+plan with the *same deny-set on every relation* — including relations
+with ``None`` cells, NaN values, and mixed incomparable types — using
+only the strict facts of :mod:`repro.analysis.satisfy`:
+
+* drop statically dead clauses (their conjunction can never hold);
+* drop atoms proved redundant inside their clause;
+* merge overlapping ``"interval"``-semantics metric atoms on one
+  measure into their intersection (NaN-safe: a NaN distance is inside
+  every interval, so it is inside the intersection too);
+* drop clauses subsumed by another clause (atom-set inclusion: if
+  clause A's atoms ⊆ clause B's, B fires only when A already fired);
+* canonicalize structurally equal atoms to one shared instance across
+  clauses, preserving the identity-based guard detection
+  (:meth:`Plan.shared_atoms`) that drives kernel strategy selection.
+
+When *every* clause is dead the plan is returned with ``never=True``
+and the kernels skip evaluation entirely.
+
+The kernels re-verify every candidate pair against the notation's own
+predicate, so even a hypothetical simplifier bug could only cost
+performance, never change reported violations — but the parity suite
+(``tests/test_analysis_parity.py``) pins full deny-set equality anyway.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from ..plan.ir import Clause, MetricAtom, Plan, PredicateAtom
+from .satisfy import analyze_clause, atom_key
+
+_KeyedAtoms = list[tuple[tuple[Any, ...], PredicateAtom]]
+
+
+def _intersect_intervals(intervals: list[Any]) -> Any | None:
+    """The intersection Interval, or None when it is empty."""
+    from ..core.heterogeneous.constraints import Interval
+
+    lo, lo_open = -math.inf, False
+    hi, hi_open = math.inf, False
+    for iv in intervals:
+        if iv.low > lo or (iv.low == lo and iv.low_open):
+            lo, lo_open = iv.low, iv.low_open
+        if iv.high < hi or (iv.high == hi and iv.high_open):
+            hi, hi_open = iv.high, iv.high_open
+    if lo > hi or (lo == hi and (lo_open or hi_open)):
+        return None
+    return Interval(lo, hi, lo_open, hi_open)
+
+
+def _merge_interval_atoms(atoms: _KeyedAtoms) -> tuple[_KeyedAtoms, bool]:
+    """Merge same-measure positive interval atoms into the intersection."""
+    groups: dict[Any, list[int]] = {}
+    for pos, (_, atom) in enumerate(atoms):
+        if (
+            isinstance(atom, MetricAtom)
+            and atom.semantics == "interval"
+            and not atom.negated
+        ):
+            key = (atom.attribute, id(atom.metric) if atom.metric is not None
+                   else None, id(atom.registry) if atom.registry is not None
+                   else None)
+            groups.setdefault(key, []).append(pos)
+    drop: set[int] = set()
+    replace: dict[int, PredicateAtom] = {}
+    for positions in groups.values():
+        if len(positions) < 2:
+            continue
+        members = [atoms[p][1] for p in positions]
+        merged = _intersect_intervals([a.interval for a in members])
+        if merged is None:
+            # Empty numeric intersection: the conjunction still fires on
+            # NaN distances, which no single Interval can express — keep
+            # the atoms untouched.
+            continue
+        first = members[0]
+        replace[positions[0]] = MetricAtom(
+            first.attribute,
+            merged,
+            "interval",
+            negated=False,
+            metric=first.metric,
+            registry=first.registry,
+        )
+        drop.update(positions[1:])
+    if not drop and not replace:
+        return atoms, False
+    out: _KeyedAtoms = []
+    for pos, (key, atom) in enumerate(atoms):
+        if pos in drop:
+            continue
+        if pos in replace:
+            atom = replace[pos]
+            key = atom_key(atom)
+        out.append((key, atom))
+    return out, True
+
+
+def simplify_plan(plan: Plan) -> Plan:
+    """A provably equivalent, usually smaller plan (or ``plan`` itself)."""
+    if plan.never:
+        return plan
+    changed = False
+    canonical: dict[tuple[Any, ...], PredicateAtom] = {}
+    simplified: list[tuple[frozenset[tuple[Any, ...]], list[PredicateAtom]]] = []
+    for clause in plan.clauses:
+        facts = analyze_clause(clause)
+        if facts.dead:
+            changed = True
+            continue
+        drop = {idx for idx, _ in facts.redundant}
+        kept: _KeyedAtoms = []
+        kept_keys: set[tuple[Any, ...]] = set()
+        for idx, atom in enumerate(clause.atoms):
+            key = atom_key(atom)
+            if idx in drop or key in kept_keys:
+                changed = True
+                continue
+            kept_keys.add(key)
+            kept.append((key, atom))
+        if not kept:
+            # Every atom is individually tautological; one must stay so
+            # the clause still fires exactly when it used to (always).
+            key = atom_key(clause.atoms[0])
+            kept = [(key, clause.atoms[0])]
+        kept, merged = _merge_interval_atoms(kept)
+        changed = changed or merged
+        atoms: list[PredicateAtom] = []
+        for key, atom in kept:
+            canon = canonical.setdefault(key, atom)
+            if canon is not atom:
+                changed = True
+            atoms.append(canon)
+        simplified.append((frozenset(key for key, _ in kept), atoms))
+
+    if not simplified:
+        # All clauses dead: the plan can never fire on any relation.
+        return Plan(
+            plan.label,
+            plan.clauses,
+            arity=plan.arity,
+            style=plan.style,
+            source=plan.source,
+            note=_join_note(plan.note, "statically never fires"),
+            never=True,
+        )
+
+    # Clause subsumption: drop any clause whose atom set contains
+    # another clause's atom set (ties keep the earlier clause).
+    final: list[list[PredicateAtom]] = []
+    for i, (keys_i, atoms_i) in enumerate(simplified):
+        subsumed = False
+        for j, (keys_j, _) in enumerate(simplified):
+            if i == j:
+                continue
+            if keys_j < keys_i or (keys_j == keys_i and j < i):
+                subsumed = True
+                break
+        if subsumed:
+            changed = True
+        else:
+            final.append(atoms_i)
+
+    if not changed:
+        return plan
+    return Plan(
+        plan.label,
+        [Clause(atoms) for atoms in final],
+        arity=plan.arity,
+        style=plan.style,
+        source=plan.source,
+        note=_join_note(plan.note, "simplified"),
+    )
+
+
+def _join_note(existing: str, extra: str) -> str:
+    return f"{existing}; {extra}" if existing else extra

@@ -11,6 +11,11 @@ Commands:
   mutation log (JSONL, one batch per line; ``-`` or no ``--log`` reads
   stdin) through the incremental validation engine and print the
   violation changefeed per batch;
+* ``lint <rules.json> [--csv data.csv] [--fix]`` — statically analyze a
+  rule file without touching data: unsatisfiable/trivial rules, schema
+  mismatches, implied/duplicate/conflicting rules (stable ``DD0xx``
+  diagnostic codes, see :mod:`repro.analysis`); exits 1 on
+  error-severity findings, ``--fix`` writes the minimized rule set;
 * ``tree`` — print the family tree of extensions (Fig. 1A);
 * ``survey`` — print the regenerated Tables 2/3 and Figs 1B/2/3.
 
@@ -29,7 +34,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from collections.abc import Sequence
 
 from .core.categorical import FD
 from .profiler import profile_relation
@@ -136,12 +141,22 @@ def cmd_check(args: argparse.Namespace) -> int:
         print("[error] nothing to check: give --fd and/or --rules")
         return 2
     relation = load_relation(args.csv, args.numerical, args.text)
+    skipped: dict[int, str] = {}
+    if not getattr(args, "no_analyze", False):
+        from .analysis import screen_rules
+
+        # Raises InputError (exit 2 via main) on unsatisfiable rules.
+        skipped = screen_rules(rules)
     exit_code = 0
     budget = _budget_from_args(args)
     checked = 0
     with governed(budget):
         try:
-            for dep in rules:
+            for idx, dep in enumerate(rules):
+                if idx in skipped:
+                    checked += 1
+                    print(f"[skip] {dep}: statically {skipped[idx]}")
+                    continue
                 checkpoint(candidates=1)
                 try:
                     dep.validate_schema(relation.schema)
@@ -163,6 +178,11 @@ def cmd_check(args: argparse.Namespace) -> int:
                 f"{len(rules) - checked} of {len(rules)} rules unchecked"
             )
             return 3
+    if skipped:
+        print(
+            f"[info] {len(skipped)} of {len(rules)} rules skipped by "
+            "static analysis (see 'repro lint' for details)"
+        )
     return exit_code
 
 
@@ -183,10 +203,20 @@ def cmd_watch(args: argparse.Namespace) -> int:
             print(f"[error] {dep}: {exc}")
             return 2
 
-    detector = IncrementalDetector(rules, relation)
+    # Raises InputError (exit 2 via main) on unsatisfiable rules.
+    detector = IncrementalDetector(
+        rules, relation, analyze=not getattr(args, "no_analyze", False)
+    )
+    for label, why in detector.skipped_rules.items():
+        print(f"[skip] {label}: statically {why}")
     print(
-        f"watching {args.csv}: {len(relation)} rows, {len(rules)} rules, "
-        f"{len(detector.violations())} initial violations"
+        f"watching {args.csv}: {len(relation)} rows, {len(rules)} rules"
+        + (
+            f" ({len(detector.skipped_rules)} skipped by static analysis)"
+            if detector.skipped_rules
+            else ""
+        )
+        + f", {len(detector.violations())} initial violations"
     )
 
     if args.log in (None, "-"):
@@ -228,6 +258,50 @@ def cmd_watch(args: argparse.Namespace) -> int:
     if partial:
         return 3
     return 0 if remaining == 0 else 1
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import Severity, lint_entries
+    from .rules_io import RuleFileError, load_rules_with_meta
+
+    try:
+        entries = load_rules_with_meta(args.rules)
+    except RuleFileError as exc:
+        print(f"[error] {exc}")
+        return 2
+    schema = None
+    if args.csv:
+        schema = load_relation(args.csv, args.numerical, args.text).schema
+    report = lint_entries(entries, schema=schema)
+
+    for diag in report.diagnostics:
+        print(diag.render())
+    counts = {s: 0 for s in Severity}
+    for diag in report.diagnostics:
+        counts[diag.severity] += 1
+    if report.diagnostics:
+        print(
+            f"{len(report.diagnostics)} finding(s): "
+            f"{counts[Severity.ERROR]} error(s), "
+            f"{counts[Severity.WARNING]} warning(s), "
+            f"{counts[Severity.INFO]} info"
+        )
+    else:
+        print(f"no findings: {len(entries)} rule(s) clean")
+
+    if args.fix:
+        import json
+
+        kept = report.minimized()
+        out_path = args.output or args.rules
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(report.minimized_payload(), fh, indent=2)
+            fh.write("\n")
+        print(
+            f"[fix] wrote {len(kept)} of {len(entries)} rule(s) to "
+            f"{out_path}"
+        )
+    return 1 if report.has_errors else 0
 
 
 def cmd_tree(args: argparse.Namespace) -> int:
@@ -337,6 +411,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="violations to print per rule")
     p_check.add_argument("--numerical", action="append", default=[])
     p_check.add_argument("--text", action="append", default=[])
+    p_check.add_argument(
+        "--no-analyze", action="store_true", dest="no_analyze",
+        help="skip the static pre-screen (implied-rule skipping and the "
+        "unsatisfiable-rule gate)",
+    )
     add_budget_args(p_check)
     p_check.set_defaults(func=cmd_check)
 
@@ -356,8 +435,39 @@ def build_parser() -> argparse.ArgumentParser:
                          help="changefeed lines to print per batch")
     p_watch.add_argument("--numerical", action="append", default=[])
     p_watch.add_argument("--text", action="append", default=[])
+    p_watch.add_argument(
+        "--no-analyze", action="store_true", dest="no_analyze",
+        help="skip the static pre-screen (implied-rule skipping and the "
+        "unsatisfiable-rule gate)",
+    )
     add_budget_args(p_watch)
     p_watch.set_defaults(func=cmd_watch)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="statically analyze a rule file (no data access)",
+    )
+    p_lint.add_argument(
+        "rules",
+        help="JSON rule file with mixed Table-2 notations "
+        "(see docs/api.md)",
+    )
+    p_lint.add_argument(
+        "--csv", default=None,
+        help="CSV whose schema enables the DD001/DD002 checks",
+    )
+    p_lint.add_argument(
+        "--fix", action="store_true",
+        help="write the minimized rule set (drops unsatisfiable, "
+        "trivial, duplicate, and implied rules)",
+    )
+    p_lint.add_argument(
+        "--output", default=None,
+        help="where --fix writes (default: overwrite the rule file)",
+    )
+    p_lint.add_argument("--numerical", action="append", default=[])
+    p_lint.add_argument("--text", action="append", default=[])
+    p_lint.set_defaults(func=cmd_lint)
 
     p_plan = sub.add_parser(
         "plan",

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import abc
 import itertools
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from ..relation.relation import Relation
 from ..relation.schema import Schema

@@ -15,7 +15,7 @@ g3(name -> address, r5) = 1/2 — asserted in tests.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from ...relation.relation import Relation
 from ...relation.schema import Attribute

@@ -18,7 +18,7 @@ address = _`` is satisfied by t1, t2.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from ...relation.relation import Relation
 from ...relation.schema import Attribute

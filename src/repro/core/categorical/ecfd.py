@@ -15,7 +15,7 @@ determines address".  Note the embedded FD of ecfd1 is
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from ...relation.schema import Attribute
 from .cfd import CFD

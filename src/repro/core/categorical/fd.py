@@ -11,7 +11,7 @@ violation — the motivating gap the rest of the family tree fills.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 from ...relation.relation import Relation
 from ...relation.schema import Attribute

@@ -18,7 +18,7 @@ Also here, because the paper presents them as MVD refinements:
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from ...relation.relation import Relation
 from ...relation.schema import Attribute

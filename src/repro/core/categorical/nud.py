@@ -11,7 +11,7 @@ Paso" has two representation variants, no address has three.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from ...relation.relation import Relation
 from ...relation.schema import Attribute

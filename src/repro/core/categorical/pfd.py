@@ -13,7 +13,7 @@ and P(name -> address, r5) = 1/2 — asserted in tests.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Sequence
+from collections.abc import Sequence
 
 from ...relation.relation import Relation
 from ...relation.schema import Attribute

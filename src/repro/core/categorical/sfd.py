@@ -14,7 +14,7 @@ S(name -> address, r5) = 1/2 — both asserted in the test suite.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from ...relation.relation import Relation
 from ...relation.schema import Attribute

@@ -23,7 +23,7 @@ relations, which is this reproduction's evidence for Fig. 1A.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 import networkx as nx
 
@@ -196,7 +196,7 @@ class FamilyTree:
     ) -> Dependency:
         """Rewrite ``dep`` through consecutive embeddings along ``path``."""
         current = dep
-        for a, b in zip(path, path[1:]):
+        for a, b in zip(path, path[1:], strict=False):
             current = self.edge(a, b).embed(current)
         return current
 

@@ -17,7 +17,7 @@ attribute (Section 3.4.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from ...metrics.base import Metric
 from ...metrics.registry import DEFAULT_REGISTRY, MetricRegistry

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from ...metrics.base import Metric
 from ...metrics.registry import DEFAULT_REGISTRY, MetricRegistry

@@ -18,7 +18,7 @@ both DDs (heterogeneous) and CFDs (categorical).
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 from ...metrics.registry import DEFAULT_REGISTRY, MetricRegistry
 from ...relation.relation import Relation

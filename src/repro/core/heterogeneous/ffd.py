@@ -16,7 +16,7 @@ tax) is violated by (t1, t2): min(1, 1/2) > 1/91.  Asserted in tests.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from ...metrics.fuzzy import Resemblance, crisp_equal
 from ...relation.relation import Relation

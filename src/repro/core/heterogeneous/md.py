@@ -17,7 +17,7 @@ minimal matching keys of [90].
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from ...metrics.registry import DEFAULT_REGISTRY, MetricRegistry
 from ...relation.relation import Relation

@@ -17,7 +17,7 @@ pivot.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from ...metrics.base import Metric
 from ...metrics.registry import DEFAULT_REGISTRY, MetricRegistry

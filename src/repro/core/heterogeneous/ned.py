@@ -15,7 +15,7 @@ The P-neighborhood prediction method of [4] (Section 3.2.4) lives in
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from ...metrics.registry import DEFAULT_REGISTRY, MetricRegistry
 from ...relation.relation import Relation

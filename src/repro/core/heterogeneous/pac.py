@@ -13,7 +13,7 @@ NEDs are PACs with δ = 1 (Section 3.5.2).
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from ...metrics.registry import DEFAULT_REGISTRY, MetricRegistry
 from ...relation.relation import Relation

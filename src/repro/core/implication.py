@@ -23,7 +23,7 @@ not deciders — mirroring Fig. 3's message.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from ..relation.relation import Relation
 from ..relation.schema import Schema

@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import operator
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from ...relation.relation import Relation
 from ..base import Dependency, DependencyError

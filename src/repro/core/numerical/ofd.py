@@ -12,7 +12,7 @@ subtotal implies higher taxes.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from ...relation.relation import Relation
 from ...relation.schema import Attribute
@@ -25,7 +25,7 @@ _ORDERINGS = ("pointwise", "lex")
 def pointwise_leq(a: tuple, b: tuple) -> bool:
     """``a <=_P b``: every component of a is <= the matching one of b."""
     try:
-        return all(x <= y for x, y in zip(a, b))
+        return all(x <= y for x, y in zip(a, b, strict=False))
     except TypeError:
         return False
 

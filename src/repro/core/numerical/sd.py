@@ -18,7 +18,7 @@ quadratic dynamic program (:mod:`repro.discovery.sd_discovery`).
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections.abc import Sequence
 
 from ...relation.relation import Relation
 from ...relation.schema import Attribute
@@ -97,7 +97,7 @@ class SD(Dependency):
         """(prev_index, next_index, y_next - y_prev) along the X-order."""
         order = self.sorted_indices(relation)
         out: list[tuple[int, int, float]] = []
-        for a, b in zip(order, order[1:]):
+        for a, b in zip(order, order[1:], strict=False):
             ya = relation.value_at(a, self.rhs)
             yb = relation.value_at(b, self.rhs)
             out.append((a, b, float(yb) - float(ya)))

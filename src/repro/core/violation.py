@@ -13,7 +13,7 @@ a human-readable reason.  Downstream consumers:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 
 @dataclass(frozen=True)

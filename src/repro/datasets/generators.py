@@ -15,7 +15,7 @@ from __future__ import annotations
 import random
 import string
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..relation import Attribute, AttributeType, Relation, Schema
 

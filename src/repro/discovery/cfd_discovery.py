@@ -81,7 +81,7 @@ def discover_constant_cfds(
                     for x_value, indices in groups.items():
                         if len(indices) < min_support:
                             continue
-                        items = frozenset(zip(lhs, x_value))
+                        items = frozenset(zip(lhs, x_value, strict=True))
                         for a in names:
                             if a in lhs:
                                 continue

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence, TypeVar
+from collections.abc import Iterable, Iterator, Sequence
+from typing import TypeVar
 
 from ..core.base import Dependency
 

@@ -57,7 +57,7 @@ def chi_square_statistic(
     table = [[0.0] * cols for __ in range(rows)]
     c1 = relation.column(col1)
     c2 = relation.column(col2)
-    for a, b in zip(c1, c2):
+    for a, b in zip(c1, c2, strict=True):
         table[cat1.get(a, other1)][cat2.get(b, other2)] += 1
     n = len(c1)
     if n == 0:

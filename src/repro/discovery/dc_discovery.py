@@ -213,7 +213,7 @@ def _evidence_sets_encoded(
         packed, counts = _np.unique(
             _np.stack(words, axis=1), axis=0, return_counts=True
         )
-    for row, count in zip(packed.tolist(), counts.tolist()):
+    for row, count in zip(packed.tolist(), counts.tolist(), strict=True):
         members = []
         for chunk, value in enumerate(row):
             base = chunk * 62

@@ -17,7 +17,7 @@ and prunes by subsumption.  This module implements:
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..core.heterogeneous import DD, DifferentialFunction, Interval
 from ..metrics.registry import DEFAULT_REGISTRY, MetricRegistry
@@ -199,7 +199,7 @@ def _dd_grid_search(
                     lhs_fn = DifferentialFunction(
                         {
                             a: Interval.at_most(t)
-                            for a, t in zip(lhs, lhs_ts)
+                            for a, t in zip(lhs, lhs_ts, strict=True)
                         }
                     )
                     for rhs_t in grids[rhs]:

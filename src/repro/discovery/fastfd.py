@@ -78,7 +78,7 @@ def _difference_sets_naive(relation: Relation) -> set[frozenset[str]]:
         for j in range(i + 1, n):
             diff = frozenset(
                 names[c]
-                for c, (a, b) in enumerate(zip(rows[i], rows[j]))
+                for c, (a, b) in enumerate(zip(rows[i], rows[j], strict=True))
                 if a != b
             )
             if diff:

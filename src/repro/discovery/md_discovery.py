@@ -14,7 +14,7 @@ a small set of relative candidate keys covering the matching pairs.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..core.heterogeneous import MD, SimilarityPredicate
 from ..metrics.registry import DEFAULT_REGISTRY, MetricRegistry

@@ -14,7 +14,7 @@ and :func:`discover_mfds` sweeps single-attribute candidates.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..core.heterogeneous import MFD
 from ..metrics.registry import DEFAULT_REGISTRY, MetricRegistry

@@ -17,7 +17,7 @@
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from ..core.heterogeneous import CD, PAC, SimilarityFunction
 from ..core.heterogeneous.ffd import FFD

@@ -14,7 +14,7 @@ sets".  Two algorithms:
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..core.categorical import PFD
 from ..relation.relation import Relation

@@ -14,7 +14,7 @@ implements the core loop over ``networkx`` graphs:
 from __future__ import annotations
 
 from collections import Counter
-from typing import Hashable, Iterable
+from collections.abc import Hashable, Iterable
 
 import networkx as nx
 

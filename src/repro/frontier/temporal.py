@@ -10,7 +10,7 @@ streaming median-candidate repair over a sliding window.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 Point = tuple[float, float]  # (timestamp, value)
 
@@ -89,5 +89,5 @@ def repair_distance(
 ) -> float:
     """Total absolute value change of a repair (its cost)."""
     return sum(
-        abs(a[1] - b[1]) for a, b in zip(original, repaired)
+        abs(a[1] - b[1]) for a, b in zip(original, repaired, strict=True)
     )

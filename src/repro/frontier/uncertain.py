@@ -17,7 +17,7 @@ asserted in our tests.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from ..core.categorical import FD
 from ..relation.relation import Relation

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import abc
 from bisect import bisect_left, insort
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..core.base import MeasuredDependency, PairwiseDependency
 from ..core.categorical.afd import AFD

@@ -17,7 +17,8 @@ drop-in for batch detection while paying only for what changed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, Mapping
+from collections.abc import Iterable, Iterator, Mapping
+from typing import Any
 
 from ..core.violation import ViolationSet
 from ..quality.detection import DetectionReport
@@ -87,11 +88,42 @@ class BatchChange:
 class IncrementalDetector:
     """Delta-maintained dependency checking over a mutating relation."""
 
-    def __init__(self, rules: Iterable, relation: Relation) -> None:
+    def __init__(
+        self,
+        rules: Iterable,
+        relation: Relation,
+        *,
+        analyze: bool = False,
+    ) -> None:
+        """Wrap ``rules`` over ``relation``.
+
+        With ``analyze=True`` the static analyzer screens the rule set
+        first: statically unsatisfiable rules raise
+        :class:`~repro.runtime.errors.InputError` up front, and rules
+        that are trivial or implied by the rest of the set are not
+        given checkers — they are recorded in :attr:`skipped_rules`
+        instead.  The default is off because skipping an implied rule
+        suppresses its own violation listing whenever the implying
+        rule is itself violated (the cumulative-state-equals-cold-
+        detector parity contract only holds rule-for-rule without it).
+        """
         self.rules = list(rules)
         self._relation = relation
+        #: Rule label -> reason, for rules the analyzer screened out.
+        self.skipped_rules: dict[str, str] = {}
+        active = self.rules
+        if analyze:
+            from ..analysis import screen_rules
+
+            skip = screen_rules(self.rules)
+            self.skipped_rules = {
+                self.rules[i].label(): why for i, why in skip.items()
+            }
+            active = [
+                r for i, r in enumerate(self.rules) if i not in skip
+            ]
         self._checkers: list[IncrementalChecker] = [
-            checker_for(rule, relation) for rule in self.rules
+            checker_for(rule, relation) for rule in active
         ]
         self.history: list[BatchChange] = []
         #: (seq, rule label, error) for every quarantined checker fault.

@@ -18,7 +18,8 @@ when only one is given.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Protocol, runtime_checkable
+from collections.abc import Callable
+from typing import Any, Protocol, runtime_checkable
 
 Value = Any
 DistanceFn = Callable[[Value, Value], float]

@@ -16,7 +16,8 @@ example:
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from .base import Metric
 

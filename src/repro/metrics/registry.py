@@ -10,7 +10,7 @@ of the paper's examples.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from ..relation.schema import Attribute, AttributeType, Schema
 from .base import Metric

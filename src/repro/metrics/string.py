@@ -136,7 +136,7 @@ def jaro(a: str, b: str) -> float:
         return 0.0
     sa = [ca for i, ca in enumerate(a) if match_a[i]]
     sb = [cb for j, cb in enumerate(b) if match_b[j]]
-    transpositions = sum(x != y for x, y in zip(sa, sb)) // 2
+    transpositions = sum(x != y for x, y in zip(sa, sb, strict=True)) // 2
     m = matches
     return (m / la + m / lb + (m - transpositions) / m) / 3.0
 
@@ -145,7 +145,7 @@ def jaro_winkler(a: str, b: str, prefix_scale: float = 0.1) -> float:
     """Jaro-Winkler similarity, boosting up to 4 common prefix chars."""
     base = jaro(a, b)
     prefix = 0
-    for ca, cb in zip(a[:4], b[:4]):
+    for ca, cb in zip(a[:4], b[:4], strict=False):
         if ca != cb:
             break
         prefix += 1

@@ -17,7 +17,7 @@ over the scan loop.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from ..core.base import MeasuredDependency, PairwiseDependency
 from ..core.heterogeneous.constraints import Interval

@@ -58,7 +58,8 @@ from __future__ import annotations
 import operator
 import os
 from contextlib import contextmanager
-from typing import Any, Callable, Iterator, Sequence
+from collections.abc import Callable, Iterator, Sequence
+from typing import Any
 
 Value = Any
 
@@ -490,7 +491,8 @@ class Plan:
     order, matching the legacy ordered scan's dedupe behavior.
     """
 
-    __slots__ = ("label", "clauses", "arity", "style", "source", "note")
+    __slots__ = ("label", "clauses", "arity", "style", "source", "note",
+                 "never")
 
     def __init__(
         self,
@@ -498,8 +500,9 @@ class Plan:
         clauses: Sequence[Clause],
         arity: int = 2,
         style: str = "pair",
-        source=None,
+        source: Any = None,
         note: str = "",
+        never: bool = False,
     ) -> None:
         if arity not in (1, 2):
             raise PlanCompileError(f"plan arity must be 1 or 2, got {arity}")
@@ -513,9 +516,15 @@ class Plan:
         self.style = style
         self.source = source
         self.note = note
+        #: True when static analysis proved no clause can ever fire
+        #: (see :func:`repro.analysis.simplify.simplify_plan`); kernels
+        #: then skip evaluation entirely.
+        self.never = never
 
-    def denies(self, relation, i: int, j: int) -> bool:
+    def denies(self, relation: Any, i: int, j: int) -> bool:
         """Whether the ordered assignment (α=i, β=j) is a violation."""
+        if self.never:
+            return False
         return any(c.fires(relation, i, j) for c in self.clauses)
 
     @property
@@ -542,11 +551,12 @@ class Plan:
         from .kernels import strategy_hint
 
         shape = "single-tuple" if self.arity == 1 else self.style
+        kernel = "skipped (never fires)" if self.never else strategy_hint(self)
         lines = [
             f"{self.label}",
             f"  plan ({shape}, {len(self.clauses)} clause"
             f"{'s' if len(self.clauses) != 1 else ''})"
-            f" [kernel: {strategy_hint(self)}]",
+            f" [kernel: {kernel}]",
         ]
         for k, clause in enumerate(self.clauses, 1):
             lines.append(f"    clause {k}: {clause}")

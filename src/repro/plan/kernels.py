@@ -36,7 +36,8 @@ from __future__ import annotations
 import math
 from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
+from typing import Any
 
 from ..runtime import checkpoint
 from .ir import ORDER_OPS, CmpAtom, MetricAtom, Plan
@@ -498,6 +499,10 @@ def execute_pairs(
     n = len(relation)
     COUNTERS.executions += 1
     COUNTERS.pairs_total += n * (n - 1) // 2
+    if plan.never:
+        # Static analysis proved no clause can fire — nothing to scan.
+        COUNTERS.note("never")
+        return []
     strategy, candidates = _candidates(plan, relation, restrict)
     COUNTERS.note(strategy)
     hits: list[tuple[Any, Any]] = []
@@ -529,6 +534,9 @@ def execute_rows(
 ) -> list:
     """Run a single-tuple (arity-1) plan over rows."""
     COUNTERS.executions += 1
+    if plan.never:
+        COUNTERS.note("never")
+        return []
     COUNTERS.note("rows")
     rows: Iterable[int] = (
         sorted(restrict) if restrict is not None else range(len(relation))
@@ -554,12 +562,25 @@ def execute_rows(
 
 
 def plan_for(dep) -> Plan:
-    """The compiled plan of a dependency, cached on the instance."""
+    """The compiled, simplified plan of a dependency (instance-cached).
+
+    Compilation lowers the notation; the static simplifier then rewrites
+    the plan into a provably equivalent smaller one (dead clauses
+    dropped, redundant atoms removed — see
+    :func:`repro.analysis.simplify.simplify_plan`).  Set
+    ``REPRO_NO_SIMPLIFY=1`` to execute raw compiled plans instead.
+    """
+    import os
+
     plan = getattr(dep, "_repro_plan", None)
     if plan is None or plan.source is not dep:
         from .compile import compile_dependency
 
         plan = compile_dependency(dep)
+        if os.environ.get("REPRO_NO_SIMPLIFY", "") in ("", "0"):
+            from ..analysis.simplify import simplify_plan
+
+            plan = simplify_plan(plan)
         try:
             dep._repro_plan = plan
         except (AttributeError, TypeError):

@@ -18,7 +18,7 @@ subgroup choice — which this module exploits:
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 from ..core.categorical import FD
 from ..relation.relation import Relation
@@ -65,7 +65,7 @@ def fd_repairs(
         itertools.product(*flat_choices), max_repairs * 4
     ):
         drop: set[int] = set()
-        for group_keep, group_alternatives in zip(combo, flat_choices):
+        for group_keep, group_alternatives in zip(combo, flat_choices, strict=True):
             members = set().union(*group_alternatives)
             drop |= members - set(group_keep)
         keep = frozenset(all_indices - drop)

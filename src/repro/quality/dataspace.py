@@ -21,7 +21,7 @@ dependencies encode.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from ..core.heterogeneous.cd import CD, SimilarityFunction
 from ..metrics.registry import DEFAULT_REGISTRY, MetricRegistry

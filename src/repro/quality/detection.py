@@ -13,7 +13,7 @@ and miss variant-key errors, while metric rules do not.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from ..core.base import Dependency
 from ..core.violation import Violation, ViolationSet

@@ -17,7 +17,7 @@ This module provides:
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..core.categorical import MVD
 from ..relation.relation import Relation

@@ -16,7 +16,7 @@ Two methods from the survey:
 from __future__ import annotations
 
 from collections import Counter
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from ..core.heterogeneous import DD, SimilarityPredicate, coerce_predicates
 from ..metrics.registry import DEFAULT_REGISTRY, MetricRegistry

@@ -20,7 +20,7 @@ describes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..core.categorical import CFD
 from ..core.heterogeneous import MD
@@ -60,7 +60,7 @@ def _count_diff(before: Relation, after: Relation) -> int:
     """Number of cells that changed between two same-shape relations."""
     count = 0
     for i in range(len(before)):
-        for a, b in zip(before.tuple_at(i), after.tuple_at(i)):
+        for a, b in zip(before.tuple_at(i), after.tuple_at(i), strict=True):
             if a != b:
                 count += 1
     return count

@@ -11,7 +11,7 @@ The original use of data dependencies [24, 30]:
 from __future__ import annotations
 
 import itertools
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..core.categorical import FD, MVD
 from ..relation.relation import Relation

@@ -18,7 +18,7 @@ The survey's optimization applications, made concrete:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from ..core.categorical import NUD, SFD
 from ..core.numerical import OD

@@ -21,7 +21,7 @@ semantic oracle.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from ..core.categorical import CFD, Pattern
 from ..core.categorical.pattern import PatternEntry, const

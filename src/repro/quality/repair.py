@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..core.categorical import CFD, FD
 from ..core.numerical import DC
@@ -123,7 +123,7 @@ def repair_fds(
                                 continue
                             edits = {
                                 a: new_v
-                                for a, new_v in zip(dep.rhs, majority)
+                                for a, new_v in zip(dep.rhs, majority, strict=True)
                                 if current.value_at(t, a) != new_v
                             }
                             if not edits:
@@ -197,7 +197,7 @@ def repair_cfds(
                                 continue
                             edits = {
                                 a: new_v
-                                for a, new_v in zip(dep.rhs, majority)
+                                for a, new_v in zip(dep.rhs, majority, strict=True)
                                 if current.value_at(t, a) != new_v
                             }
                             if not edits:

@@ -40,7 +40,8 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
-from typing import Any, Iterator, Sequence
+from collections.abc import Iterator, Sequence
+from typing import Any
 
 try:  # numpy is a declared dependency, but keep the substrate importable
     import numpy as _np
@@ -386,7 +387,7 @@ class RelationEncoding:
             starts = [0, *bounds]
             ends = [*bounds, self._n]
             rows = order.tolist()
-            table = [(rows[s], rows[s:e]) for s, e in zip(starts, ends)]
+            table = [(rows[s], rows[s:e]) for s, e in zip(starts, ends, strict=True)]
             table.sort(key=lambda group: group[0])
         else:
             groups: dict[int, list[int]] = {}

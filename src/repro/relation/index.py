@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import bisect
 from collections import defaultdict
-from typing import Any, Hashable, Iterable
+from collections.abc import Hashable, Iterable
+from typing import Any
 
 from .relation import Relation
 from .schema import Attribute

@@ -20,7 +20,7 @@ import csv
 import io
 import math
 from pathlib import Path
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..runtime.errors import InputError
 from .relation import Relation, Value
@@ -138,7 +138,7 @@ def _read(
                     column=name,
                     source=source,
                 )
-                for cell, dt, name in zip(raw, dtypes, names)
+                for cell, dt, name in zip(raw, dtypes, names, strict=True)
             )
         )
     return Relation.from_rows(schema, rows)

@@ -16,7 +16,7 @@ the equivalence-class repair engine.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from .relation import Relation
 from .schema import Attribute

@@ -26,7 +26,7 @@ them as read-only.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from .partition import StrippedPartition
 from .relation import Relation, Row

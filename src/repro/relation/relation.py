@@ -22,7 +22,8 @@ selections, but tuples compare positionally for the join/set semantics.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Callable, Hashable, Iterable, Iterator, Mapping, Sequence
+from collections.abc import Callable, Hashable, Iterable, Iterator, Mapping, Sequence
+from typing import Any
 
 from . import encoding as _encoding
 from .schema import Attribute, Schema
@@ -204,7 +205,7 @@ class Relation:
 
     def record_at(self, i: int) -> dict[str, Value]:
         """The ``i``-th tuple as a ``{name: value}`` dict."""
-        return dict(zip(self._schema.names(), self.tuple_at(i)))
+        return dict(zip(self._schema.names(), self.tuple_at(i), strict=True))
 
     def value_at(self, i: int, attribute: Attribute | str) -> Value:
         """Single cell ``t_i[A]``."""
@@ -240,7 +241,7 @@ class Relation:
             return Relation.from_rows(sub, rows)
         seen: set[Row] = set()
         rows = []
-        for row in zip(*cols) if cols else ((),) * self._size:
+        for row in zip(*cols, strict=True) if cols else ((),) * self._size:
             if row not in seen:
                 seen.add(row)
                 rows.append(row)
@@ -252,7 +253,7 @@ class Relation:
         cols = [self._columns[j] for j in self._column_indices(attributes)]
         if not cols:
             return Relation.from_rows(sub, [()] * self._size)
-        return Relation.from_rows(sub, zip(*cols))
+        return Relation.from_rows(sub, zip(*cols, strict=True))
 
     def select(self, predicate: Callable[[dict[str, Value]], bool]) -> "Relation":
         """Selection by a predicate over tuple dicts."""
@@ -403,7 +404,7 @@ class Relation:
             return {(): list(range(self._size))} if self._size else {}
         cols = [self._columns[j] for j in idxs]
         groups: dict[Row, list[int]] = defaultdict(list)
-        for i, row in enumerate(zip(*cols)):
+        for i, row in enumerate(zip(*cols, strict=True)):
             groups[row].append(i)
         return dict(groups)
 
@@ -447,7 +448,7 @@ class Relation:
         if not idxs:
             return 1 if self._size else 0
         cols = [self._columns[j] for j in idxs]
-        return len(set(zip(*cols)))
+        return len(set(zip(*cols, strict=True)))
 
     def value_counts(
         self, attribute: Attribute | str

@@ -27,8 +27,10 @@ per-kind field reference lives in ``docs/api.md``.
 from __future__ import annotations
 
 import json
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Mapping
+from typing import Any
 
 from .core.base import Dependency
 from .core.categorical.afd import AFD
@@ -224,8 +226,36 @@ def parse_rule(rule: Mapping[str, Any]) -> Dependency:
         raise RuleFileError(f"bad {kind} rule {rule!r}: {exc}") from exc
 
 
-def parse_rules(payload: Any) -> list[Dependency]:
-    """Parse a rule-file document (``{"rules": [...]}`` or a bare list)."""
+@dataclass(frozen=True)
+class RuleEntry:
+    """One parsed rule plus its source metadata.
+
+    The static analyzer (:mod:`repro.analysis`) reports diagnostics
+    against the rule's *location*, so users can map findings back to
+    the JSON document that declared them; ``raw`` keeps the original
+    JSON object so ``repro lint --fix`` can re-emit surviving rules
+    verbatim.
+    """
+
+    dependency: Dependency
+    raw: Mapping[str, Any]
+    index: int
+    rule_id: str | None = None
+    source: str | None = None
+
+    @property
+    def name(self) -> str:
+        """The declared ``id``, falling back to the dependency label."""
+        return self.rule_id if self.rule_id else self.dependency.label()
+
+    @property
+    def location(self) -> str:
+        """Human-readable source location, e.g. ``rules.json#rules[3]``."""
+        base = self.source if self.source else "<rules>"
+        return f"{base}#rules[{self.index}]"
+
+
+def _rule_list(payload: Any) -> list[Any]:
     if isinstance(payload, Mapping):
         rules = payload.get("rules")
         if rules is None:
@@ -234,13 +264,60 @@ def parse_rules(payload: Any) -> list[Dependency]:
         rules = payload
     if not isinstance(rules, list) or not rules:
         raise RuleFileError(f"'rules' must be a non-empty list, got {rules!r}")
-    return [parse_rule(r) for r in rules]
+    return rules
 
 
-def load_rules(path: str | Path) -> list[Dependency]:
-    """Load and parse a JSON rule file."""
+def parse_rules_with_meta(
+    payload: Any, source: str | None = None
+) -> list[RuleEntry]:
+    """Parse a rule-file document, keeping per-rule source metadata.
+
+    Each rule object may carry an optional ``"id"`` string; ids must be
+    unique across the document — a duplicate raises
+    :class:`RuleFileError` naming both declaration sites.
+    """
+    entries: list[RuleEntry] = []
+    seen_ids: dict[str, RuleEntry] = {}
+    for index, raw in enumerate(_rule_list(payload)):
+        dep = parse_rule(raw)
+        rule_id = raw.get("id") if isinstance(raw, Mapping) else None
+        if rule_id is not None and not isinstance(rule_id, str):
+            raise RuleFileError(
+                f"rule 'id' must be a string, got {rule_id!r}: {raw!r}"
+            )
+        entry = RuleEntry(
+            dependency=dep,
+            raw=raw,
+            index=index,
+            rule_id=rule_id,
+            source=source,
+        )
+        if rule_id is not None:
+            first = seen_ids.get(rule_id)
+            if first is not None:
+                raise RuleFileError(
+                    f"duplicate rule id {rule_id!r}: first declared at "
+                    f"{first.location}, declared again at {entry.location}"
+                )
+            seen_ids[rule_id] = entry
+        entries.append(entry)
+    return entries
+
+
+def parse_rules(payload: Any) -> list[Dependency]:
+    """Parse a rule-file document (``{"rules": [...]}`` or a bare list)."""
+    return [e.dependency for e in parse_rules_with_meta(payload)]
+
+
+def load_rules_with_meta(path: str | Path) -> list[RuleEntry]:
+    """Load a JSON rule file, keeping per-rule source metadata."""
     try:
         payload = json.loads(Path(path).read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
         raise RuleFileError(f"{path}: invalid JSON: {exc}") from exc
-    return parse_rules(payload)
+    return parse_rules_with_meta(payload, source=str(path))
+
+
+def load_rules(path: str | Path) -> list[Dependency]:
+    """Load and parse a JSON rule file."""
+    return [e.dependency for e in load_rules_with_meta(path)]

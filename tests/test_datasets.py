@@ -71,7 +71,7 @@ class TestOrderedWorkload:
     def test_clean_series_increases(self):
         w = ordered_workload(50, glitch_rate=0.0, seed=1)
         values = w.clean.column("value")
-        assert all(b > a for a, b in zip(values, values[1:]))
+        assert all(b > a for a, b in zip(values, values[1:], strict=False))
 
     def test_glitches_recorded(self):
         w = ordered_workload(50, glitch_rate=0.2, seed=1)

@@ -109,6 +109,66 @@ class TestDocumentShape:
         assert str(rule) == "a -> b"
 
 
+class TestRuleIds:
+    def test_duplicate_id_names_both_locations(self):
+        payload = {
+            "rules": [
+                {"kind": "FD", "lhs": ["a"], "rhs": ["b"], "id": "r1"},
+                {"kind": "FD", "lhs": ["b"], "rhs": ["c"]},
+                {"kind": "FD", "lhs": ["a"], "rhs": ["c"], "id": "r1"},
+            ]
+        }
+        with pytest.raises(RuleFileError, match="first declared at") as ei:
+            parse_rules(payload)
+        message = str(ei.value)
+        assert "duplicate rule id 'r1'" in message
+        assert "#rules[0]" in message
+        assert "#rules[2]" in message
+
+    def test_duplicate_id_in_file_names_the_file(self, tmp_path):
+        p = tmp_path / "rules.json"
+        p.write_text(
+            json.dumps(
+                {
+                    "rules": [
+                        {"kind": "FD", "lhs": ["a"], "rhs": ["b"],
+                         "id": "x"},
+                        {"kind": "FD", "lhs": ["b"], "rhs": ["a"],
+                         "id": "x"},
+                    ]
+                }
+            ),
+            encoding="utf-8",
+        )
+        with pytest.raises(RuleFileError, match="duplicate rule id") as ei:
+            load_rules(p)
+        assert str(p) in str(ei.value)
+
+    def test_non_string_id_rejected(self):
+        with pytest.raises(RuleFileError, match="'id' must be a string"):
+            parse_rules(
+                {"rules": [{"kind": "FD", "lhs": ["a"], "rhs": ["b"],
+                            "id": 7}]}
+            )
+
+    def test_distinct_ids_accepted_and_exposed(self):
+        from repro.rules_io import parse_rules_with_meta
+
+        entries = parse_rules_with_meta(
+            {
+                "rules": [
+                    {"kind": "FD", "lhs": ["a"], "rhs": ["b"],
+                     "id": "zip-city"},
+                    {"kind": "FD", "lhs": ["b"], "rhs": ["c"]},
+                ]
+            },
+            source="inline.json",
+        )
+        assert entries[0].name == "zip-city"
+        assert entries[1].name == entries[1].dependency.label()
+        assert entries[0].location == "inline.json#rules[0]"
+
+
 class TestTaxonomyIntegration:
     def test_rule_file_error_is_typed(self):
         try:
