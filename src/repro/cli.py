@@ -333,7 +333,9 @@ def cmd_survey(args: argparse.Namespace) -> int:
 
 
 def cmd_plan(args: argparse.Namespace) -> int:
-    from .plan import PlanCompileError, compile_dependency
+    from .plan import PlanCompileError, compile_dependency, kernel_backend_mode
+    from .relation.encoding import HAS_NUMPY
+
     from .rules_io import RuleFileError, load_rules
 
     try:
@@ -341,6 +343,9 @@ def cmd_plan(args: argparse.Namespace) -> int:
     except RuleFileError as exc:
         print(f"[error] {exc}")
         return 2
+    mode = kernel_backend_mode()
+    substrate = "numpy" if HAS_NUMPY else "no numpy (scalar only)"
+    print(f"kernel backend: {mode} [{substrate}]")
     exit_code = 0
     for dep in rules:
         try:

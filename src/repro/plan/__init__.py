@@ -8,6 +8,13 @@ candidate-pair pruning — partition groups for equality atoms, sorted
 sweeps for order atoms, value blocking for metric atoms — instead of
 each notation running its own blind O(n²) loop.
 
+The kernel layer has two backends: the scalar generators in
+:mod:`repro.plan.kernels` and the vectorized columnar twins in
+:mod:`repro.plan.kernels_vec` (batch numpy clause masks over the
+encoded columns).  :func:`kernel_backend` / ``REPRO_KERNEL_BACKEND``
+select between ``auto`` (vectorize eligible plans on large relations),
+``vector`` (force whenever eligible) and ``scalar`` (never).
+
 Layering: relation substrate → plan IR → kernels → engines
 (detection / discovery / incremental / profiling).  See
 ``docs/architecture.md``.
@@ -29,8 +36,11 @@ from .ir import (
     PredicateAtom,
     ResemblanceAtom,
     ThetaAtom,
+    kernel_backend,
+    kernel_backend_mode,
     plan_enabled,
     plan_mode,
+    set_kernel_backend,
     set_mode,
 )
 from .kernels import (
@@ -60,8 +70,11 @@ __all__ = [
     "PredicateAtom",
     "ResemblanceAtom",
     "ThetaAtom",
+    "kernel_backend",
+    "kernel_backend_mode",
     "plan_enabled",
     "plan_mode",
+    "set_kernel_backend",
     "set_mode",
     "compile_dependency",
     "compile_guards",

@@ -51,6 +51,15 @@ sound over-approximation and never changes reported semantics.
 The plan path is on by default; set ``REPRO_NAIVE_PLAN=1`` (or call
 :func:`set_mode`) to force the legacy per-class scan loops, which the
 parity suite compares against.
+
+Plans additionally carry a *kernel backend* switch: atoms whose
+semantics reduce to bulk array operations over the encoded substrate
+declare ``vectorizable = True``, and plans made entirely of such atoms
+may be executed by :mod:`repro.plan.kernels_vec` as whole-clause numpy
+computations instead of per-pair Python.  ``REPRO_KERNEL_BACKEND``
+(or :func:`set_kernel_backend` / :func:`kernel_backend`) selects
+``"auto"`` (vectorize large relations, default), ``"vector"`` (force
+vectorized wherever eligible), or ``"scalar"`` (never vectorize).
 """
 
 from __future__ import annotations
@@ -104,6 +113,50 @@ def plan_enabled() -> bool:
     return os.environ.get(_ENV_FLAG, "") in ("", "0")
 
 
+_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+_BACKEND_MODES = ("auto", "vector", "scalar")
+
+_backend_override: str | None = None
+
+
+def set_kernel_backend(mode: str | None) -> None:
+    """Force the kernel backend: ``"auto"``, ``"vector"``, ``"scalar"``.
+
+    ``None`` restores the default: the ``REPRO_KERNEL_BACKEND``
+    environment variable, else ``"auto"``.  ``"vector"`` uses the
+    columnar kernels for every eligible plan regardless of relation
+    size; ``"scalar"`` never vectorizes; ``"auto"`` vectorizes eligible
+    plans on relations large enough to amortize array setup.
+    """
+    global _backend_override
+    if mode is not None and mode not in _BACKEND_MODES:
+        raise ValueError(f"unknown kernel backend {mode!r}")
+    _backend_override = mode
+
+
+@contextmanager
+def kernel_backend(mode: str | None) -> Iterator[None]:
+    """Temporarily force the kernel backend (for tests and benchmarks)."""
+    global _backend_override
+    previous = _backend_override
+    set_kernel_backend(mode)
+    try:
+        yield
+    finally:
+        _backend_override = previous
+
+
+def kernel_backend_mode() -> str:
+    """The active backend mode: ``"auto"``, ``"vector"`` or ``"scalar"``."""
+    if _backend_override is not None:
+        return _backend_override
+    env = os.environ.get(_BACKEND_ENV, "")
+    if env in _BACKEND_MODES:
+        return env
+    return "auto"
+
+
 class PlanCompileError(ValueError):
     """Raised when a dependency has no pair-plan lowering (MVDs, ...)."""
 
@@ -140,10 +193,14 @@ class PredicateAtom:
     ``eval(relation, i, j)`` evaluates with tuple ``i`` bound to t_α and
     tuple ``j`` to t_β.  ``symmetric`` atoms satisfy
     ``eval(i, j) == eval(j, i)`` for all pairs, which lets kernels probe
-    a single orientation.
+    a single orientation.  ``vectorizable`` atoms have a batch-array
+    evaluation in :mod:`repro.plan.kernels_vec`; the flag is *static*
+    eligibility — the vectorized backend still falls back per relation
+    when, e.g., a column is not numerically representable.
     """
 
     symmetric: bool = False
+    vectorizable: bool = False
 
     def eval(self, relation, i: int, j: int) -> bool:
         raise NotImplementedError
@@ -165,6 +222,8 @@ class CmpAtom(PredicateAtom):
     ``"py"`` semantics support only ``"="`` and evaluate the identity-
     shortcut equality of 1-tuples, matching ``values_at`` comparisons.
     """
+
+    vectorizable = True
 
     __slots__ = ("lhs_var", "lhs_attr", "op", "rhs_var", "rhs_attr",
                  "semantics", "negated", "symmetric")
@@ -236,6 +295,8 @@ class CmpAtom(PredicateAtom):
 class ConstAtom(PredicateAtom):
     """``t.A op constant`` (SQL semantics)."""
 
+    vectorizable = True
+
     __slots__ = ("var", "attr", "op", "constant", "negated")
 
     def __init__(
@@ -268,6 +329,8 @@ class ConstAtom(PredicateAtom):
 
 class PatternAtom(PredicateAtom):
     """``t.A matches <pattern entry>`` (CFD/CDD/CMD conditions)."""
+
+    vectorizable = True
 
     __slots__ = ("var", "attr", "entry")
 
@@ -304,6 +367,7 @@ class MetricAtom(PredicateAtom):
     """
 
     symmetric = True
+    vectorizable = True
 
     __slots__ = ("attribute", "interval", "semantics", "negated",
                  "metric", "registry")
@@ -411,6 +475,7 @@ class NotNullAtom(PredicateAtom):
     """Every listed attribute is non-``None`` on *both* tuples."""
 
     symmetric = True
+    vectorizable = True
 
     __slots__ = ("attrs",)
 
@@ -532,6 +597,16 @@ class Plan:
         """True when one orientation per unordered pair suffices."""
         return all(a.symmetric for c in self.clauses for a in c.atoms)
 
+    @property
+    def vector_eligible(self) -> bool:
+        """True when every atom has a batch-array evaluation (static).
+
+        The vectorized backend still re-checks per relation (column
+        representability, metric kind); this flag is the static half of
+        that decision, used by ``repro plan`` and the backend selector.
+        """
+        return all(a.vectorizable for c in self.clauses for a in c.atoms)
+
     def shared_atoms(self) -> tuple[PredicateAtom, ...]:
         """Atoms present (by identity) in every clause — the guards."""
         first = self.clauses[0].atoms
@@ -552,11 +627,22 @@ class Plan:
 
         shape = "single-tuple" if self.arity == 1 else self.style
         kernel = "skipped (never fires)" if self.never else strategy_hint(self)
+        mode = kernel_backend_mode()
+        if self.never:
+            backend = "none"
+        elif mode == "scalar":
+            backend = "scalar (forced)"
+        elif self.vector_eligible:
+            backend = "vectorized" if mode == "vector" else (
+                "vectorized (auto)"
+            )
+        else:
+            backend = "scalar (non-vectorizable atoms)"
         lines = [
             f"{self.label}",
             f"  plan ({shape}, {len(self.clauses)} clause"
             f"{'s' if len(self.clauses) != 1 else ''})"
-            f" [kernel: {kernel}]",
+            f" [kernel: {kernel}, backend: {backend}]",
         ]
         for k, clause in enumerate(self.clauses, 1):
             lines.append(f"    clause {k}: {clause}")

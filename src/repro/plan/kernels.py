@@ -25,6 +25,16 @@ Strategies, in priority order:
 * **pair-scan** — the legacy all-pairs fallback (CDs, FFDs, opaque
   atoms).
 
+Each strategy additionally has a *vectorized* twin in
+:mod:`repro.plan.kernels_vec` that evaluates whole clauses as batch
+numpy operations over the encoded columns (strategy names prefixed
+``vec-``).  ``execute_pairs``/``execute_rows`` route per plan and
+relation: the vectorized backend is chosen when the
+``REPRO_KERNEL_BACKEND`` mode allows it, numpy and the encoding layer
+are available, every atom is vectorizable, and the relation is large
+enough to amortize array setup — otherwise the scalar kernels below
+run unchanged.
+
 All kernels charge examined pairs to the ambient
 :func:`repro.runtime.checkpoint` in batches, so ``max_pairs`` caps and
 deadlines apply *inside* the evaluation — a :class:`BudgetExhausted`
@@ -39,38 +49,82 @@ from dataclasses import dataclass, field
 from collections.abc import Callable, Iterable, Iterator
 from typing import Any
 
+from ..relation.encoding import HAS_NUMPY, encoded_enabled
 from ..runtime import checkpoint
-from .ir import ORDER_OPS, CmpAtom, MetricAtom, Plan
+from .ir import ORDER_OPS, CmpAtom, MetricAtom, Plan, kernel_backend_mode
 
 #: Pairs charged to the budget per checkpoint call.
 _BATCH = 256
+
+#: Below this row count the ``auto`` backend stays scalar: array setup
+#: costs more than the handful of Python probes it would replace.
+_VEC_MIN_ROWS = 256
 
 _FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
 
 
 @dataclass
 class KernelCounters:
-    """Cheap global instrumentation (profiler + benchmarks)."""
+    """Cheap global instrumentation (profiler + benchmarks).
+
+    Backend-aware: vectorized executions record strategies prefixed
+    ``vec-`` (``vec-group``, ``vec-sweep``, ...) plus the number of
+    streamed index chunks, while scalar executions keep the bare
+    strategy names — :meth:`backends` aggregates either way.
+    """
 
     executions: int = 0
     pairs_examined: int = 0
     pairs_total: int = 0
+    #: Streamed index blocks evaluated by the vectorized backend (each
+    #: one is also a budget checkpoint).
+    chunks: int = 0
     by_strategy: dict[str, int] = field(default_factory=dict)
+    #: Candidate pairs examined / verified hits, per strategy name.
+    candidates_by_strategy: dict[str, int] = field(default_factory=dict)
+    verified_by_strategy: dict[str, int] = field(default_factory=dict)
 
     def note(self, strategy: str) -> None:
         self.by_strategy[strategy] = self.by_strategy.get(strategy, 0) + 1
+
+    def note_work(
+        self, strategy: str, *, candidates: int = 0, verified: int = 0
+    ) -> None:
+        """Record a finished execution's candidate/verified volume."""
+        self.candidates_by_strategy[strategy] = (
+            self.candidates_by_strategy.get(strategy, 0) + candidates
+        )
+        self.verified_by_strategy[strategy] = (
+            self.verified_by_strategy.get(strategy, 0) + verified
+        )
+
+    def backends(self) -> dict[str, int]:
+        """Execution counts aggregated to ``scalar`` / ``vectorized``."""
+        out: dict[str, int] = {}
+        for strategy, count in self.by_strategy.items():
+            key = "vectorized" if strategy.startswith("vec-") else "scalar"
+            out[key] = out.get(key, 0) + count
+        return out
 
     def reset(self) -> None:
         self.executions = 0
         self.pairs_examined = 0
         self.pairs_total = 0
+        self.chunks = 0
         self.by_strategy = {}
+        self.candidates_by_strategy = {}
+        self.verified_by_strategy = {}
 
     def pruned_fraction(self) -> float:
-        """Fraction of the blind O(n²) pair space the kernels skipped."""
-        if not self.pairs_total:
+        """Fraction of the blind O(n²) pair space the kernels skipped.
+
+        Guarded for the zero-candidate case: with no recorded pair
+        space (empty relations, nothing executed) the fraction is 0.0
+        rather than a division error.
+        """
+        if self.pairs_total <= 0:
             return 0.0
-        return 1.0 - min(1.0, self.pairs_examined / self.pairs_total)
+        return 1.0 - min(1.0, max(0, self.pairs_examined) / self.pairs_total)
 
 
 COUNTERS = KernelCounters()
@@ -462,6 +516,29 @@ def _iter_sweep_pairs(relation, spec: _SweepSpec) -> Iterator[tuple[int, int]]:
 PairVerify = Callable[..., "tuple[Any, Any] | None"]
 
 
+def _vector_binding(plan: Plan, relation) -> Any | None:
+    """The bound vectorized plan, or ``None`` for the scalar path.
+
+    Routing order: the ``REPRO_KERNEL_BACKEND`` mode (``scalar`` never
+    vectorizes; ``auto`` additionally requires ``_VEC_MIN_ROWS`` rows),
+    the numpy/encoding substrate, the plan's static per-atom
+    vectorizability, and finally :func:`kernels_vec.bind`'s dynamic
+    per-relation checks (column representability, metric identity).
+    """
+    mode = kernel_backend_mode()
+    if mode == "scalar":
+        return None
+    if not HAS_NUMPY or not encoded_enabled():
+        return None
+    if not plan.vector_eligible:
+        return None
+    if mode == "auto" and len(relation) < _VEC_MIN_ROWS:
+        return None
+    from . import kernels_vec
+
+    return kernels_vec.bind(plan, relation)
+
+
 def _candidates(
     plan: Plan, relation, restrict: set[int] | None
 ) -> tuple[str, Iterable[tuple[int, int]]]:
@@ -503,14 +580,33 @@ def execute_pairs(
         # Static analysis proved no clause can fire — nothing to scan.
         COUNTERS.note("never")
         return []
+    vp = _vector_binding(plan, relation)
+    if vp is not None:
+        from . import kernels_vec
+
+        strategy = f"vec-{vp.strategy}"
+        COUNTERS.note(strategy)
+        examined = COUNTERS.pairs_examined
+        hits = kernels_vec.run_pairs(
+            vp, relation, verify, restrict=restrict, first_only=first_only
+        )
+        COUNTERS.note_work(
+            strategy,
+            candidates=COUNTERS.pairs_examined - examined,
+            verified=len(hits),
+        )
+        hits.sort(key=lambda item: item[0])
+        return [payload for _, payload in hits]
     strategy, candidates = _candidates(plan, relation, restrict)
     COUNTERS.note(strategy)
     hits: list[tuple[Any, Any]] = []
     pending = 0
+    examined = 0
     for p, q in candidates:
         pending += 1
         if pending >= _BATCH:
             COUNTERS.pairs_examined += pending
+            examined += pending
             checkpoint(pairs=pending)
             pending = 0
         hit = verify(relation, p, q)
@@ -519,7 +615,9 @@ def execute_pairs(
             if first_only:
                 break
     COUNTERS.pairs_examined += pending
+    examined += pending
     checkpoint(pairs=pending)
+    COUNTERS.note_work(strategy, candidates=examined, verified=len(hits))
     hits.sort(key=lambda item: item[0])
     return [payload for _, payload in hits]
 
@@ -537,6 +635,17 @@ def execute_rows(
     if plan.never:
         COUNTERS.note("never")
         return []
+    vp = _vector_binding(plan, relation)
+    if vp is not None:
+        from . import kernels_vec
+
+        COUNTERS.note("vec-rows")
+        hits = kernels_vec.run_rows(
+            vp, relation, verify, restrict=restrict, first_only=first_only
+        )
+        COUNTERS.note_work("vec-rows", verified=len(hits))
+        hits.sort(key=lambda item: item[0])
+        return [payload for _, payload in hits]
     COUNTERS.note("rows")
     rows: Iterable[int] = (
         sorted(restrict) if restrict is not None else range(len(relation))
@@ -554,6 +663,7 @@ def execute_rows(
             if first_only:
                 break
     checkpoint()
+    COUNTERS.note_work("rows", verified=len(hits))
     hits.sort(key=lambda item: item[0])
     return [payload for _, payload in hits]
 

@@ -114,7 +114,7 @@ class ColumnCodes:
     __slots__ = (
         "codes", "values", "codebook", "groups", "n_distinct",
         "self_unequal", "numeric_safe", "none_code", "_array", "_floats",
-        "_valid",
+        "_valid", "_sorted",
     )
 
     def __init__(self, column: Sequence[Value]) -> None:
@@ -160,6 +160,7 @@ class ColumnCodes:
         self._array = None
         self._floats = None
         self._valid = None
+        self._sorted = None
 
     def extended(self, column: Sequence[Value], start: int) -> "ColumnCodes":
         """A codebook for ``column`` reusing this one for rows < ``start``.
@@ -220,6 +221,7 @@ class ColumnCodes:
             )
         out._floats = None
         out._valid = None
+        out._sorted = None
         return out
 
     def array(self):
@@ -249,6 +251,23 @@ class ColumnCodes:
                 dtype=_np.float64,
             )
         return self._floats
+
+    def sorted_projection(self, column: Sequence[Value]):
+        """``(rows, values)``: defined cells ascending by float value.
+
+        ``rows`` is an ``int64`` vector of the row indices whose float
+        projection is defined (non-``None``, non-NaN), stably sorted by
+        value — the shared substrate of ``searchsorted``-style interval
+        and order kernels.  Cached; only meaningful when
+        :attr:`numeric_safe`.
+        """
+        if self._sorted is None:
+            floats = self.float_array(column)
+            rows = _np.flatnonzero(~_np.isnan(floats))
+            order = _np.argsort(floats[rows], kind="stable")
+            rows = rows[order].astype(_np.int64, copy=False)
+            self._sorted = (rows, floats[rows])
+        return self._sorted
 
 
 class RelationEncoding:
@@ -311,6 +330,25 @@ class RelationEncoding:
 
     def float_array(self, j: int):
         return self.column_codes(j).float_array(self._columns[j])
+
+    def sorted_projection(self, j: int):
+        """Cached ``(rows, values)`` sorted float projection of column ``j``."""
+        return self.column_codes(j).sorted_projection(self._columns[j])
+
+    def gather(self, j: int):
+        """Batch fetch of one column's kernel arrays (numpy builds only).
+
+        Returns ``(codes, floats, valid)``: ``int64`` dictionary codes,
+        the float projection (``None`` unless the column is
+        numeric-safe), and the non-``None`` validity mask — everything
+        the vectorized kernels need for a column, built once and cached
+        on the encoding.
+        """
+        cc = self.column_codes(j)
+        floats = (
+            cc.float_array(self._columns[j]) if cc.numeric_safe else None
+        )
+        return cc.array(), floats, cc.valid_array()
 
     # -- combined keys -------------------------------------------------
 

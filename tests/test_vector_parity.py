@@ -1,0 +1,288 @@
+"""Property tests: the vectorized backend must agree with everything.
+
+``test_plan_parity`` pins scalar plan kernels to the naive scan; this
+suite adds the third path — the columnar kernels of
+``repro.plan.kernels_vec`` under a forced ``kernel_backend("vector")``
+— and drives all three to identical violation lists over the same
+hostile value pool (``None``/NaN/bool/int/float/str), plus the edge
+regimes the batch code paths are most likely to get wrong: all-NaN and
+all-``None`` columns, empty and single-row relations, ``restrict=``
+and ``first_only=``.  Non-vectorizable plans (opaque predicates,
+string order columns, text metrics) must *fall back* to the scalar
+kernels, which is asserted through the backend-aware counters.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.heterogeneous.cd import CD, SimilarityFunction
+from repro.core.heterogeneous.dd import CDD, DD
+from repro.core.heterogeneous.ffd import FFD
+from repro.core.heterogeneous.md import CMD, MD
+from repro.core.heterogeneous.mfd import MFD
+from repro.core.heterogeneous.ned import NED
+from repro.core.heterogeneous.pac import PAC
+from repro.core.categorical.fd import FD
+from repro.core.numerical.dc import DC, pred2, predc
+from repro.core.numerical.od import OD
+from repro.core.numerical.ofd import OFD
+from repro.plan import (
+    COUNTERS,
+    kernel_backend,
+    pairwise_violations,
+    plan_for,
+    plan_mode,
+)
+from repro.relation import Attribute, AttributeType, Relation, Schema
+
+# A single shared NaN object: dict-key semantics (identity shortcut)
+# make repeated occurrences group together; all paths must agree.
+NAN = float("nan")
+
+MIXED = st.sampled_from(
+    [None, 0, 1, 2, 3, True, False, 1.0, 2.5, -1, "x", "y", "", NAN]
+)
+
+#: Numeric-only pool (plus missing data): exercises the float
+#: projections, ``searchsorted`` windows and ``abs_diff`` corrections.
+NUMERIC = st.sampled_from(
+    [None, 0, 1, 2, 3, True, False, 1.0, 2.5, -1.0, 100, NAN]
+)
+
+
+@st.composite
+def relations(draw, pool=MIXED, attr_type=AttributeType.CATEGORICAL,
+              max_rows=16):
+    n_rows = draw(st.integers(min_value=0, max_value=max_rows))
+    schema = Schema([Attribute(f"A{c}", attr_type) for c in range(3)])
+    rows = [tuple(draw(pool) for __ in range(3)) for __ in range(n_rows)]
+    return Relation.from_rows(schema, rows)
+
+
+def make_dependencies():
+    """One representative per plan-compiled notation, over A0..A2."""
+    return [
+        FD(["A0"], ["A1"]),
+        FD(["A0", "A1"], ["A2"]),
+        MFD(["A0"], ["A1"], 1.0),
+        NED({"A0": 2.0}, {"A1": 1.0}),
+        DD({"A0": ("<=", 2.0)}, {"A1": (">", 1.0)}),
+        CDD({"A0": ("<=", 2.0)}, {"A1": (">", 1.0)}, {"A2": "x"}),
+        MD({"A0": 2.0}, ["A1"]),
+        CMD({"A0": 2.0}, "A1", {"A2": 1}),
+        PAC({"A0": 2.0}, {"A1": 1.0}, 0.8),
+        OD([("A0", "<=")], [("A1", "<=")]),
+        OD([("A0", "<")], [("A1", ">=")]),
+        OFD(["A0"], ["A1"], ordering="pointwise"),
+        DC([pred2("A0", "="), pred2("A1", "!=")]),
+        DC([pred2("A0", "<="), pred2("A1", ">")]),
+        DC([pred2("A0", "<", "A1")]),
+        DC([predc("A0", ">", 1.0), predc("A1", "<=", 2.0)]),
+        DC([pred2("A0", "="), predc("A2", "=", "x")]),
+    ]
+
+
+def snapshot(dep, relation):
+    return [(v.tuples, v.reason) for v in dep.violations(relation)]
+
+
+def three_way(dep, relation):
+    """(naive, scalar-plan, vectorized-plan) snapshots."""
+    with plan_mode("naive"):
+        naive = snapshot(dep, relation)
+    with kernel_backend("scalar"), plan_mode("plan"):
+        scalar = snapshot(dep, relation)
+    with kernel_backend("vector"), plan_mode("plan"):
+        vector = snapshot(dep, relation)
+    return naive, scalar, vector
+
+
+@given(relations())
+@settings(max_examples=40, deadline=None)
+def test_three_way_parity_mixed(relation):
+    for dep in make_dependencies():
+        naive, scalar, vector = three_way(dep, relation)
+        assert scalar == naive, f"scalar divergence for {dep.label()}"
+        assert vector == naive, f"vector divergence for {dep.label()}"
+
+
+@given(relations(pool=NUMERIC, attr_type=AttributeType.NUMERICAL))
+@settings(max_examples=40, deadline=None)
+def test_three_way_parity_numeric(relation):
+    """NUMERICAL attributes resolve abs_diff: the vec-metric path."""
+    for dep in make_dependencies():
+        naive, scalar, vector = three_way(dep, relation)
+        assert scalar == naive, f"scalar divergence for {dep.label()}"
+        assert vector == naive, f"vector divergence for {dep.label()}"
+
+
+@given(st.integers(min_value=0, max_value=5))
+@settings(max_examples=10, deadline=None)
+def test_degenerate_columns(n_rows):
+    """All-NaN, all-None and constant columns, in every combination."""
+    schema = Schema(
+        [Attribute(f"A{c}", AttributeType.NUMERICAL) for c in range(3)]
+    )
+    for cols in (
+        (NAN, None, 1.0),
+        (None, None, None),
+        (NAN, NAN, NAN),
+        (None, NAN, NAN),
+        (1.0, None, NAN),
+    ):
+        relation = Relation.from_rows(schema, [cols] * n_rows)
+        for dep in make_dependencies():
+            naive, scalar, vector = three_way(dep, relation)
+            assert scalar == naive, (dep.label(), cols)
+            assert vector == naive, (dep.label(), cols)
+
+
+def test_empty_and_single_row():
+    schema = Schema(
+        [Attribute(f"A{c}", AttributeType.NUMERICAL) for c in range(3)]
+    )
+    for rows in ([], [(1.0, 2.0, 3.0)]):
+        relation = Relation.from_rows(schema, rows)
+        for dep in make_dependencies():
+            naive, scalar, vector = three_way(dep, relation)
+            assert scalar == naive == vector, dep.label()
+
+
+@given(
+    relations(pool=NUMERIC, attr_type=AttributeType.NUMERICAL),
+    st.sets(st.integers(min_value=0, max_value=15)),
+)
+@settings(max_examples=30, deadline=None)
+def test_restrict_parity_vectorized(relation, restrict):
+    restrict = {r for r in restrict if r < len(relation)}
+    pairwise = [
+        d
+        for d in make_dependencies()
+        if hasattr(type(d), "pair_violation") and not isinstance(d, PAC)
+    ]
+    for dep in pairwise:
+        with plan_mode("naive"):
+            expected = [
+                ((i, j), reason)
+                for i, j in relation.tuple_pairs()
+                if (i in restrict or j in restrict)
+                and (reason := dep.pair_violation(relation, i, j))
+                is not None
+            ]
+        with kernel_backend("vector"), plan_mode("plan"):
+            got = [
+                (v.tuples, v.reason)
+                for v in pairwise_violations(dep, relation, restrict=restrict)
+            ]
+        assert got == expected, f"restrict divergence for {dep.label()}"
+
+
+@given(relations(pool=NUMERIC, attr_type=AttributeType.NUMERICAL))
+@settings(max_examples=30, deadline=None)
+def test_first_only_matches_existence_vectorized(relation):
+    pairwise = [
+        d
+        for d in make_dependencies()
+        if hasattr(type(d), "pair_violation") and not isinstance(d, PAC)
+    ]
+    for dep in pairwise:
+        with plan_mode("naive"):
+            any_naive = any(
+                dep.pair_violation(relation, i, j) is not None
+                for i, j in relation.tuple_pairs()
+            )
+        with kernel_backend("vector"), plan_mode("plan"):
+            first = pairwise_violations(dep, relation, first_only=True)
+        assert bool(first) == any_naive, (
+            f"first_only divergence for {dep.label()}"
+        )
+
+
+# -- fallback and counter contracts ------------------------------------------
+
+
+def _rows_numeric(n):
+    schema = Schema(
+        [Attribute(f"A{c}", AttributeType.NUMERICAL) for c in range(3)]
+    )
+    return Relation.from_rows(
+        schema, [(float(i % 7), float(i % 5), float(i % 3)) for i in range(n)]
+    )
+
+
+def test_static_fallback_counter_asserted():
+    """Opaque-atom plans must run scalar even under forced vector."""
+    relation = _rows_numeric(12)
+    deps = [
+        CD(
+            [SimilarityFunction("A0", "A1", threshold_ij=2.0)],
+            SimilarityFunction("A1", "A2", threshold_ij=1.0),
+        ),
+        FFD(["A0"], ["A1"]),
+        OFD(["A0", "A1"], ["A2"], ordering="lex"),
+    ]
+    for dep in deps:
+        assert not plan_for(dep).vector_eligible, dep.label()
+        COUNTERS.reset()
+        with plan_mode("naive"):
+            expected = snapshot(dep, relation)
+        with kernel_backend("vector"), plan_mode("plan"):
+            got = snapshot(dep, relation)
+        assert got == expected, dep.label()
+        assert COUNTERS.by_strategy, dep.label()
+        assert not any(
+            s.startswith("vec-") for s in COUNTERS.by_strategy
+        ), (dep.label(), COUNTERS.by_strategy)
+        assert COUNTERS.backends().get("scalar"), dep.label()
+
+
+def test_dynamic_fallback_string_order_columns():
+    """A vector-eligible OD plan still falls back on string columns."""
+    schema = Schema(
+        [Attribute("A0", AttributeType.CATEGORICAL),
+         Attribute("A1", AttributeType.CATEGORICAL)]
+    )
+    relation = Relation.from_rows(
+        schema, [(chr(97 + i % 9), chr(97 + i % 7)) for i in range(24)]
+    )
+    dep = OD([("A0", "<=")], [("A1", "<=")])
+    assert plan_for(dep).vector_eligible
+    COUNTERS.reset()
+    with plan_mode("naive"):
+        expected = snapshot(dep, relation)
+    with kernel_backend("vector"), plan_mode("plan"):
+        got = snapshot(dep, relation)
+    assert got == expected
+    assert not any(s.startswith("vec-") for s in COUNTERS.by_strategy)
+    assert COUNTERS.backends() == {"scalar": COUNTERS.executions}
+
+
+def test_vectorized_counters_recorded():
+    # MFD routes through execute_pairs (FD has a bespoke group engine)
+    # and its equality guard selects the group strategy.
+    relation = _rows_numeric(32)
+    dep = MFD(["A0"], ["A1"], 0.5)
+    COUNTERS.reset()
+    with kernel_backend("vector"), plan_mode("plan"):
+        got = snapshot(dep, relation)
+    with plan_mode("naive"):
+        assert got == snapshot(dep, relation)
+    assert COUNTERS.by_strategy.get("vec-group")
+    assert COUNTERS.chunks > 0
+    assert COUNTERS.candidates_by_strategy.get("vec-group", 0) > 0
+    assert COUNTERS.verified_by_strategy.get("vec-group", 0) == len(got)
+    assert COUNTERS.backends() == {"vectorized": COUNTERS.executions}
+
+
+def test_pruned_fraction_zero_candidate_guard():
+    """No recorded pair space must yield 0.0, not a division error."""
+    COUNTERS.reset()
+    assert COUNTERS.pruned_fraction() == 0.0
+    relation = Relation.from_rows(
+        Schema([Attribute("A0", AttributeType.NUMERICAL)]), []
+    )
+    dep = FD(["A0"], ["A0"])
+    with kernel_backend("vector"), plan_mode("plan"):
+        assert snapshot(dep, relation) == []
+    assert COUNTERS.pruned_fraction() == 0.0
