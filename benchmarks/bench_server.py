@@ -1,0 +1,195 @@
+"""Server ingest benchmark: sustained batch throughput over HTTP.
+
+The acceptance workload: one `ReproApp` on an ephemeral port, one
+tenant with an FD/AFD rule set over an 8-column schema, and a single
+keep-alive client POSTing 100-row insert batches as fast as the server
+accepts them.  The contract is **≥100 batches/s sustained** (10k rows/s
+through parse → delta → incremental detection → response), measured
+end to end including HTTP framing; p50/p99 request latency comes from
+the server's own ``repro_request_seconds`` histogram reservoir, so the
+benchmark also exercises the observability path it reports through.
+
+Measurements land in ``BENCH_server.json`` at the repo root.
+"""
+
+import http.client
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.server import ReproApp
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_server.json"
+
+#: Acceptance floor: sustained single-client ingest throughput.
+MIN_BATCHES_PER_S = 100.0
+
+N_COLS = 8
+ROWS_PER_BATCH = 100
+N_BATCHES = 150
+WARMUP_BATCHES = 10
+
+SCHEMA = [
+    {"name": "k", "type": "categorical"},
+    {"name": "city", "type": "categorical"},
+    {"name": "state", "type": "categorical"},
+    {"name": "zip", "type": "categorical"},
+    {"name": "price", "type": "numerical"},
+    {"name": "tax", "type": "numerical"},
+    {"name": "nights", "type": "numerical"},
+    {"name": "note", "type": "text"},
+]
+
+RULES = {
+    "rules": [
+        {"kind": "FD", "lhs": ["zip"], "rhs": ["city"]},
+        {"kind": "FD", "lhs": ["zip"], "rhs": ["state"]},
+        {"kind": "AFD", "lhs": ["city"], "rhs": ["state"],
+         "max_error": 0.05},
+    ]
+}
+
+assert len(SCHEMA) == N_COLS
+
+
+def _batch(b):
+    """One 100-row insert batch with one conflicting zip -> city pair.
+
+    The violating pair gets a zip that is fresh to this batch, so each
+    conflict group stays two rows wide: the incremental checker's
+    per-group refresh cost stays O(batch) and the stream measures
+    steady-state ingest, not an ever-growing pathological group.
+    """
+    rows = []
+    for i in range(ROWS_PER_BATCH):
+        k = b * ROWS_PER_BATCH + i
+        z = k % 5000
+        if i < 2:
+            city, state, zip_ = ("Alba", "Bravo")[i], "st-0", f"bad-{b}"
+        else:
+            city, state, zip_ = f"city-{z}", f"st-{z % 50}", f"z{z}"
+        rows.append(
+            {
+                "k": f"r{k}",
+                "city": city,
+                "state": state,
+                "zip": zip_,
+                "price": float(k % 500),
+                "tax": float(k % 19),
+                "nights": float(k % 7),
+                "note": f"note {k}",
+            }
+        )
+    return {"insert": rows}
+
+
+class _Client:
+    def __init__(self, handle):
+        self.conn = http.client.HTTPConnection(
+            handle.host, handle.port, timeout=60
+        )
+
+    def post(self, path, body):
+        self.conn.request("POST", path, body=json.dumps(body))
+        resp = self.conn.getresponse()
+        payload = json.loads(resp.read())
+        assert resp.status in (200, 201, 202), payload
+        return payload
+
+    def put(self, path, body):
+        self.conn.request("PUT", path, body=json.dumps(body))
+        resp = self.conn.getresponse()
+        payload = json.loads(resp.read())
+        assert resp.status == 200, payload
+        return payload
+
+    def close(self):
+        self.conn.close()
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    app = ReproApp()
+    handle = app.run_in_thread()
+    client = _Client(handle)
+    try:
+        client.post(
+            "/tenants", {"tenant": "bench", "schema": SCHEMA}
+        )
+        client.put("/tenants/bench/rules", RULES)
+
+        for b in range(WARMUP_BATCHES):
+            client.post("/tenants/bench/batches", _batch(b))
+
+        start = time.perf_counter()
+        last = None
+        for b in range(WARMUP_BATCHES, WARMUP_BATCHES + N_BATCHES):
+            last = client.post("/tenants/bench/batches", _batch(b))
+        elapsed = time.perf_counter() - start
+
+        route = "/tenants/{tenant}/batches"
+        hist = app.request_seconds
+        results = {
+            "columns": N_COLS,
+            "rows_per_batch": ROWS_PER_BATCH,
+            "batches": N_BATCHES,
+            "warmup_batches": WARMUP_BATCHES,
+            "elapsed_s": round(elapsed, 4),
+            "batches_per_s": round(N_BATCHES / elapsed, 1),
+            "rows_per_s": round(N_BATCHES * ROWS_PER_BATCH / elapsed, 1),
+            "latency_p50_ms": round(
+                hist.quantile(0.50, route=route) * 1000, 3
+            ),
+            "latency_p99_ms": round(
+                hist.quantile(0.99, route=route) * 1000, 3
+            ),
+            "requests_observed": hist.count(route=route),
+            "final_rows": last["rows"],
+            "final_violations": last["total_violations"],
+            "all_batches_complete": True,
+        }
+    finally:
+        client.close()
+        handle.stop()
+
+    # Sanity: every row of every batch landed, detection really ran.
+    assert last["rows"] == (WARMUP_BATCHES + N_BATCHES) * ROWS_PER_BATCH
+    assert last["complete"] is True
+    assert last["total_violations"] > 0
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "workload": f"{N_BATCHES} batches × {ROWS_PER_BATCH} rows "
+                f"× {N_COLS} columns over HTTP (single keep-alive client, "
+                "FD/FD/AFD rule set)",
+                "min_batches_per_s": MIN_BATCHES_PER_S,
+                "results": results,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    return results
+
+
+class TestServerThroughput:
+    """The ≥100 batches/s sustained-ingest contract."""
+
+    def test_sustained_batch_rate(self, measurements):
+        assert measurements["batches_per_s"] >= MIN_BATCHES_PER_S
+
+    def test_latency_quantiles_reported(self, measurements):
+        assert 0 < measurements["latency_p50_ms"]
+        assert (
+            measurements["latency_p50_ms"]
+            <= measurements["latency_p99_ms"]
+        )
+
+    def test_trajectory_file_written(self, measurements):
+        payload = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+        assert payload["min_batches_per_s"] == MIN_BATCHES_PER_S
+        assert payload["results"]["rows_per_s"] > 0

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# End-to-end smoke of `repro serve`: ephemeral port, tenant + rules,
+# three row batches, then assert the violation counters and /metrics.
+# CI runs this against the installed package; locally:
+#     bash scripts/server_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LOG=$(mktemp)
+PYTHONPATH=src python -m repro.cli serve --port 0 2>"$LOG" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
+
+PORT=""
+for _ in $(seq 1 100); do
+    PORT=$(grep -o 'serving on 127\.0\.0\.1:[0-9]*' "$LOG" \
+        | head -1 | grep -o '[0-9]*$' || true)
+    [ -n "$PORT" ] && break
+    sleep 0.1
+done
+if [ -z "$PORT" ]; then
+    echo "server did not start; log:" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+BASE="http://127.0.0.1:$PORT"
+echo "server up on $BASE"
+
+curl -fsS "$BASE/healthz" >/dev/null
+
+curl -fsS -X POST "$BASE/tenants" -H 'Content-Type: application/json' \
+    -d '{"tenant":"smoke","schema":["city","zip",{"name":"price","type":"numerical"}]}' \
+    >/dev/null
+
+# A rule over an unknown attribute must be rejected with its DD code.
+REJECT=$(curl -sS -o /dev/null -w '%{http_code}' -X PUT \
+    "$BASE/tenants/smoke/rules" -H 'Content-Type: application/json' \
+    -d '{"rules":[{"kind":"FD","lhs":["zip"],"rhs":["nope"]}]}')
+[ "$REJECT" = "400" ] || { echo "expected 400, got $REJECT" >&2; exit 1; }
+curl -sS -X PUT "$BASE/tenants/smoke/rules" \
+    -H 'Content-Type: application/json' \
+    -d '{"rules":[{"kind":"FD","lhs":["zip"],"rhs":["nope"]}]}' \
+    | grep -q '"DD001"' || { echo "missing DD001 in lint body" >&2; exit 1; }
+
+curl -fsS -X PUT "$BASE/tenants/smoke/rules" \
+    -H 'Content-Type: application/json' \
+    -d '{"rules":[{"kind":"FD","lhs":["zip"],"rhs":["city"]}]}' >/dev/null
+
+# Three batches; the second introduces an FD violation on zip 10115.
+curl -fsS -X POST "$BASE/tenants/smoke/batches" \
+    -d '{"insert":[{"city":"Berlin","zip":"10115","price":9.5}]}' >/dev/null
+curl -fsS -X POST "$BASE/tenants/smoke/batches" \
+    -d '{"insert":[{"city":"Bonn","zip":"10115","price":4.0}]}' >/dev/null
+curl -fsS -X POST "$BASE/tenants/smoke/batches" \
+    -d '{"insert":[{"city":"Mainz","zip":"55116","price":7.25}]}' >/dev/null
+
+curl -fsS "$BASE/tenants/smoke/violations" \
+    | grep -q '"total_violations": 1' \
+    || { echo "expected 1 cumulative violation" >&2; exit 1; }
+
+METRICS=$(curl -fsS "$BASE/metrics")
+for want in \
+    'repro_batches_total{tenant="smoke"} 3' \
+    'repro_rows_ingested_total{tenant="smoke"} 3' \
+    'repro_violations_added_total{tenant="smoke"} 1' \
+    'repro_violations{tenant="smoke"} 1' \
+    'repro_requests_total{tenant="smoke",route="/tenants/{tenant}/batches",method="POST",status="200"} 3'
+do
+    echo "$METRICS" | grep -qF "$want" \
+        || { echo "missing metric: $want" >&2; echo "$METRICS" >&2; exit 1; }
+done
+
+echo "server smoke OK"

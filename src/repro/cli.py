@@ -16,6 +16,10 @@ Commands:
   mismatches, implied/duplicate/conflicting rules (stable ``DD0xx``
   diagnostic codes, see :mod:`repro.analysis`); exits 1 on
   error-severity findings, ``--fix`` writes the minimized rule set;
+* ``serve [--host H] [--port P]`` — run the multi-tenant dependency-
+  checking HTTP service (tenants, rule upload, batch ingestion,
+  background discovery/repair jobs, Prometheus ``/metrics``; see
+  :mod:`repro.server` and ``docs/server.md``);
 * ``tree`` — print the family tree of extensions (Fig. 1A);
 * ``survey`` — print the regenerated Tables 2/3 and Figs 1B/2/3.
 
@@ -304,6 +308,22 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if report.has_errors else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .server import ReproApp, configure_logging
+
+    configure_logging(level=args.log_level.upper())
+    app = ReproApp(max_workers=args.workers)
+    try:
+        asyncio.run(app.serve(host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        app.shutdown()
+    return 0
+
+
 def cmd_tree(args: argparse.Namespace) -> int:
     from .core.familytree import DEFAULT_TREE
 
@@ -484,6 +504,30 @@ def build_parser() -> argparse.ArgumentParser:
         "(see docs/api.md)",
     )
     p_plan.set_defaults(func=cmd_plan)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant dependency-checking HTTP service",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8095,
+        help="TCP port (default 8095; 0 binds an ephemeral port, "
+        "reported in the startup log line)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=4,
+        help="engine/job worker threads (default 4)",
+    )
+    p_serve.add_argument(
+        "--log-level", default="info", dest="log_level",
+        choices=["debug", "info", "warning", "error"],
+        help="JSON log verbosity (default info)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_tree = sub.add_parser("tree", help="print the family tree")
     p_tree.set_defaults(func=cmd_tree)

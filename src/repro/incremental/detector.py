@@ -16,6 +16,7 @@ drop-in for batch detection while paying only for what changed.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from collections.abc import Iterable, Iterator, Mapping
 from typing import Any
@@ -86,7 +87,20 @@ class BatchChange:
 
 
 class IncrementalDetector:
-    """Delta-maintained dependency checking over a mutating relation."""
+    """Delta-maintained dependency checking over a mutating relation.
+
+    Concurrency contract: one detector is a **single-writer** object —
+    each :meth:`apply` mutates checker state, the current relation, and
+    the history as one logical transaction.  A per-detector lock
+    *enforces* that contract: concurrent :meth:`apply` calls (e.g. two
+    server requests racing on the same tenant changefeed) serialize in
+    arrival order instead of interleaving half-advanced checker state.
+    Distinct detectors share nothing and run fully in parallel — the
+    multi-tenant server runs one detector per tenant on a thread pool.
+    Reads (:meth:`violations`, :meth:`report`, :meth:`holds`) take the
+    same lock so they always observe a batch boundary, never a
+    mid-apply snapshot.
+    """
 
     def __init__(
         self,
@@ -130,6 +144,8 @@ class IncrementalDetector:
         self.quarantine: list[tuple[int, str, str]] = []
         #: Rule labels deactivated because their cold rebuild failed too.
         self.dead_rules: list[str] = []
+        #: Serializes apply() (and state reads) — see the class docs.
+        self._lock = threading.Lock()
 
     @property
     def relation(self) -> Relation:
@@ -171,7 +187,14 @@ class IncrementalDetector:
         the rebuild itself fails — the rule is deactivated and listed
         in :attr:`dead_rules`.  Faulty rules are never silently
         dropped from the report.
+
+        Thread-safe: concurrent calls serialize on the detector's
+        single-writer lock (see the class docs).
         """
+        with self._lock:
+            return self._apply_locked(delta)
+
+    def _apply_locked(self, delta: Delta | Mapping[str, Any]) -> BatchChange:
         if not isinstance(delta, Delta):
             delta = Delta.from_json(delta, self._relation.schema)
         seq = len(self.history) + 1
@@ -238,21 +261,24 @@ class IncrementalDetector:
 
     def violations(self) -> ViolationSet:
         """All current violations (equals a cold recompute's set)."""
-        total = ViolationSet()
-        for checker in self._checkers:
-            total.extend(checker.violations())
-        return total
+        with self._lock:
+            total = ViolationSet()
+            for checker in self._checkers:
+                total.extend(checker.violations())
+            return total
 
     def holds(self) -> bool:
         """Do all rules hold on the current relation?"""
-        return all(c.holds(self._relation) for c in self._checkers)
+        with self._lock:
+            return all(c.holds(self._relation) for c in self._checkers)
 
     def report(self) -> DetectionReport:
         """A :class:`DetectionReport` shaped like ``Detector.detect``."""
-        per_rule: dict[str, ViolationSet] = {}
-        total = ViolationSet()
-        for checker in self._checkers:
-            vs = checker.violations()
-            per_rule[checker.rule.label()] = vs
-            total.extend(vs)
-        return DetectionReport(violations=total, per_rule=per_rule)
+        with self._lock:
+            per_rule: dict[str, ViolationSet] = {}
+            total = ViolationSet()
+            for checker in self._checkers:
+                vs = checker.violations()
+                per_rule[checker.rule.label()] = vs
+                total.extend(vs)
+            return DetectionReport(violations=total, per_rule=per_rule)

@@ -44,6 +44,7 @@ escapes to the entry point, which reports honest partial results.
 from __future__ import annotations
 
 import math
+import threading
 from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass, field
 from collections.abc import Callable, Iterable, Iterator
@@ -71,6 +72,14 @@ class KernelCounters:
     ``vec-`` (``vec-group``, ``vec-sweep``, ...) plus the number of
     streamed index chunks, while scalar executions keep the bare
     strategy names — :meth:`backends` aggregates either way.
+
+    Thread-safety: the scalar fields are plain increments (atomic
+    enough under the GIL for monitoring purposes), but the per-strategy
+    *dicts* are mutated through :meth:`note` / :meth:`note_work`, which
+    take a lock shared with :meth:`snapshot` and :meth:`reset` — a
+    metrics scraper can snapshot concurrently with active kernels
+    without tripping over a dict resized mid-iteration, and never
+    observes a half-applied note.
     """
 
     executions: int = 0
@@ -83,20 +92,47 @@ class KernelCounters:
     #: Candidate pairs examined / verified hits, per strategy name.
     candidates_by_strategy: dict[str, int] = field(default_factory=dict)
     verified_by_strategy: dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def note(self, strategy: str) -> None:
-        self.by_strategy[strategy] = self.by_strategy.get(strategy, 0) + 1
+        with self._lock:
+            self.by_strategy[strategy] = (
+                self.by_strategy.get(strategy, 0) + 1
+            )
 
     def note_work(
         self, strategy: str, *, candidates: int = 0, verified: int = 0
     ) -> None:
         """Record a finished execution's candidate/verified volume."""
-        self.candidates_by_strategy[strategy] = (
-            self.candidates_by_strategy.get(strategy, 0) + candidates
-        )
-        self.verified_by_strategy[strategy] = (
-            self.verified_by_strategy.get(strategy, 0) + verified
-        )
+        with self._lock:
+            self.candidates_by_strategy[strategy] = (
+                self.candidates_by_strategy.get(strategy, 0) + candidates
+            )
+            self.verified_by_strategy[strategy] = (
+                self.verified_by_strategy.get(strategy, 0) + verified
+            )
+
+    def snapshot(self) -> "KernelCounters":
+        """A detached, consistent copy for metrics scrapers.
+
+        Safe to call while kernels are executing on other threads: the
+        per-strategy dicts are copied under the mutation lock, so the
+        copy never sees a resize-in-progress, and mutating the returned
+        object (or the live counters afterwards) affects neither.
+        """
+        with self._lock:
+            out = KernelCounters(
+                executions=self.executions,
+                pairs_examined=self.pairs_examined,
+                pairs_total=self.pairs_total,
+                chunks=self.chunks,
+                by_strategy=dict(self.by_strategy),
+                candidates_by_strategy=dict(self.candidates_by_strategy),
+                verified_by_strategy=dict(self.verified_by_strategy),
+            )
+        return out
 
     def backends(self) -> dict[str, int]:
         """Execution counts aggregated to ``scalar`` / ``vectorized``."""
@@ -107,13 +143,14 @@ class KernelCounters:
         return out
 
     def reset(self) -> None:
-        self.executions = 0
-        self.pairs_examined = 0
-        self.pairs_total = 0
-        self.chunks = 0
-        self.by_strategy = {}
-        self.candidates_by_strategy = {}
-        self.verified_by_strategy = {}
+        with self._lock:
+            self.executions = 0
+            self.pairs_examined = 0
+            self.pairs_total = 0
+            self.chunks = 0
+            self.by_strategy = {}
+            self.candidates_by_strategy = {}
+            self.verified_by_strategy = {}
 
     def pruned_fraction(self) -> float:
         """Fraction of the blind O(n²) pair space the kernels skipped.

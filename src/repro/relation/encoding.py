@@ -219,9 +219,58 @@ class ColumnCodes:
             out._array = _np.concatenate(
                 [self._array, _np.asarray(codes[start:], dtype=_np.int64)]
             )
+        # The kernel-side caches of PR 6 (float projection, validity
+        # mask, sorted projection) must not leak stale: either patch
+        # them for the appended tail or drop them.  Patching is only
+        # sound while the column stays numeric-safe — a tail value that
+        # flips `numeric_safe` invalidates the float view wholesale.
         out._floats = None
         out._valid = None
         out._sorted = None
+        if HAS_NUMPY and numeric_safe:
+            tail = column[start:]
+            if self._floats is not None:
+                tail_floats = _np.asarray(
+                    [float("nan") if v is None else float(v) for v in tail],
+                    dtype=_np.float64,
+                )
+                out._floats = _np.concatenate([self._floats, tail_floats])
+            if self._valid is not None:
+                out._valid = _np.concatenate(
+                    [
+                        self._valid,
+                        _np.asarray(
+                            [v is not None for v in tail], dtype=bool
+                        ),
+                    ]
+                )
+            if self._sorted is not None:
+                # Merge the defined tail cells into the cached sorted
+                # projection: O(k log n) instead of an O(n log n)
+                # rebuild per batch.  Stability: appended rows all have
+                # indices above every existing row, so inserting ties
+                # with side="right" — and the tail's own ties in stable
+                # ascending-row order — reproduces exactly the stable
+                # argsort a cold build would produce.
+                tail_floats = _np.asarray(
+                    [float("nan") if v is None else float(v) for v in tail],
+                    dtype=_np.float64,
+                )
+                defined = _np.flatnonzero(~_np.isnan(tail_floats))
+                old_rows, old_vals = self._sorted
+                if defined.size == 0:
+                    out._sorted = (old_rows, old_vals)
+                else:
+                    new_rows = (defined + start).astype(_np.int64)
+                    new_vals = tail_floats[defined]
+                    order = _np.argsort(new_vals, kind="stable")
+                    new_rows = new_rows[order]
+                    new_vals = new_vals[order]
+                    pos = _np.searchsorted(old_vals, new_vals, side="right")
+                    out._sorted = (
+                        _np.insert(old_rows, pos, new_rows),
+                        _np.insert(old_vals, pos, new_vals),
+                    )
         return out
 
     def array(self):

@@ -281,6 +281,14 @@ class Relation:
         Appends column-wise — one concat per column, sharing nothing but
         the existing column tuples — so the cost is O(rows added), not
         O(n·m) as the old ``from_rows`` round-trip was.
+
+        Like insert-only :meth:`apply_delta`, any already-built
+        dictionary encoding carries forward *patched* rather than
+        rebuilt: codebooks extend in first-occurrence order and the
+        kernel-side caches (float projections, sorted projections) are
+        merged for the appended tail — never left stale (the
+        extend-then-check regression suite pins this against a cold
+        rebuild under the vectorized backend).
         """
         added = [tuple(r) for r in rows]
         width = len(self._schema)
@@ -296,7 +304,11 @@ class Relation:
             col + tuple(row[j] for row in added)
             for j, col in enumerate(self._columns)
         )
-        return Relation._from_trusted(self._schema, columns)
+        child = Relation._from_trusted(self._schema, columns)
+        enc = self._enc
+        if enc is not None and any(cc is not None for cc in enc._per_column):
+            child._enc = enc.extended(child._columns, len(child))
+        return child
 
     def apply_delta(self, delta: "object") -> "Relation":
         """New relation with a mutation batch applied — see

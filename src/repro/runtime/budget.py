@@ -67,6 +67,7 @@ class Budget:
 
     _deadline_at: float | None = field(default=None, init=False, repr=False)
     _ticks: int = field(default=0, init=False, repr=False)
+    _parent: "Budget | None" = field(default=None, init=False, repr=False)
 
     def start(self) -> "Budget":
         """Arm the deadline (idempotent: the first call wins)."""
@@ -82,6 +83,71 @@ class Budget:
         self._deadline_at = None
         self._ticks = 0
         return self
+
+    def child(
+        self,
+        *,
+        deadline_s: float | None = None,
+        max_candidates: int | None = None,
+        max_pairs: int | None = None,
+        max_memory_bytes: int | None = None,
+    ) -> "Budget":
+        """Derive a stage-scoped budget from this one.
+
+        The request/job pattern: one request-scoped budget is split
+        across job stages by handing each stage a *child* whose caps
+        never exceed the parent's remaining headroom:
+
+        * ``deadline_s`` is clamped to the parent's :meth:`remaining_s`
+          (a parent without a deadline passes the stage's through);
+        * ``max_candidates`` / ``max_pairs`` are clamped to the
+          parent's cap minus the work already counted against it;
+        * ``max_memory_bytes`` is the min of both (RSS is a process
+          property, not a per-stage one).
+
+        Passing ``None`` for a cap inherits the parent's *remaining*
+        headroom for that dimension outright, so ``budget.child()``
+        with no arguments is "whatever is left".
+
+        Work counted by the child's checkpoints propagates up the
+        parent chain — the parent's counters keep accumulating across
+        stages and are **never reset** by derivation — but exhaustion
+        is raised from (and recorded on) the child: a stage running
+        out does not poison the parent, whose next child simply
+        derives from smaller headroom.
+        """
+        self.start()
+
+        def clamp(requested: int | None, cap: int | None, spent: int) -> int | None:
+            headroom = None if cap is None else max(0, cap - spent)
+            if requested is None:
+                return headroom
+            return requested if headroom is None else min(requested, headroom)
+
+        remaining = self.remaining_s()
+        if deadline_s is None:
+            child_deadline = remaining
+        elif remaining is None:
+            child_deadline = deadline_s
+        else:
+            child_deadline = min(deadline_s, remaining)
+        child = Budget(
+            deadline_s=child_deadline,
+            max_candidates=clamp(
+                max_candidates, self.max_candidates, self.candidates
+            ),
+            max_pairs=clamp(max_pairs, self.max_pairs, self.pairs),
+            max_memory_bytes=(
+                max_memory_bytes
+                if self.max_memory_bytes is None
+                else min(
+                    max_memory_bytes or self.max_memory_bytes,
+                    self.max_memory_bytes,
+                )
+            ),
+        )
+        child._parent = self
+        return child
 
     def remaining_s(self) -> float | None:
         """Seconds until the deadline, or ``None`` with no deadline."""
@@ -118,6 +184,14 @@ class Budget:
         """
         self.candidates += candidates
         self.pairs += pairs
+        if candidates or pairs:
+            # Derived budgets bill their work up the parent chain, so a
+            # request-scoped budget sees the total across job stages.
+            parent = self._parent
+            while parent is not None:
+                parent.candidates += candidates
+                parent.pairs += pairs
+                parent = parent._parent
         if self.exhausted:
             raise BudgetExhausted(self.exhausted, budget=self)
         if (

@@ -1,0 +1,42 @@
+"""The dependency-checking service: the library as a multi-tenant API.
+
+Layer six of the stack.  Everything below this package is a plain
+synchronous library; this package puts an asyncio HTTP front on it —
+tenant registration, lint-screened rule upload, changefeed batch
+ingestion, a synchronous ``/check`` for small relations, background
+discovery/repair jobs governed by per-request budgets, and Prometheus
+metrics — using only the standard library (the ``repro[server]``
+extra is intentionally empty; there is nothing to install).
+
+Quick start::
+
+    from repro.server import ReproApp
+
+    app = ReproApp()
+    handle = app.run_in_thread()      # ephemeral port, daemon thread
+    print(handle.base_url)
+    ...
+    handle.stop()
+
+or from the CLI: ``repro serve --port 8095``.
+"""
+
+from .app import ReproApp, ServerHandle
+from .http import HttpError, Request, Response
+from .jobs import Job, JobManager
+from .observability import MetricsRegistry, configure_logging
+from .state import Tenant, TenantRegistry
+
+__all__ = [
+    "HttpError",
+    "Job",
+    "JobManager",
+    "MetricsRegistry",
+    "ReproApp",
+    "Request",
+    "Response",
+    "ServerHandle",
+    "Tenant",
+    "TenantRegistry",
+    "configure_logging",
+]

@@ -1,0 +1,496 @@
+"""The service: tenants × changefeeds × jobs, on one asyncio loop.
+
+:class:`ReproApp` wires the layers together:
+
+* **routing** — the table in :mod:`repro.server.routes`, dispatched
+  with structured-log + metrics middleware around every request;
+* **engine offload** — handlers are async but the engines are
+  synchronous CPU work, so every engine call goes through
+  :meth:`ReproApp.run_sync` (a thread-pool executor), keeping the
+  accept loop responsive while a big batch is checked;
+* **budgets** — ``X-Budget-*`` request headers become a
+  :class:`~repro.runtime.budget.Budget` governing that request's
+  engine work (and, for job submission, the whole job pipeline);
+* **observability** — one :class:`MetricsRegistry` (Prometheus text on
+  ``GET /metrics``) and one JSON-lines logger; kernel-layer counters
+  are pulled at scrape time via a thread-safe snapshot.
+
+Serving entry points: :meth:`serve` (asyncio, used by ``repro
+serve``) and :meth:`run_in_thread` (background thread + ephemeral
+port, used by the tests and the benchmark).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+import time
+from collections.abc import Callable
+from typing import Any, TypeVar
+
+from ..incremental.detector import BatchChange
+from ..plan.kernels import COUNTERS
+from ..runtime.budget import Budget
+from ..runtime.errors import BudgetExhausted, EngineFault, ReproError
+from .http import (
+    HttpError,
+    Request,
+    Response,
+    json_response,
+    read_request,
+    write_response,
+)
+from .jobs import CANCELLED, FAILED, SUCCEEDED, Job, JobManager
+from .observability import MetricsRegistry, get_logger, new_request_id
+from .routes import Router, build_router
+from .state import Tenant, TenantRegistry
+
+T = TypeVar("T")
+
+#: Budget request headers -> Budget fields (memory arrives in MiB).
+BUDGET_HEADERS = (
+    ("x-budget-deadline-s", "deadline_s", float),
+    ("x-budget-max-candidates", "max_candidates", int),
+    ("x-budget-max-pairs", "max_pairs", int),
+    ("x-budget-max-memory-mb", "max_memory_mb", float),
+)
+
+
+class ReproApp:
+    """One server process: registry, jobs, metrics, router."""
+
+    def __init__(self, *, max_workers: int = 4) -> None:
+        self.tenants = TenantRegistry()
+        self.jobs = JobManager(max_workers=max_workers)
+        self.jobs.on_finish = self._on_job_finish
+        self.metrics = MetricsRegistry()
+        self.logger = get_logger()
+        self.router: Router = build_router()
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-engine"
+        )
+        self._build_instruments()
+
+    # -- observability -------------------------------------------------
+
+    def _build_instruments(self) -> None:
+        m = self.metrics
+        self.requests_total = m.counter(
+            "repro_requests_total",
+            "HTTP requests by tenant, route template, and status.",
+            labels=("tenant", "route", "method", "status"),
+        )
+        self.request_seconds = m.histogram(
+            "repro_request_seconds",
+            "End-to-end request latency by route template.",
+            labels=("route",),
+        )
+        self.batches_total = m.counter(
+            "repro_batches_total",
+            "Mutation batches applied to the changefeed.",
+            labels=("tenant",),
+        )
+        self.rows_ingested_total = m.counter(
+            "repro_rows_ingested_total",
+            "Rows inserted through the changefeed.",
+            labels=("tenant",),
+        )
+        self.violations_added_total = m.counter(
+            "repro_violations_added_total",
+            "Violations newly reported by applied batches.",
+            labels=("tenant",),
+        )
+        self.violations_resolved_total = m.counter(
+            "repro_violations_resolved_total",
+            "Violations resolved by applied batches.",
+            labels=("tenant",),
+        )
+        self.violations_gauge = m.gauge(
+            "repro_violations",
+            "Current total violations per tenant.",
+            labels=("tenant",),
+        )
+        self.rule_violations = m.gauge(
+            "repro_rule_violations",
+            "Current violations per tenant and rule.",
+            labels=("tenant", "rule"),
+        )
+        self.rule_check_seconds = m.histogram(
+            "repro_rule_check_seconds",
+            "Per-rule synchronous check latency.",
+            labels=("tenant", "rule"),
+        )
+        self.budget_exhausted_total = m.counter(
+            "repro_budget_exhausted_total",
+            "Requests/stages cut short by a budget, by reason.",
+            labels=("tenant", "reason"),
+        )
+        self.quarantined_total = m.counter(
+            "repro_quarantined_total",
+            "Checker faults quarantined during ingestion.",
+            labels=("tenant",),
+        )
+        self.jobs_total = m.counter(
+            "repro_jobs_total",
+            "Background jobs by terminal state.",
+            labels=("tenant", "type", "state"),
+        )
+        self._tenants_gauge = m.gauge(
+            "repro_tenants", "Registered tenants."
+        )
+        self._kernel_executions = m.gauge(
+            "repro_kernel_executions",
+            "Kernel executions since process start (snapshot).",
+        )
+        self._kernel_pairs = m.gauge(
+            "repro_kernel_pairs_examined",
+            "Candidate pairs examined by kernels (snapshot).",
+        )
+        self._kernel_chunks = m.gauge(
+            "repro_kernel_chunks",
+            "Vectorized index chunks streamed (snapshot).",
+        )
+        self._kernel_backend = m.gauge(
+            "repro_kernel_executions_by_backend",
+            "Kernel executions split scalar/vectorized (snapshot).",
+            labels=("backend",),
+        )
+        m.add_collector(self._collect)
+
+    def _collect(self) -> None:
+        """Scrape-time pull of state owned by other layers."""
+        self._tenants_gauge.set(len(self.tenants.list()))
+        # Thread-safe snapshot: scraping never races active kernels.
+        counters = COUNTERS.snapshot()
+        self._kernel_executions.set(counters.executions)
+        self._kernel_pairs.set(counters.pairs_examined)
+        self._kernel_chunks.set(counters.chunks)
+        for backend, count in counters.backends().items():
+            self._kernel_backend.set(count, backend=backend)
+
+    def log(self, message: str, request: Request | None = None,
+            **context: Any) -> None:
+        if request is not None:
+            context.setdefault(
+                "request_id", request.headers.get("x-request-id", "")
+            )
+        self.logger.info(message, extra=context)
+
+    def note_batch(self, tenant: Tenant, change: BatchChange) -> None:
+        """Fold one changefeed entry into the tenant's instruments."""
+        tid = tenant.tenant_id
+        self.batches_total.inc(tenant=tid)
+        inserted = len(change.delta.inserts)
+        if inserted:
+            self.rows_ingested_total.inc(inserted, tenant=tid)
+        if change.added:
+            self.violations_added_total.inc(len(change.added), tenant=tid)
+        if change.resolved:
+            self.violations_resolved_total.inc(
+                len(change.resolved), tenant=tid
+            )
+        self.violations_gauge.set(change.total, tenant=tid)
+        if change.quarantined:
+            self.quarantined_total.inc(len(change.quarantined), tenant=tid)
+        if change.exhausted:
+            self.note_budget_exhausted(tid, change.exhausted)
+
+    def note_budget_exhausted(self, tenant_id: str, reason: str) -> None:
+        self.budget_exhausted_total.inc(tenant=tenant_id, reason=reason)
+
+    def note_rule_gauges(self, tenant: Tenant) -> None:
+        """Refresh the per-rule violation gauges from the detector."""
+        detector = tenant.detector
+        if detector is None:
+            return
+        report = detector.report()
+        for rule, violations in report.per_rule.items():
+            self.rule_violations.set(
+                len(violations), tenant=tenant.tenant_id, rule=rule
+            )
+        self.violations_gauge.set(
+            len(report.violations), tenant=tenant.tenant_id
+        )
+
+    def _on_job_finish(self, job: Job) -> None:
+        self.jobs_total.inc(
+            tenant=job.tenant_id, type=job.job_type, state=job.state
+        )
+        if job.state in (SUCCEEDED, FAILED, CANCELLED):
+            for stage in job.stages:
+                if stage.exhausted:
+                    self.note_budget_exhausted(
+                        job.tenant_id, stage.exhausted
+                    )
+        self.logger.info(
+            "job finished",
+            extra={
+                "event": "job_finished",
+                "tenant": job.tenant_id,
+                "job_id": job.job_id,
+                "job_type": job.job_type,
+                "job_state": job.state,
+                "error": job.error or "",
+            },
+        )
+
+    # -- request plumbing ----------------------------------------------
+
+    async def run_sync(self, fn: Callable[[], T]) -> T:
+        """Run synchronous engine work off the event loop."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, fn)
+
+    def budget_from_headers(self, request: Request) -> Budget | None:
+        """``X-Budget-*`` headers -> a request budget (None when unset)."""
+        fields: dict[str, Any] = {}
+        for header, name, convert in BUDGET_HEADERS:
+            raw = request.header(header)
+            if raw is None:
+                continue
+            try:
+                value = convert(raw)
+            except ValueError:
+                raise HttpError(
+                    400, f"bad {header} header: {raw!r}"
+                )
+            if value < 0:
+                raise HttpError(
+                    400, f"bad {header} header: must be >= 0"
+                )
+            fields[name] = value
+        if not fields:
+            return None
+        memory_mb = fields.pop("max_memory_mb", None)
+        if memory_mb is not None:
+            fields["max_memory_bytes"] = int(memory_mb * 1024 * 1024)
+        return Budget(**fields)
+
+    async def dispatch(self, request: Request) -> Response:
+        """Route + middleware: ids, timing, logging, metrics, errors."""
+        request.headers.setdefault("x-request-id", new_request_id())
+        started = time.perf_counter()
+        route_label = "unmatched"
+        tenant_label = "-"
+        try:
+            route, params = self.router.resolve(request)
+            request.params = params
+            route_label = route.template
+            tenant_label = params.get("tenant", "-")
+            response = await route.handler(self, request)
+        except HttpError as exc:
+            response = json_response(exc.payload, status=exc.status)
+        except BudgetExhausted as exc:
+            # A handler let an exhaustion escape instead of folding it
+            # into a partial result: report it honestly as overload.
+            if tenant_label != "-":
+                self.note_budget_exhausted(tenant_label, exc.reason)
+            response = json_response(
+                {"error": "budget exhausted", "reason": exc.reason},
+                status=503,
+            )
+        except EngineFault as exc:
+            response = json_response(
+                {
+                    "error": f"engine fault: {exc}",
+                    "site": exc.site or "",
+                },
+                status=500,
+            )
+            self.logger.error(
+                "engine fault",
+                extra={
+                    "event": "engine_fault",
+                    "request_id": request.headers["x-request-id"],
+                    "error": str(exc),
+                },
+            )
+        except ReproError as exc:
+            response = json_response({"error": str(exc)}, status=400)
+        except Exception as exc:  # noqa: BLE001 - server boundary
+            response = json_response(
+                {"error": f"internal error: {type(exc).__name__}"},
+                status=500,
+            )
+            self.logger.exception(
+                "unhandled error",
+                extra={
+                    "event": "unhandled_error",
+                    "request_id": request.headers["x-request-id"],
+                    "method": request.method,
+                    "path": request.path,
+                },
+            )
+        elapsed = time.perf_counter() - started
+        self.requests_total.inc(
+            tenant=tenant_label,
+            route=route_label,
+            method=request.method,
+            status=str(response.status),
+        )
+        self.request_seconds.observe(elapsed, route=route_label)
+        self.log(
+            "request", request,
+            event="request",
+            method=request.method,
+            path=request.path,
+            status=response.status,
+            duration_ms=round(elapsed * 1000, 3),
+            tenant=tenant_label,
+        )
+        return response
+
+    async def handle_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """One keep-alive connection: read → dispatch → write, repeat."""
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    await write_response(
+                        writer,
+                        json_response(exc.payload, status=exc.status),
+                        keep_alive=False,
+                    )
+                    return
+                except (TimeoutError, asyncio.TimeoutError):
+                    return
+                if request is None:
+                    return
+                keep_alive = (
+                    request.headers.get("connection", "").lower() != "close"
+                )
+                head_only = request.method == "HEAD"
+                if head_only:
+                    request.method = "GET"
+                response = await self.dispatch(request)
+                await write_response(
+                    writer, response,
+                    keep_alive=keep_alive, head_only=head_only,
+                )
+                if not keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # -- serving -------------------------------------------------------
+
+    async def serve(
+        self, host: str = "127.0.0.1", port: int = 8095
+    ) -> None:
+        """Serve forever on the event loop (``repro serve``)."""
+        server = await self._start(host, port)
+        async with server:
+            await server.serve_forever()
+
+    async def _start(self, host: str, port: int) -> asyncio.Server:
+        server = await asyncio.start_server(
+            self.handle_client, host, port, limit=256 * 1024
+        )
+        self.bound_port = server.sockets[0].getsockname()[1]
+        self.log(
+            f"serving on {host}:{self.bound_port}", None, event="serving"
+        )
+        return server
+
+    def run_in_thread(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> "ServerHandle":
+        """Serve from a daemon thread; returns once the port is bound.
+
+        The tests and the ingest benchmark use this: ``port=0`` binds an
+        ephemeral port, exposed on the returned handle.
+        """
+        handle = ServerHandle(self, host)
+        handle.start()
+        return handle
+
+    def shutdown(self) -> None:
+        self.jobs.shutdown()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+
+class ServerHandle:
+    """A server running on a background thread (tests, benchmarks)."""
+
+    def __init__(self, app: ReproApp, host: str) -> None:
+        self.app = app
+        self.host = host
+        self.port: int | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._error: BaseException | None = None
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=15):
+            raise RuntimeError("server failed to start within 15s")
+        if self._error is not None:
+            raise RuntimeError(
+                f"server failed to start: {self._error!r}"
+            )
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+
+        async def main() -> None:
+            try:
+                server = await asyncio.start_server(
+                    self.app.handle_client, self.host, 0,
+                    limit=256 * 1024,
+                )
+            except BaseException as exc:
+                self._error = exc
+                self._ready.set()
+                raise
+            self.port = server.sockets[0].getsockname()[1]
+            self._stop = asyncio.Event()
+            self._ready.set()
+            async with server:
+                await self._stop.wait()
+            # Drain in-flight keep-alive handlers before the loop
+            # closes, so no writer outlives its event loop.
+            tasks = [
+                t for t in asyncio.all_tasks()
+                if t is not asyncio.current_task()
+            ]
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+        try:
+            loop.run_until_complete(main())
+        except BaseException:  # pragma: no cover - surfaced via start()
+            pass
+        finally:
+            loop.close()
+
+    def stop(self) -> None:
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None and loop.is_running():
+            loop.call_soon_threadsafe(stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self.app.shutdown()

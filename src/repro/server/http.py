@@ -1,0 +1,219 @@
+"""Minimal asyncio HTTP/1.1 primitives — stdlib only, by design.
+
+The service layer (:mod:`repro.server.app`) must not add a hard
+runtime dependency to the library, so instead of aiohttp/uvicorn it
+runs on a small, honest HTTP/1.1 implementation over
+``asyncio.start_server``:
+
+* requests are parsed from the stream with hard caps on header-block
+  and body size (a misbehaving client gets a 4xx, never an OOM);
+* responses are JSON by default (the whole API is JSON) with correct
+  ``Content-Length`` framing and keep-alive support;
+* :class:`HttpError` is the typed short-circuit a handler raises to
+  produce a non-200 with a structured error body.
+
+This is deliberately *not* a general web framework: no chunked
+transfer, no TLS, no multipart — exactly the subset the dependency
+service needs, small enough to audit in one sitting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: Largest accepted request body (row batches are bounded by this).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+#: Largest accepted request-line + header block.
+MAX_HEAD_BYTES = 64 * 1024
+#: Idle keep-alive connections are dropped after this many seconds.
+IDLE_TIMEOUT_S = 75.0
+
+_PHRASES = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A typed HTTP failure a handler raises to short-circuit.
+
+    ``payload`` becomes the JSON error body (a ``{"error": ...}``
+    envelope is added when a bare message string is given).
+    """
+
+    def __init__(
+        self, status: int, message: str, **extra: Any
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload: dict[str, Any] = {"error": message, **extra}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes
+    #: Path parameters bound by the router (``/tenants/{tenant}``).
+    params: dict[str, str] = field(default_factory=dict)
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        return self.headers.get(name.lower(), default)
+
+    def json(self) -> Any:
+        """The body parsed as JSON (``{}`` for an empty body)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}")
+
+    def json_object(self) -> dict[str, Any]:
+        """The body as a JSON *object* (400 on any other shape)."""
+        payload = self.json()
+        if not isinstance(payload, dict):
+            raise HttpError(
+                400,
+                f"request body must be a JSON object, got "
+                f"{type(payload).__name__}",
+            )
+        return payload
+
+
+@dataclass
+class Response:
+    """One response: a JSON payload unless ``text`` is set."""
+
+    status: int = 200
+    payload: Any = None
+    text: str | None = None
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+    def encode_body(self) -> bytes:
+        if self.text is not None:
+            return self.text.encode("utf-8")
+        if self.payload is None:
+            return b""
+        return (json.dumps(self.payload, indent=None) + "\n").encode("utf-8")
+
+
+def json_response(payload: Any, status: int = 200) -> Response:
+    return Response(status=status, payload=payload)
+
+
+def text_response(
+    text: str, status: int = 200, content_type: str = "text/plain; version=0.0.4"
+) -> Response:
+    return Response(status=status, text=text, content_type=content_type)
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request off the stream.
+
+    Returns ``None`` on a clean EOF before any bytes (the client closed
+    a keep-alive connection); raises :class:`HttpError` on malformed or
+    oversized input and ``asyncio.TimeoutError`` on idle timeout.
+    """
+    try:
+        head = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout=IDLE_TIMEOUT_S
+        )
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise HttpError(431, f"request head exceeds {MAX_HEAD_BYTES} bytes")
+    if len(head) > MAX_HEAD_BYTES:
+        raise HttpError(431, f"request head exceeds {MAX_HEAD_BYTES} bytes")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    path = unquote(split.path) or "/"
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        raise HttpError(400, "chunked transfer encoding is not supported")
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HttpError(400, f"bad Content-Length: {length_text!r}")
+    if length < 0:
+        raise HttpError(400, f"bad Content-Length: {length_text!r}")
+    if length > MAX_BODY_BYTES:
+        raise HttpError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+    body = b""
+    if length:
+        try:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=IDLE_TIMEOUT_S
+            )
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "request body shorter than Content-Length")
+    return Request(
+        method=method.upper(),
+        path=path,
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    response: Response,
+    *,
+    keep_alive: bool,
+    head_only: bool = False,
+) -> None:
+    """Serialize one response (``head_only`` for HEAD requests)."""
+    body = response.encode_body()
+    phrase = _PHRASES.get(response.status, "Unknown")
+    head = [
+        f"HTTP/1.1 {response.status} {phrase}",
+        f"Content-Type: {response.content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in response.headers.items():
+        head.append(f"{name}: {value}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+    if body and not head_only:
+        writer.write(body)
+    await writer.drain()

@@ -1,0 +1,25 @@
+"""Background job execution for discovery and repair pipelines."""
+
+from .manager import (
+    CANCELLED,
+    FAILED,
+    JOB_TYPES,
+    QUEUED,
+    RUNNING,
+    SUCCEEDED,
+    Job,
+    JobManager,
+    JobStage,
+)
+
+__all__ = [
+    "CANCELLED",
+    "FAILED",
+    "JOB_TYPES",
+    "QUEUED",
+    "RUNNING",
+    "SUCCEEDED",
+    "Job",
+    "JobManager",
+    "JobStage",
+]

@@ -1,0 +1,37 @@
+"""Observability for the dependency-checking service.
+
+* :mod:`~repro.server.observability.logging` — structured JSON request
+  and job logs with stable keys and per-request ids;
+* :mod:`~repro.server.observability.metrics` — a dependency-free
+  counter/gauge/histogram registry rendered in Prometheus text format
+  by ``GET /metrics``, with scrape-time collectors bridging in the
+  kernel layer's :class:`~repro.plan.kernels.KernelCounters`.
+"""
+
+from .logging import (
+    CONTEXT_FIELDS,
+    JsonLineFormatter,
+    configure_logging,
+    get_logger,
+    new_request_id,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "CONTEXT_FIELDS",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonLineFormatter",
+    "MetricsRegistry",
+    "configure_logging",
+    "get_logger",
+    "new_request_id",
+]

@@ -1,0 +1,93 @@
+"""Structured JSON logging for the server.
+
+One JSON object per line on the configured stream — machine-parseable
+request/job audit trails with stable keys::
+
+    {"ts": "2026-08-08T12:00:00.123Z", "level": "info",
+     "event": "request", "request_id": "a1b2c3d4e5f6a7b8",
+     "tenant": "acme", "method": "POST", "path": "/tenants/acme/batches",
+     "status": 200, "duration_ms": 3.2}
+
+The formatter serializes ``logging`` extras from a fixed allow-list so
+a handler can attach context (``tenant``, ``job_id``, ...) without
+free-form dict merging ever breaking the line format.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import secrets
+import time
+from typing import Any, TextIO
+
+#: Extra record attributes lifted into the JSON line when present.
+CONTEXT_FIELDS = (
+    "event",
+    "request_id",
+    "tenant",
+    "method",
+    "path",
+    "status",
+    "duration_ms",
+    "job_id",
+    "job_type",
+    "job_state",
+    "batch_seq",
+    "rule",
+    "reason",
+    "error",
+)
+
+LOGGER_NAME = "repro.server"
+
+
+def get_logger() -> logging.Logger:
+    """The shared ``repro.server`` logger (configured or not)."""
+    return logging.getLogger(LOGGER_NAME)
+
+
+def new_request_id() -> str:
+    """A 64-bit random hex id, unique enough to grep a day of logs."""
+    return secrets.token_hex(8)
+
+
+class JsonLineFormatter(logging.Formatter):
+    """``logging.Formatter`` emitting one JSON object per record."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry: dict[str, Any] = {
+            "ts": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+            )
+            + f".{int(record.msecs):03d}Z",
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key in CONTEXT_FIELDS:
+            value = record.__dict__.get(key)
+            if value is not None:
+                entry[key] = value
+        if record.exc_info and record.exc_info[1] is not None:
+            entry["exception"] = repr(record.exc_info[1])
+        return json.dumps(entry, default=str)
+
+
+def configure_logging(
+    stream: TextIO | None = None, level: int | str = logging.INFO
+) -> logging.Logger:
+    """The ``repro.server`` logger with exactly one JSON handler.
+
+    Idempotent per stream: reconfiguring replaces the handler instead
+    of stacking duplicates (tests start many servers per process).
+    """
+    logger = logging.getLogger(LOGGER_NAME)
+    logger.setLevel(level)
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonLineFormatter())
+    logger.addHandler(handler)
+    return logger

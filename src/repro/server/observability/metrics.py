@@ -1,0 +1,294 @@
+"""A small, dependency-free metrics registry (Prometheus text format).
+
+Three instrument kinds — :class:`Counter`, :class:`Gauge`,
+:class:`Histogram` — registered on a :class:`MetricsRegistry` and
+rendered by :meth:`MetricsRegistry.render` in the Prometheus text
+exposition format (``text/plain; version=0.0.4``), which is what the
+server's ``GET /metrics`` returns.
+
+All mutation goes through one registry lock, so request handlers on
+the event loop, job threads, and the scraper never race; *collectors*
+registered with :meth:`MetricsRegistry.add_collector` run at scrape
+time to pull in state owned elsewhere (the kernel-layer
+:class:`~repro.plan.kernels.KernelCounters` snapshot, job-queue
+depths) without those layers having to push.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from collections.abc import Callable, Iterable, Sequence
+
+#: Latency buckets (seconds) tuned for sub-second dependency checks.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+    2.5, 5.0, 10.0, 30.0,
+)
+
+LabelValues = tuple[str, ...]
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_text(names: Sequence[str], values: LabelValues) -> str:
+    if not names:
+        return ""
+    inner = ",".join(
+        f'{n}="{_escape(v)}"' for n, v in zip(names, values, strict=True)
+    )
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Shared plumbing: name, help text, label schema, sample store."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help_text: str, labels: Sequence[str] = ()
+    ) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.label_names = tuple(labels)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: dict[str, str]) -> LabelValues:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[n]) for n in self.label_names)
+
+    def render(self) -> list[str]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing sum per label combination."""
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, help_text: str, labels: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help_text, labels)
+        self._values: dict[LabelValues, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters only go up")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
+
+    def render(self) -> list[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        return [
+            f"{self.name}{_label_text(self.label_names, key)} "
+            f"{_format_value(value)}"
+            for key, value in items
+        ]
+
+
+class Gauge(_Metric):
+    """A settable point-in-time value per label combination."""
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, help_text: str, labels: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help_text, labels)
+        self._values: dict[LabelValues, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        with self._lock:
+            self._values[self._key(labels)] = float(value)
+
+    def remove(self, **labels: str) -> None:
+        with self._lock:
+            self._values.pop(self._key(labels), None)
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
+
+    def render(self) -> list[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        return [
+            f"{self.name}{_label_text(self.label_names, key)} "
+            f"{_format_value(value)}"
+            for key, value in items
+        ]
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket latency histogram (plus ``_sum``/``_count``).
+
+    Also keeps the raw observations bounded-reservoir style so the
+    benchmark harness can read exact p50/p99 without re-deriving them
+    from buckets; the reservoir holds the most recent
+    ``_RESERVOIR`` samples per label set.
+    """
+
+    kind = "histogram"
+    _RESERVOIR = 4096
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labels: Sequence[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, labels)
+        self.buckets = tuple(sorted(buckets))
+        self._counts: dict[LabelValues, list[int]] = {}
+        self._sums: dict[LabelValues, float] = {}
+        self._totals: dict[LabelValues, int] = {}
+        self._samples: dict[LabelValues, list[float]] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = [0] * len(self.buckets)
+                self._counts[key] = counts
+            idx = bisect_left(self.buckets, value)
+            if idx < len(counts):
+                counts[idx] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + value
+            self._totals[key] = self._totals.get(key, 0) + 1
+            samples = self._samples.setdefault(key, [])
+            samples.append(value)
+            if len(samples) > self._RESERVOIR:
+                del samples[: len(samples) - self._RESERVOIR]
+
+    def count(self, **labels: str) -> int:
+        with self._lock:
+            return self._totals.get(self._key(labels), 0)
+
+    def quantile(self, q: float, **labels: str) -> float:
+        """Exact quantile over the retained reservoir (0 when empty)."""
+        with self._lock:
+            samples = sorted(self._samples.get(self._key(labels), ()))
+        if not samples:
+            return 0.0
+        rank = min(len(samples) - 1, max(0, round(q * (len(samples) - 1))))
+        return samples[rank]
+
+    def render(self) -> list[str]:
+        out: list[str] = []
+        with self._lock:
+            keys = sorted(self._counts)
+            for key in keys:
+                running = 0
+                names = (*self.label_names, "le")
+                for bound, count in zip(
+                    self.buckets, self._counts[key], strict=True
+                ):
+                    running += count
+                    out.append(
+                        f"{self.name}_bucket"
+                        f"{_label_text(names, (*key, repr(bound)))} {running}"
+                    )
+                total = self._totals.get(key, 0)
+                out.append(
+                    f"{self.name}_bucket"
+                    f"{_label_text(names, (*key, '+Inf'))} {total}"
+                )
+                out.append(
+                    f"{self.name}_sum{_label_text(self.label_names, key)} "
+                    f"{self._sums.get(key, 0.0)!r}"
+                )
+                out.append(
+                    f"{self.name}_count"
+                    f"{_label_text(self.label_names, key)} {total}"
+                )
+        return out
+
+
+class MetricsRegistry:
+    """All instruments of one server process, renderable in one pass."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+        self._collectors: list[Callable[[], None]] = []
+
+    def counter(
+        self, name: str, help_text: str, labels: Sequence[str] = ()
+    ) -> Counter:
+        return self._register(Counter(name, help_text, labels))
+
+    def gauge(
+        self, name: str, help_text: str, labels: Sequence[str] = ()
+    ) -> Gauge:
+        return self._register(Gauge(name, help_text, labels))
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labels: Sequence[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram(name, help_text, labels, buckets))
+
+    def _register(self, metric: _Metric) -> "_Metric":
+        with self._lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None:
+                if type(existing) is not type(metric) or (
+                    existing.label_names != metric.label_names
+                ):
+                    raise ValueError(
+                        f"metric {metric.name!r} re-registered with a "
+                        "different type or label schema"
+                    )
+                return existing
+            self._metrics[metric.name] = metric
+            return metric
+
+    def add_collector(self, collector: Callable[[], None]) -> None:
+        """Run ``collector`` at every scrape, before rendering.
+
+        Collectors pull externally owned state (kernel counters, queue
+        depths) into gauges they created on this registry.
+        """
+        with self._lock:
+            self._collectors.append(collector)
+
+    def render(self) -> str:
+        """The whole registry in Prometheus text exposition format."""
+        with self._lock:
+            collectors = list(self._collectors)
+        for collector in collectors:
+            collector()
+        with self._lock:
+            metrics = [self._metrics[k] for k in sorted(self._metrics)]
+        lines: list[str] = []
+        for metric in metrics:
+            lines.append(f"# HELP {metric.name} {metric.help_text}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,95 @@
+"""Route table: method + path template → async handler.
+
+Path templates use ``{name}`` segments (``/tenants/{tenant}/batches``);
+matches bind into ``request.params``.  The table is assembled from the
+per-resource modules below so each stays one screen of related
+handlers, soldier-style: ``tenants`` (registration), ``rules``
+(lint-screened upload), ``ingest`` (changefeed batches + sync check),
+``jobs`` (submit/poll/cancel), ``system`` (health + metrics).
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Awaitable, Callable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from ..http import HttpError, Request, Response
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..app import ReproApp
+
+Handler = Callable[["ReproApp", Request], Awaitable[Response]]
+
+_SEGMENT = re.compile(r"^[A-Za-z0-9_.~:@!$&'()*+,;=%-]+$")
+
+
+@dataclass(frozen=True)
+class Route:
+    method: str
+    template: str
+    handler: Handler
+    pattern: re.Pattern[str]
+
+    @classmethod
+    def make(cls, method: str, template: str, handler: Handler) -> "Route":
+        parts = []
+        for segment in template.strip("/").split("/"):
+            if segment.startswith("{") and segment.endswith("}"):
+                parts.append(f"(?P<{segment[1:-1]}>[^/]+)")
+            else:
+                parts.append(re.escape(segment))
+        pattern = re.compile("^/" + "/".join(parts) + "$")
+        return cls(method=method.upper(), template=template,
+                   handler=handler, pattern=pattern)
+
+
+class Router:
+    """Longest-wins is unnecessary: templates here never overlap."""
+
+    def __init__(self, routes: list[Route]) -> None:
+        self._routes = routes
+
+    def resolve(self, request: Request) -> tuple[Route, dict[str, str]]:
+        allowed: list[str] = []
+        for route in self._routes:
+            match = route.pattern.match(request.path)
+            if match is None:
+                continue
+            if route.method != request.method:
+                allowed.append(route.method)
+                continue
+            return route, match.groupdict()
+        if allowed:
+            raise HttpError(
+                405,
+                f"{request.method} not allowed on {request.path}",
+                allowed=sorted(set(allowed)),
+            )
+        raise HttpError(404, f"no route for {request.path}")
+
+
+def build_router() -> Router:
+    """The full route table of the dependency-checking service."""
+    from . import ingest, jobs, rules, system, tenants
+
+    table: list[tuple[str, str, Any]] = [
+        ("GET", "/healthz", system.healthz),
+        ("GET", "/metrics", system.metrics),
+        ("GET", "/version", system.version),
+        ("POST", "/tenants", tenants.register),
+        ("GET", "/tenants", tenants.list_tenants),
+        ("GET", "/tenants/{tenant}", tenants.get_tenant),
+        ("DELETE", "/tenants/{tenant}", tenants.remove_tenant),
+        ("PUT", "/tenants/{tenant}/rules", rules.upload),
+        ("GET", "/tenants/{tenant}/rules", rules.get_rules),
+        ("POST", "/tenants/{tenant}/batches", ingest.ingest_batch),
+        ("GET", "/tenants/{tenant}/violations", ingest.violations),
+        ("POST", "/tenants/{tenant}/check", ingest.sync_check),
+        ("POST", "/tenants/{tenant}/jobs", jobs.submit),
+        ("GET", "/tenants/{tenant}/jobs", jobs.list_jobs),
+        ("GET", "/jobs/{job}", jobs.poll),
+        ("DELETE", "/jobs/{job}", jobs.cancel),
+    ]
+    return Router([Route.make(m, t, h) for m, t, h in table])

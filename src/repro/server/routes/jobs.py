@@ -1,0 +1,79 @@
+"""Background-job endpoints: submit → poll → result / cancel.
+
+Discovery and repair can exceed any sane request timeout, so they run
+as jobs on the :class:`~repro.server.jobs.JobManager` worker pool.  The
+submitting request's budget headers become the *job* budget; stage
+budgets are derived from it with :meth:`repro.runtime.Budget.child`, so
+a deadline set at submit time bounds the whole pipeline and an
+exhausted stage surfaces as ``partial: true`` in the poll response —
+never as a silently truncated "success".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..http import HttpError, Request, Response, json_response
+from ..jobs import JOB_TYPES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..app import ReproApp
+
+
+async def submit(app: "ReproApp", request: Request) -> Response:
+    """``POST /tenants/{tenant}/jobs`` — queue a discovery/repair job.
+
+    Body: ``{"type": "discovery" | "repair", "params": {...}}``.
+    Budget headers (``X-Budget-Deadline-S`` etc.) govern the job.
+    """
+    tenant = app.tenants.get(request.params["tenant"])
+    payload = request.json_object()
+    job_type = payload.get("type")
+    if job_type not in JOB_TYPES:
+        raise HttpError(
+            400,
+            f"unknown job type {job_type!r}",
+            allowed=list(JOB_TYPES),
+        )
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        raise HttpError(400, '"params" must be an object')
+    budget = app.budget_from_headers(request)
+    job = app.jobs.submit(tenant, job_type, params, budget)
+    app.log(
+        "job submitted", request, event="job_submitted",
+        tenant=tenant.tenant_id, job_id=job.job_id, job_type=job_type,
+    )
+    return json_response(job.describe(), status=202)
+
+
+async def poll(app: "ReproApp", request: Request) -> Response:
+    """``GET /jobs/{job}`` — job state, stages, and (when done) result."""
+    job = app.jobs.get(request.params["job"])
+    return json_response(job.describe())
+
+
+async def list_jobs(app: "ReproApp", request: Request) -> Response:
+    tenant = app.tenants.get(request.params["tenant"])
+    jobs = app.jobs.list(tenant_id=tenant.tenant_id)
+    return json_response(
+        {
+            "tenant": tenant.tenant_id,
+            "jobs": [j.describe(include_result=False) for j in jobs],
+        }
+    )
+
+
+async def cancel(app: "ReproApp", request: Request) -> Response:
+    """``DELETE /jobs/{job}`` — cooperative cancellation.
+
+    A queued job is dropped outright; a running one has its budget
+    tripped (``exhausted = "cancelled"``) so the engine unwinds at its
+    next checkpoint through the normal partial-result path.
+    """
+    job = app.jobs.cancel(request.params["job"])
+    app.log(
+        "job cancel requested", request, event="job_cancelled",
+        tenant=job.tenant_id, job_id=job.job_id, job_state=job.state,
+    )
+    return json_response(job.describe())

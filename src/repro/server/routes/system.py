@@ -1,0 +1,35 @@
+"""Health, version, and the Prometheus-text metrics endpoint."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ... import __version__
+from ..http import Request, Response, json_response, text_response
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..app import ReproApp
+
+
+async def healthz(app: "ReproApp", request: Request) -> Response:
+    return json_response(
+        {
+            "status": "ok",
+            "tenants": len(app.tenants.list()),
+            "jobs": len(app.jobs.list()),
+        }
+    )
+
+
+async def version(app: "ReproApp", request: Request) -> Response:
+    return json_response({"name": "repro", "version": __version__})
+
+
+async def metrics(app: "ReproApp", request: Request) -> Response:
+    """``GET /metrics`` — Prometheus text exposition.
+
+    Counters are cumulative since server start; kernel counters come
+    from a thread-safe :meth:`KernelCounters.snapshot` taken at scrape
+    time, so scraping never races active kernels.
+    """
+    return text_response(app.metrics.render())

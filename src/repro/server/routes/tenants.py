@@ -1,0 +1,57 @@
+"""Tenant registration and lifecycle."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..http import HttpError, Request, Response, json_response
+from ..state import parse_schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..app import ReproApp
+
+
+async def register(app: "ReproApp", request: Request) -> Response:
+    """``POST /tenants`` — declare a tenant and its relation schema.
+
+    Body::
+
+        {"tenant": "acme",
+         "schema": {"attributes": [{"name": "price", "type": "numerical"},
+                                   "city"]},
+         "rows": [[12.5, "Lisbon"], {"price": 9.0, "city": "Porto"}]}
+
+    ``rows`` (optional) seeds the initial relation state.
+    """
+    payload = request.json_object()
+    tenant_id = payload.get("tenant")
+    if not isinstance(tenant_id, str) or not tenant_id:
+        raise HttpError(400, 'body needs a non-empty string "tenant"')
+    if "schema" not in payload:
+        raise HttpError(400, 'body needs a "schema" declaration')
+    schema = parse_schema(payload["schema"])
+    rows = payload.get("rows")
+    if rows is not None and not isinstance(rows, list):
+        raise HttpError(400, '"rows" must be a list')
+    tenant = app.tenants.register(tenant_id, schema, rows)
+    app.log("tenant registered", request, event="tenant_registered",
+            tenant=tenant_id)
+    return json_response(tenant.describe(), status=201)
+
+
+async def list_tenants(app: "ReproApp", request: Request) -> Response:
+    return json_response(
+        {"tenants": [t.describe() for t in app.tenants.list()]}
+    )
+
+
+async def get_tenant(app: "ReproApp", request: Request) -> Response:
+    tenant = app.tenants.get(request.params["tenant"])
+    return json_response(tenant.describe())
+
+
+async def remove_tenant(app: "ReproApp", request: Request) -> Response:
+    tenant = app.tenants.remove(request.params["tenant"])
+    app.log("tenant removed", request, event="tenant_removed",
+            tenant=tenant.tenant_id)
+    return json_response({"removed": tenant.tenant_id})

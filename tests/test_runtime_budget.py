@@ -233,3 +233,98 @@ class TestProfilerBudget:
         r = hotel_r5()
         report = profile_relation(r)
         assert not any("exhausted" in n for n in report.notes)
+
+
+class TestBudgetChild:
+    """Deriving stage budgets from a request budget (the server's jobs)."""
+
+    def test_child_counters_propagate_without_resetting_parent(self):
+        parent = Budget(max_candidates=100)
+        parent.checkpoint(candidates=10)
+        child = parent.child()
+        child.checkpoint(candidates=5, pairs=3)
+        assert parent.candidates == 15
+        assert parent.pairs == 3
+        # The child starts from zero: its counters are its own work.
+        assert child.candidates == 5 and child.pairs == 3
+        # Deriving again later sees the accumulated total, not a reset.
+        second = parent.child()
+        assert second.max_candidates == 100 - 15
+
+    def test_child_caps_clamp_to_parent_headroom(self):
+        parent = Budget(max_candidates=10, max_pairs=20)
+        parent.checkpoint(candidates=4)
+        child = parent.child(max_candidates=100, max_pairs=5)
+        assert child.max_candidates == 6  # requested 100 > headroom 6
+        assert child.max_pairs == 5  # requested below headroom stands
+
+    def test_child_with_no_args_inherits_remaining_headroom(self):
+        parent = Budget(max_candidates=8)
+        parent.checkpoint(candidates=3)
+        child = parent.child()
+        assert child.max_candidates == 5
+        assert child.max_pairs is None
+        assert child.deadline_s is None
+
+    def test_child_deadline_clamps_to_parent_remaining(self):
+        parent = Budget(deadline_s=60.0).start()
+        child = parent.child(deadline_s=1e9)
+        assert child.deadline_s is not None and child.deadline_s <= 60.0
+        tight = parent.child(deadline_s=0.5)
+        assert tight.deadline_s == 0.5
+
+    def test_child_exhaustion_does_not_poison_parent(self):
+        parent = Budget(max_candidates=10)
+        child = parent.child(max_candidates=2)
+        with pytest.raises(BudgetExhausted):
+            child.checkpoint(candidates=3)
+        assert child.exhausted == "candidates"
+        assert parent.exhausted == ""
+        # Parent still has headroom and keeps governing later stages.
+        parent.checkpoint(candidates=1)
+        assert parent.candidates == 4  # 3 propagated + 1 direct
+
+    def test_child_work_exhausts_parent_cap_across_stages(self):
+        parent = Budget(max_candidates=5)
+        first = parent.child()
+        first.checkpoint(candidates=4)
+        second = parent.child()
+        assert second.max_candidates == 1
+        with pytest.raises(BudgetExhausted):
+            second.checkpoint(candidates=2)
+        assert second.exhausted == "candidates"
+
+    def test_grandchild_bills_whole_chain(self):
+        root = Budget()
+        mid = root.child()
+        leaf = mid.child()
+        leaf.checkpoint(candidates=2, pairs=7)
+        assert (root.candidates, root.pairs) == (2, 7)
+        assert (mid.candidates, mid.pairs) == (2, 7)
+
+    def test_child_memory_cap_is_min_of_both(self):
+        parent = Budget(max_memory_bytes=1000)
+        assert parent.child().max_memory_bytes == 1000
+        assert parent.child(max_memory_bytes=500).max_memory_bytes == 500
+        assert parent.child(max_memory_bytes=5000).max_memory_bytes == 1000
+        free = Budget()
+        assert free.child(max_memory_bytes=500).max_memory_bytes == 500
+
+    def test_cancellation_via_exhausted_flag(self):
+        # The server cancels running jobs by poisoning the budget; the
+        # next checkpoint must raise with the given reason.
+        b = Budget()
+        b.checkpoint(candidates=1)  # fine while healthy
+        b.exhausted = "cancelled"
+        with pytest.raises(BudgetExhausted) as err:
+            b.checkpoint(candidates=1)
+        assert err.value.reason == "cancelled"
+
+    def test_governed_child_drives_engine_partial(self):
+        r = hard_relation()
+        parent = Budget(max_candidates=3)
+        child = parent.child()
+        result = tane(r, budget=child)
+        assert result.stats.complete is False
+        # The engine's work was billed to the parent too.
+        assert parent.candidates == child.candidates

@@ -286,3 +286,96 @@ def test_pruned_fraction_zero_candidate_guard():
     with kernel_backend("vector"), plan_mode("plan"):
         assert snapshot(dep, relation) == []
     assert COUNTERS.pruned_fraction() == 0.0
+
+
+# ---------------------------------------------------------------------------
+# extend/apply_delta must not leak stale kernel caches (server ingest path)
+
+
+def _numeric_relation(values):
+    schema = Schema([Attribute("v", AttributeType.NUMERICAL)])
+    return Relation.from_rows(schema, [(v,) for v in values])
+
+
+def test_extend_patches_sorted_projection_cache():
+    """extend() carries the encoding forward with exact patched caches."""
+    import numpy as np
+
+    base = _numeric_relation([5.0, 1.0, 3.0, None, 3.0])
+    # Warm every kernel cache on the parent.
+    enc = base.encoding()
+    enc.float_array(0)
+    enc.valid_array(0)
+    enc.sorted_projection(0)
+
+    child = base.extend([(2.0,), (3.0,), (None,), (0.5,)])
+    got_rows, got_vals = child.encoding().sorted_projection(0)
+
+    cold = _numeric_relation([5.0, 1.0, 3.0, None, 3.0, 2.0, 3.0, None, 0.5])
+    want_rows, want_vals = cold.encoding().sorted_projection(0)
+    # Exact equality including tie order (stable-sort semantics).
+    assert np.array_equal(got_rows, want_rows)
+    assert np.array_equal(got_vals, want_vals)
+    assert np.array_equal(child.encoding().float_array(0),
+                          cold.encoding().float_array(0), equal_nan=True)
+    assert np.array_equal(child.encoding().valid_array(0),
+                          cold.encoding().valid_array(0))
+    # The parent's caches are untouched (immutable, still 5 rows).
+    assert len(base.encoding().float_array(0)) == 5
+
+
+def test_extend_numeric_safety_flip_drops_float_caches():
+    """A tail value that breaks numeric safety must invalidate, not patch."""
+    base = _numeric_relation([1.0, 2.0])
+    enc = base.encoding()
+    enc.sorted_projection(0)
+    child = base.extend([("not-a-number",)])
+    cc = child.encoding().column_codes(0)
+    assert cc.numeric_safe is False
+    assert cc._floats is None and cc._sorted is None
+
+
+def test_extend_then_check_parity_vector_backend():
+    """Stale-cache regression: extend-then-check equals a cold check."""
+    schema = Schema([
+        Attribute("a", AttributeType.NUMERICAL),
+        Attribute("b", AttributeType.NUMERICAL),
+    ])
+    head = [(1.0, 10.0), (2.0, 20.0), (3.0, 30.0), (None, 5.0)]
+    tail = [(2.0, 25.0), (0.5, 40.0), (3.0, 30.0)]
+    dep = OD(["a"], [("b", ">=")])
+
+    warm = Relation.from_rows(schema, head)
+    plan = plan_for(dep)
+    with kernel_backend("vector"):
+        # Warm the sorted projections on the pre-extension relation...
+        before = snapshot(dep, warm)
+        # ...then extend and re-check through the patched caches.
+        extended = warm.extend(tail)
+        got = snapshot(dep, extended)
+        cold = snapshot(dep, Relation.from_rows(schema, head + tail))
+    assert plan is not None
+    assert got == cold
+    assert before != got  # the tail does change the answer
+
+
+def test_apply_delta_insert_only_check_parity_vector_backend():
+    schema = Schema([
+        Attribute("a", AttributeType.NUMERICAL),
+        Attribute("b", AttributeType.NUMERICAL),
+    ])
+    head = [(1.0, 1.0), (2.0, 4.0), (3.0, 9.0)]
+    dep = DC([pred2("a", "<", "a"), pred2("b", ">=", "b")])
+
+    warm = Relation.from_rows(schema, head)
+    with kernel_backend("vector"):
+        snapshot(dep, warm)  # warm caches
+        stepped = warm.apply_delta(
+            {"insert": [[1.5, 100.0], [2.5, 0.25]]}
+        )
+        got = snapshot(dep, stepped)
+        cold = snapshot(
+            dep,
+            Relation.from_rows(schema, head + [(1.5, 100.0), (2.5, 0.25)]),
+        )
+    assert got == cold
