@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke: start `repro serve --data-dir`, ingest batches,
+# `kill -9` the live server, restart it on the same data directory, and
+# assert the recovered /violations state matches the last acknowledged
+# batch exactly — the shell-level version of the chaos tests in
+# tests/test_durability.py, exercising the real CLI entry point.
+# CI runs this in the crash-recovery job; locally:
+#     bash scripts/crash_recovery_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DATA=$(mktemp -d)
+LOG=$(mktemp)
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$DATA" "$LOG"
+}
+trap cleanup EXIT
+
+start_server() {
+    : >"$LOG"
+    PYTHONPATH=src python -m repro.cli serve --port 0 \
+        --data-dir "$DATA" --fsync batch 2>"$LOG" &
+    SERVER_PID=$!
+    PORT=""
+    for _ in $(seq 1 100); do
+        PORT=$(grep -o 'serving on 127\.0\.0\.1:[0-9]*' "$LOG" \
+            | head -1 | grep -o '[0-9]*$' || true)
+        [ -n "$PORT" ] && break
+        sleep 0.1
+    done
+    if [ -z "$PORT" ]; then
+        echo "server did not start; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    BASE="http://127.0.0.1:$PORT"
+}
+
+json_field() {  # json_field FIELD <<< payload
+    python -c 'import json,sys; print(json.load(sys.stdin)[sys.argv[1]])' "$1"
+}
+
+start_server
+echo "server up on $BASE (data dir $DATA)"
+
+curl -fsS -X POST "$BASE/tenants" -H 'Content-Type: application/json' \
+    -d '{"tenant":"crash","schema":["city","zip"]}' >/dev/null
+curl -fsS -X PUT "$BASE/tenants/crash/rules" \
+    -H 'Content-Type: application/json' \
+    -d '{"rules":[{"kind":"FD","lhs":["zip"],"rhs":["city"]}]}' >/dev/null
+
+# Eight acked batches; every batch adds a fresh city for zip 10115, so
+# the FD violation count grows with each acknowledgement.
+ACKED=""
+for i in $(seq 1 8); do
+    ACKED=$(curl -fsS -X POST "$BASE/tenants/crash/batches" \
+        -d "{\"insert\":[[\"dup-$i\",\"10115\"],[\"ok-$i\",\"z$i\"]]}")
+done
+WANT_ROWS=$(json_field rows <<<"$ACKED")
+WANT_VIOL=$(json_field total_violations <<<"$ACKED")
+echo "last ack: rows=$WANT_ROWS violations=$WANT_VIOL"
+
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "killed server with SIGKILL"
+
+start_server
+echo "server restarted on $BASE"
+
+STATE=$(curl -fsS "$BASE/tenants/crash/violations")
+GOT_ROWS=$(json_field rows <<<"$STATE")
+GOT_VIOL=$(json_field total_violations <<<"$STATE")
+[ "$GOT_ROWS" = "$WANT_ROWS" ] \
+    || { echo "recovered rows $GOT_ROWS != acked $WANT_ROWS" >&2; exit 1; }
+[ "$GOT_VIOL" = "$WANT_VIOL" ] \
+    || { echo "recovered violations $GOT_VIOL != acked $WANT_VIOL" >&2; exit 1; }
+
+curl -fsS "$BASE/healthz" | grep -q '"tenants": 1' \
+    || { echo "healthz did not report one recovered tenant" >&2; exit 1; }
+
+# The recovered server must keep accepting writes.
+AFTER=$(curl -fsS -X POST "$BASE/tenants/crash/batches" \
+    -d '{"insert":[["dup-9","10115"],["ok-9","z9"]]}')
+AFTER_ROWS=$(json_field rows <<<"$AFTER")
+[ "$AFTER_ROWS" = "$((WANT_ROWS + 2))" ] \
+    || { echo "post-recovery ingest broken: rows=$AFTER_ROWS" >&2; exit 1; }
+
+echo "crash recovery smoke OK (rows=$GOT_ROWS violations=$GOT_VIOL)"

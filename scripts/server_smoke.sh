@@ -26,6 +26,38 @@ fi
 BASE="http://127.0.0.1:$PORT"
 echo "server up on $BASE"
 
+# Batch POSTs retry on 429/503 with exponential backoff + full jitter,
+# honoring the server's Retry-After hint when it sheds load (overload
+# protection returns 429 rather than queueing unboundedly; a polite
+# client backs off instead of hammering).  Pattern documented in
+# docs/server.md under "Backpressure and load shedding".
+post_with_retry() {  # post_with_retry URL JSON_BODY
+    local url=$1 data=$2 attempt status hdrs hint delay
+    for attempt in 1 2 3 4 5 6; do
+        hdrs=$(mktemp)
+        status=$(curl -sS -o /dev/null -D "$hdrs" -w '%{http_code}' \
+            -X POST "$url" -H 'Content-Type: application/json' \
+            -d "$data" || echo 000)
+        hint=$(awk 'tolower($1)=="retry-after:" {gsub("\r","",$2); print $2}' \
+            "$hdrs")
+        rm -f "$hdrs"
+        case "$status" in
+            2??) return 0 ;;
+            429|503|000) ;;  # shed, unavailable, or connect failure
+            *) echo "POST $url failed with HTTP $status" >&2; return 1 ;;
+        esac
+        # exponential base 0.2s * 2^(attempt-1), jittered to [50%,150%];
+        # never undercut the server's own Retry-After.
+        delay=$(awk -v a="$attempt" -v r="${hint:-0}" -v s="$RANDOM" \
+            'BEGIN { d = 0.2 * 2^(a - 1) * (0.5 + s / 32767);
+                     if (r + 0 > d) d = r; printf "%.2f", d }')
+        echo "HTTP $status from $url; retry $attempt/6 in ${delay}s" >&2
+        sleep "$delay"
+    done
+    echo "POST $url still shedding after 6 attempts" >&2
+    return 1
+}
+
 curl -fsS "$BASE/healthz" >/dev/null
 
 curl -fsS -X POST "$BASE/tenants" -H 'Content-Type: application/json' \
@@ -47,12 +79,12 @@ curl -fsS -X PUT "$BASE/tenants/smoke/rules" \
     -d '{"rules":[{"kind":"FD","lhs":["zip"],"rhs":["city"]}]}' >/dev/null
 
 # Three batches; the second introduces an FD violation on zip 10115.
-curl -fsS -X POST "$BASE/tenants/smoke/batches" \
-    -d '{"insert":[{"city":"Berlin","zip":"10115","price":9.5}]}' >/dev/null
-curl -fsS -X POST "$BASE/tenants/smoke/batches" \
-    -d '{"insert":[{"city":"Bonn","zip":"10115","price":4.0}]}' >/dev/null
-curl -fsS -X POST "$BASE/tenants/smoke/batches" \
-    -d '{"insert":[{"city":"Mainz","zip":"55116","price":7.25}]}' >/dev/null
+post_with_retry "$BASE/tenants/smoke/batches" \
+    '{"insert":[{"city":"Berlin","zip":"10115","price":9.5}]}'
+post_with_retry "$BASE/tenants/smoke/batches" \
+    '{"insert":[{"city":"Bonn","zip":"10115","price":4.0}]}'
+post_with_retry "$BASE/tenants/smoke/batches" \
+    '{"insert":[{"city":"Mainz","zip":"55116","price":7.25}]}'
 
 curl -fsS "$BASE/tenants/smoke/violations" \
     | grep -q '"total_violations": 1' \

@@ -16,10 +16,12 @@ Commands:
   mismatches, implied/duplicate/conflicting rules (stable ``DD0xx``
   diagnostic codes, see :mod:`repro.analysis`); exits 1 on
   error-severity findings, ``--fix`` writes the minimized rule set;
-* ``serve [--host H] [--port P]`` — run the multi-tenant dependency-
-  checking HTTP service (tenants, rule upload, batch ingestion,
-  background discovery/repair jobs, Prometheus ``/metrics``; see
-  :mod:`repro.server` and ``docs/server.md``);
+* ``serve [--host H] [--port P] [--data-dir D] [--fsync P]`` — run the
+  multi-tenant dependency-checking HTTP service (tenants, rule upload,
+  batch ingestion, background discovery/repair jobs, Prometheus
+  ``/metrics``; with ``--data-dir``, a per-tenant write-ahead log plus
+  snapshots and crash recovery; see :mod:`repro.server` and
+  ``docs/server.md``);
 * ``tree`` — print the family tree of extensions (Fig. 1A);
 * ``survey`` — print the regenerated Tables 2/3 and Figs 1B/2/3.
 
@@ -311,10 +313,20 @@ def cmd_lint(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from .server import ReproApp, configure_logging
+    from .server import OverloadConfig, ReproApp, configure_logging
 
     configure_logging(level=args.log_level.upper())
-    app = ReproApp(max_workers=args.workers)
+    overload = OverloadConfig(
+        max_inflight_per_tenant=args.max_inflight,
+        max_rss_mb=args.max_rss_mb,
+    )
+    app = ReproApp(
+        max_workers=args.workers,
+        data_dir=args.data_dir,
+        fsync=args.fsync,
+        recover=args.recover,
+        overload=overload,
+    )
     try:
         asyncio.run(app.serve(host=args.host, port=args.port))
     except KeyboardInterrupt:
@@ -526,6 +538,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-level", default="info", dest="log_level",
         choices=["debug", "info", "warning", "error"],
         help="JSON log verbosity (default info)",
+    )
+    p_serve.add_argument(
+        "--data-dir", default=None, dest="data_dir",
+        help="durable state directory (per-tenant WAL + snapshots); "
+        "omit for in-memory-only operation",
+    )
+    p_serve.add_argument(
+        "--fsync", default="batch",
+        choices=["always", "batch", "off"],
+        help="WAL fsync policy: always (per record), batch "
+        "(amortized, default), off (flush to OS only)",
+    )
+    p_serve.add_argument(
+        "--recover", dest="recover", action="store_true", default=True,
+        help="replay snapshot + WAL tail at startup (default)",
+    )
+    p_serve.add_argument(
+        "--no-recover", dest="recover", action="store_false",
+        help="skip startup recovery (existing durable state is kept "
+        "but not loaded)",
+    )
+    p_serve.add_argument(
+        "--max-inflight", type=int, default=8, dest="max_inflight",
+        help="per-tenant in-flight batch ceiling before shedding with "
+        "429 (default 8; 0 disables)",
+    )
+    p_serve.add_argument(
+        "--max-rss-mb", type=float, default=0.0, dest="max_rss_mb",
+        help="resident-set watermark in MiB: above it the server goes "
+        "read-only and sheds mutating requests (default off)",
     )
     p_serve.set_defaults(func=cmd_serve)
 

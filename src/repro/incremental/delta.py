@@ -160,6 +160,32 @@ class Delta:
             parts.append(f"+{len(self.inserts)}")
         return f"Delta({' '.join(parts) or 'empty'})"
 
+    # -- mutation-log serialization ------------------------------------
+
+    def to_json(self) -> dict[str, Any]:
+        """The canonical mutation-log wire form of this batch.
+
+        Inserts come back positional (schema-order lists), so
+        ``Delta.from_json(delta.to_json())`` round-trips without a
+        schema and reproduces an equal batch — the fidelity contract
+        the server's write-ahead log replays through (see
+        ``tests/test_incremental.py::TestDeltaJsonRoundTrip``).
+        ``None`` cells survive as JSON ``null``; non-finite floats rely
+        on the encoder's ``NaN``/``Infinity`` extension, which the WAL
+        enables on both ends.
+        """
+        out: dict[str, Any] = {}
+        if self.inserts:
+            out["insert"] = [list(row) for row in self.inserts]
+        if self.deletes:
+            out["delete"] = list(self.deletes)
+        if self.updates:
+            out["update"] = [
+                {"row": row, "set": dict(assignment)}
+                for row, assignment in self.updates
+            ]
+        return out
+
     # -- mutation-log parsing ------------------------------------------
 
     @classmethod

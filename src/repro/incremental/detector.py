@@ -144,6 +144,9 @@ class IncrementalDetector:
         self.quarantine: list[tuple[int, str, str]] = []
         #: Rule labels deactivated because their cold rebuild failed too.
         self.dead_rules: list[str] = []
+        #: Rule label -> rule, for rules an operator (or the server's
+        #: circuit breaker) suspended; they get no checker until resumed.
+        self._suspended: dict[str, Any] = {}
         #: Serializes apply() (and state reads) — see the class docs.
         self._lock = threading.Lock()
 
@@ -157,6 +160,59 @@ class IncrementalDetector:
         return {
             c.rule.label(): type(c).__name__ for c in self._checkers
         }
+
+    # -- suspension (circuit breaking) ---------------------------------
+
+    @property
+    def suspended_rules(self) -> list[str]:
+        """Labels of rules currently suspended (no checker, no report)."""
+        with self._lock:
+            return sorted(self._suspended)
+
+    def suspend_rule(self, label: str) -> bool:
+        """Take ``label`` out of evaluation until :meth:`resume_rule`.
+
+        The rule's checker is dropped (its state would go stale anyway)
+        and the rule disappears from :meth:`violations`/:meth:`report`
+        while suspended — callers such as the server's circuit breaker
+        must surface the suspension honestly rather than present the
+        narrowed report as complete.  Returns ``False`` for an unknown
+        or already-suspended label.
+        """
+        with self._lock:
+            keep: list[IncrementalChecker] = []
+            found = None
+            for checker in self._checkers:
+                if found is None and checker.rule.label() == label:
+                    found = checker.rule
+                else:
+                    keep.append(checker)
+            if found is None:
+                return False
+            self._suspended[label] = found
+            self._checkers = keep
+            return True
+
+    def resume_rule(self, label: str) -> bool:
+        """Reactivate a suspended rule with a cold-built checker.
+
+        The checker is rebuilt against the *current* relation, so the
+        cumulative state is exact from the first post-resume batch.  A
+        rebuild failure deactivates the rule (recorded in
+        :attr:`dead_rules` and :attr:`quarantine`) instead of raising.
+        Returns ``False`` for a label that is not suspended.
+        """
+        with self._lock:
+            rule = self._suspended.pop(label, None)
+            if rule is None:
+                return False
+            try:
+                self._checkers.append(checker_for(rule, self._relation))
+            except Exception as exc:  # noqa: BLE001 - mirror _rebuild
+                message = f"resume rebuild failed: {exc}"
+                self.quarantine.append((len(self.history), label, message))
+                self.dead_rules.append(label)
+            return True
 
     def _rebuild(
         self,

@@ -104,6 +104,87 @@ def encoded_enabled() -> bool:
     return os.environ.get(_ENV_FLAG, "") in ("", "0")
 
 
+#: Version stamp of the serialized-relation state format below.
+STATE_VERSION = 1
+
+
+def relation_to_state(relation: Any) -> dict[str, Any]:
+    """Serialize a relation as a JSON-safe, dictionary-encoded state.
+
+    The snapshot format of the server durability layer: schema (names +
+    declared types) plus one ``{"values", "codes"}`` pair per column —
+    the distinct cell values in first-occurrence order and each row's
+    index into them, i.e. exactly the dictionary encoding the substrate
+    builds, so repeated values serialize once.  A column holding
+    unhashable cells (which the encoded substrate cannot index either)
+    falls back to a raw ``{"raw": [...]}`` value list.
+
+    Cells must be JSON-representable (the server only ever holds values
+    that arrived as JSON); non-finite floats round-trip through the
+    encoder's ``NaN``/``Infinity`` extension.
+    """
+    schema = [
+        {"name": a.name, "type": a.dtype.value} for a in relation.schema
+    ]
+    columns: list[dict[str, Any]] = []
+    for j in range(len(relation.schema)):
+        column = relation._columns[j]
+        codebook: dict[Value, int] = {}
+        codes: list[int] = []
+        values: list[Value] = []
+        try:
+            for v in column:
+                code = codebook.setdefault(v, len(values))
+                if code == len(values):
+                    values.append(v)
+                codes.append(code)
+        except TypeError:  # unhashable cell: store the column verbatim
+            columns.append({"raw": list(column)})
+            continue
+        columns.append({"values": values, "codes": codes})
+    return {
+        "version": STATE_VERSION,
+        "n": len(relation),
+        "schema": schema,
+        "columns": columns,
+    }
+
+
+def relation_from_state(state: dict[str, Any]) -> Any:
+    """Rebuild a relation from :func:`relation_to_state` output.
+
+    Raises :class:`ValueError` on version or shape mismatches — the
+    recovery path treats that as a corrupt snapshot, not a crash.
+    """
+    from .relation import Relation
+    from .schema import Attribute, AttributeType, Schema
+
+    version = state.get("version")
+    if version != STATE_VERSION:
+        raise ValueError(
+            f"unsupported relation state version {version!r} "
+            f"(expected {STATE_VERSION})"
+        )
+    schema = Schema(
+        Attribute(spec["name"], AttributeType(spec["type"]))
+        for spec in state["schema"]
+    )
+    n = state["n"]
+    columns: list[list[Value]] = []
+    for j, encoded in enumerate(state["columns"]):
+        if "raw" in encoded:
+            column = list(encoded["raw"])
+        else:
+            values = encoded["values"]
+            column = [values[c] for c in encoded["codes"]]
+        if len(column) != n:
+            raise ValueError(
+                f"column {j} has {len(column)} cells for {n} rows"
+            )
+        columns.append(column)
+    return Relation.from_columns(schema, columns)
+
+
 class ColumnCodes:
     """Dictionary encoding of one column.
 

@@ -323,6 +323,23 @@ class Relation:
 
         return apply_delta(self, delta)
 
+    # -- state serialization ---------------------------------------------
+
+    def to_state(self) -> dict[str, Any]:
+        """A JSON-safe, dictionary-encoded serialization of this relation.
+
+        The snapshot format of the server durability layer (see
+        :func:`repro.relation.encoding.relation_to_state`): schema with
+        declared types plus per-column ``values``/``codes`` pairs.
+        Round-trips through :meth:`from_state`.
+        """
+        return _encoding.relation_to_state(self)
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "Relation":
+        """Rebuild a relation serialized by :meth:`to_state`."""
+        return _encoding.relation_from_state(state)
+
     def with_value(
         self, i: int, attribute: Attribute | str, value: Value
     ) -> "Relation":

@@ -23,12 +23,90 @@ keeps the fault suite reproducible.
 
 from __future__ import annotations
 
+import os
 import time
 from collections import Counter
 from dataclasses import dataclass
 from typing import Any
 
 SITES = ("metric", "partition", "groups")
+
+#: Hard-crash sites in the server durability layer (see
+#: :mod:`repro.server.durability`): the process dies with ``os._exit``
+#: — no flushing, no ``atexit``, exactly what ``kill -9`` looks like
+#: from the filesystem's point of view.
+CRASH_SITES = ("wal-append", "snapshot-write", "replay")
+
+_CRASH_ENV = "REPRO_CRASH_POINT"
+_CRASH_EXIT_CODE = 137  # what a SIGKILLed process reports
+
+#: site -> remaining hits before the crash fires (armed sites only).
+_crash_armed: dict[str, int] = {}
+_crash_env_loaded = False
+
+
+def arm_crash_point(site: str, after: int = 1) -> None:
+    """Arm ``site`` to hard-kill the process on its ``after``-th hit.
+
+    The crash is ``os._exit(137)`` — buffered file data is lost, locks
+    are not released, nothing is flushed.  Chaos tests arm a crash
+    point (directly, or via the ``REPRO_CRASH_POINT=site[:after]``
+    environment variable in a server subprocess), drive load until the
+    process dies, and assert that recovery reproduces exactly the
+    acknowledged prefix.
+    """
+    if site not in CRASH_SITES:
+        raise ValueError(
+            f"unknown crash site {site!r}; known sites: {CRASH_SITES}"
+        )
+    if after < 1:
+        raise ValueError("'after' must be >= 1")
+    _crash_armed[site] = after
+
+
+def disarm_crash_points() -> None:
+    """Disarm every crash point (tests clean up with this)."""
+    _crash_armed.clear()
+
+
+def _load_crash_env() -> None:
+    """Arm crash points from ``REPRO_CRASH_POINT=site[:after][,...]``."""
+    global _crash_env_loaded
+    if _crash_env_loaded:
+        return
+    _crash_env_loaded = True
+    raw = os.environ.get(_CRASH_ENV, "").strip()
+    if not raw:
+        return
+    for part in raw.split(","):
+        site, _, count = part.strip().partition(":")
+        arm_crash_point(site, int(count) if count else 1)
+
+
+def crash_armed(site: str) -> bool:
+    """Cheap fast-path check: is ``site`` armed at all?
+
+    Durability hot paths (WAL append) gate their crash-window code on
+    this so the un-armed cost is one dict lookup.
+    """
+    _load_crash_env()
+    return site in _crash_armed
+
+
+def crash_point(site: str) -> None:
+    """Advance ``site``'s countdown; hard-exit when it reaches zero.
+
+    A no-op unless the site was armed via :func:`arm_crash_point` or
+    the ``REPRO_CRASH_POINT`` environment variable.
+    """
+    _load_crash_env()
+    remaining = _crash_armed.get(site)
+    if remaining is None:
+        return
+    if remaining > 1:
+        _crash_armed[site] = remaining - 1
+        return
+    os._exit(_CRASH_EXIT_CODE)
 
 #: Sentinel: "no fault fired, run the real implementation".
 _REAL = object()

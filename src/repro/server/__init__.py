@@ -22,21 +22,31 @@ or from the CLI: ``repro serve --port 8095``.
 """
 
 from .app import ReproApp, ServerHandle
+from .durability import (
+    DurabilityManager,
+    OverloadConfig,
+    RecoveryReport,
+    WriteAheadLog,
+)
 from .http import HttpError, Request, Response
 from .jobs import Job, JobManager
 from .observability import MetricsRegistry, configure_logging
 from .state import Tenant, TenantRegistry
 
 __all__ = [
+    "DurabilityManager",
     "HttpError",
     "Job",
     "JobManager",
     "MetricsRegistry",
+    "OverloadConfig",
+    "RecoveryReport",
     "ReproApp",
     "Request",
     "Response",
     "ServerHandle",
     "Tenant",
     "TenantRegistry",
+    "WriteAheadLog",
     "configure_logging",
 ]

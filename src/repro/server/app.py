@@ -24,15 +24,25 @@ from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+import math
 import threading
 import time
 from collections.abc import Callable
+from pathlib import Path
 from typing import Any, TypeVar
 
+from ..incremental.delta import Delta, DeltaError
 from ..incremental.detector import BatchChange
 from ..plan.kernels import COUNTERS
-from ..runtime.budget import Budget
+from ..runtime.budget import Budget, governed
 from ..runtime.errors import BudgetExhausted, EngineFault, ReproError
+from .durability import (
+    BREAKER_STATE_VALUES,
+    DurabilityManager,
+    OverloadConfig,
+    OverloadGuards,
+    RecoveryReport,
+)
 from .http import (
     HttpError,
     Request,
@@ -60,7 +70,16 @@ BUDGET_HEADERS = (
 class ReproApp:
     """One server process: registry, jobs, metrics, router."""
 
-    def __init__(self, *, max_workers: int = 4) -> None:
+    def __init__(
+        self,
+        *,
+        max_workers: int = 4,
+        data_dir: str | Path | None = None,
+        fsync: str = "batch",
+        recover: bool = True,
+        snapshot_every: int | None = None,
+        overload: OverloadConfig | None = None,
+    ) -> None:
         self.tenants = TenantRegistry()
         self.jobs = JobManager(max_workers=max_workers)
         self.jobs.on_finish = self._on_job_finish
@@ -70,7 +89,25 @@ class ReproApp:
         self._executor = concurrent.futures.ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-engine"
         )
+        self.guards = OverloadGuards(overload or OverloadConfig())
+        self.durability: DurabilityManager | None = None
+        self.recovery_report: RecoveryReport | None = None
+        if data_dir is not None:
+            kwargs: dict[str, Any] = {"fsync": fsync}
+            if snapshot_every is not None:
+                kwargs["snapshot_every"] = snapshot_every
+            self.durability = DurabilityManager(data_dir, **kwargs)
         self._build_instruments()
+        if self.durability is not None and recover:
+            report = self.durability.recover(self.tenants)
+            self.recovery_report = report
+            self.replay_seconds.set(report.seconds)
+            for tenant in self.tenants.list():
+                self.note_rule_gauges(tenant)
+            self.logger.info(
+                "recovery complete",
+                extra={"event": "recovered", **report.describe()},
+            )
 
     # -- observability -------------------------------------------------
 
@@ -136,6 +173,40 @@ class ReproApp:
             "Background jobs by terminal state.",
             labels=("tenant", "type", "state"),
         )
+        self.shed_requests_total = m.counter(
+            "repro_shed_requests_total",
+            "Requests shed by overload protection, by reason.",
+            labels=("tenant", "reason"),
+        )
+        self.breaker_state = m.gauge(
+            "repro_breaker_state",
+            "Circuit breaker per tenant and rule "
+            "(0 closed, 1 open, 2 half-open).",
+            labels=("tenant", "rule"),
+        )
+        self.replay_seconds = m.gauge(
+            "repro_replay_seconds",
+            "Wall-clock of the last startup recovery replay.",
+        )
+        self._wal_bytes = m.gauge(
+            "repro_wal_bytes",
+            "WAL bytes appended since process start.",
+        )
+        self._wal_records = m.gauge(
+            "repro_wal_records",
+            "WAL records appended since process start.",
+        )
+        self._snapshots = m.gauge(
+            "repro_snapshots",
+            "Tenant snapshots taken since process start.",
+        )
+        self._read_only = m.gauge(
+            "repro_read_only",
+            "1 while the memory watermark holds the server read-only.",
+        )
+        self._rss_bytes = m.gauge(
+            "repro_rss_bytes", "Process resident set size."
+        )
         self._tenants_gauge = m.gauge(
             "repro_tenants", "Registered tenants."
         )
@@ -168,6 +239,13 @@ class ReproApp:
         self._kernel_chunks.set(counters.chunks)
         for backend, count in counters.backends().items():
             self._kernel_backend.set(count, backend=backend)
+        if self.durability is not None:
+            self._wal_bytes.set(self.durability.wal_bytes)
+            self._wal_records.set(self.durability.wal_records)
+            self._snapshots.set(self.durability.snapshots_taken)
+        watermark = self.guards.watermark
+        self._rss_bytes.set(watermark.rss_bytes())
+        self._read_only.set(1.0 if watermark.read_only() else 0.0)
 
     def log(self, message: str, request: Request | None = None,
             **context: Any) -> None:
@@ -243,7 +321,13 @@ class ReproApp:
         return await loop.run_in_executor(self._executor, fn)
 
     def budget_from_headers(self, request: Request) -> Budget | None:
-        """``X-Budget-*`` headers -> a request budget (None when unset)."""
+        """``X-Budget-*`` headers -> a request budget (None when unset).
+
+        Each header must parse as a *positive, finite* number: zero
+        would be a budget that can never admit work, and ``nan``/
+        ``inf`` silently disable or wedge deadline arithmetic — all
+        three are client errors, rejected naming the offending header.
+        """
         fields: dict[str, Any] = {}
         for header, name, convert in BUDGET_HEADERS:
             raw = request.header(header)
@@ -253,11 +337,21 @@ class ReproApp:
                 value = convert(raw)
             except ValueError:
                 raise HttpError(
-                    400, f"bad {header} header: {raw!r}"
+                    400,
+                    f"bad {header} header: {raw!r} is not a number",
+                    header=header,
                 )
-            if value < 0:
+            if not math.isfinite(value):
                 raise HttpError(
-                    400, f"bad {header} header: must be >= 0"
+                    400,
+                    f"bad {header} header: {raw!r} is not finite",
+                    header=header,
+                )
+            if value <= 0:
+                raise HttpError(
+                    400,
+                    f"bad {header} header: must be > 0, got {raw!r}",
+                    header=header,
                 )
             fields[name] = value
         if not fields:
@@ -266,6 +360,98 @@ class ReproApp:
         if memory_mb is not None:
             fields["max_memory_bytes"] = int(memory_mb * 1024 * 1024)
         return Budget(**fields)
+
+    # -- overload protection -------------------------------------------
+
+    def shed(self, tenant_id: str, reason: str, message: str) -> None:
+        """Refuse one request with ``429`` + ``Retry-After`` (counted)."""
+        retry_after = self.guards.config.retry_after_s
+        self.shed_requests_total.inc(tenant=tenant_id, reason=reason)
+        raise HttpError(
+            429,
+            message,
+            headers={"Retry-After": f"{retry_after:g}"},
+            reason=reason,
+        )
+
+    def check_writable(self, tenant_id: str) -> None:
+        """Shed mutating work while the RSS watermark holds us read-only."""
+        watermark = self.guards.watermark
+        if watermark.read_only():
+            self.shed(
+                tenant_id,
+                "memory-watermark",
+                f"server is read-only: resident set "
+                f"{watermark.rss_bytes() // (1024 * 1024)} MiB exceeds "
+                f"the {watermark.max_rss_mb:g} MiB watermark",
+            )
+
+    # -- batch ingest core ---------------------------------------------
+
+    def apply_batch(
+        self,
+        tenant: Tenant,
+        payload: Any,
+        budget: Budget | None = None,
+    ) -> tuple[BatchChange, list[Any]]:
+        """The synchronous write path: validate → WAL → apply → snapshot.
+
+        Write ordering is the durability contract: the batch is
+        appended (and, per fsync policy, synced) to the tenant's WAL
+        *before* the detector applies it, all under the tenant lock —
+        so recovery can never know about a batch the detector missed,
+        and an acknowledged batch is never missing from the log.  A
+        batch that fails validation is the client's 400 and is never
+        logged.  Returns the changefeed entry plus any circuit-breaker
+        transitions the batch caused.  Runs synchronously (call it via
+        :meth:`run_sync` from a handler; the recovery benchmark calls
+        it directly).
+        """
+        detector = tenant.require_detector()
+        try:
+            delta = Delta.from_json(payload, tenant.schema)
+        except DeltaError as exc:
+            raise HttpError(400, f"bad mutation batch: {exc}")
+        breaker = self.guards.breaker
+        with tenant.lock:
+            try:
+                delta.validate(detector.relation)
+            except DeltaError as exc:
+                raise HttpError(400, f"bad mutation batch: {exc}")
+            transitions = breaker.before_batch(tenant.tenant_id, detector)
+            if self.durability is not None:
+                self.durability.log_batch(tenant, delta)
+            mark = len(detector.quarantine)
+            with governed(budget):
+                change = detector.apply(delta)
+            tenant.relation = detector.relation
+            tenant.batches_ingested += 1
+            tenant.rows_ingested += len(delta.inserts)
+            faulted = {
+                label for _, label, _ in detector.quarantine[mark:]
+            }
+            transitions += breaker.after_batch(
+                tenant.tenant_id, detector, faulted
+            )
+            if self.durability is not None:
+                self.durability.note_batch_applied(tenant)
+        for transition in transitions:
+            self.breaker_state.set(
+                BREAKER_STATE_VALUES[transition.state],
+                tenant=tenant.tenant_id,
+                rule=transition.rule,
+            )
+            self.logger.info(
+                "breaker transition",
+                extra={
+                    "event": "breaker",
+                    "tenant": tenant.tenant_id,
+                    "rule": transition.rule,
+                    "state": transition.state,
+                    "reason": transition.reason,
+                },
+            )
+        return change, transitions
 
     async def dispatch(self, request: Request) -> Response:
         """Route + middleware: ids, timing, logging, metrics, errors."""
@@ -281,6 +467,7 @@ class ReproApp:
             response = await route.handler(self, request)
         except HttpError as exc:
             response = json_response(exc.payload, status=exc.status)
+            response.headers.update(exc.headers)
         except BudgetExhausted as exc:
             # A handler let an exhaustion escape instead of folding it
             # into a partial result: report it honestly as overload.
@@ -352,11 +539,16 @@ class ReproApp:
                 try:
                     request = await read_request(reader)
                 except HttpError as exc:
+                    # A drained-body error (e.g. the oversized-payload
+                    # 413) leaves the stream synchronized, so the
+                    # connection survives; raw parse errors close it.
+                    error = json_response(exc.payload, status=exc.status)
+                    error.headers.update(exc.headers)
                     await write_response(
-                        writer,
-                        json_response(exc.payload, status=exc.status),
-                        keep_alive=False,
+                        writer, error, keep_alive=exc.keep_alive
                     )
+                    if exc.keep_alive:
+                        continue
                     return
                 except (TimeoutError, asyncio.TimeoutError):
                     return
@@ -381,7 +573,14 @@ class ReproApp:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):
+                # CancelledError here is the server tearing the
+                # connection down during stop — the close already
+                # happened; re-raising only produces loop noise.
                 pass
 
     # -- serving -------------------------------------------------------
@@ -389,10 +588,43 @@ class ReproApp:
     async def serve(
         self, host: str = "127.0.0.1", port: int = 8095
     ) -> None:
-        """Serve forever on the event loop (``repro serve``)."""
+        """Serve until SIGTERM/SIGINT, then drain (``repro serve``).
+
+        The signal flips an event rather than killing the loop: the
+        listener closes, in-flight handlers get a moment to finish,
+        and every tenant WAL is fsynced before the process exits — a
+        `kill -TERM` loses nothing that was acknowledged.
+        """
+        import signal
+
         server = await self._start(host, port)
-        async with server:
-            await server.serve_forever()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        handled: list[int] = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+                handled.append(sig)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix loop; Ctrl-C still raises KeyboardInterrupt
+        try:
+            async with server:
+                serving = asyncio.ensure_future(server.serve_forever())
+                stopping = asyncio.ensure_future(stop.wait())
+                await asyncio.wait(
+                    {serving, stopping},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                serving.cancel()
+                stopping.cancel()
+                await asyncio.gather(
+                    serving, stopping, return_exceptions=True
+                )
+        finally:
+            for sig in handled:
+                loop.remove_signal_handler(sig)
+            self.log("draining", None, event="draining")
+            self.drain()
 
     async def _start(self, host: str, port: int) -> asyncio.Server:
         server = await asyncio.start_server(
@@ -416,9 +648,17 @@ class ReproApp:
         handle.start()
         return handle
 
+    def drain(self) -> None:
+        """Graceful-stop half: flush WALs so acked state is on disk."""
+        if self.durability is not None:
+            self.durability.flush()
+
     def shutdown(self) -> None:
         self.jobs.shutdown()
         self._executor.shutdown(wait=False, cancel_futures=True)
+        if self.durability is not None:
+            self.durability.flush()
+            self.durability.close()
 
 
 class ServerHandle:

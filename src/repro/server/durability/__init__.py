@@ -1,0 +1,62 @@
+"""Durable tenant state and overload protection for the server.
+
+Three cooperating pieces:
+
+* :mod:`~repro.server.durability.wal` — the per-tenant write-ahead log
+  (length-prefixed, CRC32-checksummed JSON frames; configurable fsync).
+* :mod:`~repro.server.durability.snapshot` — atomic, checksummed
+  snapshots that bound replay time.
+* :mod:`~repro.server.durability.manager` — the
+  :class:`DurabilityManager` tying them together: pre-ack appends,
+  periodic snapshots, and startup recovery.
+* :mod:`~repro.server.durability.overload` — load shedding (bounded
+  ingest admission, RSS watermark) and per-rule circuit breakers.
+"""
+
+from .manager import (
+    DEFAULT_SNAPSHOT_EVERY,
+    DurabilityManager,
+    RecoveryReport,
+    TenantRecovery,
+)
+from .overload import (
+    BREAKER_STATE_VALUES,
+    BreakerTransition,
+    CircuitBreaker,
+    IngestGate,
+    MemoryWatermark,
+    OverloadConfig,
+    OverloadGuards,
+)
+from .snapshot import SnapshotCorruption, load_snapshot, write_snapshot
+from .wal import (
+    FSYNC_POLICIES,
+    WalCorruption,
+    WalScan,
+    WriteAheadLog,
+    encode_record,
+    scan_wal,
+)
+
+__all__ = [
+    "BREAKER_STATE_VALUES",
+    "BreakerTransition",
+    "CircuitBreaker",
+    "DEFAULT_SNAPSHOT_EVERY",
+    "DurabilityManager",
+    "FSYNC_POLICIES",
+    "IngestGate",
+    "MemoryWatermark",
+    "OverloadConfig",
+    "OverloadGuards",
+    "RecoveryReport",
+    "SnapshotCorruption",
+    "TenantRecovery",
+    "WalCorruption",
+    "WalScan",
+    "WriteAheadLog",
+    "encode_record",
+    "load_snapshot",
+    "scan_wal",
+    "write_snapshot",
+]

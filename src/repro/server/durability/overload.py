@@ -1,0 +1,277 @@
+"""Overload protection: admission control, memory watermark, breakers.
+
+Three independent guards, all advisory to the routing layer:
+
+* :class:`IngestGate` — a bounded per-tenant in-flight counter.  A
+  batch that cannot get a slot is shed with ``429`` + ``Retry-After``
+  instead of queueing without bound in the executor.
+* :class:`MemoryWatermark` — samples the process RSS (``/proc``) and
+  flips the server read-only above a configured ceiling, so mutating
+  endpoints shed load *before* the OOM killer picks us.
+* :class:`CircuitBreaker` — per ``(tenant, rule)`` fault accounting on
+  top of the detector's quarantine feed.  A rule that faults on
+  ``breaker_threshold`` consecutive batches is suspended (the detector
+  stops running — and cold-rebuilding — it); after ``cooldown_s`` the
+  breaker half-opens, resumes the rule for one probe batch, and closes
+  on success or re-opens on another fault.  Breaker state is
+  process-local by design: after a crash every rule deserves a fresh
+  chance, and a fault that recurs re-opens the breaker within
+  ``breaker_threshold`` batches anyway.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...incremental import IncrementalDetector
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Numeric encoding for the ``repro_server_breaker_state`` gauge.
+BREAKER_STATE_VALUES = {CLOSED: 0.0, OPEN: 1.0, HALF_OPEN: 2.0}
+
+_VMRSS = re.compile(rb"^VmRSS:\s+(\d+)\s+kB", re.MULTILINE)
+
+
+@dataclass
+class OverloadConfig:
+    """Tunables for all three guards (0 disables a guard)."""
+
+    #: Batches admitted per tenant at once (queued included).
+    max_inflight_per_tenant: int = 8
+    #: ``Retry-After`` seconds advertised when shedding.
+    retry_after_s: float = 1.0
+    #: RSS ceiling in MiB; above it the server goes read-only.
+    max_rss_mb: float = 0.0
+    #: Consecutive faulting batches before a rule's breaker opens.
+    breaker_threshold: int = 3
+    #: Seconds an open breaker waits before half-open probing.
+    breaker_cooldown_s: float = 5.0
+
+
+class IngestGate:
+    """Bounded per-tenant admission: acquire before queueing a batch."""
+
+    def __init__(self, max_inflight: int) -> None:
+        self.max_inflight = max_inflight
+        self._lock = threading.Lock()
+        self._inflight: dict[str, int] = {}
+        self.shed_total = 0
+
+    def try_acquire(self, tenant_id: str) -> bool:
+        if self.max_inflight <= 0:
+            return True
+        with self._lock:
+            depth = self._inflight.get(tenant_id, 0)
+            if depth >= self.max_inflight:
+                self.shed_total += 1
+                return False
+            self._inflight[tenant_id] = depth + 1
+            return True
+
+    def release(self, tenant_id: str) -> None:
+        if self.max_inflight <= 0:
+            return
+        with self._lock:
+            depth = self._inflight.get(tenant_id, 0)
+            if depth <= 1:
+                self._inflight.pop(tenant_id, None)
+            else:
+                self._inflight[tenant_id] = depth - 1
+
+    def depth(self, tenant_id: str) -> int:
+        with self._lock:
+            return self._inflight.get(tenant_id, 0)
+
+
+class MemoryWatermark:
+    """Process-RSS ceiling; above it, mutating requests are shed."""
+
+    def __init__(
+        self, max_rss_mb: float, *, cache_s: float = 0.5
+    ) -> None:
+        self.max_rss_mb = max_rss_mb
+        self._cache_s = cache_s
+        self._lock = threading.Lock()
+        self._cached_at = 0.0
+        self._cached_rss = 0
+        #: Test hook: when set, used instead of the /proc sample.
+        self.forced_rss_bytes: int | None = None
+
+    def rss_bytes(self) -> int:
+        if self.forced_rss_bytes is not None:
+            return self.forced_rss_bytes
+        now = time.monotonic()
+        with self._lock:
+            if now - self._cached_at < self._cache_s:
+                return self._cached_rss
+        rss = _read_rss_bytes()
+        with self._lock:
+            self._cached_at = now
+            self._cached_rss = rss
+        return rss
+
+    def read_only(self) -> bool:
+        if self.max_rss_mb <= 0:
+            return False
+        return self.rss_bytes() > self.max_rss_mb * 1024 * 1024
+
+
+def _read_rss_bytes() -> int:
+    """Resident set size, or 0 where /proc is unavailable."""
+    try:
+        with open("/proc/self/status", "rb") as f:
+            match = _VMRSS.search(f.read())
+        return int(match.group(1)) * 1024 if match else 0
+    except OSError:  # pragma: no cover - non-Linux fallback
+        return 0
+
+
+@dataclass
+class _RuleBreaker:
+    state: str = CLOSED
+    consecutive_faults: int = 0
+    opened_at: float = 0.0
+
+
+@dataclass
+class BreakerTransition:
+    """One observable state change (fed to logs/metrics/responses)."""
+
+    rule: str
+    state: str
+    reason: str
+
+
+class CircuitBreaker:
+    """Per-(tenant, rule) fault breaker over the quarantine feed.
+
+    The caller brackets each ``detector.apply``::
+
+        breaker.before_batch(tenant_id, detector)   # half-open probes
+        mark = len(detector.quarantine)
+        change = detector.apply(delta)
+        faulted = {label for _, label, _ in detector.quarantine[mark:]}
+        breaker.after_batch(tenant_id, detector, faulted)
+
+    Labels come from the quarantine tuples, never parsed out of
+    messages (rule labels legitimately contain colons).
+    """
+
+    def __init__(
+        self, threshold: int = 3, cooldown_s: float = 5.0
+    ) -> None:
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._lock = threading.Lock()
+        self._rules: dict[str, dict[str, _RuleBreaker]] = {}
+
+    def before_batch(
+        self, tenant_id: str, detector: "IncrementalDetector"
+    ) -> list[BreakerTransition]:
+        """Half-open any open breakers whose cooldown has elapsed."""
+        if self.threshold <= 0:
+            return []
+        now = time.monotonic()
+        transitions: list[BreakerTransition] = []
+        with self._lock:
+            rules = self._rules.get(tenant_id, {})
+            due = [
+                (label, b)
+                for label, b in rules.items()
+                if b.state == OPEN and now - b.opened_at >= self.cooldown_s
+            ]
+        for label, breaker in due:
+            if detector.resume_rule(label):
+                breaker.state = HALF_OPEN
+                transitions.append(
+                    BreakerTransition(label, HALF_OPEN, "cooldown elapsed")
+                )
+            else:
+                # The rule vanished (e.g. a rules re-upload); forget it.
+                with self._lock:
+                    self._rules.get(tenant_id, {}).pop(label, None)
+        return transitions
+
+    def after_batch(
+        self,
+        tenant_id: str,
+        detector: "IncrementalDetector",
+        faulted: set[str],
+    ) -> list[BreakerTransition]:
+        """Account one batch's faults; suspend/close rules accordingly."""
+        if self.threshold <= 0:
+            return []
+        transitions: list[BreakerTransition] = []
+        with self._lock:
+            rules = self._rules.setdefault(tenant_id, {})
+            to_suspend: list[str] = []
+            for label in sorted(faulted):
+                breaker = rules.setdefault(label, _RuleBreaker())
+                breaker.consecutive_faults += 1
+                if (
+                    breaker.state == HALF_OPEN
+                    or breaker.consecutive_faults >= self.threshold
+                ):
+                    reason = (
+                        "probe faulted"
+                        if breaker.state == HALF_OPEN
+                        else f"{breaker.consecutive_faults} consecutive "
+                        "faulting batches"
+                    )
+                    breaker.state = OPEN
+                    breaker.opened_at = time.monotonic()
+                    to_suspend.append(label)
+                    transitions.append(
+                        BreakerTransition(label, OPEN, reason)
+                    )
+            for label, breaker in rules.items():
+                if label in faulted:
+                    continue
+                if breaker.state == HALF_OPEN:
+                    breaker.state = CLOSED
+                    breaker.consecutive_faults = 0
+                    transitions.append(
+                        BreakerTransition(label, CLOSED, "probe succeeded")
+                    )
+                elif breaker.state == CLOSED:
+                    breaker.consecutive_faults = 0
+        for label in to_suspend:
+            detector.suspend_rule(label)
+        return transitions
+
+    def states(self, tenant_id: str) -> dict[str, str]:
+        with self._lock:
+            return {
+                label: b.state
+                for label, b in self._rules.get(tenant_id, {}).items()
+            }
+
+    def drop_tenant(self, tenant_id: str) -> None:
+        with self._lock:
+            self._rules.pop(tenant_id, None)
+
+
+@dataclass
+class OverloadGuards:
+    """The three guards bundled, built from one :class:`OverloadConfig`."""
+
+    config: OverloadConfig = field(default_factory=OverloadConfig)
+    gate: IngestGate = field(init=False)
+    watermark: MemoryWatermark = field(init=False)
+    breaker: CircuitBreaker = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.gate = IngestGate(self.config.max_inflight_per_tenant)
+        self.watermark = MemoryWatermark(self.config.max_rss_mb)
+        self.breaker = CircuitBreaker(
+            self.config.breaker_threshold,
+            self.config.breaker_cooldown_s,
+        )

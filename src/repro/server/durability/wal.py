@@ -1,0 +1,217 @@
+"""The write-ahead log: length-prefixed, checksummed JSON records.
+
+One WAL file per tenant.  Frame layout, repeated to end of file::
+
+    +----------------+----------------+------------------------+
+    | length (u32 BE)| CRC32 (u32 BE) | payload (length bytes) |
+    +----------------+----------------+------------------------+
+
+The payload is a UTF-8 JSON object (``NaN``/``Infinity`` extensions
+enabled — mutation batches may legitimately carry non-finite floats)
+and the CRC covers exactly the payload bytes.  Appends always
+``flush()`` to the OS before returning — a ``kill -9`` therefore loses
+at most the frame being written *right now* — while ``fsync`` (machine-
+crash durability) follows the configured policy:
+
+* ``always`` — fsync after every append; an acknowledged record
+  survives power loss;
+* ``batch`` — fsync when ``_BATCH_RECORDS`` appends or
+  ``_BATCH_INTERVAL_S`` seconds have accumulated (and on every
+  :meth:`WriteAheadLog.sync`/:meth:`~WriteAheadLog.close`);
+* ``off`` — never fsync (still crash-safe against process death, not
+  against the machine dying).
+
+Reading (:func:`scan_wal`) verifies length and CRC per frame and stops
+at the first frame that does not check out — a torn tail from a crash
+mid-append.  :meth:`WriteAheadLog.open_for_append` truncates that tail
+off before appending, so a recovered log never grows garbage in the
+middle.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import struct
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ...runtime import faults
+
+FSYNC_POLICIES = ("always", "batch", "off")
+
+_HEADER = struct.Struct(">II")
+
+#: ``batch`` fsync policy: sync after this many unsynced appends ...
+_BATCH_RECORDS = 64
+#: ... or once this many seconds have passed since the last sync.
+_BATCH_INTERVAL_S = 0.05
+
+
+class WalCorruption(ValueError):
+    """A WAL frame failed its length or checksum verification."""
+
+
+def encode_record(record: dict[str, Any]) -> bytes:
+    """One framed record: header + JSON payload."""
+    payload = json.dumps(
+        record, separators=(",", ":"), allow_nan=True
+    ).encode("utf-8")
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+@dataclass
+class WalScan:
+    """What :func:`scan_wal` found in one log file."""
+
+    records: list[dict[str, Any]] = field(default_factory=list)
+    #: Byte offset just past the last frame that verified.
+    valid_bytes: int = 0
+    #: Bytes past ``valid_bytes`` that failed verification (torn tail).
+    torn_bytes: int = 0
+    #: Why the scan stopped early ("" for a clean end-of-file).
+    torn_reason: str = ""
+
+
+def scan_wal(path: Path | str) -> WalScan:
+    """Read every verifiable record; report (don't raise on) a torn tail.
+
+    The scan stops at the first frame whose header is truncated, whose
+    payload is shorter than declared, or whose CRC or JSON does not
+    verify — everything after an unverifiable frame was written later
+    and is equally suspect, which is exactly the prefix-durability
+    contract the recovery path needs.
+    """
+    scan = WalScan()
+    path = Path(path)
+    if not path.exists():
+        return scan
+    data = path.read_bytes()
+    total = len(data)
+    offset = 0
+    while offset < total:
+        if offset + _HEADER.size > total:
+            scan.torn_reason = "truncated frame header"
+            break
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if end > total:
+            scan.torn_reason = "payload shorter than declared length"
+            break
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            scan.torn_reason = "checksum mismatch"
+            break
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            scan.torn_reason = "payload is not valid JSON"
+            break
+        scan.records.append(record)
+        scan.valid_bytes = end
+        offset = end
+    scan.torn_bytes = total - scan.valid_bytes
+    return scan
+
+
+class WriteAheadLog:
+    """Append-only framed record log with a configurable fsync policy."""
+
+    def __init__(self, path: Path | str, fsync: str = "batch") -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {fsync!r}; "
+                f"expected one of {FSYNC_POLICIES}"
+            )
+        self.path = Path(path)
+        self.fsync = fsync
+        self._file: io.BufferedWriter | None = None
+        self._unsynced = 0
+        self._last_sync = time.monotonic()
+        #: Bytes appended through this handle (observability feed).
+        self.bytes_written = 0
+        #: Torn bytes truncated off at open time.
+        self.truncated_bytes = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def open_for_append(self) -> WalScan:
+        """Open the log, truncating any torn tail; return what's in it."""
+        scan = scan_wal(self.path)
+        if scan.torn_bytes:
+            with open(self.path, "r+b") as f:
+                f.truncate(scan.valid_bytes)
+            self.truncated_bytes = scan.torn_bytes
+        self._file = open(self.path, "ab")
+        return scan
+
+    def close(self) -> None:
+        if self._file is None:
+            return
+        self._file.flush()
+        if self.fsync != "off":
+            os.fsync(self._file.fileno())
+        self._file.close()
+        self._file = None
+
+    # -- appending -----------------------------------------------------
+
+    def append(self, record: dict[str, Any]) -> int:
+        """Frame, write, flush, and (per policy) fsync one record.
+
+        Returns the number of bytes appended.  When the ``wal-append``
+        crash point is armed, the frame is deliberately written in two
+        halves with the crash between them, so chaos tests produce a
+        genuinely torn frame — not a cleanly missing one.
+        """
+        if self._file is None:
+            self._file = open(self.path, "ab")
+        frame = encode_record(record)
+        if faults.crash_armed("wal-append"):
+            half = max(1, len(frame) // 2)
+            self._file.write(frame[:half])
+            self._file.flush()
+            faults.crash_point("wal-append")
+            self._file.write(frame[half:])
+        else:
+            self._file.write(frame)
+        self._file.flush()
+        self.bytes_written += len(frame)
+        self._unsynced += 1
+        if self.fsync == "always":
+            os.fsync(self._file.fileno())
+            self._unsynced = 0
+            self._last_sync = time.monotonic()
+        elif self.fsync == "batch":
+            now = time.monotonic()
+            if (
+                self._unsynced >= _BATCH_RECORDS
+                or now - self._last_sync >= _BATCH_INTERVAL_S
+            ):
+                os.fsync(self._file.fileno())
+                self._unsynced = 0
+                self._last_sync = now
+        return len(frame)
+
+    def sync(self) -> None:
+        """Flush and fsync whatever is pending (drain path)."""
+        if self._file is None:
+            return
+        self._file.flush()
+        if self.fsync != "off":
+            os.fsync(self._file.fileno())
+        self._unsynced = 0
+        self._last_sync = time.monotonic()
+
+    def reset(self) -> None:
+        """Truncate the log to empty (called right after a snapshot)."""
+        if self._file is not None:
+            self._file.close()
+        self._file = open(self.path, "wb")
+        if self.fsync != "off":
+            os.fsync(self._file.fileno())

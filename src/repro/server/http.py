@@ -44,6 +44,7 @@ _PHRASES = {
     409: "Conflict",
     413: "Payload Too Large",
     422: "Unprocessable Entity",
+    429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
@@ -55,13 +56,25 @@ class HttpError(Exception):
 
     ``payload`` becomes the JSON error body (a ``{"error": ...}``
     envelope is added when a bare message string is given).
+    ``headers`` ride on the response (e.g. ``Retry-After`` on a 429);
+    ``keep_alive`` marks a parse-layer error after which the stream is
+    still in a known-good state (the body was drained), so the
+    connection may survive the error response.
     """
 
     def __init__(
-        self, status: int, message: str, **extra: Any
+        self,
+        status: int,
+        message: str,
+        *,
+        headers: dict[str, str] | None = None,
+        keep_alive: bool = False,
+        **extra: Any,
     ) -> None:
         super().__init__(message)
         self.status = status
+        self.headers = dict(headers) if headers else {}
+        self.keep_alive = keep_alive
         self.payload: dict[str, Any] = {"error": message, **extra}
 
 
@@ -177,7 +190,17 @@ async def read_request(reader: asyncio.StreamReader) -> Request | None:
     if length < 0:
         raise HttpError(400, f"bad Content-Length: {length_text!r}")
     if length > MAX_BODY_BYTES:
-        raise HttpError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        # Drain the oversized body (bounded, chunked, discarded) so the
+        # client reads a clean JSON 413 on a still-synchronized stream
+        # instead of a connection reset mid-upload.
+        await _drain_body(reader, length)
+        raise HttpError(
+            413,
+            f"request body exceeds {MAX_BODY_BYTES} bytes",
+            keep_alive=True,
+            limit_bytes=MAX_BODY_BYTES,
+            body_bytes=length,
+        )
     body = b""
     if length:
         try:
@@ -193,6 +216,24 @@ async def read_request(reader: asyncio.StreamReader) -> Request | None:
         headers=headers,
         body=body,
     )
+
+
+async def _drain_body(reader: asyncio.StreamReader, length: int) -> None:
+    """Read and discard ``length`` body bytes (oversized-request path)."""
+    remaining = length
+    try:
+        while remaining > 0:
+            chunk = await asyncio.wait_for(
+                reader.read(min(remaining, 256 * 1024)),
+                timeout=IDLE_TIMEOUT_S,
+            )
+            if not chunk:
+                raise HttpError(
+                    400, "request body shorter than Content-Length"
+                )
+            remaining -= len(chunk)
+    except (TimeoutError, asyncio.TimeoutError):
+        raise HttpError(408, "timed out draining request body")
 
 
 async def write_response(

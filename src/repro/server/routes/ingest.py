@@ -19,7 +19,6 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING, Any
 
-from ...incremental.delta import Delta, DeltaError
 from ...relation import Relation
 from ...runtime.budget import checkpoint, governed
 from ...runtime.errors import BudgetExhausted
@@ -61,21 +60,25 @@ async def ingest_batch(app: "ReproApp", request: Request) -> Response:
     except ValueError:
         raise HttpError(400, f"bad limit {limit_text!r}")
 
-    def apply() -> Any:
-        try:
-            delta = Delta.from_json(payload, tenant.schema)
-            with tenant.lock, governed(budget):
-                # Index validation happens inside apply, against the
-                # current relation — a bad batch is the client's 400.
-                change = detector.apply(delta)
-                tenant.relation = detector.relation
-                tenant.batches_ingested += 1
-                tenant.rows_ingested += len(delta.inserts)
-        except DeltaError as exc:
-            raise HttpError(400, f"bad mutation batch: {exc}")
-        return change
-
-    change = await app.run_sync(apply)
+    # Overload guards, cheapest first: the RSS watermark flips the
+    # whole server read-only; the per-tenant gate bounds how many
+    # batches may queue for one tenant's single-writer lock.  Both shed
+    # with 429 + Retry-After instead of queueing without bound.
+    app.check_writable(tenant.tenant_id)
+    gate = app.guards.gate
+    if not gate.try_acquire(tenant.tenant_id):
+        app.shed(
+            tenant.tenant_id,
+            "ingest-queue-full",
+            f"tenant {tenant.tenant_id!r} has "
+            f"{gate.max_inflight} batches in flight; retry later",
+        )
+    try:
+        change, transitions = await app.run_sync(
+            lambda: app.apply_batch(tenant, payload, budget)
+        )
+    finally:
+        gate.release(tenant.tenant_id)
     app.note_batch(tenant, change)
     app.log(
         "batch applied", request, event="batch_applied",
@@ -92,6 +95,10 @@ async def ingest_batch(app: "ReproApp", request: Request) -> Response:
             "added_sample": _violation_lines(change.added, limit),
             "resolved_sample": _violation_lines(change.resolved, limit),
             "quarantined": list(change.quarantined),
+            "breaker": [
+                {"rule": t.rule, "state": t.state, "reason": t.reason}
+                for t in transitions
+            ],
             "complete": change.complete,
             "exhausted": change.exhausted,
         }
@@ -123,6 +130,8 @@ async def violations(app: "ReproApp", request: Request) -> Response:
                 for seq, rule, error in detector.quarantine
             ],
             "dead_rules": list(detector.dead_rules),
+            "suspended_rules": detector.suspended_rules,
+            "breaker": app.guards.breaker.states(tenant.tenant_id),
         }
 
     return json_response(await app.run_sync(snapshot))

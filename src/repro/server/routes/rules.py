@@ -49,6 +49,7 @@ async def upload(app: "ReproApp", request: Request) -> Response:
     rule ``id``s).
     """
     tenant = app.tenants.get(request.params["tenant"])
+    app.check_writable(tenant.tenant_id)
     payload = request.json()
 
     def build() -> Response:
@@ -84,8 +85,14 @@ async def upload(app: "ReproApp", request: Request) -> Response:
             if i not in report.skippable
         ]
         with tenant.lock:
+            # Pre-ack append: the accepted document hits the WAL before
+            # the in-memory rule set advances, so recovery replays
+            # exactly the uploads that were acknowledged.
+            if app.durability is not None:
+                app.durability.log_rules(tenant, payload)
             tenant.rule_entries = list(entries)
             tenant.skipped_rules = skipped
+            tenant.rules_payload = payload
             # Rebuild over the current relation (rule hot-swap): the
             # screen above already dropped skippable rules, so the
             # detector takes the active set as-is.
@@ -96,6 +103,7 @@ async def upload(app: "ReproApp", request: Request) -> Response:
             )
             tenant.relation = current
             tenant.detector = IncrementalDetector(active, current)
+        app.guards.breaker.drop_tenant(tenant.tenant_id)
         app.note_rule_gauges(tenant)
         return json_response(
             {

@@ -12,13 +12,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 async def healthz(app: "ReproApp", request: Request) -> Response:
-    return json_response(
-        {
-            "status": "ok",
-            "tenants": len(app.tenants.list()),
-            "jobs": len(app.jobs.list()),
+    payload = {
+        "status": "ok",
+        "tenants": len(app.tenants.list()),
+        "jobs": len(app.jobs.list()),
+        "read_only": app.guards.watermark.read_only(),
+    }
+    if app.durability is not None:
+        payload["durability"] = {
+            "data_dir": str(app.durability.data_dir),
+            "fsync": app.durability.fsync,
+            "wal_records": app.durability.wal_records,
+            "wal_bytes": app.durability.wal_bytes,
+            "snapshots": app.durability.snapshots_taken,
         }
-    )
+        if app.recovery_report is not None:
+            payload["recovery"] = app.recovery_report.describe()
+    return json_response(payload)
 
 
 async def version(app: "ReproApp", request: Request) -> Response:

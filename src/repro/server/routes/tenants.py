@@ -33,7 +33,12 @@ async def register(app: "ReproApp", request: Request) -> Response:
     rows = payload.get("rows")
     if rows is not None and not isinstance(rows, list):
         raise HttpError(400, '"rows" must be a list')
+    app.check_writable(tenant_id)
     tenant = app.tenants.register(tenant_id, schema, rows)
+    if app.durability is not None:
+        # Pre-ack append: the registration (schema + seed rows) is on
+        # disk before the 201 goes out.
+        app.durability.log_register(tenant)
     app.log("tenant registered", request, event="tenant_registered",
             tenant=tenant_id)
     return json_response(tenant.describe(), status=201)
@@ -52,6 +57,9 @@ async def get_tenant(app: "ReproApp", request: Request) -> Response:
 
 async def remove_tenant(app: "ReproApp", request: Request) -> Response:
     tenant = app.tenants.remove(request.params["tenant"])
+    if app.durability is not None:
+        app.durability.remove_tenant(tenant.tenant_id)
+    app.guards.breaker.drop_tenant(tenant.tenant_id)
     app.log("tenant removed", request, event="tenant_removed",
             tenant=tenant.tenant_id)
     return json_response({"removed": tenant.tenant_id})

@@ -83,6 +83,8 @@ class Tenant:
     rule_entries: list[RuleEntry] = field(default_factory=list)
     #: Rule label -> reason for rules the static screen skipped.
     skipped_rules: dict[str, str] = field(default_factory=dict)
+    #: The raw accepted upload document (replayed verbatim on recovery).
+    rules_payload: Any = None
     detector: IncrementalDetector | None = None
     #: Serializes rule uploads and batch ingestion for this tenant.
     lock: threading.Lock = field(default_factory=threading.Lock)
@@ -147,6 +149,20 @@ class TenantRegistry:
                 )
             self._tenants[tenant_id] = tenant
         return tenant
+
+    def restore(self, tenant: Tenant) -> None:
+        """Install a recovered tenant, bypassing the HTTP-shaped checks.
+
+        Only the durability layer calls this (the tenant id was
+        validated when first registered); a live tenant with the same
+        id is never silently replaced.
+        """
+        with self._lock:
+            if tenant.tenant_id in self._tenants:
+                raise ValueError(
+                    f"tenant {tenant.tenant_id!r} is already live"
+                )
+            self._tenants[tenant.tenant_id] = tenant
 
     def get(self, tenant_id: str) -> Tenant:
         with self._lock:

@@ -288,6 +288,66 @@ class TestEndToEnd:
         )
         assert status == 400 and "discovery" in body["allowed"]
 
+    def test_budget_headers_reject_degenerate_values(self, client):
+        # Zero, negative, NaN, inf, and non-numeric budgets are all
+        # client errors naming the offending header — zero can never
+        # admit work and non-finite values wedge deadline arithmetic.
+        register(client, "budgets")
+        client.request("PUT", "/tenants/budgets/rules", FD_RULES)
+        cases = [
+            ("X-Budget-Deadline-S", "0"),
+            ("X-Budget-Deadline-S", "-1.5"),
+            ("X-Budget-Deadline-S", "nan"),
+            ("X-Budget-Deadline-S", "inf"),
+            ("X-Budget-Deadline-S", "-inf"),
+            ("X-Budget-Max-Candidates", "0"),
+            ("X-Budget-Max-Candidates", "-3"),
+            ("X-Budget-Max-Candidates", "ten"),
+            ("X-Budget-Max-Pairs", "0"),
+            ("X-Budget-Max-Memory-Mb", "nan"),
+            ("X-Budget-Max-Memory-Mb", "0"),
+        ]
+        for header, value in cases:
+            status, body = client.request(
+                "POST",
+                "/tenants/budgets/batches",
+                {"insert": [["A", "9", 1.0]]},
+                headers={header: value},
+            )
+            assert status == 400, (header, value, body)
+            assert header.lower() in body["error"], (header, value, body)
+            assert body["header"] == header.lower()
+        # A sane budget still flows.
+        status, body = client.request(
+            "POST",
+            "/tenants/budgets/batches",
+            {"insert": [["A", "9", 1.0]]},
+            headers={"X-Budget-Deadline-S": "30"},
+        )
+        assert status == 200, body
+
+    def test_oversized_body_gets_json_413_and_connection_survives(
+        self, client, server, monkeypatch
+    ):
+        # Regression: an over-limit body used to close the socket
+        # without draining, so clients saw a reset instead of the 413.
+        import repro.server.http as http_mod
+
+        monkeypatch.setattr(http_mod, "MAX_BODY_BYTES", 4096)
+        register(client, "bigbody")
+        rows = [["A", str(i), float(i)] for i in range(500)]
+        status, body = client.request(
+            "POST", "/tenants/bigbody/batches", {"insert": rows}
+        )
+        assert status == 413
+        assert "exceeds" in body["error"]
+        assert body["limit_bytes"] == 4096
+        assert body["body_bytes"] > 4096
+        # Same keep-alive connection keeps working afterwards: the
+        # oversized body was drained, the stream is still synchronized.
+        status, body = client.request("GET", "/tenants/bigbody")
+        assert status == 200 and body["tenant"] == "bigbody"
+
     def test_sync_check_budget_partial(self, client):
         register(client, "tight", rows=[["A", str(i), float(i)] for i in range(50)])
         client.request("PUT", "/tenants/tight/rules", FD_RULES)
