@@ -413,6 +413,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="cap on candidate checks across the run",
         )
 
+    def add_workers_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workers", type=int, default=None,
+            help="processes for sharded pairwise checking (default: "
+            "REPRO_WORKERS env, else serial); results are "
+            "order-identical to serial execution",
+        )
+
     p_profile = sub.add_parser(
         "profile", aliases=["discover"],
         help="discover dependencies in a CSV",
@@ -431,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--text", action="append", default=[],
                            help="force a column textual")
     add_budget_args(p_profile)
+    add_workers_arg(p_profile)
     p_profile.set_defaults(func=cmd_profile)
 
     p_check = sub.add_parser("check", help="validate declared dependencies")
@@ -454,6 +463,7 @@ def build_parser() -> argparse.ArgumentParser:
         "unsatisfiable-rule gate)",
     )
     add_budget_args(p_check)
+    add_workers_arg(p_check)
     p_check.set_defaults(func=cmd_check)
 
     p_watch = sub.add_parser(
@@ -515,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON rule file with mixed Table-2 notations "
         "(see docs/api.md)",
     )
+    add_workers_arg(p_plan)
     p_plan.set_defaults(func=cmd_plan)
 
     p_serve = sub.add_parser(
@@ -532,7 +543,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--workers", type=int, default=4,
-        help="engine/job worker threads (default 4)",
+        help="engine/job worker threads (default 4); also seeds the "
+        "sharded checking process pool for large relations",
     )
     p_serve.add_argument(
         "--log-level", default="info", dest="log_level",
@@ -584,6 +596,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        from .plan import set_workers, warm_pool
+
+        set_workers(workers)
+        if workers > 1:
+            # Fork the process pool up front, while we are still on the
+            # main thread and before any server/job threads exist.
+            warm_pool(workers)
     try:
         return args.func(args)
     except ReproError as exc:

@@ -110,12 +110,14 @@ class PAC(MeasuredDependency):
 
     def violations(self, relation: Relation) -> ViolationSet:
         """The X-close pairs exceeding the Y tolerance."""
-        from ...plan import execute_pairs, plan_enabled, plan_for
+        from ...plan import context_for, execute_pairs, plan_enabled, plan_for
 
         label = self.label()
 
-        def _verify(rel: Relation, i: int, j: int):
-            if self._lhs_close(rel, i, j) and not self._rhs_close(rel, i, j):
+        def _verify(i: int, j: int):
+            if self._lhs_close(relation, i, j) and not self._rhs_close(
+                relation, i, j
+            ):
                 return (
                     (i, j),
                     Violation(label, (i, j), "within Δ on X but beyond ε on Y"),
@@ -124,11 +126,11 @@ class PAC(MeasuredDependency):
 
         if plan_enabled():
             return ViolationSet(
-                execute_pairs(plan_for(self), relation, _verify)
+                execute_pairs(plan_for(self), context_for(relation), _verify)
             )
         vs = ViolationSet()
         for i, j in relation.tuple_pairs():
-            hit = _verify(relation, i, j)
+            hit = _verify(i, j)
             if hit is not None:
                 vs.add(hit[1])
         return vs

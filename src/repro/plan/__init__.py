@@ -43,17 +43,30 @@ from .ir import (
     set_kernel_backend,
     set_mode,
 )
+from .entry import (
+    build_verify,
+    denial_violations,
+    guard_pairs,
+    guard_plan_for,
+    pairwise_violations,
+    plan_for,
+)
 from .kernels import (
     COUNTERS,
     KernelCounters,
-    denial_violations,
     execute_pairs,
+    execute_pairs_keyed,
     execute_rows,
-    guard_pairs,
-    pairwise_violations,
-    plan_for,
     strategy_hint,
 )
+from .parallel import (
+    resolve_workers,
+    set_workers,
+    warm_pool,
+    workers,
+    workers_mode,
+)
+from .slabs import ColumnSlabs, ExecutionContext, context_for
 
 __all__ = [
     "ALPHA",
@@ -80,11 +93,22 @@ __all__ = [
     "compile_guards",
     "COUNTERS",
     "KernelCounters",
+    "build_verify",
     "denial_violations",
     "execute_pairs",
+    "execute_pairs_keyed",
     "execute_rows",
     "guard_pairs",
+    "guard_plan_for",
     "pairwise_violations",
     "plan_for",
     "strategy_hint",
+    "ColumnSlabs",
+    "ExecutionContext",
+    "context_for",
+    "resolve_workers",
+    "set_workers",
+    "warm_pool",
+    "workers",
+    "workers_mode",
 ]

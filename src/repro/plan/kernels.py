@@ -8,20 +8,27 @@ notation's own definitional predicate).  Pruning therefore never
 changes semantics: results are exactly the legacy results, obtained by
 examining far fewer pairs.
 
+Kernels are **engine-neutral**: they consume an
+:class:`~repro.plan.slabs.ExecutionContext` (an immutable column-slab
+view of one snapshot) plus a :class:`~repro.plan.ir.Plan` — never a
+live substrate handle.  ``verify`` receives bare row indices
+``(p, q)``; whatever it needs to re-check a pair is closed over by the
+entry-point layer (:mod:`repro.plan.entry`), which is also where the
+notation-facing API lives.
+
 Strategies, in priority order:
 
 * **group-partition** — shared equality atoms restrict candidates to
-  the equal-value partition groups of the relation's shared
-  :mod:`~repro.relation.partition_cache` (FDs, MFDs, MDs embedded from
-  FDs, equality DCs);
-* **sorted-sweep** — a shared order atom sorts the relation once; each
+  the equal-value partition groups of the context (FDs, MFDs, MDs
+  embedded from FDs, equality DCs);
+* **sorted-sweep** — a shared order atom sorts the snapshot once; each
   clause's order consequent becomes a bisect range query over the
   already-seen prefix ("ABC of Order Dependencies"-style; ODs, OFDs,
   order DCs);
-* **metric-blocking** — a shared metric atom buckets rows by value (the
-  encoded codebook's distinct values) and accepts only bucket pairs
-  whose representative distance lands in the atom's interval, with a
-  sorted + bisect fast path for ``abs_diff`` (NEDs, DDs, MDs, PACs);
+* **metric-blocking** — a shared metric atom buckets rows by value and
+  accepts only bucket pairs whose representative distance lands in the
+  atom's interval, with a sorted + bisect fast path for ``abs_diff``
+  (NEDs, DDs, MDs, PACs);
 * **pair-scan** — the legacy all-pairs fallback (CDs, FFDs, opaque
   atoms).
 
@@ -29,11 +36,19 @@ Each strategy additionally has a *vectorized* twin in
 :mod:`repro.plan.kernels_vec` that evaluates whole clauses as batch
 numpy operations over the encoded columns (strategy names prefixed
 ``vec-``).  ``execute_pairs``/``execute_rows`` route per plan and
-relation: the vectorized backend is chosen when the
+context: the vectorized backend is chosen when the
 ``REPRO_KERNEL_BACKEND`` mode allows it, numpy and the encoding layer
-are available, every atom is vectorizable, and the relation is large
+are available, every atom is vectorizable, and the snapshot is large
 enough to amortize array setup — otherwise the scalar kernels below
 run unchanged.
+
+Every candidate generator accepts a ``shard=(k, m)`` selector that
+keeps only the candidates whose *owner index* (partition group, metric
+bucket, sweep position, scan anchor, streamed block) is congruent to
+``k`` mod ``m``.  Shards of the same execution partition the candidate
+space exactly — the union over ``k`` is the unsharded candidate set,
+pair for pair — which is what lets :mod:`repro.plan.parallel` fan one
+execution out across worker processes and merge deterministically.
 
 All kernels charge examined pairs to the ambient
 :func:`repro.runtime.checkpoint` in batches, so ``max_pairs`` caps and
@@ -50,9 +65,9 @@ from dataclasses import dataclass, field
 from collections.abc import Callable, Iterable, Iterator
 from typing import Any
 
-from ..relation.encoding import HAS_NUMPY, encoded_enabled
 from ..runtime import checkpoint
 from .ir import ORDER_OPS, CmpAtom, MetricAtom, Plan, kernel_backend_mode
+from .slabs import HAS_NUMPY, ExecutionContext, encoded_enabled
 
 #: Pairs charged to the budget per checkpoint call.
 _BATCH = 256
@@ -63,6 +78,14 @@ _VEC_MIN_ROWS = 256
 
 _FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
 
+#: ``(k, m)`` shard selector — keep owner indices ≡ k (mod m) — or
+#: ``None`` for the whole candidate space.
+Shard = "tuple[int, int] | None"
+
+
+def _owned(shard: tuple[int, int] | None, index: int) -> bool:
+    return shard is None or index % shard[1] == shard[0]
+
 
 @dataclass
 class KernelCounters:
@@ -72,6 +95,14 @@ class KernelCounters:
     ``vec-`` (``vec-group``, ``vec-sweep``, ...) plus the number of
     streamed index chunks, while scalar executions keep the bare
     strategy names — :meth:`backends` aggregates either way.
+
+    Process-composable: counters survive process boundaries via
+    :meth:`snapshot` deltas (:meth:`diff`) folded back with
+    :meth:`merge` — the parallel executor snapshots per worker, ships
+    the delta home, and merges it into the parent's counters, so
+    parent totals always equal the sum of worker totals (pinned by
+    ``tests/test_parallel.py``).  Pickling drops the lock and restores
+    a fresh one on load.
 
     Thread-safety: the scalar fields are plain increments (atomic
     enough under the GIL for monitoring purposes), but the per-strategy
@@ -134,6 +165,50 @@ class KernelCounters:
             )
         return out
 
+    def diff(self, earlier: "KernelCounters") -> "KernelCounters":
+        """The work recorded since an ``earlier`` snapshot.
+
+        Composable with :meth:`merge`: ``earlier.merge(self.diff(earlier))``
+        reproduces ``self`` field for field.  Call on detached
+        snapshots (both operands are read without locking).
+        """
+
+        def delta(a: dict[str, int], b: dict[str, int]) -> dict[str, int]:
+            return {
+                k: a.get(k, 0) - b.get(k, 0)
+                for k in a.keys() | b.keys()
+                if a.get(k, 0) != b.get(k, 0)
+            }
+
+        return KernelCounters(
+            executions=self.executions - earlier.executions,
+            pairs_examined=self.pairs_examined - earlier.pairs_examined,
+            pairs_total=self.pairs_total - earlier.pairs_total,
+            chunks=self.chunks - earlier.chunks,
+            by_strategy=delta(self.by_strategy, earlier.by_strategy),
+            candidates_by_strategy=delta(
+                self.candidates_by_strategy, earlier.candidates_by_strategy
+            ),
+            verified_by_strategy=delta(
+                self.verified_by_strategy, earlier.verified_by_strategy
+            ),
+        )
+
+    def merge(self, other: "KernelCounters") -> None:
+        """Fold a detached counter delta (e.g. a worker's) into this one."""
+        with self._lock:
+            self.executions += other.executions
+            self.pairs_examined += other.pairs_examined
+            self.pairs_total += other.pairs_total
+            self.chunks += other.chunks
+            for src, dst in (
+                (other.by_strategy, self.by_strategy),
+                (other.candidates_by_strategy, self.candidates_by_strategy),
+                (other.verified_by_strategy, self.verified_by_strategy),
+            ):
+                for k, v in src.items():
+                    dst[k] = dst.get(k, 0) + v
+
     def backends(self) -> dict[str, int]:
         """Execution counts aggregated to ``scalar`` / ``vectorized``."""
         out: dict[str, int] = {}
@@ -156,12 +231,28 @@ class KernelCounters:
         """Fraction of the blind O(n²) pair space the kernels skipped.
 
         Guarded for the zero-candidate case: with no recorded pair
-        space (empty relations, nothing executed) the fraction is 0.0
+        space (empty snapshots, nothing executed) the fraction is 0.0
         rather than a division error.
         """
         if self.pairs_total <= 0:
             return 0.0
         return 1.0 - min(1.0, max(0, self.pairs_examined) / self.pairs_total)
+
+    def __getstate__(self) -> dict[str, Any]:
+        snap = self.snapshot()
+        return {
+            "executions": snap.executions,
+            "pairs_examined": snap.pairs_examined,
+            "pairs_total": snap.pairs_total,
+            "chunks": snap.chunks,
+            "by_strategy": snap.by_strategy,
+            "candidates_by_strategy": snap.candidates_by_strategy,
+            "verified_by_strategy": snap.verified_by_strategy,
+        }
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
 
 COUNTERS = KernelCounters()
@@ -192,7 +283,7 @@ def _shared_metric_atom(plan: Plan) -> MetricAtom | None:
     return None
 
 
-def _is_order_cmp(atom, *, allow_negated: bool) -> bool:
+def _is_order_cmp(atom: Any, *, allow_negated: bool) -> bool:
     return (
         isinstance(atom, CmpAtom)
         and atom.semantics == "sql"
@@ -202,7 +293,7 @@ def _is_order_cmp(atom, *, allow_negated: bool) -> bool:
     )
 
 
-def _sweep_struct(plan: Plan):
+def _sweep_struct(plan: Plan) -> Any:
     """Structural sweep eligibility: (guard, prior_is_alpha, consequents).
 
     The guard is a shared, non-negated, same-attribute order atom; every
@@ -242,10 +333,10 @@ def _sweep_struct(plan: Plan):
     return guard, guard.op in ("<", "<="), consequents
 
 
-def _column_kind(relation, attr: str) -> str | None:
+def _column_kind(ctx: ExecutionContext, attr: str) -> str | None:
     """'num' / 'str' / 'empty' when a column is bisect-sortable, else None."""
     kind: str | None = None
-    for v in relation.column(attr):
+    for v in ctx.column(attr):
         if v is None:
             continue
         if isinstance(v, bool) or isinstance(v, (int, float)):
@@ -263,7 +354,7 @@ def _column_kind(relation, attr: str) -> str | None:
     return kind or "empty"
 
 
-def _value_ok(v, kind: str) -> bool:
+def _value_ok(v: Any, kind: str) -> bool:
     """Whether a cell participates in sorted structures of ``kind``."""
     if v is None:
         return False
@@ -288,9 +379,9 @@ class _SweepSpec:
     clauses: list[tuple[str, str, str, bool, str]]
 
 
-def _sweep_spec(struct, relation) -> _SweepSpec | None:
+def _sweep_spec(struct: Any, ctx: ExecutionContext) -> _SweepSpec | None:
     guard, prior_is_alpha, consequents = struct
-    sort_kind = _column_kind(relation, guard.lhs_attr)
+    sort_kind = _column_kind(ctx, guard.lhs_attr)
     if sort_kind is None:
         return None
     clause_specs: list[tuple[str, str, str, bool, str]] = []
@@ -303,8 +394,8 @@ def _sweep_spec(struct, relation) -> _SweepSpec | None:
         else:
             store_attr, query_attr = cons.rhs_attr, cons.lhs_attr
             eff_op = _FLIP[cons.op]
-        store_kind = _column_kind(relation, store_attr)
-        query_kind = _column_kind(relation, query_attr)
+        store_kind = _column_kind(ctx, store_attr)
+        query_kind = _column_kind(ctx, query_attr)
         if store_kind is None or query_kind is None:
             return None
         if "empty" not in (store_kind, query_kind) and store_kind != query_kind:
@@ -341,14 +432,20 @@ def strategy_hint(plan: Plan) -> str:
 
 
 def _iter_scan_pairs(
-    n: int, restrict: set[int] | None
+    n: int,
+    restrict: set[int] | None,
+    shard: tuple[int, int] | None = None,
 ) -> Iterator[tuple[int, int]]:
     if restrict is None:
         for i in range(n):
+            if not _owned(shard, i):
+                continue
             for j in range(i + 1, n):
                 yield i, j
         return
-    for t in sorted(restrict):
+    for k, t in enumerate(sorted(restrict)):
+        if not _owned(shard, k):
+            continue
         for u in range(n):
             if u == t or (u in restrict and u < t):
                 continue
@@ -356,16 +453,19 @@ def _iter_scan_pairs(
 
 
 def _iter_group_pairs(
-    relation, attrs: tuple[str, ...], restrict: set[int] | None
+    ctx: ExecutionContext,
+    attrs: tuple[str, ...],
+    restrict: set[int] | None,
+    shard: tuple[int, int] | None = None,
 ) -> Iterator[tuple[int, int]]:
     try:
-        groups = relation.cached_group_by(attrs)
+        groups = ctx.group_rows(attrs)
     except TypeError:
         # Unhashable values can't be partitioned; scan instead.
-        yield from _iter_scan_pairs(len(relation), restrict)
+        yield from _iter_scan_pairs(ctx.n, restrict, shard)
         return
-    for indices in groups.values():
-        if len(indices) < 2:
+    for g, indices in enumerate(groups):
+        if len(indices) < 2 or not _owned(shard, g):
             continue
         if restrict is not None and restrict.isdisjoint(indices):
             continue
@@ -379,10 +479,13 @@ def _iter_group_pairs(
 
 
 def _iter_metric_pairs(
-    relation, atom: MetricAtom, restrict: set[int] | None
+    ctx: ExecutionContext,
+    atom: MetricAtom,
+    restrict: set[int] | None,
+    shard: tuple[int, int] | None = None,
 ) -> Iterator[tuple[int, int]]:
-    n = len(relation)
-    col = relation.column(atom.attribute)
+    n = ctx.n
+    col = ctx.column(atom.attribute)
     # Bucket by (type, repr), not by the raw value: dict ``==`` collapse
     # (True == 1 == 1.0) is not metric-safe — collapsed values can sit
     # at different distances from a third value (str-based metrics see
@@ -398,7 +501,7 @@ def _iter_metric_pairs(
             buckets[key] = (v, [r])
         else:
             entry[1].append(r)
-    metric = atom.resolve_metric(relation)
+    metric = atom.resolve_metric(ctx)
     reps = list(buckets.values())
     m = len(reps)
 
@@ -431,6 +534,8 @@ def _iter_metric_pairs(
         if atom.semantics == "within":
             low, high = 0.0, iv.high
         for idx, (u, rows_u) in enumerate(reps):
+            if not _owned(shard, idx):
+                continue
             if len(rows_u) > 1 and atom.accepts_distance(
                 metric.distance(u, u)
             ):
@@ -457,9 +562,11 @@ def _iter_metric_pairs(
     # Generic blocking: compare bucket representatives; only profitable
     # when there are far fewer distinct values than rows.
     if m * (m - 1) // 2 + m > n * (n - 1) // 2:
-        yield from _iter_scan_pairs(n, restrict)
+        yield from _iter_scan_pairs(n, restrict, shard)
         return
     for a in range(m):
+        if not _owned(shard, a):
+            continue
         u, rows_u = reps[a]
         if len(rows_u) > 1 and atom.accepts_distance(metric.distance(u, u)):
             yield from expand_self(rows_u)
@@ -469,13 +576,17 @@ def _iter_metric_pairs(
                 yield from expand(rows_u, rows_v)
 
 
-def _iter_sweep_pairs(relation, spec: _SweepSpec) -> Iterator[tuple[int, int]]:
-    n = len(relation)
-    sort_col = relation.column(spec.sort_attr)
+def _iter_sweep_pairs(
+    ctx: ExecutionContext,
+    spec: _SweepSpec,
+    shard: tuple[int, int] | None = None,
+) -> Iterator[tuple[int, int]]:
+    n = ctx.n
+    sort_col = ctx.column(spec.sort_attr)
     rows = [r for r in range(n) if _value_ok(sort_col[r], spec.sort_kind)]
     rows.sort(key=lambda r: sort_col[r])
-    store_cols = [relation.column(s[0]) for s in spec.clauses]
-    query_cols = [relation.column(s[1]) for s in spec.clauses]
+    store_cols = [ctx.column(s[0]) for s in spec.clauses]
+    query_cols = [ctx.column(s[1]) for s in spec.clauses]
     # Per clause: sorted [(store_value, row)] plus the rows whose store
     # value is undefined (None/NaN) — SQL-false operands, so they fire
     # exactly the *negated* consequents.
@@ -483,6 +594,10 @@ def _iter_sweep_pairs(relation, spec: _SweepSpec) -> Iterator[tuple[int, int]]:
     bad_rows: list[list[int]] = [[] for _ in spec.clauses]
     prior_rows: list[int] = []
 
+    # Sharding: a pair is owned by the sweep position of its *later*
+    # row (the tie-block partner / the querying row), so shards of one
+    # sweep partition the pair space while every shard still feeds all
+    # rows through the sorted store structures.
     i = 0
     while i < len(rows):
         v0 = sort_col[rows[i]]
@@ -493,12 +608,17 @@ def _iter_sweep_pairs(relation, spec: _SweepSpec) -> Iterator[tuple[int, int]]:
         if not spec.strict and len(block) > 1:
             # Non-strict guard: equal sort values satisfy the guard in
             # both orientations — brute-force the tie block.
-            for a in range(len(block)):
-                for b in range(a + 1, len(block)):
-                    p, q = block[a], block[b]
+            for b in range(1, len(block)):
+                if not _owned(shard, i + b):
+                    continue
+                q = block[b]
+                for a in range(b):
+                    p = block[a]
                     yield (p, q) if p < q else (q, p)
         if prior_rows:
-            for r in block:
+            for off, r in enumerate(block):
+                if not _owned(shard, i + off):
+                    continue
                 fired: set[int] = set()
                 for c, (_, _, eff_op, negated, kind) in enumerate(
                     spec.clauses
@@ -550,17 +670,18 @@ def _iter_sweep_pairs(relation, spec: _SweepSpec) -> Iterator[tuple[int, int]]:
 
 # -- executors ---------------------------------------------------------------
 
-PairVerify = Callable[..., "tuple[Any, Any] | None"]
+PairVerify = Callable[[int, int], "tuple[Any, Any] | None"]
+RowVerify = Callable[[int], "tuple[Any, Any] | None"]
 
 
-def _vector_binding(plan: Plan, relation) -> Any | None:
+def _vector_binding(plan: Plan, ctx: ExecutionContext) -> Any | None:
     """The bound vectorized plan, or ``None`` for the scalar path.
 
     Routing order: the ``REPRO_KERNEL_BACKEND`` mode (``scalar`` never
     vectorizes; ``auto`` additionally requires ``_VEC_MIN_ROWS`` rows),
     the numpy/encoding substrate, the plan's static per-atom
     vectorizability, and finally :func:`kernels_vec.bind`'s dynamic
-    per-relation checks (column representability, metric identity).
+    per-context checks (column representability, metric identity).
     """
     mode = kernel_backend_mode()
     if mode == "scalar":
@@ -569,74 +690,87 @@ def _vector_binding(plan: Plan, relation) -> Any | None:
         return None
     if not plan.vector_eligible:
         return None
-    if mode == "auto" and len(relation) < _VEC_MIN_ROWS:
+    if mode == "auto" and ctx.n < _VEC_MIN_ROWS:
         return None
     from . import kernels_vec
 
-    return kernels_vec.bind(plan, relation)
+    return kernels_vec.bind(plan, ctx)
 
 
 def _candidates(
-    plan: Plan, relation, restrict: set[int] | None
+    plan: Plan,
+    ctx: ExecutionContext,
+    restrict: set[int] | None,
+    shard: tuple[int, int] | None,
 ) -> tuple[str, Iterable[tuple[int, int]]]:
     eq_attrs = _shared_equality_attrs(plan)
     if eq_attrs:
-        return "group", _iter_group_pairs(relation, eq_attrs, restrict)
+        return "group", _iter_group_pairs(ctx, eq_attrs, restrict, shard)
     if restrict is None:
         struct = _sweep_struct(plan)
         if struct is not None:
-            spec = _sweep_spec(struct, relation)
+            spec = _sweep_spec(struct, ctx)
             if spec is not None:
-                return "sweep", _iter_sweep_pairs(relation, spec)
+                return "sweep", _iter_sweep_pairs(ctx, spec, shard)
     atom = _shared_metric_atom(plan)
     if atom is not None:
-        return "metric", _iter_metric_pairs(relation, atom, restrict)
-    return "scan", _iter_scan_pairs(len(relation), restrict)
+        return "metric", _iter_metric_pairs(ctx, atom, restrict, shard)
+    return "scan", _iter_scan_pairs(ctx.n, restrict, shard)
 
 
-def execute_pairs(
+def execute_pairs_keyed(
     plan: Plan,
-    relation,
+    ctx: ExecutionContext,
     verify: PairVerify,
     *,
     restrict: set[int] | None = None,
     first_only: bool = False,
-) -> list:
-    """Run a pair plan; return verified payloads in legacy scan order.
+    shard: tuple[int, int] | None = None,
+) -> tuple[str, list[tuple[Any, Any]]]:
+    """Run a pair plan; return ``(strategy, unsorted keyed hits)``.
 
-    ``verify(relation, p, q)`` (p < q) re-checks a candidate with the
-    notation's own predicate and returns ``(sort_key, payload)`` or
-    ``None``.  ``restrict`` keeps only candidates touching the given
-    rows (the incremental re-probe).  ``first_only`` short-circuits on
-    the first verified hit (``holds``-style queries).
+    The building block of both the serial executor (:func:`execute_pairs`
+    sorts the hits) and the sharded one (:mod:`repro.plan.parallel`
+    concatenates every shard's hits and sorts once).  With a ``shard``
+    the per-execution bookkeeping (execution count, total pair space,
+    strategy note) is suppressed — the shard *owner* records it exactly
+    once — while per-pair work (pairs examined, candidate/verified
+    volume, budget checkpoints) is recorded normally and sums across
+    shards to the unsharded totals.
     """
-    n = len(relation)
-    COUNTERS.executions += 1
-    COUNTERS.pairs_total += n * (n - 1) // 2
+    n = ctx.n
+    root = shard is None
+    if root:
+        COUNTERS.executions += 1
+        COUNTERS.pairs_total += n * (n - 1) // 2
     if plan.never:
         # Static analysis proved no clause can fire — nothing to scan.
-        COUNTERS.note("never")
-        return []
-    vp = _vector_binding(plan, relation)
+        if root:
+            COUNTERS.note("never")
+        return "never", []
+    vp = _vector_binding(plan, ctx)
+    hits: list[tuple[Any, Any]]
     if vp is not None:
         from . import kernels_vec
 
         strategy = f"vec-{vp.strategy}"
-        COUNTERS.note(strategy)
+        if root:
+            COUNTERS.note(strategy)
         examined = COUNTERS.pairs_examined
         hits = kernels_vec.run_pairs(
-            vp, relation, verify, restrict=restrict, first_only=first_only
+            vp, verify, restrict=restrict, first_only=first_only,
+            shard=shard,
         )
         COUNTERS.note_work(
             strategy,
             candidates=COUNTERS.pairs_examined - examined,
             verified=len(hits),
         )
-        hits.sort(key=lambda item: item[0])
-        return [payload for _, payload in hits]
-    strategy, candidates = _candidates(plan, relation, restrict)
-    COUNTERS.note(strategy)
-    hits: list[tuple[Any, Any]] = []
+        return strategy, hits
+    strategy, candidates = _candidates(plan, ctx, restrict, shard)
+    if root:
+        COUNTERS.note(strategy)
+    hits = []
     pending = 0
     examined = 0
     for p, q in candidates:
@@ -646,7 +780,7 @@ def execute_pairs(
             examined += pending
             checkpoint(pairs=pending)
             pending = 0
-        hit = verify(relation, p, q)
+        hit = verify(p, q)
         if hit is not None:
             hits.append(hit)
             if first_only:
@@ -655,46 +789,69 @@ def execute_pairs(
     examined += pending
     checkpoint(pairs=pending)
     COUNTERS.note_work(strategy, candidates=examined, verified=len(hits))
+    return strategy, hits
+
+
+def execute_pairs(
+    plan: Plan,
+    ctx: ExecutionContext,
+    verify: PairVerify,
+    *,
+    restrict: set[int] | None = None,
+    first_only: bool = False,
+) -> list[Any]:
+    """Run a pair plan; return verified payloads in legacy scan order.
+
+    ``verify(p, q)`` (p < q) re-checks a candidate with the notation's
+    own predicate and returns ``(sort_key, payload)`` or ``None``.
+    ``restrict`` keeps only candidates touching the given rows (the
+    incremental re-probe).  ``first_only`` short-circuits on the first
+    verified hit (``holds``-style queries).
+    """
+    _, hits = execute_pairs_keyed(
+        plan, ctx, verify, restrict=restrict, first_only=first_only
+    )
     hits.sort(key=lambda item: item[0])
     return [payload for _, payload in hits]
 
 
 def execute_rows(
     plan: Plan,
-    relation,
-    verify: Callable,
+    ctx: ExecutionContext,
+    verify: RowVerify,
     *,
     restrict: set[int] | None = None,
     first_only: bool = False,
-) -> list:
+) -> list[Any]:
     """Run a single-tuple (arity-1) plan over rows."""
     COUNTERS.executions += 1
     if plan.never:
         COUNTERS.note("never")
         return []
-    vp = _vector_binding(plan, relation)
+    vp = _vector_binding(plan, ctx)
+    hits: list[tuple[Any, Any]]
     if vp is not None:
         from . import kernels_vec
 
         COUNTERS.note("vec-rows")
         hits = kernels_vec.run_rows(
-            vp, relation, verify, restrict=restrict, first_only=first_only
+            vp, verify, restrict=restrict, first_only=first_only
         )
         COUNTERS.note_work("vec-rows", verified=len(hits))
         hits.sort(key=lambda item: item[0])
         return [payload for _, payload in hits]
     COUNTERS.note("rows")
     rows: Iterable[int] = (
-        sorted(restrict) if restrict is not None else range(len(relation))
+        sorted(restrict) if restrict is not None else range(ctx.n)
     )
-    hits: list[tuple[Any, Any]] = []
+    hits = []
     pending = 0
     for r in rows:
         pending += 1
         if pending >= _BATCH:
             checkpoint()
             pending = 0
-        hit = verify(relation, r)
+        hit = verify(r)
         if hit is not None:
             hits.append(hit)
             if first_only:
@@ -703,140 +860,3 @@ def execute_rows(
     COUNTERS.note_work("rows", verified=len(hits))
     hits.sort(key=lambda item: item[0])
     return [payload for _, payload in hits]
-
-
-# -- plan cache + notation-facing entry points -------------------------------
-
-
-def plan_for(dep) -> Plan:
-    """The compiled, simplified plan of a dependency (instance-cached).
-
-    Compilation lowers the notation; the static simplifier then rewrites
-    the plan into a provably equivalent smaller one (dead clauses
-    dropped, redundant atoms removed — see
-    :func:`repro.analysis.simplify.simplify_plan`).  Set
-    ``REPRO_NO_SIMPLIFY=1`` to execute raw compiled plans instead.
-    """
-    import os
-
-    plan = getattr(dep, "_repro_plan", None)
-    if plan is None or plan.source is not dep:
-        from .compile import compile_dependency
-
-        plan = compile_dependency(dep)
-        if os.environ.get("REPRO_NO_SIMPLIFY", "") in ("", "0"):
-            from ..analysis.simplify import simplify_plan
-
-            plan = simplify_plan(plan)
-        try:
-            dep._repro_plan = plan
-        except (AttributeError, TypeError):
-            pass
-    return plan
-
-
-def pairwise_violations(
-    dep,
-    relation,
-    *,
-    restrict: set[int] | None = None,
-    first_only: bool = False,
-) -> list:
-    """Violations of a pairwise notation via its compiled plan.
-
-    ``pair_violation`` stays the single source of truth for what a
-    violation *is* (and its reason text); the plan only decides which
-    pairs are worth asking about.
-    """
-    from ..core.violation import Violation
-
-    label = dep.label()
-
-    def verify(rel, p: int, q: int):
-        reason = dep.pair_violation(rel, p, q)
-        if reason is None:
-            return None
-        return ((p, q), Violation(label, (p, q), reason))
-
-    return execute_pairs(
-        plan_for(dep), relation, verify, restrict=restrict,
-        first_only=first_only,
-    )
-
-
-def denial_violations(
-    dep,
-    relation,
-    *,
-    restrict: set[int] | None = None,
-    first_only: bool = False,
-) -> list:
-    """Violations of a DC via its compiled plan (ordered semantics).
-
-    Matches the legacy ordered scan exactly: per unordered pair the
-    (α, β) orientation reported is the first denied one in row-major
-    order.
-    """
-    from ..core.numerical.dc import ALPHA, BETA
-    from ..core.violation import Violation
-
-    plan = plan_for(dep)
-    label = dep.label()
-    if plan.arity == 1:
-        var = dep._variables[0]
-
-        def verify_row(rel, r: int):
-            if dep._assignment_denied(rel, {var: r}):
-                return (r, Violation(label, (r,), "tuple satisfies all atoms"))
-            return None
-
-        return execute_rows(
-            plan, relation, verify_row, restrict=restrict,
-            first_only=first_only,
-        )
-
-    def verify(rel, p: int, q: int):
-        # The legacy ordered scan emits a pair at its first denied
-        # (α, β) assignment in row-major order — sort by that key.
-        for a, b in ((p, q), (q, p)):
-            if dep._assignment_denied(rel, {ALPHA: a, BETA: b}):
-                return (
-                    (a, b),
-                    Violation(
-                        label,
-                        (p, q),
-                        f"(tα=t{a}, tβ=t{b}) satisfies all atoms",
-                    ),
-                )
-        return None
-
-    return execute_pairs(
-        plan, relation, verify, restrict=restrict, first_only=first_only
-    )
-
-
-def guard_pairs(
-    dep, relation, verify_pair: Callable[..., bool]
-) -> list[tuple[int, int]]:
-    """All pairs selected by a notation's LHS (its guard atoms).
-
-    Used for match/support/confidence measures (MD.matches, NED
-    support, CD confidence, PAC pair counts): the guard plan prunes,
-    ``verify_pair`` is the definitional LHS test.
-    """
-    from .compile import compile_guards
-
-    plan = getattr(dep, "_repro_guard_plan", None)
-    if plan is None or plan.source is not dep:
-        plan = compile_guards(dep)
-        try:
-            dep._repro_guard_plan = plan
-        except (AttributeError, TypeError):
-            pass
-
-    def verify(rel, p: int, q: int):
-        if verify_pair(rel, p, q):
-            return ((p, q), (p, q))
-        return None
-
-    return execute_pairs(plan, relation, verify)

@@ -3,14 +3,14 @@
 The scalar kernels in :mod:`repro.plan.kernels` prune the pair space
 well but still refine every candidate one pair at a time through a
 Python ``verify`` callback.  This module evaluates whole deny-form
-clauses as batch numpy operations over the dictionary-encoded columns
-of :mod:`repro.relation.encoding`:
+clauses as batch numpy operations over the dictionary-encoded column
+slabs exposed by an :class:`~repro.plan.slabs.ExecutionContext`:
 
 * equality / inequality atoms become code-column comparisons on
   candidate index arrays (with per-code lookup tables for the SQL
   self-comparison corner cases — NaN, ``None``);
 * order and interval atoms become float-column comparisons and
-  ``searchsorted`` windows over the encoding's cached sorted
+  ``searchsorted`` windows over the context's cached sorted
   projections;
 * metric atoms (``abs_diff``) become blocked arithmetic with explicit
   ``None``/NaN class corrections mirroring :meth:`Metric.distance`.
@@ -24,12 +24,18 @@ suites (``test_plan_parity``, ``test_vector_parity``) drive all three
 paths — naive, scalar plan, vectorized plan — to identical reports.
 
 Binding is *dynamic*: :func:`bind` returns ``None`` whenever any atom
-of the plan cannot be vectorized for this relation (opaque predicates,
+of the plan cannot be vectorized for this context (opaque predicates,
 non-numeric order columns, exotic metrics, unhashable cells), and the
 caller falls back to the scalar kernels.  Candidate generation streams
 index blocks of at most :data:`_CHUNK` pairs, charging each block to
 the ambient budget ``checkpoint`` so deadlines and ``max_pairs`` caps
 still bite mid-batch.
+
+The streamed blocks double as the **shard unit** for the parallel
+executor: block generation is deterministic for a given (plan, slabs)
+pair, so ``shard=(k, m)`` simply keeps every m-th block — shards
+partition the candidate pair space exactly, and the merged results are
+byte-identical to a single-process run.
 """
 
 from __future__ import annotations
@@ -50,6 +56,7 @@ from .ir import (
     Plan,
     _sql_compare,
 )
+from .slabs import ExecutionContext
 
 #: Candidate pairs per streamed block (and per budget checkpoint).
 _CHUNK = 1 << 16
@@ -77,32 +84,32 @@ _NP_OPS: dict[str, Any] = {
 class _Col:
     """Per-column kernel arrays: codes, float projection, validity."""
 
-    __slots__ = ("codes", "floats", "valid", "values", "index")
+    __slots__ = ("codes", "floats", "valid", "values", "name")
 
     def __init__(
         self, codes: _Arr, floats: _Arr | None, valid: _Arr,
-        values: list[Any], index: int,
+        values: list[Any], name: str,
     ) -> None:
         self.codes = codes
         self.floats = floats
         self.valid = valid
         self.values = values
-        self.index = index
+        self.name = name
 
 
-def _gather_columns(relation: Any, attrs: set[str]) -> dict[str, _Col] | None:
-    enc = relation.encoding()
+def _gather_columns(
+    ctx: ExecutionContext, attrs: set[str]
+) -> dict[str, _Col] | None:
     out: dict[str, _Col] = {}
     for a in attrs:
         try:
-            j = relation.schema.index_of(a)
-            codes, floats, valid = enc.gather(j)
-            values = enc.column_codes(j).values
+            codes, floats, valid = ctx.gather(a)
+            values = ctx.distinct_values(a)
         except Exception:
             # Unknown attribute (SchemaError) or unhashable cells
             # (TypeError from the codebook build): not encodable.
             return None
-        out[a] = _Col(codes, floats, valid, values, j)
+        out[a] = _Col(codes, floats, valid, values, a)
     return out
 
 
@@ -234,12 +241,12 @@ def _bind_notnull(atom: NotNullAtom, cols: dict[str, _Col]) -> _AtomFn:
 
 
 def _bind_metric(
-    atom: MetricAtom, relation: Any, cols: dict[str, _Col]
+    atom: MetricAtom, ctx: ExecutionContext, cols: dict[str, _Col]
 ) -> _AtomFn | None:
     from ..metrics.numeric import ABS_DIFF
 
     try:
-        metric = atom.resolve_metric(relation)
+        metric = atom.resolve_metric(ctx)
     except Exception:
         return None
     if metric is not ABS_DIFF:
@@ -287,7 +294,7 @@ def _bind_metric(
 
 
 def _bind_atom(
-    atom: Any, relation: Any, cols: dict[str, _Col]
+    atom: Any, ctx: ExecutionContext, cols: dict[str, _Col]
 ) -> _AtomFn | None:
     # Exact-type dispatch: a subclass could override ``eval``, and the
     # batch forms below reproduce only the base-class semantics.
@@ -301,7 +308,7 @@ def _bind_atom(
     if kind is NotNullAtom:
         return _bind_notnull(atom, cols)
     if kind is MetricAtom:
-        return _bind_metric(atom, relation, cols)
+        return _bind_metric(atom, ctx, cols)
     return None
 
 
@@ -380,10 +387,10 @@ def _scan_blocks(n: int, rmask: _Arr | None) -> _BlockIter:
     )
 
 
-def _group_blocks(relation: Any, eq_attrs: tuple[str, ...]) -> _BlockIter:
-    enc = relation.encoding()
-    idxs = tuple(relation.schema.index_of(a) for a in eq_attrs)
-    codes = np.asarray(enc.combined_codes(idxs))
+def _group_blocks(
+    ctx: ExecutionContext, eq_attrs: tuple[str, ...]
+) -> _BlockIter:
+    codes = np.asarray(ctx.combined_codes(eq_attrs))
     order = np.argsort(codes, kind="stable").astype(np.int64)
     ordered = codes[order]
     ends = np.searchsorted(ordered, ordered, side="right").astype(np.int64)
@@ -392,9 +399,9 @@ def _group_blocks(relation: Any, eq_attrs: tuple[str, ...]) -> _BlockIter:
 
 
 def _metric_blocks(
-    relation: Any, atom: MetricAtom, col: _Col
+    ctx: ExecutionContext, atom: MetricAtom, col: _Col
 ) -> _BlockIter:
-    rows_s, vals_s = relation.encoding().sorted_projection(col.index)
+    rows_s, vals_s = ctx.sorted_projection(col.name)
     iv = atom.interval
     within = atom.semantics == "within"
     low, high = (0.0, float(iv.high)) if within else (
@@ -457,7 +464,7 @@ class _SweepPrep:
 
 
 def _sweep_prep(
-    relation: Any, spec: Any, cols: dict[str, _Col]
+    ctx: ExecutionContext, spec: Any, cols: dict[str, _Col]
 ) -> _SweepPrep | None:
     """Vectorize the scalar sweep: prefix extrema find the candidate
     rows, per-candidate float comparisons recover their partners."""
@@ -473,7 +480,7 @@ def _sweep_prep(
             c = cols.get(a)
             if c is None or c.floats is None:
                 return None
-    rows_s, vals_s = relation.encoding().sorted_projection(sort_col.index)
+    rows_s, vals_s = ctx.sorted_projection(spec.sort_attr)
     m = len(rows_s)
     if m == 0:
         return _SweepPrep(
@@ -570,17 +577,17 @@ def _sweep_blocks(prep: _SweepPrep) -> _BlockIter:
 
 
 class VecPlan:
-    """A plan bound to one relation's column arrays, ready to stream."""
+    """A plan bound to one context's column arrays, ready to stream."""
 
     __slots__ = (
-        "plan", "relation", "n", "clauses", "strategy", "symmetric",
+        "plan", "ctx", "n", "clauses", "strategy", "symmetric",
         "_eq_attrs", "_metric_atom", "_metric_col", "_sweep",
     )
 
     def __init__(
         self,
         plan: Plan,
-        relation: Any,
+        ctx: ExecutionContext,
         clauses: list[list[_AtomFn]],
         strategy: str,
         eq_attrs: tuple[str, ...] | None = None,
@@ -589,8 +596,8 @@ class VecPlan:
         sweep: _SweepPrep | None = None,
     ) -> None:
         self.plan = plan
-        self.relation = relation
-        self.n = len(relation)
+        self.ctx = ctx
+        self.n = ctx.n
         self.clauses = clauses
         self.strategy = strategy
         self.symmetric = all(
@@ -626,7 +633,7 @@ class VecPlan:
         source: _BlockIter
         if self.strategy == "group":
             assert self._eq_attrs is not None
-            source = _group_blocks(self.relation, self._eq_attrs)
+            source = _group_blocks(self.ctx, self._eq_attrs)
         elif self.strategy == "sweep":
             assert self._sweep is not None
             source = _sweep_blocks(self._sweep)
@@ -634,7 +641,7 @@ class VecPlan:
             assert self._metric_atom is not None
             assert self._metric_col is not None
             source = _metric_blocks(
-                self.relation, self._metric_atom, self._metric_col
+                self.ctx, self._metric_atom, self._metric_col
             )
         else:
             yield from _scan_blocks(self.n, rmask)
@@ -648,12 +655,12 @@ class VecPlan:
                 yield p[keep], q[keep]
 
 
-def bind(plan: Plan, relation: Any) -> VecPlan | None:
-    """Bind a plan to one relation's arrays, or ``None`` to fall back.
+def bind(plan: Plan, ctx: ExecutionContext) -> VecPlan | None:
+    """Bind a plan to one context's arrays, or ``None`` to fall back.
 
     The returned strategy mirrors the scalar selection (group > sweep >
     metric > scan); when the structurally preferred kernel cannot be
-    vectorized for *this* relation (string order columns, exotic
+    vectorized for *this* context (string order columns, exotic
     metrics) the whole binding is refused rather than degraded to a
     blind vec-scan, because the scalar kernel keeps the pruning.
     """
@@ -661,20 +668,20 @@ def bind(plan: Plan, relation: Any) -> VecPlan | None:
         a for c in plan.clauses for atom in c.atoms
         for a in atom.attributes()
     }
-    cols = _gather_columns(relation, attrs)
+    cols = _gather_columns(ctx, attrs)
     if cols is None:
         return None
     clauses: list[list[_AtomFn]] = []
     for c in plan.clauses:
         bound: list[_AtomFn] = []
         for atom in c.atoms:
-            fn = _bind_atom(atom, relation, cols)
+            fn = _bind_atom(atom, ctx, cols)
             if fn is None:
                 return None
             bound.append(fn)
         clauses.append(bound)
     if plan.arity == 1:
-        return VecPlan(plan, relation, clauses, "rows")
+        return VecPlan(plan, ctx, clauses, "rows")
     from .kernels import (
         _shared_equality_attrs,
         _shared_metric_atom,
@@ -684,32 +691,32 @@ def bind(plan: Plan, relation: Any) -> VecPlan | None:
 
     eq_attrs = _shared_equality_attrs(plan)
     if eq_attrs:
-        return VecPlan(plan, relation, clauses, "group", eq_attrs=eq_attrs)
+        return VecPlan(plan, ctx, clauses, "group", eq_attrs=eq_attrs)
     struct = _sweep_struct(plan)
     if struct is not None:
-        spec = _sweep_spec(struct, relation)
+        spec = _sweep_spec(struct, ctx)
         if spec is None:
             return None
-        prep = _sweep_prep(relation, spec, cols)
+        prep = _sweep_prep(ctx, spec, cols)
         if prep is None:
             return None
-        return VecPlan(plan, relation, clauses, "sweep", sweep=prep)
+        return VecPlan(plan, ctx, clauses, "sweep", sweep=prep)
     atom = _shared_metric_atom(plan)
     if atom is not None:
         from ..metrics.numeric import ABS_DIFF
 
         try:
-            metric = atom.resolve_metric(relation)
+            metric = atom.resolve_metric(ctx)
         except Exception:
             return None
         col = cols[atom.attribute]
         if metric is not ABS_DIFF or col.floats is None:
             return None
         return VecPlan(
-            plan, relation, clauses, "metric",
+            plan, ctx, clauses, "metric",
             metric_atom=atom, metric_col=col,
         )
-    return VecPlan(plan, relation, clauses, "scan")
+    return VecPlan(plan, ctx, clauses, "scan")
 
 
 # -- executors ---------------------------------------------------------------
@@ -717,11 +724,11 @@ def bind(plan: Plan, relation: Any) -> VecPlan | None:
 
 def run_pairs(
     vp: VecPlan,
-    relation: Any,
-    verify: Callable[..., Any],
+    verify: Callable[[int, int], Any],
     *,
     restrict: set[int] | None = None,
     first_only: bool = False,
+    shard: tuple[int, int] | None = None,
 ) -> list[tuple[Any, Any]]:
     """Stream candidate blocks, mask them, verify only the survivors.
 
@@ -729,6 +736,12 @@ def run_pairs(
     Examined pairs and block checkpoints are charged exactly like the
     scalar executor, so budgets and fault injection see the same
     accounting regardless of backend.
+
+    ``shard=(k, m)`` keeps only every m-th streamed block (by block
+    ordinal, which is deterministic per (plan, slabs)): shards
+    partition the candidate pair space exactly, each shard charges only
+    its own blocks to the counters/budget, and the per-block totals sum
+    across shards to the unsharded run's totals.
     """
     from .kernels import COUNTERS
 
@@ -740,7 +753,9 @@ def run_pairs(
             return []
         rmask[rows] = True
     hits: list[tuple[Any, Any]] = []
-    for p, q in vp.blocks(rmask):
+    for ordinal, (p, q) in enumerate(vp.blocks(rmask)):
+        if shard is not None and ordinal % shard[1] != shard[0]:
+            continue
         size = len(p)
         if size == 0:
             continue
@@ -753,7 +768,7 @@ def run_pairs(
         pv, qv = p[mask], q[mask]
         order = np.argsort(pv * np.int64(vp.n) + qv, kind="stable")
         for k in order.tolist():
-            hit = verify(relation, int(pv[k]), int(qv[k]))
+            hit = verify(int(pv[k]), int(qv[k]))
             if hit is not None:
                 hits.append(hit)
                 if first_only:
@@ -763,8 +778,7 @@ def run_pairs(
 
 def run_rows(
     vp: VecPlan,
-    relation: Any,
-    verify: Callable[..., Any],
+    verify: Callable[[int], Any],
     *,
     restrict: set[int] | None = None,
     first_only: bool = False,
@@ -785,7 +799,7 @@ def run_rows(
         checkpoint()
         mask = vp.denies(chunk, chunk)
         for r in chunk[mask].tolist():
-            hit = verify(relation, int(r))
+            hit = verify(int(r))
             if hit is not None:
                 hits.append(hit)
                 if first_only:

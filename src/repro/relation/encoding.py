@@ -243,6 +243,67 @@ class ColumnCodes:
         self._valid = None
         self._sorted = None
 
+    @classmethod
+    def from_parts(
+        cls,
+        column: Sequence[Value],
+        values: Sequence[Value],
+        codes: Sequence[int],
+        *,
+        floats: Any = None,
+        valid: Any = None,
+        sorted_projection: Any = None,
+    ) -> "ColumnCodes":
+        """Rebuild a codebook from an exported ``(values, codes)`` pair.
+
+        The deserialization path of the column-slab transport (see
+        :mod:`repro.plan.slabs`): a worker process receives the distinct
+        values (first-occurrence order) plus each row's code and
+        reconstitutes the full codebook *without re-hashing the column*
+        — one O(n) integer pass instead of the O(n) value-hashing pass
+        of ``__init__``.  Optional pre-built kernel caches (float
+        projection, validity mask, sorted projection) are adopted as-is
+        so the worker starts warm.
+        """
+        out = cls.__new__(cls)
+        values = list(values)
+        is_array = HAS_NUMPY and isinstance(codes, _np.ndarray)
+        codes_list: list[int] = (
+            codes.tolist() if is_array else [int(c) for c in codes]
+        )
+        groups: list[list[int]] = [[] for _ in values]
+        for i, c in enumerate(codes_list):
+            groups[c].append(i)
+        out.codes = codes_list
+        out.groups = groups
+        out.codebook = {v: c for c, v in enumerate(values)}
+        out.values = values
+        out.n_distinct = len(values)
+        out.none_code = next(
+            (c for c, v in enumerate(values) if v is None), -1
+        )
+        out.self_unequal = False
+        out.numeric_safe = True
+        for v in values:
+            try:
+                if v != v:
+                    out.self_unequal = True
+            except Exception:
+                out.self_unequal = True
+            if v is None:
+                continue
+            if not isinstance(v, (bool, int, float)):
+                out.numeric_safe = False
+            elif isinstance(v, int) and not isinstance(v, bool) and (
+                abs(v) > _FLOAT_SAFE_INT
+            ):
+                out.numeric_safe = False
+        out._array = codes if is_array else None
+        out._floats = floats
+        out._valid = valid
+        out._sorted = sorted_projection
+        return out
+
     def extended(self, column: Sequence[Value], start: int) -> "ColumnCodes":
         """A codebook for ``column`` reusing this one for rows < ``start``.
 
@@ -410,7 +471,7 @@ class RelationEncoding:
 
     __slots__ = (
         "_columns", "_n", "_per_column", "_combined", "_distinct",
-        "_groups", "_keyed", "_stripped",
+        "_groups", "_keyed", "_stripped", "_ctx",
     )
 
     def __init__(self, columns: Sequence[Sequence[Value]], n: int) -> None:
@@ -425,6 +486,11 @@ class RelationEncoding:
         self._groups: dict[tuple[int, ...], list] = {}
         self._keyed: dict[tuple[int, ...], list] = {}
         self._stripped: dict[tuple, tuple] = {}
+        #: Cached :class:`repro.plan.slabs.ExecutionContext` wrapping the
+        #: owning relation (the encoding is the natural per-snapshot
+        #: cache spot: relations are immutable, derived relations get a
+        #: fresh encoding and therefore a fresh context + share token).
+        self._ctx: Any = None
 
     def extended(
         self, columns: Sequence[Sequence[Value]], n: int

@@ -15,6 +15,7 @@ bounded latency with honest degradation:
 
 from .budget import (
     Budget,
+    ShardToken,
     checkpoint,
     current_budget,
     governed,
@@ -26,6 +27,7 @@ from .errors import BudgetExhausted, EngineFault, InputError, ReproError
 
 __all__ = [
     "Budget",
+    "ShardToken",
     "checkpoint",
     "current_budget",
     "governed",

@@ -1,0 +1,372 @@
+"""Sharded parallel checking must be invisible except for speed.
+
+The contract under test: for every pairwise notation, backend and
+option combination, ``workers=N`` produces violation lists (and
+:class:`DetectionReport` orderings) byte-identical to the serial
+executor, with parent counters equal to the sum of the per-shard
+deltas, and with budget exhaustion propagating *into* running shards
+through the shared :class:`ShardToken`.  When the fan-out cannot run
+(unpicklable closures, tiny inputs below the ambient row floor), the
+serial fallback is silent and lossless.
+"""
+
+from __future__ import annotations
+
+import inspect
+import pickle
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.heterogeneous.md import MD
+from repro.core.heterogeneous.mfd import MFD
+from repro.core.numerical.dc import DC, pred2
+from repro.core.numerical.od import OD
+from repro.metrics.base import Metric
+from repro.plan import (
+    COUNTERS,
+    ColumnSlabs,
+    KernelCounters,
+    context_for,
+    denial_violations,
+    guard_pairs,
+    kernel_backend,
+    pairwise_violations,
+    resolve_workers,
+    workers,
+)
+from repro.plan.parallel import last_run
+from repro.plan.slabs import load_shared, release_shared
+from repro.quality.detection import Detector
+from repro.relation import Attribute, AttributeType, Relation, Schema
+from repro.relation.encoding import substrate_mode
+from repro.runtime import Budget, BudgetExhausted, ShardToken, governed
+
+
+def make_relation(n: int = 600, seed: int = 11) -> Relation:
+    rng = random.Random(seed)
+    rows = []
+    v = 0
+    for _ in range(n):
+        v += rng.randint(0, 3)
+        rows.append(
+            {
+                "A": v + (7 if rng.random() < 0.02 else 0),
+                "B": v + rng.randint(0, 1),
+                "C": rng.randint(0, 40),
+                "name": f"n{rng.randint(0, 60):03d}",
+            }
+        )
+    return Relation.from_dicts(["A", "B", "C", "name"], rows)
+
+
+def make_dependencies():
+    return [
+        MFD(["C"], ["B"], 1.0),
+        OD(["A"], ["B"]),
+        DC([pred2("C", "="), pred2("B", "!=")]),
+        MD({"name": 0.5}, ["C"]),
+    ]
+
+
+def violation_bytes(violations) -> bytes:
+    return "\n".join(str(v) for v in violations).encode()
+
+
+def run_dep(dep, rel, **kw):
+    """DCs check through denial semantics, everything else pairwise."""
+    if isinstance(dep, DC):
+        return denial_violations(dep, rel, **kw)
+    return pairwise_violations(dep, rel, **kw)
+
+
+class TestSlabs:
+    def test_context_round_trip(self):
+        rel = make_relation(80)
+        ctx = context_for(rel)
+        slabs = ColumnSlabs.from_context(ctx)
+        ctx2 = slabs.to_context()
+        assert ctx2.n == ctx.n
+        assert ctx2.schema.names() == ctx.schema.names()
+        for a in ctx.schema.names():
+            assert list(ctx2.column(a)) == list(ctx.column(a))
+        assert sorted(map(sorted, ctx2.group_rows(("C",)))) == sorted(
+            map(sorted, ctx.group_rows(("C",)))
+        )
+
+    def test_pickled_round_trip(self):
+        rel = make_relation(50)
+        slabs = ColumnSlabs.from_context(context_for(rel))
+        ctx2 = pickle.loads(pickle.dumps(slabs)).to_context()
+        for a in ("A", "B", "C", "name"):
+            assert list(ctx2.column(a)) == list(rel.column(a))
+
+    def test_shared_memory_round_trip(self):
+        rel = make_relation(50, seed=3)
+        ctx = context_for(rel)
+        handle = ctx.share()
+        try:
+            ctx2 = load_shared(pickle.loads(pickle.dumps(handle))).to_context()
+            for a in ("A", "B", "C", "name"):
+                assert list(ctx2.column(a)) == list(ctx.column(a))
+        finally:
+            release_shared()
+
+    def test_kernels_are_engine_neutral(self):
+        """Acceptance gate: kernels never touch a row-store handle."""
+        from repro.plan import kernels, kernels_vec
+
+        for mod in (kernels, kernels_vec):
+            assert "relation" not in inspect.getsource(mod).lower()
+
+
+class TestCounterMerge:
+    def test_diff_then_merge_composes(self):
+        live = KernelCounters()
+        live.executions = 3
+        live.pairs_examined = 100
+        live.note("group")
+        live.note_work("group", candidates=100, verified=40)
+        earlier = live.snapshot()
+        live.executions += 2
+        live.pairs_examined += 75
+        live.chunks += 2
+        live.note("group")
+        live.note("sweep")
+        live.note_work("sweep", candidates=75, verified=10)
+        later = live.snapshot()
+        earlier.merge(later.diff(earlier))
+        assert earlier == later
+
+    def test_parent_totals_equal_sum_of_shard_deltas(self):
+        rel = make_relation(900, seed=5)
+        dep = MFD(["C"], ["B"], 1.0)
+        with kernel_backend("scalar"):
+            before = COUNTERS.snapshot()
+            serial = pairwise_violations(dep, rel)
+            serial_delta = COUNTERS.snapshot()
+            parallel = pairwise_violations(dep, rel, workers=4)
+            parent_delta = COUNTERS.snapshot()
+        assert violation_bytes(parallel) == violation_bytes(serial)
+        run = last_run()
+        assert run is not None and run["workers"] == 4
+        serial_pairs = serial_delta.pairs_examined - before.pairs_examined
+        parent_pairs = (
+            parent_delta.pairs_examined - serial_delta.pairs_examined
+        )
+        shard_pairs = sum(
+            s["counters"].pairs_examined for s in run["shards"]
+        )
+        assert parent_pairs == shard_pairs == serial_pairs
+        assert parent_delta.executions - serial_delta.executions == 1
+        n = len(rel)
+        assert (
+            parent_delta.pairs_total - serial_delta.pairs_total
+            == n * (n - 1) // 2
+        )
+
+
+class TestParity:
+    @pytest.mark.parametrize("backend", ["scalar", "vector"])
+    def test_all_notations_order_identical(self, backend):
+        rel = make_relation(700, seed=23)
+        with kernel_backend(backend):
+            for dep in make_dependencies():
+                serial = run_dep(dep, rel)
+                parallel = run_dep(dep, rel, workers=4)
+                assert violation_bytes(parallel) == violation_bytes(serial), (
+                    f"{dep.kind} diverged under {backend} backend"
+                )
+                run = last_run()
+                assert run is not None and run["workers"] == 4
+
+    def test_restrict_parity(self):
+        rel = make_relation(500, seed=31)
+        dep = OD(["A"], ["B"])
+        restrict = {3, 77, 210, 499}
+        serial = pairwise_violations(dep, rel, restrict=restrict)
+        parallel = pairwise_violations(
+            dep, rel, restrict=restrict, workers=4
+        )
+        assert violation_bytes(parallel) == violation_bytes(serial)
+
+    def test_first_only_stays_serial(self):
+        rel = make_relation(500, seed=37)
+        dep = OD(["A"], ["B"])
+        marker = object()
+        import repro.plan.parallel as par
+
+        par._last_run = None
+        first = pairwise_violations(dep, rel, first_only=True, workers=4)
+        assert last_run() is None, "first_only must not fan out"
+        assert violation_bytes(first) == violation_bytes(
+            pairwise_violations(dep, rel, first_only=True)
+        )
+        del marker
+
+    def test_guard_pairs_parity(self):
+        rel = make_relation(600, seed=41)
+        md = MD({"name": 0.5}, ["C"])
+        serial = guard_pairs(md, rel, md.similar_on_lhs)
+        parallel = guard_pairs(md, rel, md.similar_on_lhs, workers=4)
+        assert parallel == serial
+
+    def test_unpicklable_dependency_falls_back_to_serial(self):
+        rel = make_relation(400, seed=43)
+        local = Metric("test-local", lambda a, b: abs(float(a) - float(b)))
+        dep = MFD(["A"], ["B"], 1.0, metric=local)
+        import repro.plan.parallel as par
+
+        par._last_run = None
+        parallel = pairwise_violations(dep, rel, workers=4)
+        assert last_run() is None, "unpicklable metric must stay serial"
+        assert violation_bytes(parallel) == violation_bytes(
+            pairwise_violations(dep, rel)
+        )
+
+    def test_resolve_workers_gates(self):
+        assert resolve_workers(4, 10) == 4
+        assert resolve_workers(None, 10) == 1
+        with workers(4):
+            assert resolve_workers(None, 10) == 1
+            assert resolve_workers(None, 100_000) == 4
+            assert resolve_workers(2, 100_000) == 2
+
+
+SMALL = st.sampled_from([None, 0, 1, 2, 3, 1.0, 2.5, -1, "x", "y", ""])
+
+
+@st.composite
+def tiny_relations(draw, max_rows=24):
+    n_rows = draw(st.integers(min_value=0, max_value=max_rows))
+    schema = Schema(
+        [Attribute(f"A{c}", AttributeType.NUMERICAL) for c in range(2)]
+    )
+    pool = st.sampled_from([None, 0, 1, 2, 3, 1.0, 2.5, -1])
+    rows = [tuple(draw(pool) for __ in range(2)) for __ in range(n_rows)]
+    return Relation.from_rows(schema, rows)
+
+
+class TestPropertyParity:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        rel=tiny_relations(),
+        backend=st.sampled_from(["naive", "scalar", "vector"]),
+        dep_ix=st.integers(min_value=0, max_value=2),
+        restrict=st.none() | st.sets(st.integers(0, 23), max_size=4),
+    )
+    def test_workers_invisible_in_report_bytes(
+        self, rel, backend, dep_ix, restrict
+    ):
+        dep = [
+            MFD(["A0"], ["A1"], 1.0),
+            OD(["A0"], ["A1"]),
+            DC([pred2("A0", "="), pred2("A1", "!=")]),
+        ][dep_ix]
+        substrate = "naive" if backend == "naive" else None
+        kb = "scalar" if backend == "naive" else backend
+        with substrate_mode(substrate), kernel_backend(kb):
+            if restrict is None:
+                one = Detector([dep]).detect(rel)
+                four_vs = run_dep(dep, rel, workers=4)
+                assert violation_bytes(four_vs) == violation_bytes(
+                    one.violations
+                )
+                assert one.complete and one.exhausted == ""
+            else:
+                restrict = {i for i in restrict if i < len(rel)}
+                serial = run_dep(dep, rel, restrict=restrict)
+                par = run_dep(dep, rel, restrict=restrict, workers=4)
+                assert violation_bytes(par) == violation_bytes(serial)
+
+
+class TestShardToken:
+    def test_publish_totals_and_caps(self):
+        token = ShardToken.create(4, max_candidates=100, max_pairs=50)
+        try:
+            assert token.totals() == (0, 0)
+            assert token.over_cap() == ""
+            token.publish(0, 30, 10)
+            token.publish(3, 40, 12)
+            assert token.totals() == (70, 22)
+            assert token.over_cap() == ""
+            token.publish(1, 31, 0)
+            assert token.over_cap() == "candidates"
+        finally:
+            token.close()
+            token.unlink()
+
+    def test_attach_sees_cancellation_first_reason_wins(self):
+        token = ShardToken.create(2)
+        try:
+            peer = ShardToken.attach(token.name)
+            assert peer.cancelled() == ""
+            token.cancel("deadline")
+            token.cancel("pairs")  # late reason must not overwrite
+            assert peer.cancelled() == "deadline"
+            peer.publish(1, 5, 5)
+            assert token.totals() == (5, 5)
+            peer.close()
+        finally:
+            token.close()
+            token.unlink()
+
+    def test_uncapped_token_never_over_cap(self):
+        token = ShardToken.create(2)
+        try:
+            token.publish(0, 10**9, 10**9)
+            assert token.over_cap() == ""
+        finally:
+            token.close()
+            token.unlink()
+
+
+class TestBudgetPropagation:
+    def test_exhausting_deadline_cancels_running_shards(self):
+        rel = make_relation(3000, seed=53)
+        dep = MD({"name": 0.99}, ["C"])  # text metric: slow verify
+        budget = Budget(deadline_s=0.15)
+        with kernel_backend("scalar"), governed(budget):
+            with pytest.raises(BudgetExhausted) as excinfo:
+                pairwise_violations(dep, rel, workers=4)
+        assert excinfo.value.reason == "deadline"
+        run = last_run()
+        assert run is not None and run["workers"] == 4
+        assert run["exhausted"] == "deadline"
+        # The shards' partial work was absorbed into the parent budget.
+        assert budget.pairs > 0
+
+    def test_shards_share_a_global_pair_cap(self):
+        rel = make_relation(1200, seed=59)
+        dep = MFD(["C"], ["B"], 1.0)
+        budget = Budget(max_pairs=2000)
+        with kernel_backend("scalar"), governed(budget):
+            with pytest.raises(BudgetExhausted) as excinfo:
+                pairwise_violations(dep, rel, workers=4)
+        assert excinfo.value.reason == "pairs"
+        assert budget.pairs >= 2000
+
+    def test_child_budget_cancellation_propagates_into_shards(self):
+        rel = make_relation(3000, seed=61)
+        dep = MD({"name": 0.99}, ["C"])
+        parent = Budget(deadline_s=30.0)
+        stage = parent.child(deadline_s=0.15)
+        with kernel_backend("scalar"), governed(stage):
+            with pytest.raises(BudgetExhausted) as excinfo:
+                pairwise_violations(dep, rel, workers=4)
+        assert excinfo.value.reason == "deadline"
+        # Stage work propagated up the chain; the parent survives.
+        assert parent.pairs > 0 and parent.exhausted == ""
+
+    def test_generous_budget_leaves_results_identical(self):
+        rel = make_relation(500, seed=67)
+        dep = OD(["A"], ["B"])
+        serial = pairwise_violations(dep, rel)
+        with governed(Budget(deadline_s=60.0, max_pairs=10**9)):
+            parallel = pairwise_violations(dep, rel, workers=4)
+        assert violation_bytes(parallel) == violation_bytes(serial)
