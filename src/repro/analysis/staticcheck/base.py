@@ -1,0 +1,83 @@
+"""Pass protocol and the small AST vocabulary every pass shares."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from .findings import Finding
+from .model import SourceModule
+
+__all__ = [
+    "CheckPass",
+    "call_target",
+    "dotted_name",
+    "iter_functions",
+    "walk_scope",
+]
+
+_SCOPE_BARRIERS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                   ast.ClassDef)
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_target(node: ast.Call) -> str:
+    """Dotted target of a call (``""`` for computed callees)."""
+    return dotted_name(node.func) or ""
+
+
+def walk_scope(node: ast.AST, *, include_root: bool = True) -> Iterator[ast.AST]:
+    """Walk ``node`` without descending into nested def/class scopes.
+
+    The bread and butter of "does *this function* do X" questions:
+    a nested helper's body is its own scope and must not answer for
+    its parent.
+    """
+    if include_root:
+        yield node
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, _SCOPE_BARRIERS):
+            continue
+        yield from walk_scope(child, include_root=True)
+
+
+def iter_functions(
+    tree: ast.AST,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function in the tree, nested ones included."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+class CheckPass:
+    """One registered invariant check.
+
+    Local passes override :meth:`run`; whole-program passes (lock
+    ordering needs every acquisition site at once) override
+    :meth:`run_project`.  A pass may implement both.
+    """
+
+    #: The SC code this pass emits (used for suppression matching).
+    code: str = ""
+    name: str = ""
+
+    def run(self, module: SourceModule) -> Iterable[Finding]:
+        return ()
+
+    def run_project(
+        self, modules: list[SourceModule]
+    ) -> Iterable[Finding]:
+        return ()

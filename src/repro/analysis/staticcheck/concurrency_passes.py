@@ -1,0 +1,387 @@
+"""Lock-order (SC004) and async-hygiene (SC007) analysis.
+
+SC004 builds the project-wide lock acquisition graph: every
+``with <lock>:`` statement is an acquisition site, nested acquisitions
+and lock-holding calls contribute *order edges* (lock A held while B is
+taken), and any cycle in that graph is a potential deadlock — two
+threads entering the cycle from different nodes block forever.  Lock
+identities are ``Class.attr`` (receiver variables are matched to
+classes by name and by attribute-construction inference), so
+``tenant.lock`` in the app and ``self.lock`` inside ``Tenant`` are the
+same node.  Call edges are deliberately conservative: a call only
+contributes its callee's locks when the callee resolves with high
+confidence (same module, ``self.``, or an inferred receiver class);
+an unresolvable call contributes nothing rather than a false cycle.
+
+SC004 also flags a lock held across an ``await``: the event loop
+parks the coroutine mid-critical-section while every other task —
+including ones that need the same lock — is starved behind it.
+
+SC007 flags blocking calls made directly inside ``async def`` bodies:
+file I/O, ``fsync``, ``time.sleep`` and the engine entry points all
+stall the entire event loop; handlers must push them through
+``run_sync``/``run_in_thread``/``run_in_executor`` instead.  Work
+wrapped in a lambda or nested function (the ``run_sync`` idiom) is a
+separate scope and is not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from .base import CheckPass, call_target, dotted_name, walk_scope
+from .findings import (
+    BLOCKING_IN_ASYNC,
+    LOCK_ORDER,
+    Finding,
+    make_finding,
+)
+from .model import SourceModule
+
+__all__ = ["AsyncBlockingPass", "LockOrderPass"]
+
+_Func = ast.FunctionDef | ast.AsyncFunctionDef
+
+#: Call tails that block the event loop when awaited nowhere.
+BLOCKING_TAILS = frozenset({
+    "open", "fsync", "sleep",
+    # engine entry points: CPU-bound kernel work
+    "apply_batch", "log_batch", "violations", "detect",
+    "profile_relation", "repair_fds", "recover", "write_snapshot",
+})
+#: Dotted prefixes that make a blocking tail non-blocking (async APIs).
+_ASYNC_SAFE_HEADS = frozenset({"asyncio", "loop", "self"})
+
+
+def _is_lock_expr(expr: ast.expr) -> bool:
+    if isinstance(expr, ast.Name):
+        return "lock" in expr.id.lower()
+    if isinstance(expr, ast.Attribute):
+        return "lock" in expr.attr.lower()
+    return False
+
+
+@dataclass
+class _LockSite:
+    """One ``with <lock>:`` acquisition."""
+
+    identity: str
+    node: ast.With | ast.AsyncWith
+    module: SourceModule
+    function: _Func
+
+
+@dataclass
+class _FunctionInfo:
+    key: str
+    node: _Func
+    module: SourceModule
+    cls: str | None
+    sites: list[_LockSite] = field(default_factory=list)
+    calls: list[ast.Call] = field(default_factory=list)
+    #: Transitive "may acquire" summary, filled by the fixpoint.
+    summary: set[str] = field(default_factory=set)
+
+
+class _ProjectIndex:
+    """Classes, methods, attribute types across the analyzed modules."""
+
+    def __init__(self, modules: list[SourceModule]) -> None:
+        #: lowercase class name -> class name
+        self.classes: dict[str, str] = {}
+        #: (class name, method name) -> function key
+        self.methods: dict[tuple[str, str], str] = {}
+        #: module path -> {top-level callable name -> function key}
+        self.module_level: dict[str, dict[str, str]] = {}
+        #: attribute name -> class name (dropped on conflict)
+        self.attr_types: dict[str, str | None] = {}
+        self.functions: dict[str, _FunctionInfo] = {}
+        for module in modules:
+            self._index_module(module)
+
+    def _index_module(self, module: SourceModule) -> None:
+        top: dict[str, str] = {}
+        self.module_level[module.path] = top
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                self.classes[node.name.lower()] = node.name
+                self._index_attr_types(node)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            cls = self._enclosing_class(module, node)
+            key = f"{module.path}::{cls or ''}::{node.name}"
+            info = _FunctionInfo(
+                key=key, node=node, module=module, cls=cls
+            )
+            self.functions[key] = info
+            if cls is not None:
+                self.methods.setdefault((cls, node.name), key)
+                if node.name == "__init__":
+                    self.methods.setdefault((cls, "__call_class__"), key)
+            elif isinstance(module.parent(node), ast.Module):
+                top[node.name] = key
+
+    def _index_attr_types(self, cls: ast.ClassDef) -> None:
+        """Record ``self.x = ClassName(...)`` / ``x: ClassName`` types."""
+        for node in ast.walk(cls):
+            attr: str | None = None
+            type_name: str | None = None
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Attribute)
+                and isinstance(node.targets[0].value, ast.Name)
+                and node.targets[0].value.id == "self"
+                and isinstance(node.value, ast.Call)
+            ):
+                attr = node.targets[0].attr
+                type_name = call_target(node.value).rsplit(".", 1)[-1]
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                attr = node.target.id
+                type_name = self._annotation_class(node.annotation)
+            if attr is None or not type_name:
+                continue
+            if not type_name[:1].isupper():
+                continue
+            if attr in self.attr_types and self.attr_types[attr] != type_name:
+                self.attr_types[attr] = None  # conflicting; drop
+            else:
+                self.attr_types.setdefault(attr, type_name)
+
+    @staticmethod
+    def _annotation_class(annotation: ast.expr) -> str | None:
+        for node in ast.walk(annotation):
+            if isinstance(node, ast.Name) and node.id[:1].isupper():
+                return node.id
+        return None
+
+    @staticmethod
+    def _enclosing_class(
+        module: SourceModule, node: ast.AST
+    ) -> str | None:
+        for anc in module.ancestors(node):
+            if isinstance(anc, ast.ClassDef):
+                return anc.name
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return None
+        return None
+
+    def resolve_call(
+        self, info: _FunctionInfo, call: ast.Call
+    ) -> str | None:
+        """Function key for a call, or ``None`` when not confident."""
+        target = dotted_name(call.func)
+        if target is None:
+            return None
+        parts = target.split(".")
+        if len(parts) == 1:
+            key = self.module_level[info.module.path].get(parts[0])
+            if key is not None:
+                return key
+            cls = self.classes.get(parts[0].lower())
+            if cls is not None:
+                return self.methods.get((cls, "__call_class__"))
+            return None
+        receiver, method = parts[-2], parts[-1]
+        if receiver == "self" and info.cls is not None:
+            key = self.methods.get((info.cls, method))
+            if key is not None:
+                return key
+        cls = self.classes.get(receiver.lower())
+        if cls is None:
+            inferred = self.attr_types.get(receiver)
+            cls = inferred if inferred else None
+        if cls is not None:
+            return self.methods.get((cls, method))
+        return None
+
+    def lock_identity(
+        self, info: _FunctionInfo, expr: ast.expr
+    ) -> str:
+        """Stable cross-module identity for a lock expression."""
+        if isinstance(expr, ast.Name):
+            return f"{info.module.name}:{expr.id}"
+        assert isinstance(expr, ast.Attribute)
+        receiver = dotted_name(expr.value) or "?"
+        head = receiver.split(".")[-1]
+        if head == "self" and info.cls is not None:
+            return f"{info.cls}.{expr.attr}"
+        cls = self.classes.get(head.lower()) or self.attr_types.get(head)
+        if cls:
+            return f"{cls}.{expr.attr}"
+        return f"{head}.{expr.attr}"
+
+
+class LockOrderPass(CheckPass):
+    """SC004: cycles in the acquisition graph, locks held across await."""
+
+    code = "SC004"
+    name = "lock-order"
+
+    def run_project(
+        self, modules: list[SourceModule]
+    ) -> Iterable[Finding]:
+        index = _ProjectIndex(modules)
+        self._collect(index)
+        self._fixpoint(index)
+        edges = self._edges(index)
+        yield from self._report_cycles(edges)
+        yield from self._await_under_lock(index)
+
+    @staticmethod
+    def _collect(index: _ProjectIndex) -> None:
+        for info in index.functions.values():
+            for node in walk_scope(info.node, include_root=False):
+                if isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        if _is_lock_expr(item.context_expr):
+                            info.sites.append(_LockSite(
+                                identity=index.lock_identity(
+                                    info, item.context_expr
+                                ),
+                                node=node,
+                                module=info.module,
+                                function=info.node,
+                            ))
+                elif isinstance(node, ast.Call):
+                    info.calls.append(node)
+
+    @staticmethod
+    def _fixpoint(index: _ProjectIndex) -> None:
+        for info in index.functions.values():
+            info.summary = {site.identity for site in info.sites}
+        changed = True
+        while changed:
+            changed = False
+            for info in index.functions.values():
+                for call in info.calls:
+                    key = index.resolve_call(info, call)
+                    if key is None:
+                        continue
+                    callee = index.functions[key].summary
+                    if not callee <= info.summary:
+                        info.summary |= callee
+                        changed = True
+
+    @staticmethod
+    def _edges(
+        index: _ProjectIndex,
+    ) -> dict[str, dict[str, tuple[str, int]]]:
+        """held-lock -> taken-lock -> one (path, line) witness."""
+        edges: dict[str, dict[str, tuple[str, int]]] = {}
+
+        def add(held: str, taken: str, path: str, line: int) -> None:
+            if taken == held:
+                pass  # self-edges are real too (non-reentrant Lock)
+            edges.setdefault(held, {}).setdefault(taken, (path, line))
+
+        for info in index.functions.values():
+            for site in info.sites:
+                for node in walk_scope(site.node, include_root=False):
+                    if isinstance(node, (ast.With, ast.AsyncWith)):
+                        for item in node.items:
+                            if _is_lock_expr(item.context_expr):
+                                add(
+                                    site.identity,
+                                    index.lock_identity(
+                                        info, item.context_expr
+                                    ),
+                                    info.module.path,
+                                    node.lineno,
+                                )
+                    elif isinstance(node, ast.Call):
+                        key = index.resolve_call(info, node)
+                        if key is None:
+                            continue
+                        for taken in index.functions[key].summary:
+                            add(
+                                site.identity, taken,
+                                info.module.path, node.lineno,
+                            )
+        return edges
+
+    @staticmethod
+    def _report_cycles(
+        edges: dict[str, dict[str, tuple[str, int]]]
+    ) -> Iterable[Finding]:
+        seen_cycles: set[frozenset[str]] = set()
+        for start in sorted(edges):
+            stack = [(start, [start])]
+            while stack:
+                node, path = stack.pop()
+                for nxt in sorted(edges.get(node, {})):
+                    if nxt == start:
+                        cycle = frozenset(path)
+                        if cycle in seen_cycles:
+                            continue
+                        seen_cycles.add(cycle)
+                        witness_path, witness_line = edges[node][nxt]
+                        chain = " -> ".join([*path, start])
+                        yield make_finding(
+                            LOCK_ORDER, witness_path, witness_line,
+                            f"lock acquisition cycle: {chain}; two "
+                            "threads entering at different nodes "
+                            "deadlock",
+                        )
+                    elif nxt not in path:
+                        stack.append((nxt, [*path, nxt]))
+        return
+
+    @staticmethod
+    def _await_under_lock(index: _ProjectIndex) -> Iterable[Finding]:
+        for info in index.functions.values():
+            if not isinstance(info.node, ast.AsyncFunctionDef):
+                continue
+            for site in info.sites:
+                if isinstance(site.node, ast.AsyncWith):
+                    continue  # asyncio locks are await-safe by design
+                for node in walk_scope(site.node, include_root=False):
+                    if isinstance(node, ast.Await):
+                        yield make_finding(
+                            LOCK_ORDER, info.module.path, node.lineno,
+                            f"lock {site.identity} held across an await; "
+                            "the event loop parks this coroutine "
+                            "mid-critical-section and starves every "
+                            "task needing the lock",
+                            context=info.module.context_of(node),
+                        )
+                        break
+
+
+class AsyncBlockingPass(CheckPass):
+    """SC007: no direct blocking calls inside ``async def`` bodies."""
+
+    code = "SC007"
+    name = "blocking-in-async"
+
+    def run(self, module: SourceModule) -> Iterable[Finding]:
+        for func in ast.walk(module.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for node in walk_scope(func, include_root=False):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = call_target(node)
+                if not target:
+                    continue
+                parts = target.split(".")
+                tail = parts[-1]
+                if tail not in BLOCKING_TAILS:
+                    continue
+                if len(parts) > 1 and parts[0] in _ASYNC_SAFE_HEADS:
+                    # asyncio.sleep / loop.* / self-delegation are the
+                    # caller's own async machinery, not blocking work.
+                    if tail == "sleep" or parts[0] != "self":
+                        continue
+                yield make_finding(
+                    BLOCKING_IN_ASYNC, module.path, node.lineno,
+                    f"blocking call {target}() directly inside async "
+                    f"def {func.name}; route it through run_sync/"
+                    "run_in_thread so the event loop keeps serving",
+                    context=module.context_of(node),
+                )

@@ -1,0 +1,249 @@
+"""Shared-memory lifecycle (SC003) and fork safety (SC005).
+
+SC003 models the ownership discipline of :mod:`repro.plan.slabs` and
+:mod:`repro.runtime.budget`: a function that *creates* a shared-memory
+resource (a raw ``SharedMemory`` block, a ``ShardToken``) must either
+hand ownership off — return/yield it, store it in a registry attribute
+or subscript — or guarantee release on every exit path via a
+``finally`` block that closes/unlinks it.  Anything else leaks a
+``/dev/shm`` segment the moment an unexpected exception (including
+``KeyboardInterrupt``) unwinds through the function.
+
+SC005 models the fork-context process-pool rules: pools are created
+only on the main thread (forking a multi-threaded parent from a helper
+thread deadlocks), and only module-level callables are submitted —
+closures and bound methods may pickle, but drag captured state across
+the fork boundary where it silently diverges.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from .base import CheckPass, call_target, walk_scope
+from .findings import (
+    FORK_SAFETY,
+    LEAKED_SHARED_MEMORY,
+    Finding,
+    make_finding,
+)
+from .model import SourceModule
+
+__all__ = ["ForkSafetyPass", "SharedMemoryLifecyclePass"]
+
+#: Call-target suffixes that create an owned shared-memory resource.
+CREATOR_SUFFIXES = (
+    "SharedMemory",
+    "ShardToken.create",
+    "ShardToken.attach",
+    "_attach_block",
+)
+#: A call whose target contains one of these releases resources.
+RELEASER_HINTS = ("release",)
+_CLOSERS = {"close", "unlink"}
+
+_Func = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def _is_creator(call: ast.Call) -> bool:
+    target = call_target(call)
+    return bool(target) and any(
+        target == suf or target.endswith("." + suf)
+        for suf in CREATOR_SUFFIXES
+    )
+
+
+def _name_in(tree: ast.AST, name: str) -> bool:
+    """True when the *handle itself* appears in ``tree``.
+
+    An attribute read (``token.name``) hands off a derived value, not
+    the resource, so Name nodes that are the base of an Attribute do
+    not count.
+    """
+    attr_bases = {
+        id(n.value) for n in ast.walk(tree) if isinstance(n, ast.Attribute)
+    }
+    return any(
+        isinstance(n, ast.Name) and n.id == name and id(n) not in attr_bases
+        for n in ast.walk(tree)
+    )
+
+
+class SharedMemoryLifecyclePass(CheckPass):
+    """SC003: created shared-memory handles escape or hit a finally."""
+
+    code = "SC003"
+    name = "leaked-shared-memory"
+
+    def run(self, module: SourceModule) -> Iterable[Finding]:
+        for func in (
+            n for n in ast.walk(module.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ):
+            yield from self._check_function(module, func)
+
+    def _check_function(
+        self, module: SourceModule, func: _Func
+    ) -> Iterable[Finding]:
+        for stmt in walk_scope(func, include_root=False):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            if not isinstance(stmt.value, ast.Call):
+                continue
+            if not _is_creator(stmt.value):
+                continue
+            targets = [
+                t.id for t in stmt.targets if isinstance(t, ast.Name)
+            ]
+            for name in targets:
+                if self._escapes(func, name):
+                    continue
+                if self._released_in_finally(func, name):
+                    continue
+                yield make_finding(
+                    LEAKED_SHARED_MEMORY, module.path, stmt.lineno,
+                    f"{name!r} holds a shared-memory resource from "
+                    f"{call_target(stmt.value)}() but no finally block "
+                    "releases it and it never escapes this function; an "
+                    "unexpected exception leaks the segment",
+                    context=module.context_of(stmt),
+                )
+
+    @staticmethod
+    def _escapes(func: _Func, name: str) -> bool:
+        """Returned/yielded, or stored into an attribute/subscript."""
+        for node in walk_scope(func, include_root=False):
+            if isinstance(node, ast.Return) and node.value is not None:
+                if _name_in(node.value, name):
+                    return True
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                value = node.value
+                if value is not None and _name_in(value, name):
+                    return True
+            if isinstance(node, ast.Assign):
+                stored = any(
+                    isinstance(t, (ast.Attribute, ast.Subscript))
+                    for t in node.targets
+                )
+                if stored and _name_in(node.value, name):
+                    return True
+        return False
+
+    @staticmethod
+    def _released_in_finally(func: _Func, name: str) -> bool:
+        for node in walk_scope(func, include_root=False):
+            if not isinstance(node, ast.Try) or not node.finalbody:
+                continue
+            for stmt in node.finalbody:
+                for call in ast.walk(stmt):
+                    if not isinstance(call, ast.Call):
+                        continue
+                    target = call_target(call)
+                    head, _, tail = target.rpartition(".")
+                    if tail in _CLOSERS and head.split(".")[-1] == name:
+                        return True
+                    if any(h in target.lower() for h in RELEASER_HINTS):
+                        return True
+        return False
+
+
+class ForkSafetyPass(CheckPass):
+    """SC005: fork-context pools — main-thread creation, picklable work."""
+
+    code = "SC005"
+    name = "fork-safety"
+
+    def run(self, module: SourceModule) -> Iterable[Finding]:
+        creations = [
+            node for node in ast.walk(module.tree)
+            if isinstance(node, ast.Call)
+            and call_target(node).rsplit(".", 1)[-1] == "ProcessPoolExecutor"
+        ]
+        if not creations:
+            return
+        for call in creations:
+            func = self._enclosing_function(module, call)
+            if func is None or not self._has_main_thread_guard(func):
+                yield make_finding(
+                    FORK_SAFETY, module.path, call.lineno,
+                    "ProcessPoolExecutor created without a "
+                    "current_thread() is main_thread() guard; forking a "
+                    "multi-threaded parent off the main thread deadlocks",
+                    context=module.context_of(call),
+                )
+        module_level = self._module_level_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if call_target(node).rsplit(".", 1)[-1] != "submit":
+                continue
+            if not node.args:
+                continue
+            yield from self._check_submit_target(
+                module, node, node.args[0], module_level
+            )
+
+    @staticmethod
+    def _enclosing_function(
+        module: SourceModule, node: ast.AST
+    ) -> _Func | None:
+        for anc in module.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+        return None
+
+    @staticmethod
+    def _has_main_thread_guard(func: _Func) -> bool:
+        saw_current = saw_main = False
+        for node in walk_scope(func):
+            if isinstance(node, ast.Call):
+                tail = call_target(node).rsplit(".", 1)[-1]
+                saw_current = saw_current or tail == "current_thread"
+                saw_main = saw_main or tail == "main_thread"
+        return saw_current and saw_main
+
+    @staticmethod
+    def _module_level_names(tree: ast.Module) -> set[str]:
+        names: set[str] = set()
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                names.add(stmt.name)
+            elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                for alias in stmt.names:
+                    names.add(alias.asname or alias.name.split(".")[0])
+        return names
+
+    def _check_submit_target(
+        self,
+        module: SourceModule,
+        call: ast.Call,
+        target: ast.expr,
+        module_level: set[str],
+    ) -> Iterable[Finding]:
+        if isinstance(target, ast.Lambda):
+            yield make_finding(
+                FORK_SAFETY, module.path, call.lineno,
+                "lambda submitted to the process pool; lambdas do not "
+                "pickle across the fork boundary",
+                context=module.context_of(call),
+            )
+        elif isinstance(target, ast.Attribute):
+            yield make_finding(
+                FORK_SAFETY, module.path, call.lineno,
+                f"bound method {ast.unparse(target)!r} submitted to the "
+                "process pool; submit a module-level function so workers "
+                "never unpickle captured instance state",
+                context=module.context_of(call),
+            )
+        elif (
+            isinstance(target, ast.Name)
+            and target.id not in module_level
+        ):
+            yield make_finding(
+                FORK_SAFETY, module.path, call.lineno,
+                f"{target.id!r} is not a module-level callable; nested "
+                "functions and closures do not pickle for process-pool "
+                "workers",
+                context=module.context_of(call),
+            )

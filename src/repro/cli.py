@@ -39,6 +39,7 @@ of dying mid-way with nothing.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
@@ -310,6 +311,32 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if report.has_errors else 0
 
 
+def cmd_staticcheck(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.staticcheck import (
+        load_baseline,
+        render_json,
+        render_text,
+        run_paths,
+    )
+
+    paths = args.paths or (["src"] if os.path.isdir("src") else ["."])
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"[error] cannot read baseline {args.baseline}: {exc}")
+            return 2
+    report = run_paths(paths, baseline=baseline)
+    if args.format == "json":
+        print(json.dumps(render_json(report), indent=2))
+    else:
+        print(render_text(report))
+    return 1 if report.has_findings else 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -516,6 +543,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--text", action="append", default=[])
     p_lint.set_defaults(func=cmd_lint)
 
+    p_static = sub.add_parser(
+        "staticcheck",
+        help="run the repo-wide invariant analyzer over source trees",
+    )
+    p_static.add_argument(
+        "paths", nargs="*",
+        help="files or directories to analyze (default: src)",
+    )
+    p_static.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        help="report format (default text)",
+    )
+    p_static.add_argument(
+        "--baseline", default=None,
+        help="JSON report (or fingerprint list) of known findings to "
+        "waive; new findings still fail",
+    )
+    p_static.set_defaults(func=cmd_staticcheck)
+
     p_plan = sub.add_parser(
         "plan",
         help="print the compiled evaluation plan of each rule",
@@ -617,7 +663,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         # CLI etiquette is a quiet exit.
         try:
             sys.stdout.close()
-        except Exception:
+        except OSError:
             pass
         return 0
 

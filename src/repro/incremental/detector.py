@@ -24,7 +24,7 @@ from typing import Any
 from ..core.violation import ViolationSet
 from ..quality.detection import DetectionReport
 from ..relation.relation import Relation
-from ..runtime.budget import checkpoint
+from ..runtime.budget import Budget, checkpoint, governed
 from ..runtime.errors import BudgetExhausted
 from .checkers import IncrementalChecker, checker_for
 from .delta import Delta
@@ -207,7 +207,15 @@ class IncrementalDetector:
             if rule is None:
                 return False
             try:
-                self._checkers.append(checker_for(rule, self._relation))
+                # Fresh unlimited budget: the rebuild must complete even
+                # when the ambient (caller) budget is already exhausted
+                # — a deadline is not a reason to deactivate a rule.
+                with governed(Budget()):
+                    self._checkers.append(
+                        checker_for(rule, self._relation)
+                    )
+            except BudgetExhausted:
+                raise  # impossible under the fresh budget; never a death
             except Exception as exc:  # noqa: BLE001 - mirror _rebuild
                 message = f"resume rebuild failed: {exc}"
                 self.quarantine.append((len(self.history), label, message))
@@ -227,7 +235,14 @@ class IncrementalDetector:
         """
         label = checker.rule.label()
         try:
-            return checker_for(checker.rule, relation)
+            # Fresh unlimited budget: rebuilds happen precisely when the
+            # ambient budget just ran out mid-batch, and a cold build
+            # through the plan kernels would otherwise die on the first
+            # checkpoint — deactivating healthy rules on every deadline.
+            with governed(Budget()):
+                return checker_for(checker.rule, relation)
+        except BudgetExhausted:
+            raise  # impossible under the fresh budget; never a death
         except Exception as exc:  # noqa: BLE001 - must never crash apply
             quarantined.append(f"{label}: rebuild failed: {exc}")
             self.dead_rules.append(label)

@@ -96,6 +96,8 @@ class Metric:
         try:
             if _builtin_metric(self.name) is self:
                 return (_builtin_metric, (self.name,))
+        # staticcheck: disable=SC008 — pickling fallback: resolution
+        # failure just defers to default pickling; no budget runs here.
         except Exception:
             pass
         return super().__reduce__()

@@ -533,9 +533,17 @@ def _iter_metric_pairs(
         low, high = iv.low, iv.high
         if atom.semantics == "within":
             low, high = 0.0, iv.high
+        since_poll = 0
         for idx, (u, rows_u) in enumerate(reps):
             if not _owned(shard, idx):
                 continue
+            # Buckets whose window is empty yield nothing, so the
+            # consumer never charges them; poll the budget directly so
+            # deadlines and shard cancellation still bite.
+            since_poll += 1
+            if since_poll >= _BATCH:
+                since_poll = 0
+                checkpoint()
             if len(rows_u) > 1 and atom.accepts_distance(
                 metric.distance(u, u)
             ):
@@ -564,6 +572,7 @@ def _iter_metric_pairs(
     if m * (m - 1) // 2 + m > n * (n - 1) // 2:
         yield from _iter_scan_pairs(n, restrict, shard)
         return
+    since_poll = 0
     for a in range(m):
         if not _owned(shard, a):
             continue
@@ -571,6 +580,12 @@ def _iter_metric_pairs(
         if len(rows_u) > 1 and atom.accepts_distance(metric.distance(u, u)):
             yield from expand_self(rows_u)
         for b in range(a + 1, m):
+            # Rejected representative pairs are pure uncharged work
+            # (distance computed, nothing yielded); poll per batch.
+            since_poll += 1
+            if since_poll >= _BATCH:
+                since_poll = 0
+                checkpoint()
             v, rows_v = reps[b]
             if atom.accepts_distance(metric.distance(u, v)):
                 yield from expand(rows_u, rows_v)
@@ -599,12 +614,20 @@ def _iter_sweep_pairs(
     # sweep partition the pair space while every shard still feeds all
     # rows through the sorted store structures.
     i = 0
+    since_poll = 0
     while i < len(rows):
         v0 = sort_col[rows[i]]
         j = i
         while j < len(rows) and sort_col[rows[j]] == v0:
             j += 1
         block = rows[i:j]
+        # A sweep over violation-free data yields nothing, so the
+        # consumer never charges it; poll the budget per block batch so
+        # deadlines and shard cancellation still interrupt the sweep.
+        since_poll += len(block)
+        if since_poll >= _BATCH:
+            since_poll = 0
+            checkpoint()
         if not spec.strict and len(block) > 1:
             # Non-strict guard: equal sort values satisfy the guard in
             # both orientations — brute-force the tie block.

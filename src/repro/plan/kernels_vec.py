@@ -47,6 +47,7 @@ from typing import Any
 import numpy as np
 
 from ..runtime import checkpoint
+from ..runtime.errors import BudgetExhausted
 from .ir import (
     CmpAtom,
     ConstAtom,
@@ -105,6 +106,8 @@ def _gather_columns(
         try:
             codes, floats, valid = ctx.gather(a)
             values = ctx.distinct_values(a)
+        except BudgetExhausted:
+            raise  # exhaustion must propagate, never degrade to scalar
         except Exception:
             # Unknown attribute (SchemaError) or unhashable cells
             # (TypeError from the codebook build): not encodable.
@@ -220,6 +223,8 @@ def _bind_pattern(atom: PatternAtom, cols: dict[str, _Col]) -> _AtomFn | None:
     col = cols[atom.attr]
     try:
         lut = _lut(col, atom.entry.matches)
+    except BudgetExhausted:
+        raise  # exhaustion must propagate, never degrade to scalar
     except Exception:
         return None
     c = col.codes
@@ -247,6 +252,8 @@ def _bind_metric(
 
     try:
         metric = atom.resolve_metric(ctx)
+    except BudgetExhausted:
+        raise  # exhaustion must propagate, never degrade to scalar
     except Exception:
         return None
     if metric is not ABS_DIFF:
@@ -546,7 +553,12 @@ def _sweep_blocks(prep: _SweepPrep) -> _BlockIter:
     buf_p: list[_Arr] = []
     buf_q: list[_Arr] = []
     buffered = 0
-    for t in prep.cand.tolist():
+    for k, t in enumerate(prep.cand.tolist()):
+        # Each candidate does O(prefix) vector work but may buffer or
+        # drop every partner without yielding; poll the budget in
+        # batches so deadlines and shard cancellation still bite.
+        if k % 256 == 0:
+            checkpoint()
         b = int(prep.block_start[t])
         if b == 0:
             continue
@@ -650,6 +662,9 @@ class VecPlan:
             yield from source
             return
         for p, q in source:
+            # A restriction mask can drop whole blocks, leaving the
+            # consumer nothing to charge; poll per source block.
+            checkpoint()
             keep = rmask[p] | rmask[q]
             if keep.any():
                 yield p[keep], q[keep]
@@ -707,6 +722,8 @@ def bind(plan: Plan, ctx: ExecutionContext) -> VecPlan | None:
 
         try:
             metric = atom.resolve_metric(ctx)
+        except BudgetExhausted:
+            raise  # exhaustion must propagate, never degrade to scalar
         except Exception:
             return None
         col = cols[atom.attribute]

@@ -47,7 +47,10 @@ import threading
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import contextmanager
 from collections.abc import Iterator
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from ..runtime.budget import ShardToken
 
 from .ir import kernel_backend_mode
 from .slabs import (
@@ -330,9 +333,13 @@ def execute_parallel(
     slabs = None
     try:
         handle = ctx.share()
+    # staticcheck: disable=SC008 — shm sharing is an optimization; any
+    # failure falls back to pickled slabs, then to the serial path.
     except Exception:
         try:
             slabs = ColumnSlabs.from_context(ctx)
+        # staticcheck: disable=SC008 — unpicklable snapshot state: the
+        # serial executor handles this dependency with zero loss.
         except Exception:
             return None
     base: dict[str, Any] = {
@@ -366,21 +373,53 @@ def execute_parallel(
         }
 
     def release_token() -> None:
+        # Idempotent: the finally below runs on *every* exit path
+        # (including KeyboardInterrupt mid-merge), and the earlier
+        # explicit callers must not double-close the segment.
+        nonlocal token
         if token is not None:
+            released, token = token, None
             if budget is not None:
-                budget.detach_token(token)
-            token.close()
-            token.unlink()
+                budget.detach_token(released)
+            released.close()
+            released.unlink()
+
+    try:
+        return _run_sharded(
+            pool, base, workers, budget, token, ctx, handle, mode
+        )
+    finally:
+        release_token()
+
+
+def _run_sharded(
+    pool: Any,
+    base: "dict[str, Any]",
+    workers: int,
+    budget: Any,
+    token: "ShardToken | None",
+    ctx: Any,
+    handle: Any,
+    mode: str,
+) -> "list[Any] | None":
+    """Body of :func:`execute_parallel` once the shard token exists.
+
+    The caller owns the token and releases it in a ``finally``; this
+    helper may use it but never closes it.
+    """
+    global _last_run
+    from .kernels import COUNTERS
 
     try:
         blobs = [
             pickle.dumps({**base, "shard": (k, workers)})
             for k in range(workers)
         ]
+    # staticcheck: disable=SC008 — pickling runs no budget-governed
+    # code; any failure degrades to the lossless serial path.
     except Exception:
         # Opaque predicates / custom metrics close over unpicklable
         # state; the serial path handles them with zero loss.
-        release_token()
         return None
     try:
         futures = [pool.submit(_run_shard, blob) for blob in blobs]
@@ -402,13 +441,16 @@ def execute_parallel(
         results: list[dict[str, Any]] = [
             pickle.loads(f.result()) for f in futures
         ]
+    # staticcheck: disable=SC008 — shard exhaustion travels in-band
+    # (the results' 'exhausted' field), never as an exception; what
+    # lands here is a crashed/killed worker, and the serial rerun
+    # re-applies the budget from scratch.
     except Exception:
         # A crashed worker poisons the whole pool — rebuild lazily and
         # degrade this execution to serial (no partial merge: counters
         # from a half-collected fleet would double-count after the
         # serial rerun).
         shutdown()
-        release_token()
         return None
     n = ctx.n
     strategy = next((r["strategy"] for r in results if r["strategy"]), "never")
@@ -447,7 +489,8 @@ def execute_parallel(
             sum(r["candidates"] for r in results),
             sum(r["pairs"] for r in results),
         )
-        release_token()
         if exhausted:
+            # The caller's finally releases the token before this
+            # BudgetExhausted reaches anyone who could observe it.
             budget._exhaust(exhausted)
     return [payload for _, payload in keyed]

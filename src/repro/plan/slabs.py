@@ -261,6 +261,8 @@ def release_shared(token: str | None = None) -> None:
         try:
             shm.close()
             shm.unlink()
+        # staticcheck: disable=SC008 — idempotent shutdown-path cleanup
+        # of shm blocks; nothing budget-governed runs inside the try.
         except Exception:
             pass
 

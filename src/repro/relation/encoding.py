@@ -228,6 +228,9 @@ class ColumnCodes:
             try:
                 if v != v:
                     self.self_unequal = True
+            # staticcheck: disable=SC008 — a user value whose __eq__
+            # raises is treated as self-unequal (the safe direction);
+            # no budget-governed code runs in the comparison.
             except Exception:
                 self.self_unequal = True
             if v is None:
@@ -288,6 +291,9 @@ class ColumnCodes:
             try:
                 if v != v:
                     out.self_unequal = True
+            # staticcheck: disable=SC008 — a user value whose __eq__
+            # raises is treated as self-unequal (the safe direction);
+            # no budget-governed code runs in the comparison.
             except Exception:
                 out.self_unequal = True
             if v is None:
@@ -334,6 +340,9 @@ class ColumnCodes:
                 try:
                     if v != v:
                         self_unequal = True
+                # staticcheck: disable=SC008 — a user value whose
+                # __eq__ raises is treated as self-unequal (the safe
+                # direction); no budget-governed code runs here.
                 except Exception:
                     self_unequal = True
                 if v is not None:

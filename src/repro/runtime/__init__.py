@@ -13,6 +13,8 @@ bounded latency with honest degradation:
   substrate/metric boundary (imported lazily; test/bench tooling).
 """
 
+from typing import Any
+
 from .budget import (
     Budget,
     ShardToken,
@@ -47,7 +49,7 @@ __all__ = [
 _FAULT_NAMES = {"FaultInjector", "FaultSpec", "FaultInjected", "inject"}
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     # Lazy: faults patches substrate classes, so importing it eagerly
     # would create an import cycle with repro.relation / repro.metrics.
     if name in _FAULT_NAMES:

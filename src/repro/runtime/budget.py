@@ -31,8 +31,15 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 from collections.abc import Iterator, Sequence
+from typing import TYPE_CHECKING
 
 from .errors import BudgetExhausted
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycles)
+    from multiprocessing.shared_memory import SharedMemory
+
+    from ..core.base import Dependency
+    from ..relation.relation import Relation
 
 _MEMORY_CHECK_STRIDE = 64
 
@@ -66,7 +73,7 @@ class ShardToken:
     _HEADER = struct.Struct("<BBHqq")
     _SLOT = struct.Struct("<qq")
 
-    def __init__(self, shm, workers: int, *, owner: bool) -> None:
+    def __init__(self, shm: SharedMemory, workers: int, *, owner: bool) -> None:
         self._shm = shm
         self.workers = workers
         self._owner = owner
@@ -115,6 +122,8 @@ class ShardToken:
     def close(self) -> None:
         try:
             self._shm.close()
+        # staticcheck: disable=SC008 — idempotent cleanup of an shm
+        # mapping; nothing budget-governed runs inside the try.
         except Exception:  # pragma: no cover - double close
             pass
 
@@ -122,6 +131,8 @@ class ShardToken:
         if self._owner:
             try:
                 self._shm.unlink()
+            # staticcheck: disable=SC008 — idempotent cleanup of an shm
+            # segment; nothing budget-governed runs inside the try.
             except Exception:  # pragma: no cover - already unlinked
                 pass
 
@@ -375,6 +386,8 @@ class Budget:
         for token in tokens:
             try:
                 token.cancel(reason)
+            # staticcheck: disable=SC008 — best-effort fan-out of the
+            # cancel flag; the BudgetExhausted below always raises.
             except Exception:  # pragma: no cover - token already gone
                 pass
         raise BudgetExhausted(reason, budget=self)
@@ -433,7 +446,8 @@ def _peak_rss_bytes() -> int:
         rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
         # ru_maxrss is KiB on Linux, bytes on macOS.
         return rss if sys.platform == "darwin" else rss * 1024
-    except Exception:  # pragma: no cover - non-POSIX platforms
+    except (ImportError, OSError, AttributeError):
+        # pragma: no cover - non-POSIX platforms
         return 0
 
 
@@ -478,7 +492,7 @@ def checkpoint(candidates: int = 0, pairs: int = 0) -> None:
 
 # -- graceful degradation helpers --------------------------------------
 
-def sample_relation(relation, max_rows: int = 64):
+def sample_relation(relation: Relation, max_rows: int = 64) -> Relation:
     """An evenly strided row sample (deterministic, order-preserving)."""
     n = len(relation)
     if n <= max_rows:
@@ -489,12 +503,12 @@ def sample_relation(relation, max_rows: int = 64):
 
 
 def verify_on_sample(
-    relation,
-    candidates: Sequence,
+    relation: Relation,
+    candidates: Sequence[Dependency],
     *,
     max_candidates: int = 50,
     max_rows: int = 64,
-) -> list:
+) -> list[Dependency]:
     """Sampled verification of enumerated-but-unchecked candidates.
 
     The FASTDC/Hydra-style degradation: when the exact search ran out
@@ -505,16 +519,27 @@ def verify_on_sample(
 
     Deliberately budget-blind (it must run *after* exhaustion) but
     hard-capped on both rows and candidates, so the post-deadline
-    overrun stays bounded.
+    overrun stays bounded.  Budget-blind means *actively* so: the
+    ambient budget is exactly the one that just ran out, and any
+    ``dep.holds`` routed through the plan kernels would re-raise
+    :class:`~repro.runtime.errors.BudgetExhausted` at its first
+    checkpoint — silently rejecting every survivor.  Each probe runs
+    under a fresh unlimited budget instead.
     """
     if not candidates:
         return []
     sample = sample_relation(relation, max_rows=max_rows)
-    out = []
+    out: list[Dependency] = []
     for dep in list(candidates)[:max_candidates]:
         try:
-            if dep.holds(sample):
-                out.append(dep)
+            with governed(Budget()):
+                if dep.holds(sample):
+                    out.append(dep)
+        except BudgetExhausted:
+            raise  # impossible under the fresh budget
         except Exception:
+            # A candidate whose own evaluation faults on the sample is
+            # simply not a survivor; verification stays best-effort
+            # (BudgetExhausted is peeled off above, never swallowed).
             continue
     return out

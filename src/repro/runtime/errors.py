@@ -20,6 +20,11 @@ instead of string-matching bare ``ValueError`` messages:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
+    from .budget import Budget
+
 
 class ReproError(Exception):
     """Base class for all typed library errors."""
@@ -66,7 +71,7 @@ class BudgetExhausted(ReproError):
     ``DiscoveryStats.exhausted`` / ``RepairLog.exhausted``.
     """
 
-    def __init__(self, reason: str, budget=None) -> None:
+    def __init__(self, reason: str, budget: Budget | None = None) -> None:
         super().__init__(f"budget exhausted: {reason}")
         self.reason = reason
         self.budget = budget

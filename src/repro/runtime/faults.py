@@ -156,9 +156,9 @@ class FaultInjector:
 
     def __init__(self, *specs: FaultSpec) -> None:
         self.specs = list(specs)
-        self.calls: Counter = Counter()
-        self.fired: Counter = Counter()
-        self._saved: list[tuple[type, str, Any]] = []
+        self.calls: Counter[str] = Counter()
+        self.fired: Counter[str] = Counter()
+        self._saved: list[tuple[type[Any], str, Any]] = []
 
     # -- trigger logic -------------------------------------------------
 
@@ -187,7 +187,7 @@ class FaultInjector:
 
     # -- installation --------------------------------------------------
 
-    def _patch(self, cls: type, name: str, wrapper: Any) -> None:
+    def _patch(self, cls: type[Any], name: str, wrapper: Any) -> None:
         self._saved.append((cls, name, cls.__dict__[name]))
         setattr(cls, name, wrapper)
 
@@ -200,19 +200,19 @@ class FaultInjector:
         real_partition = PartitionCache.partition
         real_groups = PartitionCache.groups
 
-        def distance(self, a, b):
+        def distance(self: Any, a: Any, b: Any) -> Any:
             hit = injector._intercept("metric")
             if hit is not _REAL:
                 return hit
             return real_distance(self, a, b)
 
-        def partition(self, attributes):
+        def partition(self: Any, attributes: Any) -> Any:
             hit = injector._intercept("partition")
             if hit is not _REAL:  # pragma: no cover - corrupt unsupported
                 return hit
             return real_partition(self, attributes)
 
-        def groups(self, attributes):
+        def groups(self: Any, attributes: Any) -> Any:
             hit = injector._intercept("groups")
             if hit is not _REAL:  # pragma: no cover - corrupt unsupported
                 return hit
@@ -223,7 +223,7 @@ class FaultInjector:
         self._patch(PartitionCache, "groups", groups)
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         while self._saved:
             cls, name, original = self._saved.pop()
             setattr(cls, name, original)

@@ -722,6 +722,9 @@ class ServerHandle:
 
         try:
             loop.run_until_complete(main())
+        # staticcheck: disable=SC008 — server-thread boundary: startup
+        # failures are surfaced to the caller through start()'s ready
+        # event, and nothing may escape a daemon thread's run().
         except BaseException:  # pragma: no cover - surfaced via start()
             pass
         finally:

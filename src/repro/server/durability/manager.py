@@ -422,6 +422,9 @@ def _tenant_from_snapshot(
     try:
         schema = parse_schema({"attributes": snapshot["schema"]})
         relation = Relation.from_state(snapshot["relation"])
+    # staticcheck: disable=SC008 — recovery boundary: a corrupt
+    # snapshot is reported as a per-tenant warning, never a crash, and
+    # no budget governs recovery.
     except Exception as exc:  # noqa: BLE001 - corrupt state is a skip
         return None, f"unusable snapshot state: {exc}"
     tenant = Tenant(
@@ -490,6 +493,9 @@ def _apply_rules_record(tenant: Tenant, record: dict[str, Any]) -> str:
         tenant.relation = current
         tenant.detector = IncrementalDetector(active, current)
         return ""
+    # staticcheck: disable=SC008 — recovery boundary: one bad WAL
+    # record becomes a warning so the remaining records still replay;
+    # no budget governs recovery.
     except Exception as exc:  # noqa: BLE001 - keep recovering
         return (
             f"rules record at seq {record.get('seq')} failed to "

@@ -206,6 +206,8 @@ class JobManager:
         if self.on_finish is not None:
             try:
                 self.on_finish(job)
+            # staticcheck: disable=SC008 — observer callback isolation:
+            # a faulty on_finish hook must not kill the worker thread.
             except Exception:  # pragma: no cover - observer must not kill
                 pass
 
@@ -235,6 +237,9 @@ class JobManager:
                 job.finished_at = time.time()
             self._notify(job)
             return
+        # staticcheck: disable=SC008 — job boundary: the error (typed
+        # name included, BudgetExhausted too) is surfaced on the failed
+        # job record, never silently dropped.
         except Exception as exc:  # noqa: BLE001 - job boundary
             with job._lock:
                 job.state = FAILED

@@ -328,3 +328,104 @@ class TestBudgetChild:
         assert result.stats.complete is False
         # The engine's work was billed to the parent too.
         assert parent.candidates == child.candidates
+
+
+class TestExhaustionNeverKillsRules:
+    """Regressions for the staticcheck SC008 fixes: mere budget
+    exhaustion must never deactivate rules or reject survivors."""
+
+    def _od_detector(self):
+        from repro.core.numerical.od import OD
+        from repro.incremental.delta import Delta
+        from repro.incremental.detector import IncrementalDetector
+        from repro.relation import Relation
+
+        rel = Relation.from_rows(
+            ["a", "b"], [[i, i] for i in range(50)]
+        )
+        return (
+            IncrementalDetector([OD("a", "b")], rel),
+            Delta(inserts=[[99, 98]]),
+        )
+
+    def test_mid_batch_deadline_rebuild_keeps_kernel_rules(self):
+        # An OD checker cold-rebuilds through the plan kernels, whose
+        # checkpoints observe the ambient budget — the rebuild must run
+        # under a fresh budget or the deadline marks the rule dead.
+        from repro.incremental.delta import Delta
+
+        det, delta = self._od_detector()
+        b = Budget(deadline_s=0.0).start()
+        with governed(b):
+            change = det.apply(delta)
+        assert change.complete is False
+        assert change.exhausted == "deadline"
+        assert det.dead_rules == []
+        assert len(det._checkers) == 1
+        # The detector stays fully usable after the deadline.
+        change = det.apply(Delta(inserts=[[100, 100]]))
+        assert change.complete is True
+
+    def test_resume_rule_survives_exhausted_ambient_budget(self):
+        det, _ = self._od_detector()
+        label = det.rules[0].label()
+        assert det.suspend_rule(label)
+        b = Budget(deadline_s=0.0).start()
+        with governed(b):
+            assert det.resume_rule(label)
+        assert det.dead_rules == []
+        assert len(det._checkers) == 1
+
+    def test_verify_on_sample_is_budget_blind_for_kernel_rules(self):
+        from repro.core.numerical.od import OD
+        from repro.relation import Relation
+        from repro.runtime.budget import verify_on_sample
+
+        rel = Relation.from_rows(
+            ["a", "b"], [[i, i] for i in range(50)]
+        )
+        od = OD("a", "b")
+        b = Budget(deadline_s=0.0).start()
+        with governed(b):
+            survivors = verify_on_sample(rel, [od])
+        assert survivors == [od]
+
+
+class TestKernelLoopsPollBudget:
+    """Regression for the SC001 fixes: candidate generators poll the
+    budget even when they yield nothing (violation-free data)."""
+
+    def test_sweep_generator_observes_deadline_without_yields(
+        self, monkeypatch
+    ):
+        from repro.core.numerical.od import OD
+        from repro.relation import Relation
+
+        # Force the scalar sweep: the vectorized prep has no
+        # per-candidate loop at all on violation-free data.
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "scalar")
+        # Strictly increasing on both columns: the OD holds, so the
+        # sweep yields no candidate pairs — before the fix nothing
+        # charged the budget during generation.
+        n = 2000
+        rel = Relation.from_rows(
+            ["a", "b"], [[i, i] for i in range(n)]
+        )
+        od = OD("a", "b")
+
+        polls = []
+        real_checkpoint = Budget.checkpoint
+
+        class CountingBudget(Budget):
+            def checkpoint(self, candidates=0, pairs=0):
+                polls.append((candidates, pairs))
+                return real_checkpoint(
+                    self, candidates=candidates, pairs=pairs
+                )
+
+        with governed(CountingBudget()):
+            assert od.holds(rel)
+        # The generator-side polls are plain checkpoint() calls
+        # (0, 0); at least one batch of 256 swept rows must have
+        # triggered one for n=2000 rows.
+        assert any(c == 0 and p == 0 for c, p in polls)
